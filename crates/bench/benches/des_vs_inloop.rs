@@ -1,0 +1,42 @@
+//! Simulator throughput: the offline DES baseline vs the scheduler-in-the-
+//! loop simulation, on the same synthetic DAG. The offline DES is faster
+//! (no real threads) but cannot reflect a real scheduler's behavior — the
+//! accuracy side of this trade-off is quantified by `figures ablation`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use supersim_core::{SimConfig, SimSession};
+use supersim_des::DesPolicy;
+use supersim_runtime::{Runtime, RuntimeConfig};
+use supersim_workloads::synthetic::{layered, models_for, submit, to_graph};
+use supersim_workloads::ExecMode;
+
+fn bench_des_vs_inloop(c: &mut Criterion) {
+    let tasks = layered(20, 16, 3, 0.01, 42);
+    let graph = to_graph(&tasks);
+    let workers = 4;
+
+    let mut group = c.benchmark_group("des_vs_inloop_layered_320");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(tasks.len() as u64));
+    group.bench_function("offline_des", |b| {
+        b.iter(|| {
+            supersim_des::simulate(&graph, workers, DesPolicy::Fifo, |t| graph.node(t).weight)
+                .makespan
+        });
+    });
+    group.bench_function("inloop_sim", |b| {
+        b.iter(|| {
+            let session = SimSession::new(models_for(&tasks), SimConfig::default());
+            let rt = Runtime::new(RuntimeConfig::simple(workers));
+            session.attach_quiesce(rt.probe());
+            submit(&rt, &tasks, &ExecMode::Simulated(session.clone()), 1.0);
+            rt.seal();
+            rt.wait_all().unwrap();
+            session.virtual_now()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_des_vs_inloop);
+criterion_main!(benches);

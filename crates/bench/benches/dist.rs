@@ -1,0 +1,39 @@
+//! Sampling and fitting throughput of the kernel-duration distributions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::SeedableRng;
+use supersim_dist::{fit, Dist, Distribution};
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_sampling");
+    group.throughput(Throughput::Elements(1));
+    let dists = [
+        ("normal", Dist::normal(1.0, 0.1).unwrap()),
+        ("gamma", Dist::gamma(4.0, 0.25).unwrap()),
+        ("lognormal", Dist::log_normal(0.0, 0.3).unwrap()),
+        ("exponential", Dist::exponential(1.0).unwrap()),
+    ];
+    for (name, d) in dists {
+        group.bench_function(name, |b| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            b.iter(|| d.sample(&mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fitting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_fitting");
+    group.sample_size(20);
+    let truth = Dist::log_normal(-5.0, 0.3).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let data: Vec<f64> = (0..2000).map(|_| truth.sample(&mut rng)).collect();
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("select_model_2000", |b| {
+        b.iter(|| fit::select_model(&data).unwrap().best().dist.family());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_fitting);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Throughput of the tile linear-algebra kernels (the building blocks the
+//! simulation models): GFLOP/s of dgemm / dpotf2 / dgeqrt / dtsmqr.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use supersim_tile::blas::{dgemm, dpotf2, Trans};
+use supersim_tile::generate::{random, spd};
+use supersim_tile::qr_kernels::{dgeqrt, dtsmqr, dtsqrt, ApplyTrans};
+use supersim_tile::{flops, Matrix};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_kernels");
+    group.sample_size(10);
+    for &nb in &[64usize, 128] {
+        group.throughput(Throughput::Elements(flops::gemm(nb, nb, nb) as u64));
+        group.bench_with_input(BenchmarkId::new("dgemm", nb), &nb, |bench, &nb| {
+            let a = random(nb, nb, 1);
+            let b = random(nb, nb, 2);
+            let mut cm = random(nb, nb, 3);
+            bench.iter(|| {
+                dgemm(Trans::No, Trans::Yes, -1.0, &a, &b, 1.0, &mut cm);
+            });
+        });
+
+        group.throughput(Throughput::Elements(flops::potrf_tile(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("dpotf2", nb), &nb, |bench, &nb| {
+            let a0 = spd(nb, 4);
+            bench.iter(|| {
+                let mut a = a0.clone();
+                dpotf2(&mut a).unwrap();
+            });
+        });
+
+        group.throughput(Throughput::Elements(flops::geqrt_tile(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("dgeqrt", nb), &nb, |bench, &nb| {
+            let a0 = random(nb, nb, 5);
+            bench.iter(|| {
+                let mut a = a0.clone();
+                let mut t = Matrix::zeros(nb, nb);
+                dgeqrt(&mut a, &mut t);
+            });
+        });
+
+        group.throughput(Throughput::Elements(flops::tsmqr_tile(nb) as u64));
+        group.bench_with_input(BenchmarkId::new("dtsmqr", nb), &nb, |bench, &nb| {
+            // Prepare a tsqrt factorization once.
+            let mut r = Matrix::from_fn(nb, nb, |i, j| {
+                if i == j {
+                    2.0
+                } else if i < j {
+                    0.3
+                } else {
+                    0.0
+                }
+            });
+            let mut u = random(nb, nb, 6);
+            let mut t = Matrix::zeros(nb, nb);
+            dtsqrt(&mut r, &mut u, &mut t);
+            let c1_0 = random(nb, nb, 7);
+            let c2_0 = random(nb, nb, 8);
+            bench.iter(|| {
+                let mut c1 = c1_0.clone();
+                let mut c2 = c2_0.clone();
+                dtsmqr(ApplyTrans::Trans, &mut c1, &mut c2, &u, &t);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

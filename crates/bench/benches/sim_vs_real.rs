@@ -1,0 +1,35 @@
+//! The paper's "Accelerated Simulation Time" contribution (SS III): wall
+//! time of a simulated run vs the real execution it predicts. The sim
+//! should be substantially faster ("a two-fold speedup is not uncommon" on
+//! the paper's testbed; far larger here because the host serializes real
+//! kernels).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use supersim_calibrate::{calibrate, FitOptions};
+use supersim_core::{SimConfig, SimSession};
+use supersim_runtime::SchedulerKind;
+use supersim_workloads::driver::{run_real, run_sim, Algorithm};
+
+fn bench_sim_vs_real(c: &mut Criterion) {
+    let (n, nb, workers) = (240usize, 60usize, 2usize);
+    // Calibrate once outside the measurement.
+    let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, 1);
+    let registry = calibrate(&real.trace, FitOptions::default()).registry;
+
+    let mut group = c.benchmark_group("sim_vs_real_cholesky_240");
+    group.sample_size(10);
+    group.bench_function("real_execution", |b| {
+        b.iter(|| run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, 2).seconds);
+    });
+    group.bench_function("simulated_execution", |b| {
+        b.iter(|| {
+            let session = SimSession::new(registry.clone(), SimConfig::default());
+            run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session)
+                .predicted_seconds
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_vs_real);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Overhead of the simulation core: Task Execution Queue operations and
+//! the full simulated-kernel protocol per task. This is the per-task cost
+//! of the paper's approach (its "simulation speed").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::Arc;
+use supersim_core::{KernelModel, ModelRegistry, SimConfig, SimSession, TaskExecutionQueue};
+use supersim_dag::{Access, DataId};
+use supersim_runtime::{Runtime, RuntimeConfig, TaskDesc};
+
+fn bench_teq_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("teq");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("insert_retire_serial", |b| {
+        let q = TaskExecutionQueue::new();
+        b.iter(|| {
+            let (t, _) = q.insert(1.0);
+            q.wait_front(t);
+            q.retire(t);
+        });
+    });
+    group.finish();
+}
+
+fn bench_sim_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_protocol");
+    group.sample_size(10);
+    {
+        let &tasks = &1000usize;
+        group.throughput(Throughput::Elements(tasks as u64));
+        group.bench_function(format!("chain_{tasks}_tasks"), |b| {
+            b.iter(|| {
+                let mut models = ModelRegistry::new();
+                models.insert("k", KernelModel::constant(0.001));
+                let session: Arc<SimSession> =
+                    SimSession::new(models, SimConfig::default());
+                let rt = Runtime::new(RuntimeConfig::simple(2));
+                session.attach_quiesce(rt.probe());
+                for _ in 0..tasks {
+                    let s = session.clone();
+                    rt.submit(TaskDesc::new(
+                        "k",
+                        vec![Access::read_write(DataId(0))],
+                        move |ctx| s.run_kernel(ctx, "k"),
+                    ));
+                }
+                rt.seal();
+                rt.wait_all().unwrap();
+                session.virtual_now()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_teq_ops, bench_sim_protocol);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # supersim-bench
+//!
+//! Criterion benchmarks and the `figures` binary that regenerates every
+//! table and figure of the paper's evaluation (see DESIGN.md §4 for the
+//! experiment index). Shared sweep helpers live here.
+
+pub mod sweep;

@@ -1,0 +1,132 @@
+//! JSON persistence for calibrations — the "kernel model database" that
+//! lets an autotuning loop (the paper's motivating use case, §VI-B)
+//! calibrate once and simulate many configurations.
+
+use crate::fitter::Calibration;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A stored calibration plus provenance metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationDb {
+    /// Schema version.
+    pub version: u32,
+    /// Free-form description (machine, workload, parameters).
+    pub description: String,
+    /// Matrix order of the calibration run (0 = not applicable).
+    pub n: usize,
+    /// Tile size of the calibration run.
+    pub nb: usize,
+    /// Worker count of the calibration run.
+    pub workers: usize,
+    /// The calibration itself.
+    pub calibration: Calibration,
+}
+
+impl CalibrationDb {
+    /// Current schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Wrap a calibration with provenance.
+    pub fn new(
+        description: impl Into<String>,
+        n: usize,
+        nb: usize,
+        workers: usize,
+        calibration: Calibration,
+    ) -> Self {
+        CalibrationDb {
+            version: Self::VERSION,
+            description: description.into(),
+            n,
+            nb,
+            workers,
+            calibration,
+        }
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("calibration serialization cannot fail")
+    }
+
+    /// Parse from JSON, checking the schema version.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let db: CalibrationDb = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if db.version != Self::VERSION {
+            return Err(format!(
+                "calibration schema version {} (expected {})",
+                db.version,
+                Self::VERSION
+            ));
+        }
+        Ok(db)
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitter::{calibrate, FitOptions};
+    use supersim_trace::{Trace, TraceEvent};
+
+    fn small_calibration() -> Calibration {
+        let mut t = Trace::new(1);
+        for i in 0..40u64 {
+            let d = 0.01 + (i % 5) as f64 * 0.001;
+            t.events.push(TraceEvent {
+                worker: 0,
+                kernel: "dgemm".into(),
+                task_id: i,
+                start: i as f64,
+                end: i as f64 + d,
+            });
+        }
+        calibrate(&t, FitOptions::default())
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let db = CalibrationDb::new("test box", 100, 10, 2, small_calibration());
+        let json = db.to_json();
+        let back = CalibrationDb::from_json(&json).unwrap();
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    fn version_mismatch_rejected() {
+        let mut db = CalibrationDb::new("x", 0, 0, 0, small_calibration());
+        db.version = 99;
+        let err = CalibrationDb::from_json(&db.to_json()).unwrap_err();
+        assert!(err.contains("version 99"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = CalibrationDb::new("file test", 64, 8, 4, small_calibration());
+        let dir = std::env::temp_dir().join("supersim-test-db");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cal.json");
+        db.save(&path).unwrap();
+        let back = CalibrationDb::load(&path).unwrap();
+        assert_eq!(db, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn garbage_json_rejected() {
+        assert!(CalibrationDb::from_json("not json").is_err());
+        assert!(CalibrationDb::load(Path::new("/nonexistent/x.json")).is_err());
+    }
+}

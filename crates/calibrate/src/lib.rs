@@ -1,0 +1,30 @@
+//! # supersim-calibrate
+//!
+//! Kernel-model calibration: turn the wall-clock trace of a **real** run
+//! into the per-kernel duration distributions the simulator consumes.
+//!
+//! This is the paper's timing methodology (§V-B1): rather than timing each
+//! kernel in isolation (cold/warm-cache ambiguity), "the actual execution
+//! of the algorithm \[provides\] the actual empirical data for future
+//! estimation". The MKL-style initialization outliers ("the first kernel on
+//! each thread will take significantly longer") are excluded per worker and
+//! optionally folded back in as a warm-up factor on the fitted model.
+//!
+//! * [`collector`] — per-kernel sample extraction from a trace, with
+//!   warm-up exclusion and quantile-based outlier trimming;
+//! * [`fitter`] — distribution fitting + AIC selection per kernel class
+//!   (normal / gamma / log-normal, §V-B2) into a
+//!   [`supersim_core::ModelRegistry`];
+//! * [`database`] — JSON persistence of a calibration;
+//! * [`report`] — human-readable calibration summaries.
+
+pub mod collector;
+pub mod database;
+pub mod fitter;
+pub mod overhead;
+pub mod report;
+
+pub use collector::{collect, CollectOptions, KernelSamples};
+pub use database::CalibrationDb;
+pub use fitter::{calibrate, Calibration, FitOptions, LabelReport};
+pub use overhead::{estimate as estimate_overhead, OverheadEstimate};

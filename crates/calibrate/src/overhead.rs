@@ -1,0 +1,130 @@
+//! Scheduler-overhead estimation from trace gaps.
+//!
+//! The paper attributes its residual error to unmodeled scheduler costs
+//! ("start-up performance penalties", §VII). In a dense single-worker
+//! trace the time between one task's end and the next task's start on the
+//! same worker is almost pure scheduler bookkeeping — dependence updates,
+//! dispatch, locking. The median of those gaps is a robust per-task
+//! overhead estimate that can be fed into
+//! `supersim_core::SimConfig::overhead_per_task`.
+
+use supersim_trace::Trace;
+
+/// Per-worker gap statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadEstimate {
+    /// Median inter-task gap across all workers (seconds).
+    pub median_gap: f64,
+    /// Mean inter-task gap.
+    pub mean_gap: f64,
+    /// Number of gaps measured.
+    pub gaps: usize,
+    /// Fraction of the makespan spent in gaps (all workers).
+    pub gap_fraction: f64,
+}
+
+/// Estimate the per-task scheduler overhead from a real trace.
+///
+/// Returns `None` when the trace has fewer than 2 events on every worker.
+/// Gaps are clamped at zero (clock jitter can make them marginally
+/// negative) and gaps longer than `cap` seconds are excluded — a long gap
+/// means the worker was *starved* (no ready task), which is a property of
+/// the DAG, not scheduler overhead.
+pub fn estimate(trace: &Trace, cap: f64) -> Option<OverheadEstimate> {
+    let mut gaps: Vec<f64> = Vec::new();
+    let mut total_gap = 0.0;
+    for w in 0..trace.workers {
+        let mut lane: Vec<(f64, f64)> = trace.lane(w).map(|e| (e.start, e.end)).collect();
+        lane.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in lane.windows(2) {
+            let gap = (pair[1].0 - pair[0].1).max(0.0);
+            total_gap += gap;
+            if gap <= cap {
+                gaps.push(gap);
+            }
+        }
+    }
+    if gaps.is_empty() {
+        return None;
+    }
+    let mean_gap = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let median_gap = supersim_dist::quantile::median(&gaps);
+    let makespan = trace.makespan();
+    let gap_fraction = if makespan > 0.0 && trace.workers > 0 {
+        total_gap / (trace.workers as f64 * makespan)
+    } else {
+        0.0
+    };
+    Some(OverheadEstimate { median_gap, mean_gap, gaps: gaps.len(), gap_fraction })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_trace::TraceEvent;
+
+    fn ev(w: usize, id: u64, start: f64, end: f64) -> TraceEvent {
+        TraceEvent { worker: w, kernel: "k".into(), task_id: id, start, end }
+    }
+
+    #[test]
+    fn uniform_gaps_estimated_exactly() {
+        let mut t = Trace::new(1);
+        // Tasks of 1.0 with 0.1 gaps.
+        let mut clock = 0.0;
+        for i in 0..10 {
+            t.events.push(ev(0, i, clock, clock + 1.0));
+            clock += 1.1;
+        }
+        let est = estimate(&t, 1.0).unwrap();
+        assert!((est.median_gap - 0.1).abs() < 1e-12);
+        assert!((est.mean_gap - 0.1).abs() < 1e-12);
+        assert_eq!(est.gaps, 9);
+    }
+
+    #[test]
+    fn starvation_gaps_excluded_by_cap() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(0, 0, 0.0, 1.0));
+        t.events.push(ev(0, 1, 1.01, 2.0)); // 10 ms bookkeeping gap
+        t.events.push(ev(0, 2, 10.0, 11.0)); // 8 s starvation gap
+        let est = estimate(&t, 0.1).unwrap();
+        assert_eq!(est.gaps, 1);
+        assert!((est.median_gap - 0.01).abs() < 1e-12);
+        assert!(est.gap_fraction > 0.5, "starvation still counts toward gap_fraction");
+    }
+
+    #[test]
+    fn overlapping_tasks_clamp_to_zero() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(0, 0, 0.0, 1.0));
+        t.events.push(ev(0, 1, 0.9, 2.0));
+        let est = estimate(&t, 1.0).unwrap();
+        assert_eq!(est.median_gap, 0.0);
+    }
+
+    #[test]
+    fn too_few_events_yields_none() {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, 0, 0.0, 1.0));
+        t.events.push(ev(1, 1, 0.0, 1.0));
+        assert!(estimate(&t, 1.0).is_none());
+        assert!(estimate(&Trace::new(1), 1.0).is_none());
+    }
+
+    #[test]
+    fn multi_worker_gaps_pooled() {
+        let mut t = Trace::new(2);
+        for w in 0..2usize {
+            let mut clock = 0.0;
+            for i in 0..5 {
+                t.events.push(ev(w, (w * 10 + i) as u64, clock, clock + 1.0));
+                clock += 1.0 + 0.05 * (w as f64 + 1.0);
+            }
+        }
+        let est = estimate(&t, 1.0).unwrap();
+        assert_eq!(est.gaps, 8);
+        // Median across pooled gaps of 0.05 and 0.10.
+        assert!(est.median_gap >= 0.05 && est.median_gap <= 0.10);
+    }
+}

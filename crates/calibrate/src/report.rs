@@ -1,0 +1,62 @@
+//! Human-readable calibration reports.
+
+use crate::fitter::Calibration;
+use std::fmt::Write as _;
+
+/// Render a calibration as a table: one row per kernel class with the
+/// chosen family, parameters via mean/std, warm-up factor, and the AIC
+/// ranking of the candidates.
+pub fn render(cal: &Calibration) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<10} {:>8} {:>6} {:>12} {:>12} {:>7} {:<10} candidates (AIC)",
+        "kernel", "samples", "warm", "mean[s]", "std[s]", "wfac", "family"
+    );
+    for (label, r) in &cal.reports {
+        let model = cal.registry.expect(label);
+        let std = supersim_dist::Distribution::std_dev(&model.dist);
+        let mut cands = String::new();
+        for c in &r.candidates {
+            let _ = write!(cands, "{}={:.1} ", c.dist.family(), c.aic);
+        }
+        let _ = writeln!(
+            s,
+            "{:<10} {:>8} {:>6} {:>12.6} {:>12.6} {:>7.2} {:<10} {}",
+            label, r.samples, r.warmups_excluded, r.mean, std, r.warmup_factor, r.family, cands
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fitter::{calibrate, FitOptions};
+    use supersim_trace::{Trace, TraceEvent};
+
+    #[test]
+    fn report_lists_all_kernels() {
+        let mut t = Trace::new(1);
+        let mut id = 0;
+        for kernel in ["dgemm", "dtrsm"] {
+            for i in 0..30 {
+                let d = 0.01 + (i % 7) as f64 * 0.0005;
+                t.events.push(TraceEvent {
+                    worker: 0,
+                    kernel: kernel.into(),
+                    task_id: id,
+                    start: id as f64,
+                    end: id as f64 + d,
+                });
+                id += 1;
+            }
+        }
+        let cal = calibrate(&t, FitOptions::default());
+        let report = render(&cal);
+        assert!(report.contains("dgemm"));
+        assert!(report.contains("dtrsm"));
+        assert!(report.contains("kernel"));
+        assert!(report.lines().count() >= 3);
+    }
+}

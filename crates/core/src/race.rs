@@ -1,0 +1,106 @@
+//! Race-condition mitigation strategies (paper §V-E, Fig. 5).
+//!
+//! A task at the front of the Task Execution Queue may return *before* a
+//! successor just released by an earlier completion has inserted itself —
+//! the successor then reads an already-advanced clock and lands too late in
+//! the simulated trace. The paper describes two fixes:
+//!
+//! * a QUARK-specific **quiescence query** ("determine if the scheduler has
+//!   completed all bookkeeping related to scheduling"), and
+//! * a portable **sleep/yield**: "a judicious use of the `sleep()`
+//!   function ... a further enhancement of this is a call to the kernel
+//!   `sched_yield()`".
+//!
+//! [`RaceMitigation::None`] reproduces the uncorrected behavior for the
+//! Fig. 5 demonstration and the ablation bench.
+
+use serde::{Deserialize, Serialize};
+
+/// How the simulated kernel guards against the §V-E scheduling race before
+/// retiring from the front of the Task Execution Queue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RaceMitigation {
+    /// No mitigation: retire immediately at the front. Reproduces the race.
+    None,
+    /// Portable mitigation: yield `yields` times, then sleep `sleep_us`
+    /// microseconds, giving the scheduler thread(s) time to finish
+    /// bookkeeping and newly-dispatched tasks time to register.
+    SleepYield {
+        /// Number of `sched_yield` calls before sleeping.
+        yields: u32,
+        /// Sleep duration in microseconds (0 = yields only).
+        sleep_us: u64,
+    },
+    /// Exact mitigation via the runtime's quiescence query (QUARK-style).
+    Quiesce,
+}
+
+impl RaceMitigation {
+    /// The paper's portable default: a few yields plus a short sleep.
+    pub fn sleep_yield_default() -> Self {
+        RaceMitigation::SleepYield { yields: 4, sleep_us: 200 }
+    }
+
+    /// Execute the portable delay (no-op for the other variants — the
+    /// quiesce wait needs the runtime handle and lives in the session).
+    pub fn portable_delay(&self) {
+        if let RaceMitigation::SleepYield { yields, sleep_us } = self {
+            for _ in 0..*yields {
+                std::thread::yield_now();
+            }
+            if *sleep_us > 0 {
+                std::thread::sleep(std::time::Duration::from_micros(*sleep_us));
+            }
+        }
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RaceMitigation::None => "none",
+            RaceMitigation::SleepYield { .. } => "sleep_yield",
+            RaceMitigation::Quiesce => "quiesce",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names() {
+        assert_eq!(RaceMitigation::None.name(), "none");
+        assert_eq!(RaceMitigation::sleep_yield_default().name(), "sleep_yield");
+        assert_eq!(RaceMitigation::Quiesce.name(), "quiesce");
+    }
+
+    #[test]
+    fn portable_delay_is_noop_for_non_sleep() {
+        let t0 = std::time::Instant::now();
+        RaceMitigation::None.portable_delay();
+        RaceMitigation::Quiesce.portable_delay();
+        assert!(t0.elapsed().as_millis() < 50);
+    }
+
+    #[test]
+    fn portable_delay_sleeps() {
+        let m = RaceMitigation::SleepYield { yields: 0, sleep_us: 2000 };
+        let t0 = std::time::Instant::now();
+        m.portable_delay();
+        assert!(t0.elapsed().as_micros() >= 2000);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for m in [
+            RaceMitigation::None,
+            RaceMitigation::Quiesce,
+            RaceMitigation::SleepYield { yields: 2, sleep_us: 10 },
+        ] {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: RaceMitigation = serde_json::from_str(&json).unwrap();
+            assert_eq!(m, back);
+        }
+    }
+}

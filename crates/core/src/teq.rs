@@ -1,0 +1,305 @@
+//! The Task Execution Queue (TEQ) and the virtual clock.
+//!
+//! "The key element of the simulation environment is the Task Execution
+//! Queue ... a priority queue which is prioritized by the simulated
+//! completion time of a task" (§V-C). The clock and the queue share one
+//! mutex so that reading the clock for a task's start time and inserting
+//! its completion are one atomic step.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::BinaryHeap;
+
+/// Ticket identifying one entry in the queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TeqTicket {
+    seq: u64,
+    /// The virtual completion time of this entry.
+    pub end: f64,
+}
+
+/// Heap entry: min-heap by (end, seq) via reversed `Ord`.
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    end: f64,
+    seq: u64,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the smallest end (then
+        // smallest seq, i.e. earliest insertion) on top.
+        other
+            .end
+            .total_cmp(&self.end)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct State {
+    clock: f64,
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+    /// Completions retired so far (monotone, for diagnostics).
+    retired: u64,
+}
+
+/// The Task Execution Queue with its embedded virtual clock.
+///
+/// The simulation clock "is stored as a double precision floating point
+/// number which is of sufficient resolution for the tasks we deal with"
+/// (§V). It only moves forward, and only when the front entry retires.
+pub struct TaskExecutionQueue {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Default for TaskExecutionQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaskExecutionQueue {
+    /// A fresh queue with the clock at 0.
+    pub fn new() -> Self {
+        TaskExecutionQueue {
+            state: Mutex::new(State { clock: 0.0, heap: BinaryHeap::new(), next_seq: 0, retired: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.state.lock().clock
+    }
+
+    /// Number of entries currently executing (inserted, not retired).
+    pub fn len(&self) -> usize {
+        self.state.lock().heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total entries retired since creation.
+    pub fn retired(&self) -> u64 {
+        self.state.lock().retired
+    }
+
+    /// Atomically read the clock as this task's start time, compute its
+    /// completion as `start + duration`, and insert it. Returns the ticket
+    /// plus the start time.
+    ///
+    /// `duration` is clamped at 0 (models can produce tiny negative
+    /// samples when a fitted normal has mass below zero).
+    pub fn insert(&self, duration: f64) -> (TeqTicket, f64) {
+        let duration = if duration.is_finite() { duration.max(0.0) } else { 0.0 };
+        let mut st = self.state.lock();
+        let start = st.clock;
+        let end = start + duration;
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.heap.push(HeapEntry { end, seq });
+        if debug_enabled() {
+            eprintln!("[dbg] teq.insert seq={seq} start={start:.6} end={end:.6}");
+        }
+        // A new entry may change who is at the front.
+        self.cv.notify_all();
+        (TeqTicket { seq, end }, start)
+    }
+
+    /// Whether `ticket` is at the front of the queue (the next completion).
+    pub fn is_front(&self, ticket: TeqTicket) -> bool {
+        let st = self.state.lock();
+        st.heap.peek().is_some_and(|e| e.seq == ticket.seq)
+    }
+
+    /// Block until `ticket` is at the front.
+    pub fn wait_front(&self, ticket: TeqTicket) {
+        let mut st = self.state.lock();
+        while st.heap.peek().is_none_or(|e| e.seq != ticket.seq) {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    /// Retire the front entry (must be `ticket` — panics otherwise),
+    /// advancing the clock to its completion time.
+    pub fn retire(&self, ticket: TeqTicket) {
+        let mut st = self.state.lock();
+        let front = st.heap.peek().expect("retire on empty queue");
+        assert_eq!(front.seq, ticket.seq, "retire called by a non-front task");
+        let e = st.heap.pop().unwrap();
+        if debug_enabled() {
+            eprintln!("[dbg] teq.retire seq={} end={:.6}", e.seq, e.end);
+        }
+        st.clock = st.clock.max(e.end);
+        st.retired += 1;
+        self.cv.notify_all();
+    }
+
+    /// Advance the clock directly (used by tests and by the offline DES).
+    /// The clock never moves backwards.
+    pub fn advance_to(&self, t: f64) {
+        let mut st = self.state.lock();
+        st.clock = st.clock.max(t);
+        self.cv.notify_all();
+    }
+}
+
+
+/// Cached SUPERSIM_DEBUG environment check (hot paths consult this).
+fn debug_enabled() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("SUPERSIM_DEBUG").is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let q = TaskExecutionQueue::new();
+        assert_eq!(q.now(), 0.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn insert_reads_clock_as_start() {
+        let q = TaskExecutionQueue::new();
+        let (t1, s1) = q.insert(2.0);
+        assert_eq!(s1, 0.0);
+        assert_eq!(t1.end, 2.0);
+        assert_eq!(q.len(), 1);
+        // Clock does not move on insert.
+        assert_eq!(q.now(), 0.0);
+    }
+
+    #[test]
+    fn retire_advances_clock_in_end_order() {
+        let q = TaskExecutionQueue::new();
+        let (a, _) = q.insert(3.0);
+        let (b, _) = q.insert(1.0);
+        assert!(q.is_front(b), "earliest end must be front");
+        assert!(!q.is_front(a));
+        q.retire(b);
+        assert_eq!(q.now(), 1.0);
+        assert!(q.is_front(a));
+        q.retire(a);
+        assert_eq!(q.now(), 3.0);
+        assert_eq!(q.retired(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let q = TaskExecutionQueue::new();
+        let (a, _) = q.insert(1.0);
+        let (b, _) = q.insert(1.0);
+        assert!(q.is_front(a));
+        q.retire(a);
+        assert!(q.is_front(b));
+        q.retire(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-front")]
+    fn retire_out_of_order_panics() {
+        let q = TaskExecutionQueue::new();
+        let (_a, _) = q.insert(1.0);
+        let (b, _) = q.insert(2.0);
+        q.retire(b);
+    }
+
+    #[test]
+    fn negative_and_nan_durations_clamped() {
+        let q = TaskExecutionQueue::new();
+        let (t, s) = q.insert(-5.0);
+        assert_eq!(t.end, s);
+        let (t2, s2) = q.insert(f64::NAN);
+        assert_eq!(t2.end, s2);
+    }
+
+    #[test]
+    fn clock_monotone_under_retire() {
+        let q = TaskExecutionQueue::new();
+        let (a, _) = q.insert(5.0);
+        q.advance_to(10.0);
+        q.retire(a); // end = 5 < clock = 10: clock must not go back
+        assert_eq!(q.now(), 10.0);
+    }
+
+    #[test]
+    fn wait_front_unblocks_when_front_retires() {
+        let q = Arc::new(TaskExecutionQueue::new());
+        let (a, _) = q.insert(1.0);
+        let (b, _) = q.insert(2.0);
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || {
+            q2.wait_front(b);
+            q2.retire(b);
+            q2.now()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.retire(a);
+        let clock = h.join().unwrap();
+        assert_eq!(clock, 2.0);
+    }
+
+    #[test]
+    fn concurrent_completion_order_matches_end_times() {
+        // 8 threads insert random-ish durations; each waits for front and
+        // retires; the retirement order must equal ascending end order.
+        let q = Arc::new(TaskExecutionQueue::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        let durations = [0.7, 0.3, 0.9, 0.1, 0.5, 0.2, 0.8, 0.4];
+        let mut tickets = Vec::new();
+        for &d in &durations {
+            tickets.push(q.insert(d));
+        }
+        for (ticket, _) in tickets {
+            let q = q.clone();
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                q.wait_front(ticket);
+                order.lock().push(ticket.end);
+                q.retire(ticket);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let order = order.lock();
+        let mut sorted = order.clone();
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(*order, sorted, "completions must retire in end order");
+        assert_eq!(q.now(), 0.9);
+    }
+
+    #[test]
+    fn sequential_tasks_accumulate_time() {
+        // A chain simulated by hand: each task starts at the clock left by
+        // the previous retire.
+        let q = TaskExecutionQueue::new();
+        let mut expected = 0.0;
+        for d in [1.0, 2.5, 0.5] {
+            let (t, start) = q.insert(d);
+            assert_eq!(start, expected);
+            q.wait_front(t);
+            q.retire(t);
+            expected += d;
+        }
+        assert_eq!(q.now(), 4.0);
+    }
+}

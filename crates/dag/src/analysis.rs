@@ -1,0 +1,134 @@
+//! Structural DAG analysis: depth, width, and parallelism profiles.
+//!
+//! Developers "visualize these DAGs in order to gain a greater understanding
+//! of how well their algorithms could perform" (paper §IV-A); these metrics
+//! are the quantitative version of that look.
+
+use crate::critical_path::critical_path;
+use crate::graph::TaskGraph;
+use crate::validate::topological_sort;
+use serde::{Deserialize, Serialize};
+
+/// Structural profile of a DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagProfile {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of distinct edges.
+    pub edges: usize,
+    /// Total dependences (edge multiplicities summed).
+    pub dependences: u64,
+    /// Number of levels (longest chain in hops + 1; 0 for empty).
+    pub depth: usize,
+    /// Tasks per level (level = longest hop-distance from any source).
+    pub width_profile: Vec<usize>,
+    /// Maximum width over all levels.
+    pub max_width: usize,
+    /// Total work (sum of weights).
+    pub total_work: f64,
+    /// Weighted critical-path length.
+    pub critical_path: f64,
+    /// `total_work / critical_path` — the average parallelism, an upper
+    /// bound on useful worker count.
+    pub avg_parallelism: f64,
+}
+
+/// Compute the level (longest hop-distance from a source) of each task.
+pub fn levels(g: &TaskGraph) -> Vec<usize> {
+    let order = topological_sort(g).expect("levels require a DAG");
+    let mut lvl = vec![0usize; g.len()];
+    for &u in &order {
+        for &p in g.predecessors(u) {
+            lvl[u] = lvl[u].max(lvl[p] + 1);
+        }
+    }
+    lvl
+}
+
+/// Build the full structural profile.
+pub fn profile(g: &TaskGraph) -> DagProfile {
+    let lvl = levels(g);
+    let depth = lvl.iter().map(|&l| l + 1).max().unwrap_or(0);
+    let mut width_profile = vec![0usize; depth];
+    for &l in &lvl {
+        width_profile[l] += 1;
+    }
+    let max_width = width_profile.iter().copied().max().unwrap_or(0);
+    let cp = critical_path(g);
+    let total_work = g.total_weight();
+    let avg_parallelism = if cp.length > 0.0 { total_work / cp.length } else { 0.0 };
+    DagProfile {
+        tasks: g.len(),
+        edges: g.edge_count(),
+        dependences: g.dependence_count(),
+        depth,
+        width_profile,
+        max_width,
+        total_work,
+        critical_path: cp.length,
+        avg_parallelism,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskNode;
+
+    fn node(w: f64) -> TaskNode {
+        TaskNode { label: "t".into(), weight: w, accesses: vec![] }
+    }
+
+    #[test]
+    fn chain_profile() {
+        let mut g = TaskGraph::new();
+        for _ in 0..4 {
+            g.add_node(node(1.0));
+        }
+        for i in 0..3 {
+            g.add_edge(i, i + 1);
+        }
+        let p = profile(&g);
+        assert_eq!(p.depth, 4);
+        assert_eq!(p.width_profile, vec![1, 1, 1, 1]);
+        assert_eq!(p.max_width, 1);
+        assert!((p.avg_parallelism - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fork_join_profile() {
+        // 0 -> {1,2,3} -> 4
+        let mut g = TaskGraph::new();
+        for _ in 0..5 {
+            g.add_node(node(1.0));
+        }
+        for t in 1..=3 {
+            g.add_edge(0, t);
+            g.add_edge(t, 4);
+        }
+        let p = profile(&g);
+        assert_eq!(p.depth, 3);
+        assert_eq!(p.width_profile, vec![1, 3, 1]);
+        assert_eq!(p.max_width, 3);
+        assert!((p.critical_path - 3.0).abs() < 1e-12);
+        assert!((p.avg_parallelism - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = profile(&TaskGraph::new());
+        assert_eq!(p.tasks, 0);
+        assert_eq!(p.depth, 0);
+        assert_eq!(p.avg_parallelism, 0.0);
+    }
+
+    #[test]
+    fn levels_ignore_edge_multiplicity() {
+        let mut g = TaskGraph::new();
+        g.add_node(node(1.0));
+        g.add_node(node(1.0));
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert_eq!(levels(&g), vec![0, 1]);
+    }
+}

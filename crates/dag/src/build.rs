@@ -1,0 +1,287 @@
+//! Superscalar hazard analysis: serial task stream → dependence DAG.
+//!
+//! Mirrors what QUARK/StarPU/OmpSs do at submission time (paper §IV-A):
+//! for each data region track the last writer and the readers since that
+//! write, and emit
+//!
+//! * **RaW** edges from the last writer to each subsequent reader,
+//! * **WaR** edges from each of those readers to the next writer,
+//! * **WaW** edges from the last writer to the next writer.
+//!
+//! Each hazard contributes to the multiplicity of the edge in the graph:
+//! two tasks linked through two different tiles get a multiplicity-2 edge,
+//! exactly the "multiple edges from a parent node" of paper Fig. 1.
+//!
+//! Because every edge points from an earlier submission to a later one,
+//! graphs produced here are acyclic by construction.
+
+use crate::access::{normalize_accesses, Access, DataId};
+use crate::graph::{TaskGraph, TaskId, TaskNode};
+use std::collections::HashMap;
+
+/// Per-data dependence state.
+#[derive(Debug, Default, Clone)]
+struct DataState {
+    last_writer: Option<TaskId>,
+    /// Readers since the last write.
+    readers: Vec<TaskId>,
+}
+
+/// Incremental DAG construction from a serial stream of task submissions.
+///
+/// ```
+/// use supersim_dag::{Access, DagBuilder, DataId};
+///
+/// let mut b = DagBuilder::new();
+/// let x = DataId(0);
+/// let t0 = b.submit("write_x", 1.0, &[Access::write(x)]);
+/// let t1 = b.submit("read_x", 1.0, &[Access::read(x)]);
+/// let g = b.finish();
+/// assert_eq!(g.successors(t0), &[t1]);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct DagBuilder {
+    graph: TaskGraph,
+    state: HashMap<DataId, DataState>,
+}
+
+impl DagBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submit one task; returns its id. Hazard edges against all earlier
+    /// tasks are added immediately.
+    pub fn submit(&mut self, label: &str, weight: f64, accesses: &[Access]) -> TaskId {
+        let accesses = normalize_accesses(accesses);
+        let id = self.graph.add_node(TaskNode {
+            label: label.to_string(),
+            weight,
+            accesses: accesses.clone(),
+        });
+        for a in &accesses {
+            let st = self.state.entry(a.data).or_default();
+
+            // Edges from the pre-update state. For a ReadWrite access the
+            // dependence on the previous writer is a single data flow, so
+            // the RaW edge subsumes the WaW edge (added once).
+            if a.mode.reads() || a.mode.writes() {
+                if let Some(w) = st.last_writer {
+                    if w != id {
+                        self.graph.add_edge(w, id); // RaW or WaW
+                    }
+                }
+            }
+            if a.mode.writes() {
+                for &r in &st.readers {
+                    if r != id {
+                        self.graph.add_edge(r, id); // WaR
+                    }
+                }
+            }
+
+            // State update.
+            if a.mode.writes() {
+                st.last_writer = Some(id);
+                st.readers.clear();
+            } else {
+                st.readers.push(id);
+            }
+        }
+        id
+    }
+
+    /// Finish and return the graph.
+    pub fn finish(self) -> TaskGraph {
+        self.graph
+    }
+
+    /// Borrow the graph built so far.
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMode;
+
+    fn d(i: u64) -> DataId {
+        DataId(i)
+    }
+
+    #[test]
+    fn raw_hazard() {
+        let mut b = DagBuilder::new();
+        let w = b.submit("w", 1.0, &[Access::write(d(0))]);
+        let r1 = b.submit("r1", 1.0, &[Access::read(d(0))]);
+        let r2 = b.submit("r2", 1.0, &[Access::read(d(0))]);
+        let g = b.finish();
+        assert_eq!(g.successors(w), &[r1, r2]);
+        assert!(g.successors(r1).is_empty());
+        // Readers do not depend on each other.
+        assert_eq!(g.edge_multiplicity(r1, r2), 0);
+    }
+
+    #[test]
+    fn war_hazard() {
+        let mut b = DagBuilder::new();
+        let r = b.submit("r", 1.0, &[Access::read(d(0))]);
+        let w = b.submit("w", 1.0, &[Access::write(d(0))]);
+        let g = b.finish();
+        assert_eq!(g.successors(r), &[w]);
+    }
+
+    #[test]
+    fn waw_hazard() {
+        let mut b = DagBuilder::new();
+        let w1 = b.submit("w1", 1.0, &[Access::write(d(0))]);
+        let w2 = b.submit("w2", 1.0, &[Access::write(d(0))]);
+        let g = b.finish();
+        assert_eq!(g.successors(w1), &[w2]);
+    }
+
+    #[test]
+    fn write_clears_reader_set() {
+        let mut b = DagBuilder::new();
+        let r1 = b.submit("r1", 1.0, &[Access::read(d(0))]);
+        let w = b.submit("w", 1.0, &[Access::write(d(0))]);
+        let w2 = b.submit("w2", 1.0, &[Access::write(d(0))]);
+        let g = b.finish();
+        // r1 -> w (WaR), w -> w2 (WaW); but no r1 -> w2.
+        assert_eq!(g.edge_multiplicity(r1, w), 1);
+        assert_eq!(g.edge_multiplicity(w, w2), 1);
+        assert_eq!(g.edge_multiplicity(r1, w2), 0);
+    }
+
+    #[test]
+    fn readwrite_chain_is_serial() {
+        let mut b = DagBuilder::new();
+        let t0 = b.submit("t0", 1.0, &[Access::read_write(d(0))]);
+        let t1 = b.submit("t1", 1.0, &[Access::read_write(d(0))]);
+        let t2 = b.submit("t2", 1.0, &[Access::read_write(d(0))]);
+        let g = b.finish();
+        assert_eq!(g.successors(t0), &[t1]);
+        assert_eq!(g.successors(t1), &[t2]);
+        // RaW subsumes WaW: multiplicity stays 1 per link.
+        assert_eq!(g.edge_multiplicity(t0, t1), 1);
+    }
+
+    #[test]
+    fn multiplicity_from_two_tiles() {
+        // Task B depends on task A through two different tiles -> one edge
+        // with multiplicity 2 (Fig. 1's parallel edges).
+        let mut b = DagBuilder::new();
+        let a = b.submit("a", 1.0, &[Access::write(d(0)), Access::write(d(1))]);
+        let t = b.submit("b", 1.0, &[Access::read(d(0)), Access::read(d(1))]);
+        let g = b.finish();
+        assert_eq!(g.edge_multiplicity(a, t), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.dependence_count(), 2);
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let mut b = DagBuilder::new();
+        b.submit("a", 1.0, &[Access::write(d(0))]);
+        b.submit("b", 1.0, &[Access::write(d(1))]);
+        let g = b.finish();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.sources().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_access_is_normalized() {
+        let mut b = DagBuilder::new();
+        let t = b.submit("t", 1.0, &[Access::read(d(0)), Access::write(d(0))]);
+        let g = b.finish();
+        assert_eq!(g.node(t).accesses.len(), 1);
+        assert_eq!(g.node(t).accesses[0].mode, AccessMode::ReadWrite);
+    }
+
+    #[test]
+    fn edges_always_point_forward() {
+        // Pseudo-random stream; every edge must go old -> new.
+        let mut b = DagBuilder::new();
+        let mut seed = 12345u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        for i in 0..200 {
+            let da = d((next() % 10) as u64);
+            let db = d((next() % 10) as u64);
+            let mode = match next() % 3 {
+                0 => Access::read(da),
+                1 => Access::write(da),
+                _ => Access::read_write(da),
+            };
+            b.submit(&format!("t{i}"), 1.0, &[mode, Access::read(db)]);
+        }
+        let g = b.finish();
+        for (f, t, _) in g.edges() {
+            assert!(f < t, "edge {f} -> {t} points backward");
+        }
+    }
+
+    #[test]
+    fn brute_force_conflicts_are_transitively_covered() {
+        // Every conflicting task pair must be ordered in the DAG's
+        // transitive closure (the hazard analysis may elide transitive
+        // edges but must never lose an ordering).
+        let mut b = DagBuilder::new();
+        let mut seed = 999u64;
+        let mut next = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as usize
+        };
+        let mut streams: Vec<Vec<Access>> = Vec::new();
+        for _ in 0..60 {
+            let n_acc = 1 + next() % 3;
+            let mut acc = Vec::new();
+            for _ in 0..n_acc {
+                let data = d((next() % 6) as u64);
+                acc.push(match next() % 3 {
+                    0 => Access::read(data),
+                    1 => Access::write(data),
+                    _ => Access::read_write(data),
+                });
+            }
+            acc = crate::access::normalize_accesses(&acc);
+            streams.push(acc);
+        }
+        for (i, acc) in streams.iter().enumerate() {
+            b.submit(&format!("t{i}"), 1.0, acc);
+        }
+        let g = b.finish();
+
+        // Reachability via DFS per node.
+        let n = g.len();
+        let mut reach = vec![vec![false; n]; n];
+        for s in (0..n).rev() {
+            let mut stack = vec![s];
+            while let Some(u) = stack.pop() {
+                for &v in g.successors(u) {
+                    if !reach[s][v] {
+                        reach[s][v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let conflict = streams[i].iter().any(|a| {
+                    streams[j]
+                        .iter()
+                        .any(|b| a.data == b.data && a.mode.conflicts_with(b.mode))
+                });
+                if conflict {
+                    assert!(reach[i][j], "conflicting pair ({i},{j}) not ordered");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Weighted critical path and level analysis.
+//!
+//! The critical path bounds the makespan from below on any number of
+//! workers; bottom-levels drive priority-based scheduling policies.
+
+use crate::graph::{TaskGraph, TaskId};
+use crate::validate::topological_sort;
+
+/// Result of a critical-path computation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Total weight along the heaviest path.
+    pub length: f64,
+    /// The task ids on that path, in execution order.
+    pub path: Vec<TaskId>,
+}
+
+/// Compute the weighted critical path. Node weights are the task durations;
+/// edges carry no weight (shared-memory model).
+///
+/// Panics if the graph is cyclic.
+pub fn critical_path(g: &TaskGraph) -> CriticalPath {
+    if g.is_empty() {
+        return CriticalPath { length: 0.0, path: vec![] };
+    }
+    let order = topological_sort(g).expect("critical path requires a DAG");
+    // dist[t] = heaviest path weight ending at t (inclusive).
+    let mut dist = vec![0.0f64; g.len()];
+    let mut parent = vec![usize::MAX; g.len()];
+    for &u in &order {
+        let base = g
+            .predecessors(u)
+            .iter()
+            .map(|&p| dist[p])
+            .fold(0.0f64, f64::max);
+        if let Some(&best_p) = g
+            .predecessors(u)
+            .iter()
+            .max_by(|&&a, &&b| dist[a].total_cmp(&dist[b]))
+        {
+            if dist[best_p] == base && !g.predecessors(u).is_empty() {
+                parent[u] = best_p;
+            }
+        }
+        dist[u] = base + g.node(u).weight;
+    }
+    let end = (0..g.len())
+        .max_by(|&a, &b| dist[a].total_cmp(&dist[b]))
+        .expect("non-empty graph");
+    let mut path = vec![end];
+    let mut cur = end;
+    while parent[cur] != usize::MAX {
+        cur = parent[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    CriticalPath { length: dist[end], path }
+}
+
+/// Bottom level of each task: the heaviest path weight from the task
+/// (inclusive) to any sink. Classic list-scheduling priority.
+pub fn bottom_levels(g: &TaskGraph) -> Vec<f64> {
+    let order = topological_sort(g).expect("bottom levels require a DAG");
+    let mut bl = vec![0.0f64; g.len()];
+    for &u in order.iter().rev() {
+        let down = g.successors(u).iter().map(|&s| bl[s]).fold(0.0f64, f64::max);
+        bl[u] = g.node(u).weight + down;
+    }
+    bl
+}
+
+/// Top level of each task: the heaviest path weight from any source to the
+/// task (exclusive) — i.e. the earliest possible start on infinitely many
+/// workers.
+pub fn top_levels(g: &TaskGraph) -> Vec<f64> {
+    let order = topological_sort(g).expect("top levels require a DAG");
+    let mut tl = vec![0.0f64; g.len()];
+    for &u in &order {
+        let up = g
+            .predecessors(u)
+            .iter()
+            .map(|&p| tl[p] + g.node(p).weight)
+            .fold(0.0f64, f64::max);
+        tl[u] = up;
+    }
+    tl
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskNode;
+
+    fn node(w: f64) -> TaskNode {
+        TaskNode { label: "t".into(), weight: w, accesses: vec![] }
+    }
+
+    fn weighted_diamond() -> TaskGraph {
+        // 0(1) -> 1(5) -> 3(1); 0(1) -> 2(2) -> 3(1)
+        let mut g = TaskGraph::new();
+        g.add_node(node(1.0));
+        g.add_node(node(5.0));
+        g.add_node(node(2.0));
+        g.add_node(node(1.0));
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn critical_path_picks_heavy_branch() {
+        let cp = critical_path(&weighted_diamond());
+        assert!((cp.length - 7.0).abs() < 1e-12);
+        assert_eq!(cp.path, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn empty_graph_zero_path() {
+        let cp = critical_path(&TaskGraph::new());
+        assert_eq!(cp.length, 0.0);
+        assert!(cp.path.is_empty());
+    }
+
+    #[test]
+    fn chain_path_is_total_weight() {
+        let mut g = TaskGraph::new();
+        for i in 0..5 {
+            g.add_node(node(i as f64 + 1.0));
+        }
+        for i in 0..4 {
+            g.add_edge(i, i + 1);
+        }
+        let cp = critical_path(&g);
+        assert!((cp.length - 15.0).abs() < 1e-12);
+        assert_eq!(cp.path, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn independent_tasks_path_is_max_weight() {
+        let mut g = TaskGraph::new();
+        g.add_node(node(3.0));
+        g.add_node(node(7.0));
+        let cp = critical_path(&g);
+        assert!((cp.length - 7.0).abs() < 1e-12);
+        assert_eq!(cp.path, vec![1]);
+    }
+
+    #[test]
+    fn bottom_levels_diamond() {
+        let bl = bottom_levels(&weighted_diamond());
+        assert!((bl[3] - 1.0).abs() < 1e-12);
+        assert!((bl[1] - 6.0).abs() < 1e-12);
+        assert!((bl[2] - 3.0).abs() < 1e-12);
+        assert!((bl[0] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_levels_diamond() {
+        let tl = top_levels(&weighted_diamond());
+        assert_eq!(tl[0], 0.0);
+        assert!((tl[1] - 1.0).abs() < 1e-12);
+        assert!((tl[2] - 1.0).abs() < 1e-12);
+        assert!((tl[3] - 6.0).abs() < 1e-12); // via heavy branch
+    }
+
+    #[test]
+    fn levels_are_consistent_with_critical_path() {
+        let g = weighted_diamond();
+        let cp = critical_path(&g);
+        let bl = bottom_levels(&g);
+        let tl = top_levels(&g);
+        // For every task on the critical path, tl + bl == cp length.
+        for &t in &cp.path {
+            assert!((tl[t] + bl[t] - cp.length).abs() < 1e-12);
+        }
+        // For all tasks, tl + bl <= cp length.
+        for t in 0..g.len() {
+            assert!(tl[t] + bl[t] <= cp.length + 1e-12);
+        }
+    }
+}

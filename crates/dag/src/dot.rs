@@ -1,0 +1,140 @@
+//! Graphviz DOT export — regenerates the paper's Fig. 1 (QR DAG).
+//!
+//! Multi-edges are rendered either as parallel edges (Fig. 1 style) or as a
+//! single edge labeled with its multiplicity.
+
+use crate::graph::TaskGraph;
+use std::fmt::Write as _;
+
+/// How to render edges that carry more than one data dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MultiEdgeStyle {
+    /// Draw one parallel edge per dependence (as in paper Fig. 1).
+    Parallel,
+    /// Draw a single edge with an `xN` label.
+    Labeled,
+}
+
+/// DOT export options.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Multi-edge rendering.
+    pub multi_edges: MultiEdgeStyle,
+    /// Color nodes by kernel label.
+    pub color_by_label: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            name: "taskdag".to_string(),
+            multi_edges: MultiEdgeStyle::Parallel,
+            color_by_label: true,
+        }
+    }
+}
+
+/// Fill colors cycled over distinct labels.
+const NODE_COLORS: [&str; 8] = [
+    "#a6cee3", "#fdbf6f", "#b2df8a", "#fb9a99", "#cab2d6", "#ffff99", "#1f78b4", "#33a02c",
+];
+
+/// Render the graph to DOT.
+pub fn to_dot(g: &TaskGraph, opts: &DotOptions) -> String {
+    let mut labels: Vec<&str> = Vec::new();
+    for n in g.nodes() {
+        if !labels.contains(&n.label.as_str()) {
+            labels.push(&n.label);
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph {} {{", opts.name);
+    let _ = writeln!(s, "  rankdir=TB;");
+    let _ = writeln!(s, "  node [shape=ellipse, style=filled, fontname=\"sans-serif\"];");
+    for (i, n) in g.nodes().iter().enumerate() {
+        let color = if opts.color_by_label {
+            let li = labels.iter().position(|&l| l == n.label).unwrap_or(0);
+            NODE_COLORS[li % NODE_COLORS.len()]
+        } else {
+            "#ffffff"
+        };
+        let _ = writeln!(s, "  t{i} [label=\"{}\\n#{i}\", fillcolor=\"{color}\"];", n.label);
+    }
+    for (from, to, mult) in g.edges() {
+        match opts.multi_edges {
+            MultiEdgeStyle::Parallel => {
+                for _ in 0..mult {
+                    let _ = writeln!(s, "  t{from} -> t{to};");
+                }
+            }
+            MultiEdgeStyle::Labeled => {
+                if mult > 1 {
+                    let _ = writeln!(s, "  t{from} -> t{to} [label=\"x{mult}\"];");
+                } else {
+                    let _ = writeln!(s, "  t{from} -> t{to};");
+                }
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Render with default options.
+pub fn to_dot_default(g: &TaskGraph) -> String {
+    to_dot(g, &DotOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskNode;
+
+    fn graph() -> TaskGraph {
+        let mut g = TaskGraph::new();
+        g.add_node(TaskNode { label: "geqrt".into(), weight: 1.0, accesses: vec![] });
+        g.add_node(TaskNode { label: "tsqrt".into(), weight: 1.0, accesses: vec![] });
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g
+    }
+
+    #[test]
+    fn dot_has_nodes_and_edges() {
+        let dot = to_dot_default(&graph());
+        assert!(dot.starts_with("digraph taskdag {"));
+        assert!(dot.contains("t0 [label=\"geqrt"));
+        assert!(dot.contains("t1 [label=\"tsqrt"));
+        assert_eq!(dot.matches("t0 -> t1;").count(), 2, "parallel edges");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labeled_style_collapses_multiplicity() {
+        let dot = to_dot(
+            &graph(),
+            &DotOptions { multi_edges: MultiEdgeStyle::Labeled, ..Default::default() },
+        );
+        assert!(dot.contains("t0 -> t1 [label=\"x2\"];"));
+        assert_eq!(dot.matches("t0 -> t1").count(), 1);
+    }
+
+    #[test]
+    fn same_label_same_color() {
+        let mut g = TaskGraph::new();
+        g.add_node(TaskNode { label: "gemm".into(), weight: 1.0, accesses: vec![] });
+        g.add_node(TaskNode { label: "gemm".into(), weight: 1.0, accesses: vec![] });
+        let dot = to_dot_default(&g);
+        let color = NODE_COLORS[0];
+        assert_eq!(dot.matches(color).count(), 2);
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let dot = to_dot_default(&TaskGraph::new());
+        assert!(dot.contains("digraph"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,219 @@
+//! Topological sorting, acyclicity checks, and schedule validation.
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// Kahn's algorithm. Returns a topological order, or `Err` with one task id
+/// on a cycle if the graph is cyclic.
+pub fn topological_sort(g: &TaskGraph) -> Result<Vec<TaskId>, TaskId> {
+    let n = g.len();
+    let mut indeg: Vec<usize> = (0..n).map(|i| g.predecessors(i).len()).collect();
+    // A queue ordered by task id keeps the sort deterministic.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<TaskId>> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(u)) = ready.pop() {
+        order.push(u);
+        for &v in g.successors(u) {
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                ready.push(std::cmp::Reverse(v));
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        // Some node still has nonzero in-degree: it is on or behind a cycle.
+        Err((0..n).find(|&i| indeg[i] > 0).expect("cycle implies leftover in-degree"))
+    }
+}
+
+/// Whether the graph is acyclic.
+pub fn is_acyclic(g: &TaskGraph) -> bool {
+    topological_sort(g).is_ok()
+}
+
+/// A scheduled task instance: when and where the schedule claims it ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledTask {
+    /// Task id (index into the graph).
+    pub task: TaskId,
+    /// Worker the task ran on.
+    pub worker: usize,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// Validate that a schedule respects the DAG and resource exclusivity:
+///
+/// 1. every graph task appears exactly once,
+/// 2. every task starts no earlier than all its predecessors end
+///    (within `tol`),
+/// 3. tasks sharing a worker do not overlap (within `tol`).
+pub fn validate_schedule(
+    g: &TaskGraph,
+    schedule: &[ScheduledTask],
+    tol: f64,
+) -> Result<(), String> {
+    let n = g.len();
+    let mut seen = vec![false; n];
+    for s in schedule {
+        if s.task >= n {
+            return Err(format!("schedule references unknown task {}", s.task));
+        }
+        if seen[s.task] {
+            return Err(format!("task {} scheduled twice", s.task));
+        }
+        seen[s.task] = true;
+        if s.end < s.start {
+            return Err(format!("task {} ends before start", s.task));
+        }
+    }
+    if let Some(missing) = seen.iter().position(|&b| !b) {
+        return Err(format!("task {missing} never scheduled"));
+    }
+
+    // Precedence.
+    let mut end_of = vec![0.0f64; n];
+    let mut start_of = vec![0.0f64; n];
+    for s in schedule {
+        end_of[s.task] = s.end;
+        start_of[s.task] = s.start;
+    }
+    for (t, &t_start) in start_of.iter().enumerate() {
+        for &p in g.predecessors(t) {
+            if t_start < end_of[p] - tol {
+                return Err(format!(
+                    "task {t} starts at {t_start:.9} before predecessor {p} ends at {:.9}",
+                    end_of[p]
+                ));
+            }
+        }
+    }
+
+    // Worker exclusivity.
+    let mut by_worker: std::collections::BTreeMap<usize, Vec<&ScheduledTask>> =
+        std::collections::BTreeMap::new();
+    for s in schedule {
+        by_worker.entry(s.worker).or_default().push(s);
+    }
+    for (w, mut tasks) in by_worker {
+        tasks.sort_by(|a, b| a.start.total_cmp(&b.start));
+        for pair in tasks.windows(2) {
+            if pair[1].start < pair[0].end - tol {
+                return Err(format!(
+                    "worker {w}: tasks {} and {} overlap",
+                    pair[0].task, pair[1].task
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskNode;
+
+    fn node() -> TaskNode {
+        TaskNode { label: "t".into(), weight: 1.0, accesses: vec![] }
+    }
+
+    fn diamond() -> TaskGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut g = TaskGraph::new();
+        for _ in 0..4 {
+            g.add_node(node());
+        }
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        g
+    }
+
+    #[test]
+    fn topo_sort_diamond() {
+        let order = topological_sort(&diamond()).unwrap();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert!(is_acyclic(&diamond()));
+    }
+
+    #[test]
+    fn topo_sort_empty() {
+        assert_eq!(topological_sort(&TaskGraph::new()).unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let g = diamond();
+        let sched = vec![
+            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 },
+            ScheduledTask { task: 1, worker: 0, start: 1.0, end: 2.0 },
+            ScheduledTask { task: 2, worker: 1, start: 1.0, end: 2.5 },
+            ScheduledTask { task: 3, worker: 0, start: 2.5, end: 3.0 },
+        ];
+        assert!(validate_schedule(&g, &sched, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let g = diamond();
+        let sched = vec![
+            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 },
+            ScheduledTask { task: 1, worker: 0, start: 1.0, end: 2.0 },
+            ScheduledTask { task: 2, worker: 1, start: 1.0, end: 2.5 },
+            // Starts before predecessor 2 ends.
+            ScheduledTask { task: 3, worker: 0, start: 2.0, end: 3.0 },
+        ];
+        let err = validate_schedule(&g, &sched, 1e-9).unwrap_err();
+        assert!(err.contains("before predecessor"));
+    }
+
+    #[test]
+    fn overlap_on_worker_detected() {
+        let mut g = TaskGraph::new();
+        g.add_node(node());
+        g.add_node(node());
+        let sched = vec![
+            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 2.0 },
+            ScheduledTask { task: 1, worker: 0, start: 1.0, end: 3.0 },
+        ];
+        let err = validate_schedule(&g, &sched, 1e-9).unwrap_err();
+        assert!(err.contains("overlap"));
+    }
+
+    #[test]
+    fn missing_and_duplicate_tasks_detected() {
+        let g = diamond();
+        let sched = vec![ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 }];
+        assert!(validate_schedule(&g, &sched, 0.0).unwrap_err().contains("never scheduled"));
+
+        let sched2 = vec![
+            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 },
+            ScheduledTask { task: 0, worker: 1, start: 0.0, end: 1.0 },
+        ];
+        assert!(validate_schedule(&g, &sched2, 0.0).unwrap_err().contains("twice"));
+    }
+
+    #[test]
+    fn tolerance_allows_small_overlap() {
+        let g = {
+            let mut g = TaskGraph::new();
+            g.add_node(node());
+            g.add_node(node());
+            g.add_edge(0, 1);
+            g
+        };
+        let sched = vec![
+            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 },
+            ScheduledTask { task: 1, worker: 0, start: 1.0 - 1e-12, end: 2.0 },
+        ];
+        assert!(validate_schedule(&g, &sched, 1e-9).is_ok());
+    }
+}

@@ -1,0 +1,144 @@
+//! A minimal generic discrete-event queue.
+//!
+//! Events are ordered by time; ties break by insertion sequence so runs are
+//! deterministic. "The only changes to the system occur when a new task
+//! starts or ends" (paper §II) — each such change is one event.
+
+use std::collections::BinaryHeap;
+
+/// A time-stamped event carrying a payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event<T> {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// Payload.
+    pub payload: T,
+    seq: u64,
+}
+
+struct HeapItem<T>(Event<T>);
+
+impl<T> PartialEq for HeapItem<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.time == other.0.time && self.0.seq == other.0.seq
+    }
+}
+
+impl<T> Eq for HeapItem<T> {}
+
+impl<T> Ord for HeapItem<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap: reverse comparison.
+        other
+            .0
+            .time
+            .total_cmp(&self.0.time)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+impl<T> PartialOrd for HeapItem<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Time-ordered event queue with deterministic FIFO tie-breaking.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapItem<T>>,
+    next_seq: u64,
+    now: f64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0.0 }
+    }
+
+    /// Current simulation time (the time of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedule an event at absolute time `time` (must be ≥ now).
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        assert!(time >= self.now - 1e-12, "cannot schedule into the past: {time} < {}", self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapItem(Event { time, payload, seq }));
+    }
+
+    /// Pop the earliest event, advancing the clock to its time.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        let item = self.heap.pop()?;
+        self.now = item.0.time;
+        Some(item.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.now(), 1.0);
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), 3.0);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.pop().unwrap().payload, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn rejects_past_events() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

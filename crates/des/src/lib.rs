@@ -1,0 +1,25 @@
+//! # supersim-des
+//!
+//! A classic **offline** discrete-event simulator: the baseline the
+//! scheduler-in-the-loop approach is contrasted against.
+//!
+//! The paper's §II surveys conventional DES tools (SimGrid, GridSim, ...)
+//! that simulate scheduling by *reimplementing* a scheduling policy over an
+//! explicit task graph. This crate is that conventional simulator: given a
+//! [`supersim_dag::TaskGraph`] and per-task durations, it replays greedy
+//! list scheduling on `P` identical workers through an event queue — no
+//! real runtime in the loop. The ablation benches compare its predictions
+//! against the in-the-loop simulation, quantifying what the paper's
+//! approach buys (faithfulness to the *actual* scheduler's dispatch order,
+//! window, and policy quirks).
+//!
+//! * [`event`] — a small generic event queue (time-ordered, deterministic
+//!   tie-breaking);
+//! * [`engine`] — the list-scheduling simulator producing a [`Trace`].
+//!
+//! [`Trace`]: supersim_trace::Trace
+
+pub mod engine;
+pub mod event;
+
+pub use engine::{simulate, DesPolicy, DesResult};

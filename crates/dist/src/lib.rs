@@ -1,0 +1,362 @@
+//! # supersim-dist
+//!
+//! Probability distributions, parameter fitting, and goodness-of-fit tests
+//! used to model the execution time of computational kernels.
+//!
+//! The paper ("Parallel Simulation of Superscalar Scheduling", ICPP 2014,
+//! §V-B) models each kernel class with a simple parametric distribution —
+//! normal, gamma, or log-normal — fitted to empirical timings collected from
+//! a real run, and notes that the log-normal slightly outperforms the others
+//! in some cases. This crate provides:
+//!
+//! * the distribution implementations themselves, with deterministic
+//!   sampling from any [`rand::Rng`] ([`Normal`], [`Gamma`], [`LogNormal`],
+//!   [`Uniform`], [`Exponential`], [`Constant`], [`Empirical`]);
+//! * a serializable sum type [`Dist`] so fitted models can be persisted;
+//! * moment accumulation ([`moments::Moments`]) and parameter fitting
+//!   ([`fit`]) with AIC-based model selection ([`fit::select_model`]);
+//! * goodness-of-fit machinery ([`gof`]) — the Kolmogorov–Smirnov test and
+//!   information criteria;
+//! * histogram and kernel-density estimation ([`histogram`], [`kde`]) used
+//!   to regenerate the density plots of Figs. 3 and 4.
+//!
+//! # Example
+//!
+//! ```
+//! use supersim_dist::{Dist, Distribution, fit};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let truth = Dist::log_normal(-1.0, 0.25).unwrap();
+//! let samples: Vec<f64> = (0..4000).map(|_| truth.sample(&mut rng)).collect();
+//! let selection = fit::select_model(&samples).unwrap();
+//! // The log-normal should win (or at least be competitive) on its own data.
+//! assert!(selection.best().aic <= selection.candidates()[0].aic + 1e-9);
+//! ```
+
+pub mod constant;
+pub mod empirical;
+pub mod exponential;
+pub mod fit;
+pub mod gamma;
+pub mod gof;
+pub mod histogram;
+pub mod kde;
+pub mod lognormal;
+pub mod mixture;
+pub mod moments;
+pub mod normal;
+#[cfg(test)]
+mod proptests;
+pub mod quantile;
+pub mod special;
+pub mod uniform;
+
+pub use constant::Constant;
+pub use empirical::Empirical;
+pub use exponential::Exponential;
+pub use gamma::Gamma;
+pub use lognormal::LogNormal;
+pub use mixture::Mixture;
+pub use normal::Normal;
+pub use uniform::Uniform;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Errors produced when constructing or fitting distributions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistError {
+    /// A parameter was out of its valid domain (e.g. non-positive variance).
+    InvalidParameter(&'static str),
+    /// Not enough data points to fit the requested model.
+    InsufficientData { needed: usize, got: usize },
+    /// The data violates a support constraint (e.g. negative values for a
+    /// log-normal fit).
+    UnsupportedData(&'static str),
+    /// An iterative fit failed to converge.
+    NoConvergence(&'static str),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            DistError::InsufficientData { needed, got } => {
+                write!(f, "insufficient data: need at least {needed} samples, got {got}")
+            }
+            DistError::UnsupportedData(what) => write!(f, "unsupported data: {what}"),
+            DistError::NoConvergence(what) => write!(f, "fit did not converge: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Common interface for continuous univariate distributions.
+///
+/// All kernel-duration models implement this trait. Durations are
+/// non-negative in practice, but the trait itself does not enforce a
+/// support; the simulation layer clamps at zero where needed.
+pub trait Distribution {
+    /// Draw one sample using the supplied random source.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// The distribution mean.
+    fn mean(&self) -> f64;
+
+    /// The distribution variance.
+    fn variance(&self) -> f64;
+
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Natural log of the density at `x` (may be `-inf` outside the support).
+    fn ln_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).ln()
+    }
+
+    /// Cumulative distribution function at `x`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Standard deviation, `sqrt(variance)`.
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// A serializable closed set of the distributions used for kernel models.
+///
+/// Having a concrete enum (rather than trait objects) lets fitted models be
+/// persisted to the calibration database and compared structurally in tests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "family", rename_all = "snake_case")]
+pub enum Dist {
+    /// Degenerate point mass.
+    Constant(Constant),
+    /// Uniform on `[lo, hi]`.
+    Uniform(Uniform),
+    /// Exponential with rate `lambda`.
+    Exponential(Exponential),
+    /// Normal (Gaussian).
+    Normal(Normal),
+    /// Log-normal: `ln X ~ N(mu, sigma^2)`.
+    LogNormal(LogNormal),
+    /// Gamma with shape `k` and scale `theta`.
+    Gamma(Gamma),
+    /// Empirical distribution (resamples the stored data).
+    Empirical(Empirical),
+    /// Finite mixture of other distributions (e.g. a cache-hit/miss
+    /// bimodal kernel model — paper §VII's "improve the kernel model").
+    Mixture(Mixture),
+}
+
+impl Dist {
+    /// Point mass at `v`.
+    pub fn constant(v: f64) -> Self {
+        Dist::Constant(Constant::new(v))
+    }
+
+    /// Uniform on `[lo, hi]`.
+    pub fn uniform(lo: f64, hi: f64) -> Result<Self, DistError> {
+        Uniform::new(lo, hi).map(Dist::Uniform)
+    }
+
+    /// Exponential with rate `lambda`.
+    pub fn exponential(lambda: f64) -> Result<Self, DistError> {
+        Exponential::new(lambda).map(Dist::Exponential)
+    }
+
+    /// Normal with mean `mu` and standard deviation `sigma`.
+    pub fn normal(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        Normal::new(mu, sigma).map(Dist::Normal)
+    }
+
+    /// Log-normal with log-mean `mu` and log-standard-deviation `sigma`.
+    pub fn log_normal(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        LogNormal::new(mu, sigma).map(Dist::LogNormal)
+    }
+
+    /// Gamma with shape `k` and scale `theta`.
+    pub fn gamma(shape: f64, scale: f64) -> Result<Self, DistError> {
+        Gamma::new(shape, scale).map(Dist::Gamma)
+    }
+
+    /// Empirical distribution over the provided samples.
+    pub fn empirical(samples: Vec<f64>) -> Result<Self, DistError> {
+        Empirical::new(samples).map(Dist::Empirical)
+    }
+
+    /// Finite mixture from `(weight, component)` pairs.
+    pub fn mixture(components: Vec<(f64, Dist)>) -> Result<Self, DistError> {
+        Mixture::new(components).map(Dist::Mixture)
+    }
+
+    /// Human-readable family name, e.g. `"lognormal"`.
+    pub fn family(&self) -> &'static str {
+        match self {
+            Dist::Constant(_) => "constant",
+            Dist::Uniform(_) => "uniform",
+            Dist::Exponential(_) => "exponential",
+            Dist::Normal(_) => "normal",
+            Dist::LogNormal(_) => "lognormal",
+            Dist::Gamma(_) => "gamma",
+            Dist::Empirical(_) => "empirical",
+            Dist::Mixture(_) => "mixture",
+        }
+    }
+
+    /// Number of free parameters (used by AIC/BIC).
+    pub fn param_count(&self) -> usize {
+        match self {
+            Dist::Constant(_) => 1,
+            Dist::Uniform(_) => 2,
+            Dist::Exponential(_) => 1,
+            Dist::Normal(_) => 2,
+            Dist::LogNormal(_) => 2,
+            Dist::Gamma(_) => 2,
+            // An empirical model has (effectively) as many parameters as
+            // samples; report n so AIC never prefers pure memorization.
+            Dist::Empirical(e) => e.len(),
+            // Each component: its parameters plus one weight.
+            Dist::Mixture(m) => m
+                .components()
+                .iter()
+                .map(|(_, d)| d.param_count() + 1)
+                .sum(),
+        }
+    }
+}
+
+impl Distribution for Dist {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Dist::Constant(d) => d.sample(rng),
+            Dist::Uniform(d) => d.sample(rng),
+            Dist::Exponential(d) => d.sample(rng),
+            Dist::Normal(d) => d.sample(rng),
+            Dist::LogNormal(d) => d.sample(rng),
+            Dist::Gamma(d) => d.sample(rng),
+            Dist::Empirical(d) => d.sample(rng),
+            Dist::Mixture(d) => d.sample(rng),
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        match self {
+            Dist::Constant(d) => d.mean(),
+            Dist::Uniform(d) => d.mean(),
+            Dist::Exponential(d) => d.mean(),
+            Dist::Normal(d) => d.mean(),
+            Dist::LogNormal(d) => d.mean(),
+            Dist::Gamma(d) => d.mean(),
+            Dist::Empirical(d) => d.mean(),
+            Dist::Mixture(d) => d.mean(),
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        match self {
+            Dist::Constant(d) => d.variance(),
+            Dist::Uniform(d) => d.variance(),
+            Dist::Exponential(d) => d.variance(),
+            Dist::Normal(d) => d.variance(),
+            Dist::LogNormal(d) => d.variance(),
+            Dist::Gamma(d) => d.variance(),
+            Dist::Empirical(d) => d.variance(),
+            Dist::Mixture(d) => d.variance(),
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        match self {
+            Dist::Constant(d) => d.pdf(x),
+            Dist::Uniform(d) => d.pdf(x),
+            Dist::Exponential(d) => d.pdf(x),
+            Dist::Normal(d) => d.pdf(x),
+            Dist::LogNormal(d) => d.pdf(x),
+            Dist::Gamma(d) => d.pdf(x),
+            Dist::Empirical(d) => d.pdf(x),
+            Dist::Mixture(d) => d.pdf(x),
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        match self {
+            Dist::Constant(d) => d.ln_pdf(x),
+            Dist::Uniform(d) => d.ln_pdf(x),
+            Dist::Exponential(d) => d.ln_pdf(x),
+            Dist::Normal(d) => d.ln_pdf(x),
+            Dist::LogNormal(d) => d.ln_pdf(x),
+            Dist::Gamma(d) => d.ln_pdf(x),
+            Dist::Empirical(d) => d.ln_pdf(x),
+            Dist::Mixture(d) => d.ln_pdf(x),
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        match self {
+            Dist::Constant(d) => d.cdf(x),
+            Dist::Uniform(d) => d.cdf(x),
+            Dist::Exponential(d) => d.cdf(x),
+            Dist::Normal(d) => d.cdf(x),
+            Dist::LogNormal(d) => d.cdf(x),
+            Dist::Gamma(d) => d.cdf(x),
+            Dist::Empirical(d) => d.cdf(x),
+            Dist::Mixture(d) => d.cdf(x),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn enum_dispatch_matches_inner() {
+        let n = Normal::new(3.0, 0.5).unwrap();
+        let d = Dist::Normal(n);
+        assert_eq!(d.mean(), n.mean());
+        assert_eq!(d.variance(), n.variance());
+        assert_eq!(d.pdf(3.1), n.pdf(3.1));
+        assert_eq!(d.cdf(3.1), n.cdf(3.1));
+        assert_eq!(d.family(), "normal");
+        assert_eq!(d.param_count(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cases = vec![
+            Dist::constant(1.5),
+            Dist::uniform(0.0, 2.0).unwrap(),
+            Dist::exponential(3.0).unwrap(),
+            Dist::normal(1.0, 0.1).unwrap(),
+            Dist::log_normal(-0.5, 0.3).unwrap(),
+            Dist::gamma(4.0, 0.25).unwrap(),
+            Dist::empirical(vec![1.0, 2.0, 3.0]).unwrap(),
+        ];
+        for d in cases {
+            let json = serde_json::to_string(&d).unwrap();
+            let back: Dist = serde_json::from_str(&json).unwrap();
+            assert_eq!(d, back, "round trip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Dist::gamma(2.0, 0.5).unwrap();
+        let mut a = rand::rngs::StdRng::seed_from_u64(42);
+        let mut b = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut a), d.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DistError::InsufficientData { needed: 2, got: 0 };
+        assert!(e.to_string().contains("need at least 2"));
+        assert!(DistError::InvalidParameter("sigma").to_string().contains("sigma"));
+    }
+}

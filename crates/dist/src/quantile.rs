@@ -1,0 +1,136 @@
+//! Empirical quantiles and percentile summaries.
+
+/// Linear-interpolation quantile over a **sorted** slice (R type-7).
+///
+/// `p` is clamped to `[0, 1]`. Panics on an empty slice.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let p = p.clamp(0.0, 1.0);
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Sorts a copy of the data and computes the quantile.
+pub fn quantile(data: &[f64], p: f64) -> f64 {
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    assert!(!v.is_empty(), "quantile of empty/non-finite data");
+    v.sort_by(f64::total_cmp);
+    quantile_sorted(&v, p)
+}
+
+/// Median convenience wrapper.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Interquartile range `Q3 - Q1`.
+pub fn iqr(data: &[f64]) -> f64 {
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    assert!(!v.is_empty(), "iqr of empty data");
+    v.sort_by(f64::total_cmp);
+    quantile_sorted(&v, 0.75) - quantile_sorted(&v, 0.25)
+}
+
+/// A five-number summary plus mean: the standard box-plot statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNumber {
+    /// Minimum value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl FiveNumber {
+    /// Compute the summary; filters non-finite values, panics if nothing is left.
+    pub fn of(data: &[f64]) -> Self {
+        let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        assert!(!v.is_empty(), "summary of empty data");
+        v.sort_by(f64::total_cmp);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        FiveNumber {
+            min: v[0],
+            q1: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            q3: quantile_sorted(&v, 0.75),
+            max: *v.last().unwrap(),
+            mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_of_singleton() {
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let d = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&d, 0.0), 1.0);
+        assert_eq!(quantile(&d, 1.0), 3.0);
+        assert_eq!(quantile(&d, 0.5), 2.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let d = [0.0, 10.0];
+        assert_eq!(quantile(&d, 0.25), 2.5);
+        assert_eq!(quantile(&d, 0.75), 7.5);
+    }
+
+    #[test]
+    fn quantile_clamps_p() {
+        let d = [1.0, 2.0];
+        assert_eq!(quantile(&d, -1.0), 1.0);
+        assert_eq!(quantile(&d, 2.0), 2.0);
+    }
+
+    #[test]
+    fn median_even_count() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn iqr_known() {
+        // 1..=9: Q1 = 3, Q3 = 7 under type-7.
+        let d: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        assert_eq!(iqr(&d), 4.0);
+    }
+
+    #[test]
+    fn five_number_summary() {
+        let d: Vec<f64> = (1..=5).map(|i| i as f64).collect();
+        let s = FiveNumber::of(&d);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        median(&[]);
+    }
+}

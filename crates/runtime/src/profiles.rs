@@ -1,0 +1,55 @@
+//! Convenience constructors for the three paper scheduler profiles.
+
+use crate::config::SchedulerKind;
+use crate::engine::Runtime;
+use supersim_trace::TraceRecorder;
+
+/// Build a runtime for one of the paper's schedulers.
+pub fn runtime_for(kind: SchedulerKind, workers: usize) -> Runtime {
+    Runtime::new(kind.config(workers))
+}
+
+/// Build a trace-recording runtime for one of the paper's schedulers.
+pub fn traced_runtime_for(
+    kind: SchedulerKind,
+    workers: usize,
+    recorder: TraceRecorder,
+) -> Runtime {
+    Runtime::with_trace(kind.config(workers), Some(recorder))
+}
+
+/// All three profiles, for sweep loops.
+pub const ALL_SCHEDULERS: [SchedulerKind; 3] =
+    [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskDesc;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_profiles_construct_and_run() {
+        for kind in ALL_SCHEDULERS {
+            let rt = runtime_for(kind, 2);
+            let c = Arc::new(AtomicU64::new(0));
+            let c2 = c.clone();
+            rt.submit(TaskDesc::new("t", vec![], move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            }));
+            rt.wait_all().unwrap();
+            assert_eq!(c.load(Ordering::SeqCst), 1);
+            assert_eq!(rt.config().name, kind.name());
+        }
+    }
+
+    #[test]
+    fn traced_profile_records() {
+        let rec = TraceRecorder::new();
+        let rt = traced_runtime_for(SchedulerKind::Quark, 2, rec.clone());
+        rt.submit(TaskDesc::new("k", vec![], |_| {}));
+        rt.wait_all().unwrap();
+        assert_eq!(rec.len(), 1);
+    }
+}

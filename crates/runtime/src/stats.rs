@@ -1,0 +1,72 @@
+//! Runtime execution statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counters collected by the engine during a run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Tasks executed per worker.
+    pub per_worker_tasks: Vec<u64>,
+    /// Wall-clock busy seconds per worker (time inside task bodies).
+    pub per_worker_busy: Vec<f64>,
+    /// Total tasks completed.
+    pub completed: u64,
+    /// Tasks whose body panicked (caught and recorded).
+    pub failed: u64,
+    /// Tasks cancelled before execution via [`abort_pending`].
+    ///
+    /// [`abort_pending`]: crate::engine::Runtime::abort_pending
+    pub cancelled: u64,
+}
+
+impl RuntimeStats {
+    /// New zeroed stats for `workers` lanes.
+    pub fn new(workers: usize) -> Self {
+        RuntimeStats {
+            per_worker_tasks: vec![0; workers],
+            per_worker_busy: vec![0.0; workers],
+            completed: 0,
+            failed: 0,
+            cancelled: 0,
+        }
+    }
+
+    /// Imbalance ratio: max per-worker task count over mean (1.0 = perfectly
+    /// balanced; 0 when nothing ran).
+    pub fn imbalance(&self) -> f64 {
+        let total: u64 = self.per_worker_tasks.iter().sum();
+        if total == 0 || self.per_worker_tasks.is_empty() {
+            return 0.0;
+        }
+        let mean = total as f64 / self.per_worker_tasks.len() as f64;
+        let max = *self.per_worker_tasks.iter().max().unwrap() as f64;
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let s = RuntimeStats::new(3);
+        assert_eq!(s.per_worker_tasks, vec![0, 0, 0]);
+        assert_eq!(s.completed, 0);
+        assert_eq!(s.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn imbalance_perfectly_balanced() {
+        let mut s = RuntimeStats::new(2);
+        s.per_worker_tasks = vec![5, 5];
+        assert!((s.imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_skewed() {
+        let mut s = RuntimeStats::new(2);
+        s.per_worker_tasks = vec![10, 0];
+        assert!((s.imbalance() - 2.0).abs() < 1e-12);
+    }
+}

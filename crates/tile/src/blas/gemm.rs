@@ -1,0 +1,245 @@
+//! General matrix-matrix multiply: `C = alpha*op(A)*op(B) + beta*C`.
+//!
+//! The dominant kernel of the tile Cholesky factorization (paper §IV-B1).
+//! Loop orders are chosen for unit stride in the column-major layout; the
+//! NN case uses the classic `j-l-i` axpy form which vectorizes well.
+
+use crate::matrix::Matrix;
+
+/// Transposition option for a GEMM operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trans {
+    /// Use the operand as stored.
+    No,
+    /// Use the transpose of the operand.
+    Yes,
+}
+
+impl Trans {
+    fn dims(self, m: &Matrix) -> (usize, usize) {
+        match self {
+            Trans::No => (m.rows(), m.cols()),
+            Trans::Yes => (m.cols(), m.rows()),
+        }
+    }
+}
+
+/// `C = alpha * op(A) * op(B) + beta * C`.
+///
+/// Panics on dimension mismatch.
+pub fn dgemm(
+    transa: Trans,
+    transb: Trans,
+    alpha: f64,
+    a: &Matrix,
+    b: &Matrix,
+    beta: f64,
+    c: &mut Matrix,
+) {
+    let (m, ka) = transa.dims(a);
+    let (kb, n) = transb.dims(b);
+    assert_eq!(ka, kb, "inner dimension mismatch: {ka} vs {kb}");
+    assert_eq!(c.rows(), m, "C row mismatch");
+    assert_eq!(c.cols(), n, "C col mismatch");
+    let k = ka;
+
+    if beta != 1.0 {
+        for x in c.data_mut() {
+            *x *= beta;
+        }
+    }
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+
+    match (transa, transb) {
+        (Trans::No, Trans::No) => {
+            // C[:,j] += alpha * B[l,j] * A[:,l]
+            for j in 0..n {
+                for l in 0..k {
+                    let blj = alpha * b[(l, j)];
+                    if blj == 0.0 {
+                        continue;
+                    }
+                    let acol = &a.data()[l * m..(l + 1) * m];
+                    let ccol = &mut c.data_mut()[j * m..(j + 1) * m];
+                    for i in 0..m {
+                        ccol[i] += blj * acol[i];
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::No) => {
+            // C[i,j] += alpha * dot(A[:,i], B[:,j])
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = &a.data()[i * k..(i + 1) * k];
+                    let bcol = &b.data()[j * k..(j + 1) * k];
+                    let mut dot = 0.0;
+                    for l in 0..k {
+                        dot += acol[l] * bcol[l];
+                    }
+                    c[(i, j)] += alpha * dot;
+                }
+            }
+        }
+        (Trans::No, Trans::Yes) => {
+            // C[:,j] += alpha * B[j,l] * A[:,l]
+            for l in 0..k {
+                let acol_start = l * m;
+                for j in 0..n {
+                    let bjl = alpha * b[(j, l)];
+                    if bjl == 0.0 {
+                        continue;
+                    }
+                    let (adata, cdata) = (a.data(), c.data_mut());
+                    let acol = &adata[acol_start..acol_start + m];
+                    let ccol = &mut cdata[j * m..(j + 1) * m];
+                    for i in 0..m {
+                        ccol[i] += bjl * acol[i];
+                    }
+                }
+            }
+        }
+        (Trans::Yes, Trans::Yes) => {
+            for j in 0..n {
+                for i in 0..m {
+                    let acol = &a.data()[i * k..(i + 1) * k];
+                    let mut dot = 0.0;
+                    for l in 0..k {
+                        dot += acol[l] * b[(j, l)];
+                    }
+                    c[(i, j)] += alpha * dot;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(
+        transa: Trans,
+        transb: Trans,
+        alpha: f64,
+        a: &Matrix,
+        b: &Matrix,
+        beta: f64,
+        c0: &Matrix,
+    ) -> Matrix {
+        let (m, k) = transa.dims(a);
+        let (_, n) = transb.dims(b);
+        let mut c = c0.clone();
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    let av = match transa {
+                        Trans::No => a[(i, l)],
+                        Trans::Yes => a[(l, i)],
+                    };
+                    let bv = match transb {
+                        Trans::No => b[(l, j)],
+                        Trans::Yes => b[(j, l)],
+                    };
+                    acc += av * bv;
+                }
+                c[(i, j)] = alpha * acc + beta * c0[(i, j)];
+            }
+        }
+        c
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        let d = a.sub(b).max_abs();
+        assert!(d < tol, "max diff {d}");
+    }
+
+    #[test]
+    fn all_transpose_combinations_match_naive() {
+        for (ta, tb) in [
+            (Trans::No, Trans::No),
+            (Trans::Yes, Trans::No),
+            (Trans::No, Trans::Yes),
+            (Trans::Yes, Trans::Yes),
+        ] {
+            let (m, k, n) = (7, 5, 6);
+            let a = match ta {
+                Trans::No => rand_matrix(m, k, 1),
+                Trans::Yes => rand_matrix(k, m, 1),
+            };
+            let b = match tb {
+                Trans::No => rand_matrix(k, n, 2),
+                Trans::Yes => rand_matrix(n, k, 2),
+            };
+            let c0 = rand_matrix(m, n, 3);
+            let expect = naive(ta, tb, 1.3, &a, &b, 0.7, &c0);
+            let mut c = c0.clone();
+            dgemm(ta, tb, 1.3, &a, &b, 0.7, &mut c);
+            assert_close(&c, &expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_scales_only() {
+        let a = rand_matrix(3, 3, 4);
+        let b = rand_matrix(3, 3, 5);
+        let c0 = rand_matrix(3, 3, 6);
+        let mut c = c0.clone();
+        dgemm(Trans::No, Trans::No, 0.0, &a, &b, 2.0, &mut c);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((c[(i, j)] - 2.0 * c0[(i, j)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_one_accumulates() {
+        let a = Matrix::identity(2);
+        let b = Matrix::from_fn(2, 2, |i, j| (i + j) as f64);
+        let mut c = Matrix::from_fn(2, 2, |_, _| 1.0);
+        dgemm(Trans::No, Trans::No, 1.0, &a, &b, 1.0, &mut c);
+        assert_eq!(c[(0, 0)], 1.0);
+        assert_eq!(c[(1, 1)], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_check() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        let mut c = Matrix::zeros(2, 2);
+        dgemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = rand_matrix(4, 2, 7);
+        let b = rand_matrix(2, 5, 8);
+        let mut c = Matrix::zeros(4, 5);
+        dgemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut c);
+        let expect = naive(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &Matrix::zeros(4, 5));
+        assert_close(&c, &expect, 1e-13);
+    }
+
+    #[test]
+    fn empty_inner_dimension_is_noop_with_beta() {
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 3);
+        let mut c = Matrix::from_fn(3, 3, |_, _| 5.0);
+        dgemm(Trans::No, Trans::No, 1.0, &a, &b, 0.5, &mut c);
+        assert!((c[(0, 0)] - 2.5).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,11 @@
+//! BLAS-like dense kernels (double precision, column-major).
+
+mod gemm;
+mod potf2;
+mod syrk;
+mod trsm;
+
+pub use gemm::{dgemm, Trans};
+pub use potf2::{dpotf2, NotPositiveDefinite};
+pub use syrk::dsyrk;
+pub use trsm::{dtrsm, Diag, Side, Uplo};

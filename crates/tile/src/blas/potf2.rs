@@ -1,0 +1,130 @@
+//! Unblocked Cholesky factorization of one tile (lower variant).
+//!
+//! The paper's Algorithm 1 calls this `DPOTF2`: it factors the diagonal
+//! tile `A_kk = L L^T` in place.
+
+use crate::matrix::Matrix;
+
+/// Error from a failed Cholesky step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NotPositiveDefinite {
+    /// Index of the pivot that was not positive.
+    pub pivot: usize,
+    /// The offending pivot value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix not positive definite: pivot {} = {:.6e}", self.pivot, self.value)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// In-place lower Cholesky of a square matrix: on success the lower
+/// triangle (including diagonal) holds `L`; the strictly upper triangle is
+/// left untouched (callers treat it as garbage, like LAPACK).
+pub fn dpotf2(a: &mut Matrix) -> Result<(), NotPositiveDefinite> {
+    assert!(a.is_square(), "Cholesky requires a square matrix");
+    let n = a.rows();
+    for j in 0..n {
+        // d = A[j,j] - dot(L[j, 0..j], L[j, 0..j])
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            let l = a[(j, k)];
+            d -= l * l;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotPositiveDefinite { pivot: j, value: d });
+        }
+        let d = d.sqrt();
+        a[(j, j)] = d;
+        // Column update below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = s / d;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{dgemm, Trans};
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        let b = Matrix::from_fn(n, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        // A = B*B^T + n*I is SPD.
+        let mut a = Matrix::identity(n);
+        for i in 0..n {
+            a[(i, i)] = n as f64;
+        }
+        dgemm(Trans::No, Trans::Yes, 1.0, &b, &b, 1.0, &mut a);
+        a
+    }
+
+    fn lower_of(a: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), a.cols(), |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+    }
+
+    #[test]
+    fn factorization_reconstructs() {
+        let a0 = spd(8, 3);
+        let mut a = a0.clone();
+        dpotf2(&mut a).unwrap();
+        let l = lower_of(&a);
+        let mut recon = Matrix::zeros(8, 8);
+        dgemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut recon);
+        let err = recon.sub(&a0).max_abs() / a0.max_abs();
+        assert!(err < 1e-12, "relative error {err}");
+    }
+
+    #[test]
+    fn diagonal_is_positive() {
+        let mut a = spd(5, 7);
+        dpotf2(&mut a).unwrap();
+        for i in 0..5 {
+            assert!(a[(i, i)] > 0.0);
+        }
+    }
+
+    #[test]
+    fn upper_triangle_untouched() {
+        let a0 = spd(4, 11);
+        let mut a = a0.clone();
+        dpotf2(&mut a).unwrap();
+        for j in 0..4 {
+            for i in 0..j {
+                assert_eq!(a[(i, j)], a0[(i, j)], "upper entry ({i},{j}) modified");
+            }
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let mut a = Matrix::identity(3);
+        a[(1, 1)] = -1.0;
+        let err = dpotf2(&mut a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.value < 0.0);
+        assert!(err.to_string().contains("not positive definite"));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let mut a = Matrix::from_col_major(1, 1, vec![4.0]);
+        dpotf2(&mut a).unwrap();
+        assert_eq!(a[(0, 0)], 2.0);
+        let mut bad = Matrix::from_col_major(1, 1, vec![0.0]);
+        assert!(dpotf2(&mut bad).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Symmetric rank-k update: `C = alpha*A*A^T + beta*C` (one triangle).
+//!
+//! Used by the tile Cholesky to update diagonal tiles (Algorithm 1, line 8).
+
+use crate::blas::gemm::Trans;
+use crate::blas::trsm::Uplo;
+use crate::matrix::Matrix;
+
+/// `C = alpha * A * A^T + beta * C` (`trans == No`) or
+/// `C = alpha * A^T * A + beta * C` (`trans == Yes`), updating only the
+/// `uplo` triangle of the square matrix `C` (the other triangle is left
+/// untouched).
+pub fn dsyrk(uplo: Uplo, trans: Trans, alpha: f64, a: &Matrix, beta: f64, c: &mut Matrix) {
+    let (n, k) = match trans {
+        Trans::No => (a.rows(), a.cols()),
+        Trans::Yes => (a.cols(), a.rows()),
+    };
+    assert!(c.is_square(), "SYRK output must be square");
+    assert_eq!(c.rows(), n, "C dimension mismatch");
+
+    // Scale the relevant triangle.
+    if beta != 1.0 {
+        for j in 0..n {
+            let (i0, i1) = match uplo {
+                Uplo::Lower => (j, n),
+                Uplo::Upper => (0, j + 1),
+            };
+            for i in i0..i1 {
+                c[(i, j)] *= beta;
+            }
+        }
+    }
+    if alpha == 0.0 || k == 0 {
+        return;
+    }
+
+    match trans {
+        Trans::No => {
+            // C[i,j] += alpha * dot(A[i,:], A[j,:]) — go column-of-A-wise
+            // for stride-1 access: C[:,j] += alpha * A[j,l] * A[:,l].
+            for j in 0..n {
+                for l in 0..k {
+                    let f = alpha * a[(j, l)];
+                    if f == 0.0 {
+                        continue;
+                    }
+                    let (i0, i1) = match uplo {
+                        Uplo::Lower => (j, n),
+                        Uplo::Upper => (0, j + 1),
+                    };
+                    let acol = &a.data()[l * n..(l + 1) * n];
+                    let ccol = &mut c.data_mut()[j * n..(j + 1) * n];
+                    for i in i0..i1 {
+                        ccol[i] += f * acol[i];
+                    }
+                }
+            }
+        }
+        Trans::Yes => {
+            // C[i,j] += alpha * dot(A[:,i], A[:,j]).
+            for j in 0..n {
+                let (i0, i1) = match uplo {
+                    Uplo::Lower => (j, n),
+                    Uplo::Upper => (0, j + 1),
+                };
+                for i in i0..i1 {
+                    let ai = &a.data()[i * k..(i + 1) * k];
+                    let aj = &a.data()[j * k..(j + 1) * k];
+                    let mut dot = 0.0;
+                    for l in 0..k {
+                        dot += ai[l] * aj[l];
+                    }
+                    c[(i, j)] += alpha * dot;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn lower_no_trans_matches_gemm() {
+        let a = rand_matrix(5, 3, 1);
+        let c0 = rand_matrix(5, 5, 2);
+        let mut c = c0.clone();
+        dsyrk(Uplo::Lower, Trans::No, 1.5, &a, 0.5, &mut c);
+
+        let mut full = c0.clone();
+        crate::blas::dgemm(Trans::No, Trans::Yes, 1.5, &a, &a, 0.5, &mut full);
+        for j in 0..5 {
+            for i in 0..5 {
+                if i >= j {
+                    assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-13, "lower ({i},{j})");
+                } else {
+                    assert_eq!(c[(i, j)], c0[(i, j)], "upper must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_trans_matches_gemm() {
+        let a = rand_matrix(4, 6, 3);
+        let c0 = rand_matrix(6, 6, 4);
+        let mut c = c0.clone();
+        dsyrk(Uplo::Upper, Trans::Yes, -1.0, &a, 1.0, &mut c);
+
+        let mut full = c0.clone();
+        crate::blas::dgemm(Trans::Yes, Trans::No, -1.0, &a, &a, 1.0, &mut full);
+        for j in 0..6 {
+            for i in 0..6 {
+                if i <= j {
+                    assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-13, "upper ({i},{j})");
+                } else {
+                    assert_eq!(c[(i, j)], c0[(i, j)], "lower must be untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn result_triangle_is_symmetric_product() {
+        // With beta = 0 the result triangle holds A*A^T, which is PSD —
+        // its diagonal must be non-negative.
+        let a = rand_matrix(4, 4, 5);
+        let mut c = Matrix::zeros(4, 4);
+        dsyrk(Uplo::Lower, Trans::No, 1.0, &a, 0.0, &mut c);
+        for i in 0..4 {
+            assert!(c[(i, i)] >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn requires_square_c() {
+        let a = Matrix::zeros(3, 2);
+        let mut c = Matrix::zeros(3, 4);
+        dsyrk(Uplo::Lower, Trans::No, 1.0, &a, 0.0, &mut c);
+    }
+}

@@ -1,0 +1,288 @@
+//! Triangular solve with multiple right-hand sides:
+//! `op(A) * X = alpha * B` or `X * op(A) = alpha * B`, with `X` overwriting
+//! `B`. All eight side/uplo/trans combinations are supported (the tile
+//! Cholesky uses Right/Lower/Trans, the tile LU uses Left/Lower/NoTrans-Unit
+//! and Right/Upper/NoTrans).
+
+use crate::blas::gemm::Trans;
+use crate::matrix::Matrix;
+
+/// Which side the triangular matrix multiplies from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// `op(A) * X = alpha * B`.
+    Left,
+    /// `X * op(A) = alpha * B`.
+    Right,
+}
+
+/// Which triangle of `A` is referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Uplo {
+    /// Lower triangle.
+    Lower,
+    /// Upper triangle.
+    Upper,
+}
+
+/// Whether the diagonal of `A` is assumed to be all ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diag {
+    /// Use the stored diagonal.
+    NonUnit,
+    /// Assume an implicit unit diagonal.
+    Unit,
+}
+
+/// Solve the triangular system, overwriting `b` with the solution `X`.
+pub fn dtrsm(
+    side: Side,
+    uplo: Uplo,
+    trans: Trans,
+    diag: Diag,
+    alpha: f64,
+    a: &Matrix,
+    b: &mut Matrix,
+) {
+    assert!(a.is_square(), "triangular factor must be square");
+    let n = a.rows();
+    match side {
+        Side::Left => assert_eq!(b.rows(), n, "B row mismatch"),
+        Side::Right => assert_eq!(b.cols(), n, "B col mismatch"),
+    }
+    if alpha != 1.0 {
+        for x in b.data_mut() {
+            *x *= alpha;
+        }
+    }
+    if n == 0 || b.rows() == 0 || b.cols() == 0 {
+        return;
+    }
+
+    // The effective triangular orientation after transposition: a lower
+    // factor used transposed behaves like an upper factor, and vice versa.
+    // `elem(i, j)` fetches op(A)[i, j].
+    let effective_lower = matches!(
+        (uplo, trans),
+        (Uplo::Lower, Trans::No) | (Uplo::Upper, Trans::Yes)
+    );
+    let elem = |i: usize, j: usize| -> f64 {
+        match trans {
+            Trans::No => a[(i, j)],
+            Trans::Yes => a[(j, i)],
+        }
+    };
+
+    match side {
+        Side::Left => {
+            // op(A) X = B, column by column of B.
+            let nrhs = b.cols();
+            if effective_lower {
+                // Forward substitution.
+                for j in 0..nrhs {
+                    for i in 0..n {
+                        let mut s = b[(i, j)];
+                        for l in 0..i {
+                            s -= elem(i, l) * b[(l, j)];
+                        }
+                        if matches!(diag, Diag::NonUnit) {
+                            s /= elem(i, i);
+                        }
+                        b[(i, j)] = s;
+                    }
+                }
+            } else {
+                // Back substitution.
+                for j in 0..nrhs {
+                    for i in (0..n).rev() {
+                        let mut s = b[(i, j)];
+                        for l in (i + 1)..n {
+                            s -= elem(i, l) * b[(l, j)];
+                        }
+                        if matches!(diag, Diag::NonUnit) {
+                            s /= elem(i, i);
+                        }
+                        b[(i, j)] = s;
+                    }
+                }
+            }
+        }
+        Side::Right => {
+            // X op(A) = B: B[:,j] = sum_k X[:,k] op(A)[k,j].
+            let m = b.rows();
+            if effective_lower {
+                // op(A)[k,j] nonzero for k >= j: solve columns backward.
+                for j in (0..n).rev() {
+                    // X[:,j] = (B[:,j] - sum_{k>j} X[:,k] op(A)[k,j]) / op(A)[j,j]
+                    for k in (j + 1)..n {
+                        let f = elem(k, j);
+                        if f == 0.0 {
+                            continue;
+                        }
+                        let (xk, bj) = b.two_cols_mut(k, j);
+                        for i in 0..m {
+                            bj[i] -= f * xk[i];
+                        }
+                    }
+                    if matches!(diag, Diag::NonUnit) {
+                        let d = elem(j, j);
+                        for i in 0..m {
+                            b[(i, j)] /= d;
+                        }
+                    }
+                }
+            } else {
+                // op(A)[k,j] nonzero for k <= j: solve columns forward.
+                for j in 0..n {
+                    for k in 0..j {
+                        let f = elem(k, j);
+                        if f == 0.0 {
+                            continue;
+                        }
+                        let (xk, bj) = b.two_cols_mut(k, j);
+                        for i in 0..m {
+                            bj[i] -= f * xk[i];
+                        }
+                    }
+                    if matches!(diag, Diag::NonUnit) {
+                        let d = elem(j, j);
+                        for i in 0..m {
+                            b[(i, j)] /= d;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::dgemm;
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    /// Well-conditioned triangular factor: random triangle, dominant diagonal.
+    fn tri_factor(n: usize, uplo: Uplo, seed: u64) -> Matrix {
+        let r = rand_matrix(n, n, seed);
+        Matrix::from_fn(n, n, |i, j| {
+            let keep = match uplo {
+                Uplo::Lower => i >= j,
+                Uplo::Upper => i <= j,
+            };
+            if i == j {
+                2.0 + r[(i, j)].abs()
+            } else if keep {
+                r[(i, j)] * 0.3
+            } else {
+                // Garbage in the unreferenced triangle: must be ignored.
+                1e9
+            }
+        })
+    }
+
+    fn op(a: &Matrix, trans: Trans, uplo: Uplo, diag: Diag) -> Matrix {
+        // Materialize the triangular operator (for residual checks).
+        let n = a.rows();
+        let t = Matrix::from_fn(n, n, |i, j| {
+            let keep = match uplo {
+                Uplo::Lower => i >= j,
+                Uplo::Upper => i <= j,
+            };
+            if !keep {
+                0.0
+            } else if i == j && matches!(diag, Diag::Unit) {
+                1.0
+            } else {
+                a[(i, j)]
+            }
+        });
+        match trans {
+            Trans::No => t,
+            Trans::Yes => t.transposed(),
+        }
+    }
+
+    #[test]
+    fn all_combinations_solve_correctly() {
+        let n = 6;
+        let nrhs = 4;
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Lower, Uplo::Upper] {
+                for trans in [Trans::No, Trans::Yes] {
+                    for diag in [Diag::NonUnit, Diag::Unit] {
+                        let a = tri_factor(n, uplo, 7);
+                        let b0 = match side {
+                            Side::Left => rand_matrix(n, nrhs, 9),
+                            Side::Right => rand_matrix(nrhs, n, 9),
+                        };
+                        let mut x = b0.clone();
+                        dtrsm(side, uplo, trans, diag, 2.0, &a, &mut x);
+                        // Check op(A) X = 2 B (left) or X op(A) = 2 B.
+                        let opa = op(&a, trans, uplo, diag);
+                        let mut recon = match side {
+                            Side::Left => Matrix::zeros(n, nrhs),
+                            Side::Right => Matrix::zeros(nrhs, n),
+                        };
+                        match side {
+                            Side::Left => {
+                                dgemm(Trans::No, Trans::No, 1.0, &opa, &x, 0.0, &mut recon)
+                            }
+                            Side::Right => {
+                                dgemm(Trans::No, Trans::No, 1.0, &x, &opa, 0.0, &mut recon)
+                            }
+                        }
+                        let mut expect = b0.clone();
+                        for v in expect.data_mut() {
+                            *v *= 2.0;
+                        }
+                        let err = recon.sub(&expect).max_abs();
+                        assert!(
+                            err < 1e-10,
+                            "side={side:?} uplo={uplo:?} trans={trans:?} diag={diag:?}: err {err}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_factor_scales_only() {
+        let a = Matrix::identity(3);
+        let b0 = rand_matrix(3, 2, 11);
+        let mut b = b0.clone();
+        dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 3.0, &a, &mut b);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert!((b[(i, j)] - 3.0 * b0[(i, j)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_non_square_factor() {
+        let a = Matrix::zeros(3, 2);
+        let mut b = Matrix::zeros(3, 2);
+        dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0, &a, &mut b);
+    }
+
+    #[test]
+    fn unit_diag_ignores_stored_diagonal() {
+        let mut a = Matrix::identity(2);
+        a[(0, 0)] = 123.0; // must be ignored under Diag::Unit
+        a[(1, 0)] = 0.0;
+        let mut b = Matrix::from_fn(2, 1, |i, _| (i + 1) as f64);
+        dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, &a, &mut b);
+        assert_eq!(b[(0, 0)], 1.0);
+        assert_eq!(b[(1, 0)], 2.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # supersim-tile
+//!
+//! Dense tile linear algebra, built from scratch: the computational
+//! substrate the paper's case studies run on (§IV-B).
+//!
+//! The paper links against Intel MKL; this crate provides pure-Rust
+//! equivalents of every kernel the tile Cholesky and tile QR algorithms
+//! need, plus the tile algorithms themselves and the numerical checks used
+//! to verify them:
+//!
+//! * [`matrix`] — column-major dense matrices;
+//! * [`tiled`] — the `nb x nb` tile layout ("blocks-of-columns" storage);
+//! * [`blas`] — `dgemm`, `dsyrk`, `dtrsm`, `dpotf2`;
+//! * [`qr_kernels`] — the tile QR kernel family `dgeqrt`, `dormqr`,
+//!   `dtsqrt`, `dtsmqr` (compact WY representation, as in PLASMA);
+//! * [`cholesky`], [`qr`], [`lu`] — sequential tile algorithm drivers
+//!   (Algorithms 1 and 2 of the paper; LU is the documented extension);
+//! * [`generate`], [`norms`], [`verify`] — matrix generators, norms and
+//!   residual checks;
+//! * [`flops`] — operation counts for GFLOP/s reporting.
+
+pub mod blas;
+pub mod cholesky;
+pub mod flops;
+pub mod generate;
+pub mod lu;
+pub mod matrix;
+pub mod norms;
+#[cfg(test)]
+mod proptests;
+pub mod qr;
+pub mod qr_kernels;
+pub mod tiled;
+pub mod verify;
+
+pub use matrix::Matrix;
+pub use tiled::TiledMatrix;

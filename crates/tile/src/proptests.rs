@@ -1,0 +1,149 @@
+//! Property-based tests for the linear-algebra substrate.
+
+#![cfg(test)]
+
+use crate::blas::{dgemm, dpotf2, dtrsm, Diag, Side, Trans, Uplo};
+use crate::generate::{diag_dominant, random, spd_fast};
+use crate::norms::frobenius;
+use crate::qr_kernels::{dgeqrt, dormqr, ApplyTrans};
+use crate::tiled::TiledMatrix;
+use crate::verify::{cholesky_residual, lu_residual, qr_orthogonality, qr_residual};
+use crate::Matrix;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GEMM is linear in alpha: C(2a) - C(0) = 2 (C(a) - C(0)).
+    #[test]
+    fn gemm_linear_in_alpha(n in 1usize..12, seed in 0u64..500, alpha in -3.0f64..3.0) {
+        let a = random(n, n, seed);
+        let b = random(n, n, seed + 1);
+        let c0 = random(n, n, seed + 2);
+        let run = |al: f64| {
+            let mut c = c0.clone();
+            dgemm(Trans::No, Trans::No, al, &a, &b, 1.0, &mut c);
+            c
+        };
+        let c1 = run(alpha);
+        let c2 = run(2.0 * alpha);
+        for j in 0..n {
+            for i in 0..n {
+                let d1 = c1[(i, j)] - c0[(i, j)];
+                let d2 = c2[(i, j)] - c0[(i, j)];
+                prop_assert!((d2 - 2.0 * d1).abs() < 1e-9 * (1.0 + d1.abs()));
+            }
+        }
+    }
+
+    /// (A B)^T == B^T A^T computed through the transpose arguments.
+    #[test]
+    fn gemm_transpose_identity(m in 1usize..10, k in 1usize..10, n in 1usize..10, seed in 0u64..500) {
+        let a = random(m, k, seed);
+        let b = random(k, n, seed + 9);
+        let mut ab = Matrix::zeros(m, n);
+        dgemm(Trans::No, Trans::No, 1.0, &a, &b, 0.0, &mut ab);
+        // B^T A^T via transpose flags on the original operands.
+        let mut btat = Matrix::zeros(n, m);
+        dgemm(Trans::Yes, Trans::Yes, 1.0, &b, &a, 0.0, &mut btat);
+        prop_assert!(frobenius(&btat.sub(&ab.transposed())) < 1e-10);
+    }
+
+    /// TRSM actually solves: op(A) * X == alpha * B for random triangles.
+    #[test]
+    fn trsm_solves(n in 1usize..10, nrhs in 1usize..6, seed in 0u64..300,
+                   side_right in any::<bool>(), upper in any::<bool>(), trans in any::<bool>()) {
+        let raw = random(n, n, seed);
+        let uplo = if upper { Uplo::Upper } else { Uplo::Lower };
+        let a = Matrix::from_fn(n, n, |i, j| {
+            let keep = if upper { i <= j } else { i >= j };
+            if i == j { 2.0 + raw[(i, j)].abs() } else if keep { 0.4 * raw[(i, j)] } else { 0.0 }
+        });
+        let side = if side_right { Side::Right } else { Side::Left };
+        let tr = if trans { Trans::Yes } else { Trans::No };
+        let b0 = match side {
+            Side::Left => random(n, nrhs, seed + 4),
+            Side::Right => random(nrhs, n, seed + 4),
+        };
+        let mut x = b0.clone();
+        dtrsm(side, uplo, tr, Diag::NonUnit, 1.0, &a, &mut x);
+        let opa = match tr { Trans::No => a.clone(), Trans::Yes => a.transposed() };
+        let recon = match side {
+            Side::Left => opa.matmul(&x),
+            Side::Right => x.matmul(&opa),
+        };
+        let err = frobenius(&recon.sub(&b0)) / (1.0 + frobenius(&b0));
+        prop_assert!(err < 1e-9, "residual {err}");
+    }
+
+    /// Cholesky of any fast-SPD matrix reconstructs, at any tile size.
+    #[test]
+    fn tile_cholesky_any_shape(n in 4usize..40, nb in 2usize..12, seed in 0u64..300) {
+        let a0 = spd_fast(n, seed);
+        let mut t = TiledMatrix::from_matrix(&a0, nb);
+        crate::cholesky::factor(&mut t).unwrap();
+        prop_assert!(cholesky_residual(&a0, &t) < 1e-11);
+    }
+
+    /// Tile QR of any random square matrix reconstructs and is orthogonal,
+    /// including ragged edge tiles.
+    #[test]
+    fn tile_qr_any_shape(n in 4usize..32, nb in 2usize..10, seed in 0u64..300) {
+        let a0 = random(n, n, seed);
+        let mut a = TiledMatrix::from_matrix(&a0, nb);
+        let ts = crate::qr::factor(&mut a);
+        prop_assert!(qr_residual(&a0, &a, &ts) < 1e-10);
+        prop_assert!(qr_orthogonality(&a, &ts) < 1e-10);
+    }
+
+    /// Tile LU of diagonally dominant matrices reconstructs.
+    #[test]
+    fn tile_lu_any_shape(n in 4usize..36, nb in 2usize..12, seed in 0u64..300) {
+        let a0 = diag_dominant(n, seed);
+        let mut t = TiledMatrix::from_matrix(&a0, nb);
+        crate::lu::factor(&mut t).unwrap();
+        prop_assert!(lu_residual(&a0, &t) < 1e-11);
+    }
+
+    /// dormqr applies an orthogonal transform: norms are preserved and
+    /// Q^T Q x == x.
+    #[test]
+    fn ormqr_orthogonality(n in 2usize..12, seed in 0u64..300) {
+        let mut v = random(n, n, seed);
+        let mut t = Matrix::zeros(n, n);
+        dgeqrt(&mut v, &mut t);
+        let x0 = random(n, 3, seed + 7);
+        let mut x = x0.clone();
+        dormqr(ApplyTrans::Trans, &v, &t, &mut x);
+        prop_assert!((frobenius(&x) - frobenius(&x0)).abs() < 1e-9);
+        dormqr(ApplyTrans::No, &v, &t, &mut x);
+        prop_assert!(frobenius(&x.sub(&x0)) < 1e-9);
+    }
+
+    /// Cholesky then reconstruct then Cholesky again is stable (L fixed
+    /// point): factoring L L^T gives back L.
+    #[test]
+    fn cholesky_fixed_point(n in 2usize..16, seed in 0u64..300) {
+        let a0 = spd_fast(n, seed);
+        let mut f = a0.clone();
+        dpotf2(&mut f).unwrap();
+        let l = Matrix::from_fn(n, n, |i, j| if i >= j { f[(i, j)] } else { 0.0 });
+        let mut llt = Matrix::zeros(n, n);
+        dgemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut llt);
+        let mut f2 = llt;
+        dpotf2(&mut f2).unwrap();
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((f2[(i, j)] - f[(i, j)]).abs() < 1e-8 * (1.0 + f[(i, j)].abs()));
+            }
+        }
+    }
+
+    /// Tiled round trip is exact for any shape/tile size.
+    #[test]
+    fn tiled_round_trip(r in 1usize..30, c in 1usize..30, nb in 1usize..12, seed in 0u64..200) {
+        let a = random(r, c, seed);
+        let t = TiledMatrix::from_matrix(&a, nb);
+        prop_assert_eq!(t.to_matrix(), a);
+    }
+}

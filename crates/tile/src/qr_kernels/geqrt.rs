@@ -1,0 +1,198 @@
+//! `DGEQRT`: QR factorization of one tile with T-factor accumulation.
+//!
+//! Factors the `m x n` tile `A` (with `m >= n`) as `A = Q R` where
+//! `Q = I - V T V^T` (compact WY). On return the upper triangle of `A`
+//! holds `R`, the strictly lower part holds the Householder vectors `V`
+//! (unit diagonal implicit), and `T` holds the `n x n` upper triangular
+//! block-reflector factor.
+
+use super::householder;
+use crate::matrix::Matrix;
+
+/// Factor tile `a` in place; fill `t` (must be `n x n`, content overwritten).
+pub fn dgeqrt(a: &mut Matrix, t: &mut Matrix) {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "dgeqrt requires m >= n (got {m} x {n})");
+    assert_eq!(t.rows(), n, "T must be n x n");
+    assert_eq!(t.cols(), n, "T must be n x n");
+    for v in t.data_mut() {
+        *v = 0.0;
+    }
+
+    for k in 0..n {
+        // Householder on A[k.., k].
+        let alpha = a[(k, k)];
+        let (beta, tau) = {
+            let col = a.col_mut(k);
+            householder(alpha, &mut col[k + 1..m])
+        };
+        a[(k, k)] = beta;
+
+        // Apply H_k = I - tau v v^T to trailing columns, v = [1, A[k+1.., k]].
+        if tau != 0.0 {
+            for j in (k + 1)..n {
+                // w = A[k,j] + dot(v_tail, A[k+1.., j])
+                let mut w = a[(k, j)];
+                for r in (k + 1)..m {
+                    w += a[(r, k)] * a[(r, j)];
+                }
+                let tw = tau * w;
+                a[(k, j)] -= tw;
+                for r in (k + 1)..m {
+                    let vk = a[(r, k)];
+                    a[(r, j)] -= tw * vk;
+                }
+            }
+        }
+
+        // T[0..k, k] = -tau * T[0..k, 0..k] * (V[:, 0..k]^T v_k).
+        // z[i] = V[k.., i]^T v_k = A[k, i] + sum_{r>k} A[r, i] * A[r, k].
+        let mut z = vec![0.0f64; k];
+        for (i, zi) in z.iter_mut().enumerate() {
+            let mut acc = a[(k, i)];
+            for r in (k + 1)..m {
+                acc += a[(r, i)] * a[(r, k)];
+            }
+            *zi = acc;
+        }
+        for i in 0..k {
+            let mut acc = 0.0;
+            // Upper triangular T: T[i, l] nonzero for l >= i.
+            for (l, zl) in z.iter().enumerate().skip(i) {
+                acc += t[(i, l)] * zl;
+            }
+            t[(i, k)] = -tau * acc;
+        }
+        t[(k, k)] = tau;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{dgemm, Trans};
+    use crate::generate::random;
+    use crate::norms::frobenius;
+
+    /// Materialize V (unit lower trapezoidal) from the factored tile.
+    fn v_of(a: &Matrix, n: usize) -> Matrix {
+        Matrix::from_fn(a.rows(), n, |i, j| {
+            if i == j {
+                1.0
+            } else if i > j {
+                a[(i, j)]
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn r_of(a: &Matrix, n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| if i <= j { a[(i, j)] } else { 0.0 })
+    }
+
+    /// Q = I - V T V^T (m x m).
+    fn q_of(a: &Matrix, t: &Matrix) -> Matrix {
+        let m = a.rows();
+        let n = t.rows();
+        let v = v_of(a, n);
+        let mut vt = Matrix::zeros(m, n);
+        dgemm(Trans::No, Trans::No, 1.0, &v, t, 0.0, &mut vt);
+        let mut q = Matrix::identity(m);
+        dgemm(Trans::No, Trans::Yes, -1.0, &vt, &v, 1.0, &mut q);
+        q
+    }
+
+    #[test]
+    fn square_tile_reconstructs() {
+        let a0 = random(8, 8, 21);
+        let mut a = a0.clone();
+        let mut t = Matrix::zeros(8, 8);
+        dgeqrt(&mut a, &mut t);
+        let q = q_of(&a, &t);
+        let r = r_of(&a, 8);
+        let mut qr = Matrix::zeros(8, 8);
+        dgemm(Trans::No, Trans::No, 1.0, &q, &r, 0.0, &mut qr);
+        let err = frobenius(&qr.sub(&a0)) / frobenius(&a0);
+        assert!(err < 1e-13, "relative error {err}");
+    }
+
+    #[test]
+    fn tall_tile_reconstructs() {
+        let a0 = random(10, 4, 22);
+        let mut a = a0.clone();
+        let mut t = Matrix::zeros(4, 4);
+        dgeqrt(&mut a, &mut t);
+        let q = q_of(&a, &t);
+        // QR with rectangular R (top n rows).
+        let r = Matrix::from_fn(10, 4, |i, j| if i <= j { a[(i, j)] } else { 0.0 });
+        let mut qr = Matrix::zeros(10, 4);
+        dgemm(Trans::No, Trans::No, 1.0, &q, &r, 0.0, &mut qr);
+        let err = frobenius(&qr.sub(&a0)) / frobenius(&a0);
+        assert!(err < 1e-13, "relative error {err}");
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let mut a = random(6, 6, 23);
+        let mut t = Matrix::zeros(6, 6);
+        dgeqrt(&mut a, &mut t);
+        let q = q_of(&a, &t);
+        let mut qtq = Matrix::identity(6);
+        dgemm(Trans::Yes, Trans::No, 1.0, &q, &q, -1.0, &mut qtq);
+        // qtq now holds Q^T Q - I.
+        assert!(frobenius(&qtq) < 1e-13, "orthogonality defect {}", frobenius(&qtq));
+    }
+
+    #[test]
+    fn t_is_upper_triangular() {
+        let mut a = random(5, 5, 24);
+        let mut t = Matrix::zeros(5, 5);
+        dgeqrt(&mut a, &mut t);
+        for j in 0..5 {
+            for i in (j + 1)..5 {
+                assert_eq!(t[(i, j)], 0.0, "T[{i},{j}] must be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn r_diagonal_nonzero_for_full_rank() {
+        let mut a = crate::generate::diag_dominant(6, 25);
+        let mut t = Matrix::zeros(6, 6);
+        dgeqrt(&mut a, &mut t);
+        for i in 0..6 {
+            assert!(a[(i, i)].abs() > 1e-10);
+        }
+    }
+
+    #[test]
+    fn already_triangular_input_is_near_identity_q() {
+        // An upper triangular input with positive diagonal factors with
+        // tau ~ 0 except sign flips; R should equal the input up to sign.
+        let a0 = Matrix::from_fn(4, 4, |i, j| {
+            if i == j {
+                2.0
+            } else if i < j {
+                0.5
+            } else {
+                0.0
+            }
+        });
+        let mut a = a0.clone();
+        let mut t = Matrix::zeros(4, 4);
+        dgeqrt(&mut a, &mut t);
+        for i in 0..4 {
+            assert!((a[(i, i)].abs() - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n")]
+    fn wide_tile_rejected() {
+        let mut a = Matrix::zeros(3, 5);
+        let mut t = Matrix::zeros(5, 5);
+        dgeqrt(&mut a, &mut t);
+    }
+}

@@ -1,0 +1,108 @@
+//! Tile QR kernel family (compact WY representation).
+//!
+//! These are the four kernels of Algorithm 2 in the paper:
+//! [`dgeqrt`] factors a diagonal tile, [`dormqr`] applies its reflectors to
+//! tiles right of the diagonal, [`dtsqrt`] factors a triangular-on-top-of-
+//! square stack, and [`dtsmqr`] applies those reflectors to the trailing
+//! tile pairs. `dtsmqr` dominates the flop count — "the dominant operation
+//! from the innermost loop" (§IV-B2).
+
+mod geqrt;
+mod ormqr;
+mod tsmqr;
+mod tsqrt;
+
+pub use geqrt::dgeqrt;
+pub use ormqr::dormqr;
+pub use tsmqr::dtsmqr;
+pub use tsqrt::dtsqrt;
+
+/// Whether to apply `Q` or `Q^T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyTrans {
+    /// Apply `Q`.
+    No,
+    /// Apply `Q^T`.
+    Trans,
+}
+
+/// Compute a Householder reflection for the vector `[alpha, x...]`:
+/// returns `(beta, tau)` and scales `x` in place so the reflector is
+/// `H = I - tau * v * v^T` with `v = [1, x...]` and `H [alpha; x_old] =
+/// [beta; 0]`.
+///
+/// `tau == 0` (and `beta == alpha`) when `x` is already zero — the
+/// reflection is the identity, matching LAPACK `dlarfg`.
+pub(crate) fn householder(alpha: f64, x: &mut [f64]) -> (f64, f64) {
+    let sigma: f64 = x.iter().map(|&v| v * v).sum();
+    if sigma == 0.0 {
+        return (alpha, 0.0);
+    }
+    let norm = (alpha * alpha + sigma).sqrt();
+    let beta = if alpha >= 0.0 { -norm } else { norm };
+    let tau = (beta - alpha) / beta;
+    let scale = 1.0 / (alpha - beta);
+    for v in x.iter_mut() {
+        *v *= scale;
+    }
+    (beta, tau)
+}
+
+#[cfg(test)]
+mod house_tests {
+    use super::householder;
+
+    #[test]
+    fn reflects_to_norm() {
+        let mut x = vec![3.0, 4.0];
+        let alpha = 0.0;
+        let (beta, tau) = householder(alpha, &mut x);
+        // |[0,3,4]| = 5, so beta = -+5.
+        assert!((beta.abs() - 5.0).abs() < 1e-12);
+        // Verify H * [alpha; x_old] = [beta; 0]:
+        // v = [1, x], w = v^T [alpha; x_old] ... reconstruct original x.
+        let x_old = [3.0, 4.0];
+        let v = [1.0, x[0], x[1]];
+        let orig = [alpha, x_old[0], x_old[1]];
+        let w: f64 = v.iter().zip(orig.iter()).map(|(a, b)| a * b).sum();
+        let reflected: Vec<f64> =
+            orig.iter().zip(v.iter()).map(|(o, vi)| o - tau * w * vi).collect();
+        assert!((reflected[0] - beta).abs() < 1e-12);
+        assert!(reflected[1].abs() < 1e-12);
+        assert!(reflected[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_tail_is_identity() {
+        let mut x = vec![0.0, 0.0];
+        let (beta, tau) = householder(7.0, &mut x);
+        assert_eq!(beta, 7.0);
+        assert_eq!(tau, 0.0);
+    }
+
+    #[test]
+    fn negative_alpha_flips_sign() {
+        let mut x = vec![1.0];
+        let (beta, _) = householder(-2.0, &mut x);
+        assert!(beta > 0.0);
+    }
+
+    #[test]
+    fn reflector_is_orthogonal() {
+        // H^T H = I for v=[1,x], tau from householder.
+        let mut x = vec![0.5, -1.5, 2.0];
+        let (_, tau) = householder(1.0, &mut x);
+        let v = [1.0, x[0], x[1], x[2]];
+        let n = v.len();
+        for i in 0..n {
+            for j in 0..n {
+                // H = I - tau v v^T; (H^T H)[i,j] = delta - 2 tau v_i v_j + tau^2 v_i v_j (v.v)
+                let vv: f64 = v.iter().map(|a| a * a).sum();
+                let h = (if i == j { 1.0 } else { 0.0 }) - 2.0 * tau * v[i] * v[j]
+                    + tau * tau * v[i] * v[j] * vv;
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((h - expect).abs() < 1e-12, "({i},{j}) = {h}");
+            }
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! `DORMQR`: apply the `Q` of a [`super::dgeqrt`]-factored tile to another
+//! tile from the left: `C := op(Q) * C` with `op(Q) = Q` or `Q^T`.
+//!
+//! Compact WY: `Q = I - V T V^T`, so
+//! `Q^T C = C - V T^T (V^T C)` and `Q C = C - V T (V^T C)`.
+
+use super::ApplyTrans;
+use crate::blas::{dgemm, Trans};
+use crate::matrix::Matrix;
+
+/// Apply `op(Q)` to `c` in place.
+///
+/// * `v`: the tile returned by `dgeqrt` (reflectors below the diagonal).
+/// * `t`: the `T` factor from `dgeqrt` (`k x k`).
+/// * `c`: the target tile (`m x n`, with `m == v.rows()`).
+pub fn dormqr(trans: ApplyTrans, v: &Matrix, t: &Matrix, c: &mut Matrix) {
+    let m = v.rows();
+    let k = t.rows();
+    assert!(k <= v.cols(), "T larger than reflector count");
+    assert_eq!(t.cols(), k, "T must be square");
+    assert_eq!(c.rows(), m, "C rows must match V rows");
+    let n = c.cols();
+
+    // Materialize the unit-lower-trapezoidal V once; the extra copy is
+    // cheap compared to the three GEMMs below.
+    let vm = Matrix::from_fn(m, k, |i, j| {
+        if i == j {
+            1.0
+        } else if i > j {
+            v[(i, j)]
+        } else {
+            0.0
+        }
+    });
+
+    // W = V^T C  (k x n)
+    let mut w = Matrix::zeros(k, n);
+    dgemm(Trans::Yes, Trans::No, 1.0, &vm, c, 0.0, &mut w);
+    // W := op(T) W
+    let mut tw = Matrix::zeros(k, n);
+    match trans {
+        ApplyTrans::Trans => dgemm(Trans::Yes, Trans::No, 1.0, t, &w, 0.0, &mut tw),
+        ApplyTrans::No => dgemm(Trans::No, Trans::No, 1.0, t, &w, 0.0, &mut tw),
+    }
+    // C -= V W
+    dgemm(Trans::No, Trans::No, -1.0, &vm, &tw, 1.0, c);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random;
+    use crate::norms::frobenius;
+    use crate::qr_kernels::dgeqrt;
+
+    fn factored(n: usize, seed: u64) -> (Matrix, Matrix) {
+        let mut a = random(n, n, seed);
+        let mut t = Matrix::zeros(n, n);
+        dgeqrt(&mut a, &mut t);
+        (a, t)
+    }
+
+    #[test]
+    fn qt_then_q_is_identity() {
+        let (v, t) = factored(6, 31);
+        let c0 = random(6, 4, 32);
+        let mut c = c0.clone();
+        dormqr(ApplyTrans::Trans, &v, &t, &mut c);
+        dormqr(ApplyTrans::No, &v, &t, &mut c);
+        let err = frobenius(&c.sub(&c0)) / frobenius(&c0);
+        assert!(err < 1e-13, "round trip error {err}");
+    }
+
+    #[test]
+    fn application_preserves_norm() {
+        // Q is orthogonal: ||Q^T C||_F == ||C||_F.
+        let (v, t) = factored(8, 33);
+        let c0 = random(8, 3, 34);
+        let mut c = c0.clone();
+        dormqr(ApplyTrans::Trans, &v, &t, &mut c);
+        assert!((frobenius(&c) - frobenius(&c0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qt_applied_to_factored_tile_gives_r() {
+        // Factoring A gives Q^T A = R: applying Q^T to the *original* A
+        // must produce (numerically) the R stored in the factored tile.
+        let a0 = random(5, 5, 35);
+        let mut fact = a0.clone();
+        let mut t = Matrix::zeros(5, 5);
+        dgeqrt(&mut fact, &mut t);
+        let mut c = a0.clone();
+        dormqr(ApplyTrans::Trans, &fact, &t, &mut c);
+        for j in 0..5 {
+            for i in 0..5 {
+                if i <= j {
+                    assert!(
+                        (c[(i, j)] - fact[(i, j)]).abs() < 1e-12,
+                        "R mismatch at ({i},{j})"
+                    );
+                } else {
+                    assert!(c[(i, j)].abs() < 1e-12, "below-diagonal not annihilated");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_explicit_q_multiplication() {
+        let (v, t) = factored(6, 36);
+        // Build Q explicitly by applying Q to the identity.
+        let mut q = Matrix::identity(6);
+        dormqr(ApplyTrans::No, &v, &t, &mut q);
+        let c0 = random(6, 6, 37);
+        let mut by_kernel = c0.clone();
+        dormqr(ApplyTrans::No, &v, &t, &mut by_kernel);
+        let explicit = q.matmul(&c0);
+        let err = frobenius(&by_kernel.sub(&explicit));
+        assert!(err < 1e-12, "explicit vs kernel mismatch {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "C rows")]
+    fn dimension_mismatch_panics() {
+        let (v, t) = factored(4, 38);
+        let mut c = Matrix::zeros(5, 2);
+        dormqr(ApplyTrans::No, &v, &t, &mut c);
+    }
+}

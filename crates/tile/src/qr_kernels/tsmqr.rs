@@ -1,0 +1,164 @@
+//! `DTSMQR`: apply the `Q` of a [`super::dtsqrt`] factorization to a pair
+//! of stacked tiles — the dominant kernel of the tile QR factorization
+//! (paper §IV-B2: "the dominant operation from the innermost loop ... a new
+//! kernel operation called DTSMQR").
+//!
+//! With `Q = I - [I; U] T [I; U]^T`:
+//!
+//! ```text
+//! op(Q) [C1]   [C1 - op(T)^? W]          W = C1 + U^T C2
+//!       [C2] = [C2 - U op(T) W]
+//! ```
+//!
+//! concretely: `W = C1 + U^T C2`, `W := op(T) W`, `C1 -= W`, `C2 -= U W`.
+
+use super::ApplyTrans;
+use crate::blas::{dgemm, Trans};
+use crate::matrix::Matrix;
+
+/// Apply `op(Q)` from a `dtsqrt` factorization to the stacked pair
+/// `[c1; c2]` in place.
+///
+/// * `c1`: the `k x n` top tile (same row count as `T`'s order).
+/// * `c2`: the `m x n` bottom tile.
+/// * `u`: the `V2` block produced by `dtsqrt` (`m x k`, stored in the
+///   factored `B` tile).
+/// * `t`: the `k x k` factor from `dtsqrt`.
+pub fn dtsmqr(trans: ApplyTrans, c1: &mut Matrix, c2: &mut Matrix, u: &Matrix, t: &Matrix) {
+    let k = t.rows();
+    assert_eq!(t.cols(), k, "T must be square");
+    assert_eq!(c1.rows(), k, "C1 rows must match T order");
+    assert_eq!(u.cols(), k, "U cols must match T order");
+    let m = u.rows();
+    assert_eq!(c2.rows(), m, "C2 rows must match U rows");
+    let n = c1.cols();
+    assert_eq!(c2.cols(), n, "C1/C2 column mismatch");
+
+    // W = C1 + U^T C2.
+    let mut w = c1.clone();
+    dgemm(Trans::Yes, Trans::No, 1.0, u, c2, 1.0, &mut w);
+    // W := op(T) W.
+    let mut tw = Matrix::zeros(k, n);
+    match trans {
+        ApplyTrans::Trans => dgemm(Trans::Yes, Trans::No, 1.0, t, &w, 0.0, &mut tw),
+        ApplyTrans::No => dgemm(Trans::No, Trans::No, 1.0, t, &w, 0.0, &mut tw),
+    }
+    // C1 -= W; C2 -= U W.
+    for (c, &x) in c1.data_mut().iter_mut().zip(tw.data().iter()) {
+        *c -= x;
+    }
+    dgemm(Trans::No, Trans::No, -1.0, u, &tw, 1.0, c2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random;
+    use crate::norms::frobenius;
+    use crate::qr_kernels::dtsqrt;
+
+    fn factored(n: usize, m: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
+        // Produce a dtsqrt factorization (r, u, t).
+        let raw = random(n, n, seed);
+        let mut r = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0 + raw[(i, j)].abs()
+            } else if i < j {
+                raw[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let mut b = random(m, n, seed + 1);
+        let mut t = Matrix::zeros(n, n);
+        dtsqrt(&mut r, &mut b, &mut t);
+        (r, b, t)
+    }
+
+    #[test]
+    fn qt_then_q_round_trips() {
+        let (_, u, t) = factored(4, 6, 51);
+        let c1_0 = random(4, 3, 52);
+        let c2_0 = random(6, 3, 53);
+        let mut c1 = c1_0.clone();
+        let mut c2 = c2_0.clone();
+        dtsmqr(ApplyTrans::Trans, &mut c1, &mut c2, &u, &t);
+        dtsmqr(ApplyTrans::No, &mut c1, &mut c2, &u, &t);
+        assert!(frobenius(&c1.sub(&c1_0)) < 1e-12);
+        assert!(frobenius(&c2.sub(&c2_0)) < 1e-12);
+    }
+
+    #[test]
+    fn preserves_stacked_norm() {
+        let (_, u, t) = factored(5, 5, 54);
+        let c1_0 = random(5, 2, 55);
+        let c2_0 = random(5, 2, 56);
+        let mut c1 = c1_0.clone();
+        let mut c2 = c2_0.clone();
+        dtsmqr(ApplyTrans::Trans, &mut c1, &mut c2, &u, &t);
+        let before = (frobenius(&c1_0).powi(2) + frobenius(&c2_0).powi(2)).sqrt();
+        let after = (frobenius(&c1).powi(2) + frobenius(&c2).powi(2)).sqrt();
+        assert!((before - after).abs() < 1e-12, "{before} vs {after}");
+    }
+
+    #[test]
+    fn consistent_with_tsqrt_on_own_columns() {
+        // Applying Q^T to the original stacked [upper(R0); B0] must zero
+        // the bottom block and produce the stored R'.
+        let n = 4;
+        let m = 5;
+        let raw = random(n, n, 57);
+        let r0 = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0 + raw[(i, j)].abs()
+            } else if i < j {
+                raw[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let b0 = random(m, n, 58);
+        let mut r = r0.clone();
+        let mut b = b0.clone();
+        let mut t = Matrix::zeros(n, n);
+        dtsqrt(&mut r, &mut b, &mut t);
+
+        let mut c1 = r0.clone();
+        let mut c2 = b0.clone();
+        dtsmqr(ApplyTrans::Trans, &mut c1, &mut c2, &b, &t);
+        // c1 must equal updated R (upper triangle), c2 must be ~0.
+        for j in 0..n {
+            for i in 0..=j {
+                assert!(
+                    (c1[(i, j)] - r[(i, j)]).abs() < 1e-12,
+                    "R mismatch at ({i},{j}): {} vs {}",
+                    c1[(i, j)],
+                    r[(i, j)]
+                );
+            }
+        }
+        assert!(frobenius(&c2) < 1e-12, "bottom block not annihilated: {}", frobenius(&c2));
+    }
+
+    #[test]
+    fn rectangular_bottom_block() {
+        let (_, u, t) = factored(3, 7, 59);
+        let mut c1 = random(3, 4, 60);
+        let mut c2 = random(7, 4, 61);
+        let c1_0 = c1.clone();
+        let c2_0 = c2.clone();
+        dtsmqr(ApplyTrans::Trans, &mut c1, &mut c2, &u, &t);
+        dtsmqr(ApplyTrans::No, &mut c1, &mut c2, &u, &t);
+        assert!(frobenius(&c1.sub(&c1_0)) < 1e-12);
+        assert!(frobenius(&c2.sub(&c2_0)) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "C1 rows")]
+    fn dimension_check() {
+        let (_, u, t) = factored(3, 4, 62);
+        let mut c1 = Matrix::zeros(2, 2);
+        let mut c2 = Matrix::zeros(4, 2);
+        dtsmqr(ApplyTrans::No, &mut c1, &mut c2, &u, &t);
+    }
+}

@@ -1,0 +1,220 @@
+//! `DTSQRT`: QR factorization of a triangular tile stacked on a square
+//! tile — the "triangle on top of square" kernel of the tile QR algorithm
+//! (Algorithm 2, line 7).
+//!
+//! Input is the current `R` (upper triangle of the diagonal tile, from a
+//! previous `dgeqrt`/`dtsqrt`) stacked above a full tile `B`:
+//!
+//! ```text
+//! [ R ]          [ R' ]
+//! [ B ]  =  Q *  [ 0  ]
+//! ```
+//!
+//! Because the top block is triangular, each Householder vector has the
+//! structure `v_k = [e_k; u_k]` — a 1 in row `k` of the top block and a
+//! dense column `u_k` in the bottom block. On return the upper triangle of
+//! `r` holds the updated `R'`, `b` holds the `u` vectors (the `V2` block),
+//! and `t` the block-reflector factor with `Q = I - [I;U] T [I;U]^T`.
+
+use super::householder;
+use crate::matrix::Matrix;
+
+/// Factor `[R; B]` in place; fill `t` (`n x n`, overwritten).
+///
+/// Only the upper triangle of `r` is read and written — its strictly lower
+/// part (which in the tile algorithm still holds `dgeqrt` reflectors) is
+/// preserved.
+pub fn dtsqrt(r: &mut Matrix, b: &mut Matrix, t: &mut Matrix) {
+    let n = r.cols();
+    assert_eq!(r.rows(), n, "R tile must be square");
+    assert_eq!(b.cols(), n, "B must have the same column count as R");
+    let m = b.rows();
+    assert_eq!(t.rows(), n, "T must be n x n");
+    assert_eq!(t.cols(), n, "T must be n x n");
+    for v in t.data_mut() {
+        *v = 0.0;
+    }
+
+    for k in 0..n {
+        // Householder on [R[k,k]; B[:,k]].
+        let alpha = r[(k, k)];
+        let (beta, tau) = householder(alpha, b.col_mut(k));
+        r[(k, k)] = beta;
+
+        if tau != 0.0 {
+            // Apply to trailing columns j > k:
+            // w = R[k,j] + u_k^T B[:,j]; R[k,j] -= tau w; B[:,j] -= tau w u_k.
+            for j in (k + 1)..n {
+                let mut w = r[(k, j)];
+                {
+                    let (uk, bj) = b.two_cols_mut(k, j);
+                    for i in 0..m {
+                        w += uk[i] * bj[i];
+                    }
+                    let tw = tau * w;
+                    for i in 0..m {
+                        bj[i] -= tw * uk[i];
+                    }
+                }
+                r[(k, j)] -= tau * w;
+            }
+        }
+
+        // T[0..k, k] = -tau * T[0..k, 0..k] * (U[:, 0..k]^T u_k); the top
+        // (identity) parts of the reflectors are orthogonal (e_i^T e_k = 0
+        // for i < k) so only the dense bottom contributes.
+        let mut z = vec![0.0f64; k];
+        for (i, zi) in z.iter_mut().enumerate() {
+            let ui = b.col(i);
+            let uk = b.col(k);
+            let mut acc = 0.0;
+            for r_ in 0..m {
+                acc += ui[r_] * uk[r_];
+            }
+            *zi = acc;
+        }
+        for i in 0..k {
+            let mut acc = 0.0;
+            for (l, zl) in z.iter().enumerate().skip(i) {
+                acc += t[(i, l)] * zl;
+            }
+            t[(i, k)] = -tau * acc;
+        }
+        t[(k, k)] = tau;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{dgemm, Trans};
+    use crate::generate::random;
+    use crate::norms::frobenius;
+
+    /// Build the stacked Q = I - [I;U] T [I;U]^T explicitly ((n+m) square).
+    fn q_of(u: &Matrix, t: &Matrix) -> Matrix {
+        let n = t.rows();
+        let m = u.rows();
+        let v = Matrix::from_fn(n + m, n, |i, j| {
+            if i < n {
+                if i == j {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else {
+                u[(i - n, j)]
+            }
+        });
+        let mut vt = Matrix::zeros(n + m, n);
+        dgemm(Trans::No, Trans::No, 1.0, &v, t, 0.0, &mut vt);
+        let mut q = Matrix::identity(n + m);
+        dgemm(Trans::No, Trans::Yes, -1.0, &vt, &v, 1.0, &mut q);
+        q
+    }
+
+    fn upper_of(r: &Matrix) -> Matrix {
+        Matrix::from_fn(r.rows(), r.cols(), |i, j| if i <= j { r[(i, j)] } else { 0.0 })
+    }
+
+    fn triangular_r(n: usize, seed: u64) -> Matrix {
+        let raw = random(n, n, seed);
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                2.0 + raw[(i, j)].abs()
+            } else if i < j {
+                raw[(i, j)]
+            } else {
+                // Simulate dgeqrt leftovers that must not be touched.
+                raw[(i, j)] * 100.0
+            }
+        })
+    }
+
+    #[test]
+    fn stack_reconstructs() {
+        let n = 5;
+        let m = 5;
+        let r0 = triangular_r(n, 41);
+        let b0 = random(m, n, 42);
+        let mut r = r0.clone();
+        let mut b = b0.clone();
+        let mut t = Matrix::zeros(n, n);
+        dtsqrt(&mut r, &mut b, &mut t);
+
+        // Original stack [upper(R0); B0] must equal Q * [R'; 0].
+        let q = q_of(&b, &t);
+        let stacked_r = Matrix::from_fn(n + m, n, |i, j| {
+            if i < n && i <= j {
+                r[(i, j)]
+            } else {
+                0.0
+            }
+        });
+        let mut recon = Matrix::zeros(n + m, n);
+        dgemm(Trans::No, Trans::No, 1.0, &q, &stacked_r, 0.0, &mut recon);
+        let orig = Matrix::from_fn(n + m, n, |i, j| {
+            if i < n {
+                upper_of(&r0)[(i, j)]
+            } else {
+                b0[(i - n, j)]
+            }
+        });
+        let err = frobenius(&recon.sub(&orig)) / frobenius(&orig);
+        assert!(err < 1e-13, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn q_is_orthogonal() {
+        let n = 4;
+        let mut r = triangular_r(n, 43);
+        let mut b = random(6, n, 44);
+        let mut t = Matrix::zeros(n, n);
+        dtsqrt(&mut r, &mut b, &mut t);
+        let q = q_of(&b, &t);
+        let mut defect = Matrix::identity(n + 6);
+        dgemm(Trans::Yes, Trans::No, 1.0, &q, &q, -1.0, &mut defect);
+        assert!(frobenius(&defect) < 1e-13);
+    }
+
+    #[test]
+    fn strictly_lower_r_preserved() {
+        let n = 4;
+        let r0 = triangular_r(n, 45);
+        let mut r = r0.clone();
+        let mut b = random(4, n, 46);
+        let mut t = Matrix::zeros(n, n);
+        dtsqrt(&mut r, &mut b, &mut t);
+        for j in 0..n {
+            for i in (j + 1)..n {
+                assert_eq!(r[(i, j)], r0[(i, j)], "lower R[{i},{j}] must be preserved");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_bottom_block_is_identity_transform() {
+        let n = 3;
+        let r0 = triangular_r(n, 47);
+        let mut r = r0.clone();
+        let mut b = Matrix::zeros(4, n);
+        let mut t = Matrix::zeros(n, n);
+        dtsqrt(&mut r, &mut b, &mut t);
+        // Nothing to annihilate: R unchanged, taus zero.
+        for j in 0..n {
+            for i in 0..=j {
+                assert!((r[(i, j)] - r0[(i, j)]).abs() < 1e-15);
+            }
+            assert_eq!(t[(j, j)], 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_r_rejected() {
+        let mut r = Matrix::zeros(3, 4);
+        let mut b = Matrix::zeros(3, 4);
+        let mut t = Matrix::zeros(4, 4);
+        dtsqrt(&mut r, &mut b, &mut t);
+    }
+}

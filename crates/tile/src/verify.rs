@@ -1,0 +1,112 @@
+//! Numerical verification: factorization residuals and orthogonality.
+//!
+//! These are the standard LAPACK-style scaled residuals; every workload in
+//! the benches asserts them after a "real" run to prove the scheduled
+//! execution computed the right answer.
+
+use crate::blas::{dgemm, Trans};
+use crate::matrix::Matrix;
+use crate::norms::frobenius;
+use crate::qr::{apply_q, extract_r};
+use crate::qr_kernels::ApplyTrans;
+use crate::tiled::TiledMatrix;
+
+/// Scaled Cholesky residual `||A - L L^T||_F / (n * ||A||_F)` where `L` is
+/// the lower triangle of the factored tiled matrix.
+pub fn cholesky_residual(a0: &Matrix, factored: &TiledMatrix) -> f64 {
+    let n = a0.rows();
+    let full = factored.to_matrix();
+    let l = Matrix::from_fn(n, n, |i, j| if i >= j { full[(i, j)] } else { 0.0 });
+    let mut recon = Matrix::zeros(n, n);
+    dgemm(Trans::No, Trans::Yes, 1.0, &l, &l, 0.0, &mut recon);
+    frobenius(&recon.sub(a0)) / (n as f64 * frobenius(a0))
+}
+
+/// Scaled QR residual `||A - Q R||_F / (n * ||A||_F)` for a tile QR
+/// factorization (`a` holds V+R, `ts` the T factors).
+pub fn qr_residual(a0: &Matrix, a: &TiledMatrix, ts: &TiledMatrix) -> f64 {
+    let n = a0.rows();
+    let r = extract_r(a);
+    let mut qr_tiled = TiledMatrix::from_matrix(&r, a.nb());
+    apply_q(a, ts, ApplyTrans::No, &mut qr_tiled);
+    let qr = qr_tiled.to_matrix();
+    frobenius(&qr.sub(a0)) / (n as f64 * frobenius(a0))
+}
+
+/// Orthogonality defect `||Q^T Q - I||_F / n` for a tile QR factorization.
+pub fn qr_orthogonality(a: &TiledMatrix, ts: &TiledMatrix) -> f64 {
+    let n = a.rows();
+    let eye = Matrix::identity(n);
+    let mut q_tiled = TiledMatrix::from_matrix(&eye, a.nb());
+    apply_q(a, ts, ApplyTrans::No, &mut q_tiled);
+    let q = q_tiled.to_matrix();
+    let mut defect = Matrix::identity(n);
+    dgemm(Trans::Yes, Trans::No, 1.0, &q, &q, -1.0, &mut defect);
+    frobenius(&defect) / n as f64
+}
+
+/// Scaled LU residual `||A - L U||_F / (n * ||A||_F)` where the factored
+/// tiled matrix holds unit-lower `L` below the diagonal and `U` on/above.
+pub fn lu_residual(a0: &Matrix, factored: &TiledMatrix) -> f64 {
+    let n = a0.rows();
+    let full = factored.to_matrix();
+    let l = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            1.0
+        } else if i > j {
+            full[(i, j)]
+        } else {
+            0.0
+        }
+    });
+    let u = Matrix::from_fn(n, n, |i, j| if i <= j { full[(i, j)] } else { 0.0 });
+    let mut recon = Matrix::zeros(n, n);
+    dgemm(Trans::No, Trans::No, 1.0, &l, &u, 0.0, &mut recon);
+    frobenius(&recon.sub(a0)) / (n as f64 * frobenius(a0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{random, spd};
+
+    #[test]
+    fn residual_zero_for_exact_factors() {
+        // Hand-build A = L L^T from a known L, factor, residual ~ 0.
+        let n = 12;
+        let a0 = spd(n, 101);
+        let mut t = TiledMatrix::from_matrix(&a0, 4);
+        crate::cholesky::factor(&mut t).unwrap();
+        assert!(cholesky_residual(&a0, &t) < 1e-14);
+    }
+
+    #[test]
+    fn residual_large_for_wrong_factors() {
+        let n = 8;
+        let a0 = spd(n, 102);
+        // "Factor" = unrelated junk.
+        let junk = TiledMatrix::from_matrix(&random(n, n, 103), 4);
+        assert!(cholesky_residual(&a0, &junk) > 1e-3);
+    }
+
+    #[test]
+    fn qr_residual_detects_corruption() {
+        let n = 12;
+        let a0 = random(n, n, 104);
+        let mut a = TiledMatrix::from_matrix(&a0, 4);
+        let ts = crate::qr::factor(&mut a);
+        assert!(qr_residual(&a0, &a, &ts) < 1e-13);
+        // Corrupt one R entry; the residual must jump.
+        a.tile_mut(0, 1)[(0, 0)] += 1.0;
+        assert!(qr_residual(&a0, &a, &ts) > 1e-6);
+    }
+
+    #[test]
+    fn lu_residual_identity() {
+        // A = I factors as L = I, U = I; residual 0 without running LU.
+        let n = 6;
+        let a0 = Matrix::identity(n);
+        let t = TiledMatrix::from_matrix(&a0, 3);
+        assert!(lu_residual(&a0, &t) < 1e-15);
+    }
+}

@@ -1,0 +1,102 @@
+//! Chrome trace-event export (`chrome://tracing` / Perfetto JSON).
+//!
+//! An alternative to the SVG renderer: load the emitted JSON in any
+//! Chromium browser's `chrome://tracing` page or in <https://ui.perfetto.dev>
+//! to explore a trace interactively. Times are exported in microseconds
+//! ("complete" `X` events, one per task, `tid` = worker lane).
+
+use crate::Trace;
+use std::fmt::Write as _;
+
+/// Serialize a trace to the Chrome trace-event JSON array format.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut s = String::with_capacity(64 + trace.events.len() * 96);
+    s.push('[');
+    let mut first = true;
+    for e in &trace.events {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(
+            s,
+            r#"{{"name":{},"ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"args":{{"task_id":{}}}}}"#,
+            json_string(&e.kernel),
+            e.start * 1e6,
+            e.duration() * 1e6,
+            e.worker,
+            e.task_id
+        );
+    }
+    s.push(']');
+    s
+}
+
+fn json_string(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceEvent;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new(2);
+        t.events.push(TraceEvent {
+            worker: 0,
+            kernel: "dgemm".into(),
+            task_id: 3,
+            start: 0.001,
+            end: 0.002,
+        });
+        t.events.push(TraceEvent {
+            worker: 1,
+            kernel: "we\"ird".into(),
+            task_id: 4,
+            start: 0.0,
+            end: 0.0005,
+        });
+        t
+    }
+
+    #[test]
+    fn emits_valid_json() {
+        let json = to_chrome_json(&trace());
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["ph"], "X");
+        assert_eq!(arr[0]["name"], "dgemm");
+        assert_eq!(arr[0]["tid"], 0);
+        assert_eq!(arr[0]["args"]["task_id"], 3);
+        // Microsecond conversion.
+        assert!((arr[0]["ts"].as_f64().unwrap() - 1000.0).abs() < 1e-6);
+        assert!((arr[0]["dur"].as_f64().unwrap() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let json = to_chrome_json(&trace());
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v[1]["name"], "we\"ird");
+    }
+
+    #[test]
+    fn empty_trace_is_empty_array() {
+        assert_eq!(to_chrome_json(&Trace::new(0)), "[]");
+    }
+}

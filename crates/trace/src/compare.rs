@@ -1,0 +1,248 @@
+//! Trace similarity metrics.
+//!
+//! The paper validates the simulator by comparing the *simulated* trace to a
+//! *real* trace of the same algorithm (Figs. 6–7): total execution time must
+//! match within a few percent, and the trace must retain "the essential
+//! features" — same task population, similar shape. These metrics make that
+//! comparison quantitative:
+//!
+//! * makespan relative error,
+//! * per-kernel-class population equality,
+//! * placement agreement (fraction of tasks scheduled onto the same worker),
+//! * start-time agreement (Pearson correlation and mean absolute shift,
+//!   after normalizing both traces to a common origin).
+
+use crate::{Trace, TraceStats};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The result of comparing a candidate (e.g. simulated) trace against a
+/// reference (e.g. real) trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceComparison {
+    /// Reference makespan.
+    pub makespan_ref: f64,
+    /// Candidate makespan.
+    pub makespan_cand: f64,
+    /// `(cand - ref) / ref`; positive means the candidate is slower.
+    pub makespan_rel_error: f64,
+    /// True if both traces contain exactly the same multiset of
+    /// (kernel-class, count).
+    pub same_kernel_population: bool,
+    /// Number of task ids present in both traces.
+    pub matched_tasks: usize,
+    /// Fraction of matched tasks placed on the same worker in both traces.
+    pub placement_agreement: f64,
+    /// Pearson correlation of matched task start times.
+    pub start_time_correlation: f64,
+    /// Mean absolute difference of matched start times, as a fraction of
+    /// the reference makespan.
+    pub mean_start_shift: f64,
+}
+
+impl TraceComparison {
+    /// Compare `candidate` against `reference`.
+    ///
+    /// Both traces are normalized (time origin 0) internally; the inputs
+    /// are not modified.
+    pub fn compare(reference: &Trace, candidate: &Trace) -> Self {
+        let mut r = reference.clone();
+        let mut c = candidate.clone();
+        r.normalize();
+        c.normalize();
+
+        let makespan_ref = r.makespan();
+        let makespan_cand = c.makespan();
+        let makespan_rel_error = if makespan_ref > 0.0 {
+            (makespan_cand - makespan_ref) / makespan_ref
+        } else if makespan_cand == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+
+        let sr = TraceStats::of(&r);
+        let sc = TraceStats::of(&c);
+        let same_kernel_population = sr.kernels.len() == sc.kernels.len()
+            && sr
+                .kernels
+                .iter()
+                .all(|(k, v)| sc.kernels.get(k).is_some_and(|w| w.count == v.count));
+
+        // Match tasks by id.
+        let by_id: HashMap<u64, (usize, f64)> =
+            r.events.iter().map(|e| (e.task_id, (e.worker, e.start))).collect();
+        let mut matched = 0usize;
+        let mut same_worker = 0usize;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut shift_sum = 0.0;
+        for e in &c.events {
+            if let Some(&(w, s)) = by_id.get(&e.task_id) {
+                matched += 1;
+                if w == e.worker {
+                    same_worker += 1;
+                }
+                xs.push(s);
+                ys.push(e.start);
+                shift_sum += (e.start - s).abs();
+            }
+        }
+        let placement_agreement =
+            if matched > 0 { same_worker as f64 / matched as f64 } else { 0.0 };
+        let start_time_correlation = pearson(&xs, &ys);
+        let mean_start_shift = if matched > 0 && makespan_ref > 0.0 {
+            shift_sum / matched as f64 / makespan_ref
+        } else {
+            0.0
+        };
+
+        TraceComparison {
+            makespan_ref,
+            makespan_cand,
+            makespan_rel_error,
+            same_kernel_population,
+            matched_tasks: matched,
+            placement_agreement,
+            start_time_correlation,
+            mean_start_shift,
+        }
+    }
+
+    /// Absolute value of the makespan relative error.
+    pub fn makespan_abs_error(&self) -> f64 {
+        self.makespan_rel_error.abs()
+    }
+
+    /// Render a one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "makespan {:.6}s vs {:.6}s (err {:+.2}%), pop_match={}, matched={}, placement={:.1}%, start_corr={:.4}, start_shift={:.2}%",
+            self.makespan_ref,
+            self.makespan_cand,
+            self.makespan_rel_error * 100.0,
+            self.same_kernel_population,
+            self.matched_tasks,
+            self.placement_agreement * 100.0,
+            self.start_time_correlation,
+            self.mean_start_shift * 100.0,
+        )
+    }
+}
+
+/// Pearson correlation; 0 for fewer than 2 points or degenerate variance.
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceEvent;
+
+    fn ev(worker: usize, kernel: &str, id: u64, start: f64, end: f64) -> TraceEvent {
+        TraceEvent { worker, kernel: kernel.into(), task_id: id, start, end }
+    }
+
+    fn base_trace() -> Trace {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, "gemm", 0, 0.0, 1.0));
+        t.events.push(ev(1, "trsm", 1, 0.0, 0.5));
+        t.events.push(ev(1, "gemm", 2, 0.5, 2.0));
+        t
+    }
+
+    #[test]
+    fn identical_traces_compare_perfectly() {
+        let t = base_trace();
+        let c = TraceComparison::compare(&t, &t);
+        assert_eq!(c.makespan_rel_error, 0.0);
+        assert!(c.same_kernel_population);
+        assert_eq!(c.matched_tasks, 3);
+        assert_eq!(c.placement_agreement, 1.0);
+        assert!((c.start_time_correlation - 1.0).abs() < 1e-12);
+        assert_eq!(c.mean_start_shift, 0.0);
+    }
+
+    #[test]
+    fn makespan_error_signed() {
+        let r = base_trace();
+        let mut c = base_trace();
+        for e in &mut c.events {
+            e.start *= 1.1;
+            e.end *= 1.1;
+        }
+        let cmp = TraceComparison::compare(&r, &c);
+        assert!((cmp.makespan_rel_error - 0.1).abs() < 1e-9);
+        assert!((cmp.makespan_abs_error() - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn population_mismatch_detected() {
+        let r = base_trace();
+        let mut c = base_trace();
+        c.events[1].kernel = "syrk".into();
+        let cmp = TraceComparison::compare(&r, &c);
+        assert!(!cmp.same_kernel_population);
+    }
+
+    #[test]
+    fn placement_agreement_counts_same_worker() {
+        let r = base_trace();
+        let mut c = base_trace();
+        c.events[0].worker = 1; // move one of three tasks
+        let cmp = TraceComparison::compare(&r, &c);
+        assert!((cmp.placement_agreement - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmatched_ids_not_counted() {
+        let r = base_trace();
+        let mut c = base_trace();
+        c.events[2].task_id = 99;
+        let cmp = TraceComparison::compare(&r, &c);
+        assert_eq!(cmp.matched_tasks, 2);
+    }
+
+    #[test]
+    fn empty_traces_are_equal() {
+        let cmp = TraceComparison::compare(&Trace::new(1), &Trace::new(1));
+        assert_eq!(cmp.makespan_rel_error, 0.0);
+        assert!(cmp.same_kernel_population);
+    }
+
+    #[test]
+    fn summary_mentions_key_fields() {
+        let t = base_trace();
+        let s = TraceComparison::compare(&t, &t).summary();
+        assert!(s.contains("makespan"));
+        assert!(s.contains("placement"));
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0, 0.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+}

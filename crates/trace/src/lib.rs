@@ -1,0 +1,266 @@
+//! # supersim-trace
+//!
+//! Execution-trace infrastructure for the superscalar scheduling simulator.
+//!
+//! The paper (§V-A) explains that general-purpose tracing frameworks record
+//! *wall-clock* time, while the simulation needs traces in *virtual*
+//! (user-specified) time — so the authors wrote "a rudimentary trace
+//! generation environment" with SVG output and a plain-text format. This
+//! crate is that environment:
+//!
+//! * [`Trace`] / [`TraceEvent`] — the trace model: one lane per worker,
+//!   one rectangle per executed task, in arbitrary time units;
+//! * [`TraceRecorder`] — a thread-safe recorder that workers log into
+//!   (in either real or virtual time);
+//! * [`svg`] — Gantt-style SVG rendering (paper Figs. 6–7);
+//! * [`chrome`] — Chrome trace-event JSON export (chrome://tracing);
+//! * [`text`] — a line-oriented plain-text format with a parser;
+//! * [`ascii`] — quick terminal rendering for the examples;
+//! * [`stats`] — makespan, utilization, per-kernel summaries;
+//! * [`compare`] — the similarity metrics used to judge simulated traces
+//!   against real ones (makespan error, per-class counts, placement and
+//!   start-time agreement).
+
+pub mod ascii;
+pub mod chrome;
+pub mod color;
+pub mod compare;
+pub mod recorder;
+#[cfg(test)]
+mod proptests;
+pub mod stats;
+pub mod svg;
+pub mod text;
+
+pub use compare::TraceComparison;
+pub use recorder::TraceRecorder;
+pub use stats::TraceStats;
+
+use serde::{Deserialize, Serialize};
+
+/// One executed task occurrence in a trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Worker (lane) index the task ran on.
+    pub worker: usize,
+    /// Kernel class label, e.g. `"dgemm"`.
+    pub kernel: String,
+    /// Stable task identity (submission order), used to match events
+    /// between a real and a simulated trace.
+    pub task_id: u64,
+    /// Start time (seconds — wall-clock or virtual).
+    pub start: f64,
+    /// End time; must satisfy `end >= start`.
+    pub end: f64,
+}
+
+impl TraceEvent {
+    /// Duration of the event.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A complete execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    /// Number of worker lanes (may exceed the max worker index seen, for
+    /// workers that executed nothing).
+    pub workers: usize,
+    /// All events; kept sorted by `(worker, start)` after [`Trace::normalize`].
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace with `workers` lanes.
+    pub fn new(workers: usize) -> Self {
+        Trace { workers, events: Vec::new() }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Latest event end (0 for an empty trace).
+    pub fn t_max(&self) -> f64 {
+        self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Makespan: latest end minus earliest start (0 for empty).
+    pub fn makespan(&self) -> f64 {
+        if self.events.is_empty() {
+            return 0.0;
+        }
+        let start = self.events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+        self.t_max() - start
+    }
+
+    /// Sort events by `(worker, start, task_id)` and grow `workers` to cover
+    /// every event. Shifts time so the earliest start is 0.
+    pub fn normalize(&mut self) {
+        if let Some(max_w) = self.events.iter().map(|e| e.worker).max() {
+            self.workers = self.workers.max(max_w + 1);
+        }
+        let t0 = self.events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+        if t0.is_finite() && t0 != 0.0 {
+            for e in &mut self.events {
+                e.start -= t0;
+                e.end -= t0;
+            }
+        }
+        self.events.sort_by(|a, b| {
+            (a.worker, a.start, a.task_id)
+                .partial_cmp(&(b.worker, b.start, b.task_id))
+                .expect("non-finite times in trace")
+        });
+    }
+
+    /// Iterate events of a single lane.
+    pub fn lane(&self, worker: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.worker == worker)
+    }
+
+    /// Distinct kernel labels in first-appearance order.
+    pub fn kernel_labels(&self) -> Vec<String> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            if !seen.iter().any(|s| s == &e.kernel) {
+                seen.push(e.kernel.clone());
+            }
+        }
+        seen
+    }
+
+    /// Validate internal consistency: all events have `end >= start`,
+    /// finite times, lane indices within `workers`, and no two events on
+    /// the same lane overlap by more than `tol`.
+    pub fn validate(&self, tol: f64) -> Result<(), String> {
+        for e in &self.events {
+            if !(e.start.is_finite() && e.end.is_finite()) {
+                return Err(format!("task {} has non-finite times", e.task_id));
+            }
+            if e.end < e.start {
+                return Err(format!("task {} ends before it starts", e.task_id));
+            }
+            if e.worker >= self.workers {
+                return Err(format!(
+                    "task {} on worker {} but trace has {} lanes",
+                    e.task_id, e.worker, self.workers
+                ));
+            }
+        }
+        for w in 0..self.workers {
+            let mut lane: Vec<&TraceEvent> = self.lane(w).collect();
+            lane.sort_by(|a, b| a.start.total_cmp(&b.start));
+            for pair in lane.windows(2) {
+                if pair[1].start < pair[0].end - tol {
+                    return Err(format!(
+                        "worker {} overlap: task {} [{:.6},{:.6}] vs task {} [{:.6},{:.6}]",
+                        w,
+                        pair[0].task_id,
+                        pair[0].start,
+                        pair[0].end,
+                        pair[1].task_id,
+                        pair[1].start,
+                        pair[1].end
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(worker: usize, kernel: &str, id: u64, start: f64, end: f64) -> TraceEvent {
+        TraceEvent { worker, kernel: kernel.to_string(), task_id: id, start, end }
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let t = Trace::new(4);
+        assert_eq!(t.makespan(), 0.0);
+        assert!(t.is_empty());
+        assert!(t.validate(0.0).is_ok());
+    }
+
+    #[test]
+    fn makespan_spans_events() {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, "a", 0, 1.0, 2.0));
+        t.events.push(ev(1, "b", 1, 0.5, 3.5));
+        assert!((t.makespan() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_shifts_sorts_and_grows() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(3, "b", 1, 5.0, 6.0));
+        t.events.push(ev(0, "a", 0, 2.0, 3.0));
+        t.normalize();
+        assert_eq!(t.workers, 4);
+        assert_eq!(t.events[0].task_id, 0);
+        assert_eq!(t.events[0].start, 0.0);
+        assert_eq!(t.events[1].start, 3.0);
+    }
+
+    #[test]
+    fn validate_catches_overlap() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(0, "a", 0, 0.0, 2.0));
+        t.events.push(ev(0, "b", 1, 1.0, 3.0));
+        assert!(t.validate(1e-9).is_err());
+        // Different lanes may overlap freely.
+        t.events[1].worker = 1;
+        t.workers = 2;
+        assert!(t.validate(1e-9).is_ok());
+    }
+
+    #[test]
+    fn validate_catches_bad_times_and_lanes() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(0, "a", 0, 2.0, 1.0));
+        assert!(t.validate(0.0).unwrap_err().contains("ends before"));
+        t.events[0] = ev(5, "a", 0, 0.0, 1.0);
+        assert!(t.validate(0.0).unwrap_err().contains("lanes"));
+        t.events[0] = ev(0, "a", 0, f64::NAN, 1.0);
+        assert!(t.validate(0.0).unwrap_err().contains("non-finite"));
+    }
+
+    #[test]
+    fn kernel_labels_first_seen_order() {
+        let mut t = Trace::new(1);
+        t.events.push(ev(0, "gemm", 0, 0.0, 1.0));
+        t.events.push(ev(0, "trsm", 1, 1.0, 2.0));
+        t.events.push(ev(0, "gemm", 2, 2.0, 3.0));
+        assert_eq!(t.kernel_labels(), vec!["gemm", "trsm"]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, "a", 0, 0.0, 1.5));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn lane_filters_by_worker() {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, "a", 0, 0.0, 1.0));
+        t.events.push(ev(1, "b", 1, 0.0, 1.0));
+        t.events.push(ev(0, "c", 2, 1.0, 2.0));
+        assert_eq!(t.lane(0).count(), 2);
+        assert_eq!(t.lane(1).count(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the trace layer.
+
+#![cfg(test)]
+
+use crate::{text, Trace, TraceComparison, TraceEvent};
+use proptest::prelude::*;
+
+fn event_strategy() -> impl Strategy<Value = TraceEvent> {
+    (
+        0usize..8,
+        prop_oneof![Just("gemm"), Just("trsm"), Just("potrf"), Just("x_y")],
+        0u64..10_000,
+        0.0f64..1e3,
+        0.0f64..10.0,
+    )
+        .prop_map(|(worker, kernel, task_id, start, dur)| TraceEvent {
+            worker,
+            kernel: kernel.to_string(),
+            task_id,
+            start,
+            end: start + dur,
+        })
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(event_strategy(), 0..40).prop_map(|mut events| {
+        // Unique task ids (required by comparison semantics).
+        for (i, e) in events.iter_mut().enumerate() {
+            e.task_id = i as u64;
+        }
+        Trace { workers: 8, events }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Text format round-trips every event exactly enough for comparison.
+    #[test]
+    fn text_round_trip(t in trace_strategy()) {
+        let written = text::write(&t);
+        let back = text::parse(&written).unwrap();
+        prop_assert_eq!(back.workers, t.workers);
+        prop_assert_eq!(back.events.len(), t.events.len());
+        for (a, b) in t.events.iter().zip(back.events.iter()) {
+            prop_assert_eq!(a.worker, b.worker);
+            prop_assert_eq!(&a.kernel, &b.kernel);
+            prop_assert_eq!(a.task_id, b.task_id);
+            prop_assert!((a.start - b.start).abs() < 1e-6);
+            prop_assert!((a.end - b.end).abs() < 1e-6);
+        }
+    }
+
+    /// Normalize is idempotent and shifts the earliest start to zero.
+    #[test]
+    fn normalize_idempotent(t in trace_strategy()) {
+        let mut once = t.clone();
+        once.normalize();
+        let mut twice = once.clone();
+        twice.normalize();
+        prop_assert_eq!(&once, &twice);
+        if !once.is_empty() {
+            let min_start = once.events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+            prop_assert!(min_start.abs() < 1e-12);
+        }
+    }
+
+    /// Normalization preserves the makespan.
+    #[test]
+    fn normalize_preserves_makespan(t in trace_strategy()) {
+        let before = t.makespan();
+        let mut n = t.clone();
+        n.normalize();
+        prop_assert!((n.makespan() - before).abs() < 1e-9);
+    }
+
+    /// A trace always compares perfectly with itself.
+    #[test]
+    fn self_comparison_perfect(t in trace_strategy()) {
+        let cmp = TraceComparison::compare(&t, &t);
+        prop_assert_eq!(cmp.makespan_rel_error, 0.0);
+        prop_assert!(cmp.same_kernel_population);
+        prop_assert_eq!(cmp.matched_tasks, t.len());
+        prop_assert_eq!(cmp.mean_start_shift, 0.0);
+        if !t.is_empty() {
+            prop_assert_eq!(cmp.placement_agreement, 1.0);
+        }
+    }
+
+    /// Uniform time scaling changes the makespan error by exactly the
+    /// scale factor.
+    #[test]
+    fn comparison_detects_uniform_scaling(t in trace_strategy(), scale in 1.01f64..3.0) {
+        prop_assume!(t.makespan() > 1e-9);
+        let mut scaled = t.clone();
+        for e in &mut scaled.events {
+            e.start *= scale;
+            e.end *= scale;
+        }
+        let cmp = TraceComparison::compare(&t, &scaled);
+        prop_assert!((cmp.makespan_rel_error - (scale - 1.0)).abs() < 1e-9);
+    }
+
+    /// SVG rendering never panics and always yields a well-formed shell.
+    #[test]
+    fn svg_always_renders(t in trace_strategy()) {
+        let mut t = t;
+        t.normalize();
+        let svg = crate::svg::render_default(&t);
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    /// ASCII rendering yields one row per worker lane plus a legend.
+    #[test]
+    fn ascii_row_count(t in trace_strategy(), cols in 4usize..100) {
+        let mut t = t;
+        t.normalize();
+        let art = crate::ascii::render(&t, cols);
+        prop_assert_eq!(art.lines().count(), t.workers + 1);
+    }
+
+    /// Stats busy time equals the sum of event durations.
+    #[test]
+    fn stats_busy_time_is_duration_sum(t in trace_strategy()) {
+        let stats = crate::stats::TraceStats::of(&t);
+        let sum: f64 = t.events.iter().map(|e| e.duration()).sum();
+        prop_assert!((stats.busy_time - sum).abs() < 1e-9);
+        let per_kernel: usize = stats.kernels.values().map(|k| k.count).sum();
+        prop_assert_eq!(per_kernel, t.len());
+    }
+}

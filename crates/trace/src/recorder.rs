@@ -1,0 +1,151 @@
+//! Thread-safe trace recording.
+//!
+//! In a real run every worker thread logs `(worker, kernel, start, end)` in
+//! wall-clock seconds; in a simulated run the sim-kernel protocol logs the
+//! same tuple in virtual time. Both go through [`TraceRecorder`].
+
+use crate::{Trace, TraceEvent};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shareable, thread-safe accumulator of trace events.
+///
+/// Cloning shares the underlying buffer ([`Arc`] internally), so every
+/// worker thread can own a handle.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    inner: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl TraceRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one event.
+    pub fn record(&self, worker: usize, kernel: &str, task_id: u64, start: f64, end: f64) {
+        self.inner.lock().push(TraceEvent {
+            worker,
+            kernel: kernel.to_string(),
+            task_id,
+            start,
+            end,
+        });
+    }
+
+    /// Record a prebuilt event.
+    pub fn record_event(&self, event: TraceEvent) {
+        self.inner.lock().push(event);
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Take a normalized snapshot of the trace with `workers` lanes
+    /// (grown if events reference higher worker indices). The recorder
+    /// keeps its contents.
+    pub fn snapshot(&self, workers: usize) -> Trace {
+        let mut t = Trace { workers, events: self.inner.lock().clone() };
+        t.normalize();
+        t
+    }
+
+    /// Consume the recorded events into a normalized [`Trace`], leaving the
+    /// recorder empty.
+    pub fn finish(&self, workers: usize) -> Trace {
+        let events = std::mem::take(&mut *self.inner.lock());
+        let mut t = Trace { workers, events };
+        t.normalize();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn record_and_finish() {
+        let r = TraceRecorder::new();
+        r.record(0, "a", 0, 0.0, 1.0);
+        r.record(1, "b", 1, 0.5, 2.0);
+        assert_eq!(r.len(), 2);
+        let t = r.finish(2);
+        assert_eq!(t.len(), 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn snapshot_keeps_contents() {
+        let r = TraceRecorder::new();
+        r.record(0, "a", 0, 0.0, 1.0);
+        let t = r.snapshot(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn finish_normalizes_time_origin() {
+        let r = TraceRecorder::new();
+        r.record(0, "a", 0, 100.0, 101.0);
+        r.record(0, "b", 1, 101.0, 103.0);
+        let t = r.finish(1);
+        assert_eq!(t.events[0].start, 0.0);
+        assert!((t.makespan() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grows_worker_count_from_events() {
+        let r = TraceRecorder::new();
+        r.record(7, "a", 0, 0.0, 1.0);
+        let t = r.finish(2);
+        assert_eq!(t.workers, 8);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let r = TraceRecorder::new();
+        let handles: Vec<_> = (0..8)
+            .map(|w| {
+                let r = r.clone();
+                thread::spawn(move || {
+                    for i in 0..100 {
+                        r.record(w, "k", (w * 100 + i) as u64, i as f64, i as f64 + 0.5);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = r.finish(8);
+        assert_eq!(t.len(), 800);
+        // Every task id exactly once.
+        let mut ids: Vec<u64> = t.events.iter().map(|e| e.task_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 800);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let r = TraceRecorder::new();
+        r.record(0, "a", 0, 0.0, 1.0);
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,177 @@
+//! Plain-text trace format (write + parse).
+//!
+//! "The trace data can also be stored in a plain text file for further
+//! processing" — §V-A. The format is line-oriented:
+//!
+//! ```text
+//! # supersim-trace v1 workers=4
+//! 0 dgemm 17 0.001250 0.003750
+//! ```
+//!
+//! i.e. `worker kernel task_id start end`, with `#`-comments ignored.
+
+use crate::{Trace, TraceEvent};
+use std::fmt::Write as _;
+
+/// Errors from parsing the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize a trace to the text format.
+pub fn write(trace: &Trace) -> String {
+    let mut s = String::with_capacity(64 + trace.events.len() * 48);
+    let _ = writeln!(s, "# supersim-trace v1 workers={}", trace.workers);
+    for e in &trace.events {
+        let _ = writeln!(s, "{} {} {} {:.9} {:.9}", e.worker, e.kernel, e.task_id, e.start, e.end);
+    }
+    s
+}
+
+/// Parse the text format back into a trace (not normalized).
+pub fn parse(input: &str) -> Result<Trace, ParseError> {
+    let mut trace = Trace::new(0);
+    for (idx, line) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            // Header comment may carry the worker count.
+            if let Some(pos) = rest.find("workers=") {
+                let val = rest[pos + "workers=".len()..]
+                    .split_whitespace()
+                    .next()
+                    .unwrap_or("");
+                trace.workers = val.parse().map_err(|_| ParseError {
+                    line: lineno,
+                    message: format!("bad workers count {val:?}"),
+                })?;
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 5 {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected 5 fields, got {}", fields.len()),
+            });
+        }
+        let worker: usize = fields[0].parse().map_err(|_| ParseError {
+            line: lineno,
+            message: format!("bad worker index {:?}", fields[0]),
+        })?;
+        let task_id: u64 = fields[2].parse().map_err(|_| ParseError {
+            line: lineno,
+            message: format!("bad task id {:?}", fields[2]),
+        })?;
+        let start: f64 = fields[3].parse().map_err(|_| ParseError {
+            line: lineno,
+            message: format!("bad start time {:?}", fields[3]),
+        })?;
+        let end: f64 = fields[4].parse().map_err(|_| ParseError {
+            line: lineno,
+            message: format!("bad end time {:?}", fields[4]),
+        })?;
+        if end < start {
+            return Err(ParseError { line: lineno, message: "end < start".to_string() });
+        }
+        trace.events.push(TraceEvent {
+            worker,
+            kernel: fields[1].to_string(),
+            task_id,
+            start,
+            end,
+        });
+    }
+    if let Some(max_w) = trace.events.iter().map(|e| e.worker).max() {
+        trace.workers = trace.workers.max(max_w + 1);
+    }
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new(3);
+        t.events.push(TraceEvent {
+            worker: 0,
+            kernel: "dgemm".into(),
+            task_id: 7,
+            start: 0.25,
+            end: 1.5,
+        });
+        t.events.push(TraceEvent {
+            worker: 2,
+            kernel: "dpotrf".into(),
+            task_id: 8,
+            start: 1.5,
+            end: 2.0,
+        });
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = trace();
+        let text = write(&t);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.workers, 3);
+        assert_eq!(back.events.len(), 2);
+        assert_eq!(back.events[0].kernel, "dgemm");
+        assert_eq!(back.events[0].task_id, 7);
+        assert!((back.events[0].start - 0.25).abs() < 1e-9);
+        assert!((back.events[1].end - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let text = "# hello\n\n0 k 0 0.0 1.0\n# bye\n";
+        let t = parse(text).unwrap();
+        assert_eq!(t.events.len(), 1);
+    }
+
+    #[test]
+    fn parse_infers_workers_without_header() {
+        let t = parse("5 k 0 0.0 1.0\n").unwrap();
+        assert_eq!(t.workers, 6);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse("0 k 0 0.0\n").is_err()); // 4 fields
+        assert!(parse("x k 0 0.0 1.0\n").is_err()); // bad worker
+        assert!(parse("0 k y 0.0 1.0\n").is_err()); // bad id
+        assert!(parse("0 k 0 z 1.0\n").is_err()); // bad start
+        assert!(parse("0 k 0 1.0 0.5\n").is_err()); // end < start
+    }
+
+    #[test]
+    fn parse_error_reports_line_number() {
+        let err = parse("0 k 0 0.0 1.0\nbroken\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        let t = parse("").unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.workers, 0);
+    }
+}

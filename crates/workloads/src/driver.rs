@@ -1,0 +1,270 @@
+//! One-call drivers: run an algorithm for real (with verification) or
+//! simulated (with a virtual-time trace), under any scheduler profile.
+//!
+//! These are the building blocks of the paper's evaluation: Figs. 8–10 run
+//! each algorithm both ways over a size sweep and compare GFLOP/s.
+
+use crate::data::SharedTiles;
+use crate::mode::ExecMode;
+use crate::{cholesky, lu, qr};
+use std::sync::Arc;
+use supersim_core::{SimConfig, SimSession};
+use supersim_runtime::{Runtime, SchedulerKind};
+use supersim_tile::{flops, generate, verify, TiledMatrix};
+use supersim_trace::{Trace, TraceRecorder};
+
+/// Which tile algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Tile Cholesky (paper Algorithm 1).
+    Cholesky,
+    /// Tile QR (paper Algorithm 2).
+    Qr,
+    /// Tile LU without pivoting (extension).
+    Lu,
+}
+
+impl Algorithm {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Cholesky => "cholesky",
+            Algorithm::Qr => "qr",
+            Algorithm::Lu => "lu",
+        }
+    }
+
+    /// Kernel-class labels this algorithm uses.
+    pub fn labels(self) -> &'static [&'static str] {
+        match self {
+            Algorithm::Cholesky => &["dpotrf", "dtrsm", "dsyrk", "dgemm"],
+            Algorithm::Qr => &["dgeqrt", "dormqr", "dtsqrt", "dtsmqr"],
+            Algorithm::Lu => &["dgetrf", "dtrsm_l", "dtrsm_u", "dgemm"],
+        }
+    }
+
+    /// Standard flop count for an `n x n` problem.
+    pub fn flops(self, n: usize) -> f64 {
+        match self {
+            Algorithm::Cholesky => flops::cholesky(n),
+            Algorithm::Qr => flops::qr(n, n),
+            Algorithm::Lu => flops::lu(n),
+        }
+    }
+}
+
+/// Result of a real (computing) run.
+#[derive(Debug, Clone)]
+pub struct RealRun {
+    /// Algorithm executed.
+    pub algorithm: Algorithm,
+    /// Matrix order.
+    pub n: usize,
+    /// Tile size.
+    pub nb: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds for the factorization (submission to wait_all).
+    pub seconds: f64,
+    /// Wall-clock trace of the execution.
+    pub trace: Trace,
+    /// Scaled numerical residual of the factorization.
+    pub residual: f64,
+    /// Achieved GFLOP/s (standard flop count / seconds).
+    pub gflops: f64,
+}
+
+/// Result of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimRun {
+    /// Algorithm simulated.
+    pub algorithm: Algorithm,
+    /// Matrix order.
+    pub n: usize,
+    /// Tile size.
+    pub nb: usize,
+    /// Virtual worker threads.
+    pub workers: usize,
+    /// Predicted execution time (virtual seconds).
+    pub predicted_seconds: f64,
+    /// Wall-clock seconds the simulation itself took.
+    pub wall_seconds: f64,
+    /// Virtual-time trace.
+    pub trace: Trace,
+    /// Predicted GFLOP/s.
+    pub gflops: f64,
+}
+
+fn submit_algorithm(alg: Algorithm, rt: &Runtime, a: &SharedTiles, t: Option<&SharedTiles>, mode: &ExecMode) {
+    match alg {
+        Algorithm::Cholesky => {
+            cholesky::submit(rt, a, mode);
+        }
+        Algorithm::Qr => {
+            qr::submit(rt, a, t.expect("QR needs a T grid"), mode);
+        }
+        Algorithm::Lu => {
+            lu::submit(rt, a, mode);
+        }
+    }
+}
+
+/// Run an algorithm for real under the given scheduler, verifying the
+/// numerical result. The input matrix is generated from `seed` (SPD for
+/// Cholesky, diagonally dominant for LU, uniform for QR).
+pub fn run_real(
+    alg: Algorithm,
+    kind: SchedulerKind,
+    workers: usize,
+    n: usize,
+    nb: usize,
+    seed: u64,
+) -> RealRun {
+    let a0 = match alg {
+        Algorithm::Cholesky => generate::spd_fast(n, seed),
+        Algorithm::Qr => generate::random(n, n, seed),
+        Algorithm::Lu => generate::diag_dominant(n, seed),
+    };
+    let a = SharedTiles::new(TiledMatrix::from_matrix(&a0, nb), 0);
+    let t = match alg {
+        Algorithm::Qr => Some(SharedTiles::new(TiledMatrix::zeros(n, n, nb), a.id_range().1)),
+        _ => None,
+    };
+
+    let recorder = TraceRecorder::new();
+    let rt = Runtime::with_trace(kind.config(workers), Some(recorder.clone()));
+    let t0 = std::time::Instant::now();
+    submit_algorithm(alg, &rt, &a, t.as_ref(), &ExecMode::Real);
+    rt.seal();
+    rt.wait_all().expect("real run failed");
+    let seconds = t0.elapsed().as_secs_f64();
+    let trace = recorder.finish(workers);
+
+    let residual = match alg {
+        Algorithm::Cholesky => verify::cholesky_residual(&a0, &a.to_tiled()),
+        Algorithm::Qr => {
+            verify::qr_residual(&a0, &a.to_tiled(), &t.as_ref().unwrap().to_tiled())
+        }
+        Algorithm::Lu => verify::lu_residual(&a0, &a.to_tiled()),
+    };
+
+    RealRun {
+        algorithm: alg,
+        n,
+        nb,
+        workers,
+        seconds,
+        trace,
+        residual,
+        gflops: flops::gflops(alg.flops(n), seconds),
+    }
+}
+
+/// Run a simulated execution of the algorithm under the given scheduler,
+/// predicting its runtime from the session's kernel models. No numerical
+/// work happens; memory is `O(tiles)`, not `O(n^2)`.
+pub fn run_sim(
+    alg: Algorithm,
+    kind: SchedulerKind,
+    workers: usize,
+    n: usize,
+    nb: usize,
+    session: Arc<SimSession>,
+) -> SimRun {
+    let a = SharedTiles::layout_only(n, n, nb, 0);
+    let t = match alg {
+        Algorithm::Qr => Some(SharedTiles::layout_only(n, n, nb, a.id_range().1)),
+        _ => None,
+    };
+
+    // Fail fast with a clear message if a kernel class has no model
+    // (e.g. calibrated from a run too small to contain that class).
+    for label in alg.labels() {
+        session.models().expect(label);
+    }
+    let rt = Runtime::new(kind.config(workers));
+    session.attach_quiesce(rt.probe());
+    let mode = ExecMode::Simulated(session.clone());
+    let t0 = std::time::Instant::now();
+    submit_algorithm(alg, &rt, &a, t.as_ref(), &mode);
+    rt.seal();
+    rt.wait_all().expect("simulated run failed");
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let predicted_seconds = session.virtual_now();
+    let trace = session.finish_trace(workers);
+
+    SimRun {
+        algorithm: alg,
+        n,
+        nb,
+        workers,
+        predicted_seconds,
+        wall_seconds,
+        trace,
+        gflops: flops::gflops(alg.flops(n), predicted_seconds),
+    }
+}
+
+/// Convenience: a fresh session with the given models and default config.
+pub fn session_with(models: supersim_core::ModelRegistry, seed: u64) -> Arc<SimSession> {
+    SimSession::new(models, SimConfig { seed, ..SimConfig::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_core::{KernelModel, ModelRegistry};
+
+    fn constant_models(alg: Algorithm, secs: f64) -> ModelRegistry {
+        let mut m = ModelRegistry::new();
+        for l in alg.labels() {
+            m.insert(*l, KernelModel::constant(secs));
+        }
+        m
+    }
+
+    #[test]
+    fn real_runs_verify_for_all_algorithms() {
+        for alg in [Algorithm::Cholesky, Algorithm::Qr, Algorithm::Lu] {
+            let run = run_real(alg, SchedulerKind::Quark, 2, 24, 8, 1);
+            assert!(run.residual < 1e-11, "{alg:?} residual {}", run.residual);
+            assert!(run.seconds > 0.0);
+            assert!(run.gflops > 0.0);
+            assert!(!run.trace.is_empty());
+            assert!(run.trace.validate(1e-9).is_ok());
+        }
+    }
+
+    #[test]
+    fn sim_runs_produce_consistent_predictions() {
+        for alg in [Algorithm::Cholesky, Algorithm::Qr, Algorithm::Lu] {
+            let session = session_with(constant_models(alg, 0.01), 3);
+            let run = run_sim(alg, SchedulerKind::Quark, 4, 32, 8, session);
+            assert!(run.predicted_seconds > 0.0, "{alg:?}");
+            assert!(run.trace.validate(1e-9).is_ok());
+            // All kernels 10ms; NT=4; predicted time must be between the
+            // critical path and the serial time.
+            let tasks = run.trace.len() as f64;
+            assert!(run.predicted_seconds <= tasks * 0.01 + 1e-9);
+            assert!(run.predicted_seconds >= 0.01 * 4.0); // >= depth lower bound
+        }
+    }
+
+    #[test]
+    fn sim_large_problem_is_cheap() {
+        // N=3960, nb=180 (the paper's Fig. 6/7 size): runs in O(tasks),
+        // no O(n^2) allocation.
+        let session = session_with(constant_models(Algorithm::Cholesky, 0.001), 4);
+        let run = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, 8, 3960, 180, session);
+        assert_eq!(run.n, 3960);
+        // NT = 22: tasks = 22 + 2*231 + 1540 = 2024.
+        assert_eq!(run.trace.len(), 2024);
+    }
+
+    #[test]
+    fn algorithm_metadata() {
+        assert_eq!(Algorithm::Cholesky.name(), "cholesky");
+        assert_eq!(Algorithm::Qr.labels().len(), 4);
+        assert!(Algorithm::Qr.flops(100) > Algorithm::Cholesky.flops(100));
+    }
+}

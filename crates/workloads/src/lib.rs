@@ -1,0 +1,41 @@
+//! # supersim-workloads
+//!
+//! Workload definitions binding the tile linear algebra algorithms (and
+//! synthetic DAGs) to the superscalar runtime — in **two execution modes**
+//! from a single task-stream definition:
+//!
+//! * [`ExecMode::Real`] — task bodies execute the actual tile kernels on
+//!   shared tiles (with numerical verification afterwards);
+//! * [`ExecMode::Simulated`] — task bodies call the simulated-kernel
+//!   protocol of `supersim-core` ("the developer simply replaces the calls
+//!   to each computational kernel with a call to the simulation library",
+//!   paper §V).
+//!
+//! Both modes submit *identical* access annotations, so the scheduler sees
+//! the same dependence graph — the property the paper's methodology rests
+//! on.
+//!
+//! Modules:
+//!
+//! * [`data`] — tile grids shared across worker threads with stable
+//!   [`supersim_dag::DataId`]s;
+//! * [`mode`] — the execution-mode switch;
+//! * [`cholesky`], [`qr`], [`lu`] — the three tile factorizations as
+//!   runtime task streams (Cholesky and QR are the paper's case studies,
+//!   LU is the documented extension);
+//! * [`synthetic`] — synthetic DAG generators (chains, fork-join, random
+//!   layered graphs) for stress tests and the DES comparison;
+//! * [`driver`] — one-call real/simulated runs returning traces, timings
+//!   and verification results.
+
+pub mod cholesky;
+pub mod data;
+pub mod driver;
+pub mod lu;
+pub mod mode;
+pub mod qr;
+pub mod synthetic;
+
+pub use data::SharedTiles;
+pub use driver::{RealRun, SimRun};
+pub use mode::ExecMode;

@@ -1,0 +1,70 @@
+//! Quickstart: the paper's core loop in ~40 lines.
+//!
+//! 1. Run the tile Cholesky *for real* under the QUARK scheduler profile
+//!    (computing an actual factorization, verified numerically).
+//! 2. Fit per-kernel duration distributions from that run's trace.
+//! 3. Replace every kernel with the simulated-kernel protocol and "run"
+//!    the algorithm again — predicting the execution time without doing
+//!    the math.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use supersim::prelude::*;
+
+fn main() {
+    // One worker: on this crate's reference host (a single CPU core) a
+    // real run with W > 1 workers time-shares the core, which a simulation
+    // of a true W-core machine rightly does not predict. On a real W-core
+    // machine, use W workers (the paper used 48 on a 48-core node).
+    let (n, nb, workers) = (720, 90, 1);
+
+    println!("real run: tile Cholesky n={n} nb={nb} workers={workers} (quark)");
+    let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, 42);
+    println!(
+        "  elapsed {:.3}s  ({:.2} GFLOP/s), residual {:.2e} -> numerically correct",
+        real.seconds, real.gflops, real.residual
+    );
+
+    println!("calibrating kernel models from the real trace...");
+    let cal = calibrate(&real.trace, FitOptions::default());
+    for (label, report) in &cal.reports {
+        println!(
+            "  {label:<8} {} samples -> {} (mean {:.3} ms)",
+            report.samples,
+            report.family,
+            report.mean * 1e3
+        );
+    }
+
+    println!("simulated run (same scheduler, same DAG, no computation):");
+    let session = session_with(cal.registry.clone(), 7);
+    let sim = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session);
+    println!(
+        "  predicted {:.3}s  ({:.2} GFLOP/s), simulation itself took {:.3}s wall",
+        sim.predicted_seconds, sim.gflops, sim.wall_seconds
+    );
+    let err = (sim.predicted_seconds - real.seconds) / real.seconds * 100.0;
+    println!("prediction error: {err:+.1}%");
+
+    // Model the per-task scheduler overhead from the trace gaps (§VII of
+    // the paper: the main source of its small-size error).
+    use supersim::calibrate::estimate_overhead;
+    use supersim::core::{SimConfig, SimSession};
+    let overhead = estimate_overhead(&real.trace, 0.005).map(|e| e.median_gap).unwrap_or(0.0);
+    let session = SimSession::new(
+        cal.registry,
+        SimConfig { seed: 7, overhead_per_task: overhead, ..SimConfig::default() },
+    );
+    let sim2 = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session);
+    let err2 = (sim2.predicted_seconds - real.seconds) / real.seconds * 100.0;
+    println!(
+        "with {:.1} µs/task overhead modeled: predicted {:.3}s, error {err2:+.1}%",
+        overhead * 1e6,
+        sim2.predicted_seconds
+    );
+
+    let cmp = TraceComparison::compare(&real.trace, &sim.trace);
+    println!("trace comparison: {}", cmp.summary());
+}

@@ -1,0 +1,40 @@
+//! Compare the three scheduler profiles (QUARK / StarPU / OmpSs) and the
+//! pluggable policies on one workload — entirely in simulation, from a
+//! single calibration. This is "analyze both the application and the
+//! underlying scheduler without the need to interact with the large code
+//! base of either" (paper SS III).
+//!
+//! ```text
+//! cargo run --release --example scheduler_shootout
+//! ```
+
+use supersim::prelude::*;
+
+fn main() {
+    let (n, nb, workers) = (1200, 120, 8);
+
+    // One calibration from a small real run (single worker: clean timings).
+    let cal_run = run_real(Algorithm::Qr, SchedulerKind::Quark, 1, 480, nb, 17);
+    let cal = calibrate(&cal_run.trace, FitOptions::default());
+    println!(
+        "calibrated {} kernel classes from a {:.2}s real run\n",
+        cal.reports.len(),
+        cal_run.seconds
+    );
+
+    println!("simulated QR n={n} nb={nb} on {workers} virtual workers:");
+    println!("{:>10} {:>12} {:>12} {:>14}", "scheduler", "pred[s]", "GFLOP/s", "utilization");
+    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+        let session = session_with(cal.registry.clone(), 23);
+        let sim = run_sim(Algorithm::Qr, kind, workers, n, nb, session);
+        let stats = TraceStats::of(&sim.trace);
+        println!(
+            "{:>10} {:>12.3} {:>12.2} {:>13.1}%",
+            kind.name(),
+            sim.predicted_seconds,
+            sim.gflops,
+            stats.utilization * 100.0
+        );
+    }
+    println!("\n(same DAG, same kernel models -- differences are pure scheduling policy)");
+}

@@ -1,0 +1,46 @@
+//! Produce the paper's Fig. 6/7 pair on your machine: a real QR trace and
+//! the simulated trace of the same configuration, rendered to SVG at the
+//! same time scale, plus an ASCII preview and similarity metrics.
+//!
+//! ```text
+//! cargo run --release --example trace_to_svg [-- out_dir]
+//! ```
+
+use supersim::prelude::*;
+use supersim::trace::svg::{render, SvgOptions};
+use supersim::trace::ascii;
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| "target".to_string());
+    let (n, nb, workers) = (720, 90, 4);
+
+    println!("real QR run: n={n} nb={nb} workers={workers}");
+    let real = run_real(Algorithm::Qr, SchedulerKind::Quark, workers, n, nb, 3);
+    println!("  {:.3}s, residual {:.1e}", real.seconds, real.residual);
+
+    let cal = calibrate(&real.trace, FitOptions::default());
+    let session = session_with(cal.registry, 31);
+    let sim = run_sim(Algorithm::Qr, SchedulerKind::Quark, workers, n, nb, session);
+    println!("  simulated: {:.3}s predicted", sim.predicted_seconds);
+
+    let cmp = TraceComparison::compare(&real.trace, &sim.trace);
+    println!("  {}", cmp.summary());
+
+    println!("\nreal trace:");
+    print!("{}", ascii::render(&real.trace, 72));
+    println!("\nsimulated trace:");
+    print!("{}", ascii::render(&sim.trace, 72));
+
+    // SVG pair with a shared time axis, like the paper.
+    let span = real.trace.t_max().max(sim.trace.t_max());
+    let opts = |title: &str| SvgOptions {
+        time_span: Some(span),
+        title: title.to_string(),
+        ..SvgOptions::default()
+    };
+    let real_path = format!("{out}/qr_trace_real.svg");
+    let sim_path = format!("{out}/qr_trace_sim.svg");
+    std::fs::write(&real_path, render(&real.trace, &opts("Real QR trace"))).unwrap();
+    std::fs::write(&sim_path, render(&sim.trace, &opts("Simulated QR trace"))).unwrap();
+    println!("\nwrote {real_path} and {sim_path}");
+}

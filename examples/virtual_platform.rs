@@ -1,0 +1,38 @@
+//! Host-independent virtual platforms: predict strong scaling of the tile
+//! QR factorization on 1..64 virtual workers — including the paper's
+//! 48-core testbed configuration (n = 3960, nb = 180) — from one small
+//! real calibration run, all on whatever machine you have.
+//!
+//! ```text
+//! cargo run --release --example virtual_platform
+//! ```
+
+use supersim::prelude::*;
+
+fn main() {
+    // Calibrate from a small real run.
+    let (cal_n, nb) = (720, 180);
+    println!("calibrating from a real QR run (n={cal_n}, nb={nb})...");
+    let real = run_real(Algorithm::Qr, SchedulerKind::Quark, 1, cal_n, nb, 9);
+    println!("  done in {:.2}s, residual {:.1e}", real.seconds, real.residual);
+    let cal = calibrate(&real.trace, FitOptions::default());
+
+    // Predict the paper's platform: n=3960, nb=180, sweeping workers.
+    let n = 3960;
+    println!("simulated strong scaling of QR n={n} nb={nb} (22x22 tiles, 2024 tasks):");
+    println!("{:>8} {:>12} {:>12} {:>10}", "workers", "pred[s]", "GFLOP/s", "speedup");
+    let mut t1 = None;
+    for workers in [1usize, 2, 4, 8, 16, 32, 48, 64] {
+        let session = session_with(cal.registry.clone(), workers as u64);
+        let sim = run_sim(Algorithm::Qr, SchedulerKind::Quark, workers, n, nb, session);
+        let base = *t1.get_or_insert(sim.predicted_seconds);
+        println!(
+            "{:>8} {:>12.3} {:>12.2} {:>9.1}x",
+            workers,
+            sim.predicted_seconds,
+            sim.gflops,
+            base / sim.predicted_seconds
+        );
+    }
+    println!("(kernel durations are modeled from this host; the *scaling shape* is the point)");
+}

@@ -1,0 +1,301 @@
+//! `supersim` — command-line front end for the superscalar scheduling
+//! simulator.
+//!
+//! ```text
+//! supersim real    --alg cholesky --n 720 --nb 90 [--scheduler quark]
+//!                  [--workers 1] [--seed 42] [--trace-out t.txt]
+//!                  [--calibration-out cal.json]
+//! supersim sim     --alg cholesky --n 2000 --nb 100 --calibration cal.json
+//!                  [--workers 8] [--svg out.svg] [--chrome out.json]
+//!                  [--overhead auto|SECONDS]
+//! supersim predict --alg qr --n 1000 --nb 100     (real + calibrate + sim)
+//! supersim dag     --alg qr --nt 4 [--dot out.dot]
+//! supersim info
+//! ```
+
+use std::collections::HashMap;
+use std::process::exit;
+use supersim::calibrate::{
+    calibrate, estimate_overhead, CalibrationDb, FitOptions,
+};
+use supersim::core::{SimConfig, SimSession};
+use supersim::prelude::*;
+use supersim::trace::{chrome, svg, text};
+use supersim::workloads::SharedTiles;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let cmd = args.remove(0);
+    let opts = parse_flags(&args);
+    match cmd.as_str() {
+        "real" => cmd_real(&opts),
+        "sim" => cmd_sim(&opts),
+        "predict" => cmd_predict(&opts),
+        "dag" => cmd_dag(&opts),
+        "info" => cmd_info(),
+        "help" | "--help" | "-h" => usage_and_exit(),
+        other => {
+            eprintln!("unknown command: {other}");
+            usage_and_exit();
+        }
+    }
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "supersim — parallel simulation of superscalar scheduling\n\
+         \n\
+         commands:\n\
+         \x20 real     run an algorithm for real; verify, time, optionally calibrate\n\
+         \x20 sim      simulate from a stored calibration\n\
+         \x20 predict  real run + calibration + simulation, with comparison\n\
+         \x20 dag      emit the task DAG of an algorithm\n\
+         \x20 info     list algorithms and scheduler profiles\n\
+         \n\
+         common flags: --alg cholesky|qr|lu  --scheduler quark|starpu|ompss\n\
+         \x20             --n N  --nb NB  --workers W  --seed S\n\
+         see the module docs for per-command flags"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            let value = it.next().cloned().unwrap_or_else(|| {
+                eprintln!("flag --{key} needs a value");
+                exit(2)
+            });
+            map.insert(key.to_string(), value);
+        } else {
+            eprintln!("unexpected argument {a}");
+            exit(2);
+        }
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str, default: T) -> T {
+    match opts.get(key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {v}");
+            exit(2)
+        }),
+    }
+}
+
+fn algorithm(opts: &HashMap<String, String>) -> Algorithm {
+    match opts.get("alg").map(String::as_str) {
+        Some("cholesky") | None => Algorithm::Cholesky,
+        Some("qr") => Algorithm::Qr,
+        Some("lu") => Algorithm::Lu,
+        Some(other) => {
+            eprintln!("unknown algorithm {other} (cholesky|qr|lu)");
+            exit(2)
+        }
+    }
+}
+
+fn scheduler(opts: &HashMap<String, String>) -> SchedulerKind {
+    match opts.get("scheduler").map(String::as_str) {
+        Some("quark") | None => SchedulerKind::Quark,
+        Some("starpu") => SchedulerKind::StarPu,
+        Some("ompss") => SchedulerKind::OmpSs,
+        Some(other) => {
+            eprintln!("unknown scheduler {other} (quark|starpu|ompss)");
+            exit(2)
+        }
+    }
+}
+
+fn cmd_real(opts: &HashMap<String, String>) {
+    let alg = algorithm(opts);
+    let kind = scheduler(opts);
+    let n = get(opts, "n", 720usize);
+    let nb = get(opts, "nb", 90usize);
+    let workers = get(opts, "workers", 1usize);
+    let seed = get(opts, "seed", 42u64);
+
+    println!("real {} n={n} nb={nb} workers={workers} scheduler={}", alg.name(), kind.name());
+    let run = run_real(alg, kind, workers, n, nb, seed);
+    println!(
+        "elapsed {:.4}s   {:.2} GFLOP/s   residual {:.2e}",
+        run.seconds, run.gflops, run.residual
+    );
+    let stats = TraceStats::of(&run.trace);
+    println!("{}", stats.report());
+
+    if let Some(path) = opts.get("trace-out") {
+        std::fs::write(path, text::write(&run.trace)).expect("write trace");
+        println!("trace written to {path}");
+    }
+    if let Some(path) = opts.get("calibration-out") {
+        let cal = calibrate(&run.trace, FitOptions::default());
+        let db = CalibrationDb::new(
+            format!("{} n={n} nb={nb} workers={workers}", alg.name()),
+            n,
+            nb,
+            workers,
+            cal,
+        );
+        db.save(std::path::Path::new(path)).expect("write calibration");
+        println!("calibration written to {path}");
+    }
+}
+
+fn cmd_sim(opts: &HashMap<String, String>) {
+    let alg = algorithm(opts);
+    let kind = scheduler(opts);
+    let n = get(opts, "n", 2000usize);
+    let nb = get(opts, "nb", 100usize);
+    let workers = get(opts, "workers", 8usize);
+    let seed = get(opts, "seed", 42u64);
+
+    let Some(cal_path) = opts.get("calibration") else {
+        eprintln!("sim requires --calibration FILE (produce one with `supersim real --calibration-out ...`)");
+        exit(2)
+    };
+    let db = CalibrationDb::load(std::path::Path::new(cal_path)).unwrap_or_else(|e| {
+        eprintln!("cannot load calibration: {e}");
+        exit(2)
+    });
+
+    let overhead = match opts.get("overhead").map(String::as_str) {
+        None => 0.0,
+        Some("auto") => {
+            eprintln!("--overhead auto requires a trace; use `predict` instead");
+            exit(2)
+        }
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bad --overhead value {v}");
+            exit(2)
+        }),
+    };
+
+    let config = SimConfig { seed, overhead_per_task: overhead, ..SimConfig::default() };
+    let session = SimSession::new(db.calibration.registry, config);
+    println!(
+        "sim {} n={n} nb={nb} workers={workers} scheduler={} (calibration: {})",
+        alg.name(),
+        kind.name(),
+        db.description
+    );
+    let run = run_sim(alg, kind, workers, n, nb, session);
+    println!(
+        "predicted {:.4}s   {:.2} GFLOP/s   (simulation wall time {:.4}s, {} tasks)",
+        run.predicted_seconds,
+        run.gflops,
+        run.wall_seconds,
+        run.trace.len()
+    );
+
+    if let Some(path) = opts.get("svg") {
+        std::fs::write(path, svg::render_default(&run.trace)).expect("write svg");
+        println!("trace SVG written to {path}");
+    }
+    if let Some(path) = opts.get("chrome") {
+        std::fs::write(path, chrome::to_chrome_json(&run.trace)).expect("write chrome trace");
+        println!("chrome trace written to {path}");
+    }
+}
+
+fn cmd_predict(opts: &HashMap<String, String>) {
+    let alg = algorithm(opts);
+    let kind = scheduler(opts);
+    let n = get(opts, "n", 720usize);
+    let nb = get(opts, "nb", 90usize);
+    let workers = get(opts, "workers", 1usize);
+    let seed = get(opts, "seed", 42u64);
+    let model_overhead = opts.get("overhead").map(String::as_str) == Some("auto");
+
+    println!("predict {} n={n} nb={nb} workers={workers} scheduler={}", alg.name(), kind.name());
+    let real = run_real(alg, kind, workers, n, nb, seed);
+    println!(
+        "real:      {:.4}s  {:.2} GFLOP/s  residual {:.2e}",
+        real.seconds, real.gflops, real.residual
+    );
+    let cal = calibrate(&real.trace, FitOptions::default());
+    let overhead = if model_overhead {
+        let est = estimate_overhead(&real.trace, 0.01).map(|e| e.median_gap).unwrap_or(0.0);
+        println!("overhead:  modeling {:.2} µs/task from trace gaps", est * 1e6);
+        est
+    } else {
+        0.0
+    };
+    let session = SimSession::new(
+        cal.registry,
+        SimConfig { seed, overhead_per_task: overhead, ..SimConfig::default() },
+    );
+    let sim = run_sim(alg, kind, workers, n, nb, session);
+    println!(
+        "simulated: {:.4}s  {:.2} GFLOP/s  (sim wall {:.4}s)",
+        sim.predicted_seconds, sim.gflops, sim.wall_seconds
+    );
+    let err = (sim.predicted_seconds - real.seconds) / real.seconds * 100.0;
+    println!("error:     {err:+.2}%");
+    let cmp = TraceComparison::compare(&real.trace, &sim.trace);
+    println!("traces:    {}", cmp.summary());
+}
+
+fn cmd_dag(opts: &HashMap<String, String>) {
+    let alg = algorithm(opts);
+    let nt = get(opts, "nt", 4usize);
+    let a = SharedTiles::layout_only(nt * 8, nt * 8, 8, 0);
+    let t = SharedTiles::layout_only(nt * 8, nt * 8, 8, a.id_range().1);
+    let mut builder = supersim::dag::DagBuilder::new();
+    match alg {
+        Algorithm::Cholesky => {
+            for task in supersim::tile::cholesky::task_stream(nt) {
+                builder.submit(task.label(), 1.0, &supersim::workloads::cholesky::accesses(&a, task));
+            }
+        }
+        Algorithm::Qr => {
+            for task in supersim::tile::qr::task_stream(nt) {
+                builder.submit(task.label(), 1.0, &supersim::workloads::qr::accesses(&a, &t, task));
+            }
+        }
+        Algorithm::Lu => {
+            for task in supersim::tile::lu::task_stream(nt) {
+                builder.submit(task.label(), 1.0, &supersim::workloads::lu::accesses(&a, task));
+            }
+        }
+    }
+    let g = builder.finish();
+    let profile = supersim::dag::analysis::profile(&g);
+    println!(
+        "{} DAG ({nt}x{nt} tiles): {} tasks, {} edges ({} dependences), depth {}, max width {}, avg parallelism {:.2}",
+        alg.name(),
+        profile.tasks,
+        profile.edges,
+        profile.dependences,
+        profile.depth,
+        profile.max_width,
+        profile.avg_parallelism
+    );
+    if let Some(path) = opts.get("dot") {
+        std::fs::write(path, supersim::dag::dot::to_dot_default(&g)).expect("write dot");
+        println!("DOT written to {path}");
+    }
+}
+
+fn cmd_info() {
+    println!("supersim {}", env!("CARGO_PKG_VERSION"));
+    println!("algorithms: cholesky (Algorithm 1), qr (Algorithm 2), lu (extension)");
+    println!("schedulers:");
+    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+        let c = kind.config(1);
+        println!(
+            "  {:<8} policy={:?} window={}",
+            kind.name(),
+            c.policy,
+            if c.window == usize::MAX { "unbounded".to_string() } else { c.window.to_string() }
+        );
+    }
+    println!("race mitigations: quiesce (exact), sleep_yield (portable), none (demo)");
+}

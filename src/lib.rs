@@ -1,0 +1,74 @@
+//! # supersim
+//!
+//! A from-scratch Rust reproduction of **"Parallel Simulation of
+//! Superscalar Scheduling"** (Haugen, Luszczek, Kurzak, YarKhan, Dongarra —
+//! ICPP 2014): a parallel discrete-event simulator that predicts the
+//! execution time *and trace* of algorithms running under dynamic
+//! superscalar (task-dataflow) schedulers, by keeping a real scheduler in
+//! the loop while replacing every computational kernel with a virtual-time
+//! protocol.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `supersim-core` | virtual clock, Task Execution Queue, simulated-kernel protocol, race mitigations |
+//! | [`runtime`] | `supersim-runtime` | the superscalar runtime with QUARK/StarPU/OmpSs profiles |
+//! | [`workloads`] | `supersim-workloads` | tile Cholesky/QR/LU + synthetic DAGs in real & simulated modes |
+//! | [`tile`] | `supersim-tile` | dense tile linear algebra kernels and drivers |
+//! | [`calibrate`] | `supersim-calibrate` | kernel-model fitting from real traces |
+//! | [`dist`] | `supersim-dist` | distributions, fitting, goodness-of-fit |
+//! | [`dag`] | `supersim-dag` | hazard analysis, DAG export/analysis |
+//! | [`trace`] | `supersim-trace` | trace model, SVG/ASCII rendering, comparison metrics |
+//! | [`des`] | `supersim-des` | offline DES baseline (list scheduling) |
+//!
+//! ## Quickstart
+//!
+//! Calibrate from a real run, then simulate (the full loop the paper
+//! evaluates in Figs. 8–10):
+//!
+//! ```
+//! use supersim::prelude::*;
+//!
+//! // 1. A real run of the tile Cholesky under the QUARK profile.
+//! let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, 2, 64, 16, 42);
+//! assert!(real.residual < 1e-12, "the real run must compute correctly");
+//!
+//! // 2. Fit kernel duration models from its trace.
+//! let cal = calibrate(&real.trace, FitOptions::default());
+//!
+//! // 3. Simulate the same algorithm; compare predicted vs measured time.
+//! let session = session_with(cal.registry, 7);
+//! let sim = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, 2, 64, 16, session);
+//! let err = (sim.predicted_seconds - real.seconds).abs() / real.seconds;
+//! assert!(err < 0.9, "prediction within an order of magnitude: {err}");
+//! ```
+
+pub use supersim_calibrate as calibrate;
+pub use supersim_core as core;
+pub use supersim_dag as dag;
+pub use supersim_des as des;
+pub use supersim_dist as dist;
+pub use supersim_runtime as runtime;
+pub use supersim_tile as tile;
+pub use supersim_trace as trace;
+pub use supersim_workloads as workloads;
+
+/// The most common imports for driving the simulator.
+pub mod prelude {
+    pub use supersim_calibrate::{calibrate, CalibrationDb, CollectOptions, FitOptions};
+    pub use supersim_core::{
+        KernelModel, ModelRegistry, RaceMitigation, SimConfig, SimSession,
+    };
+    pub use supersim_dag::{Access, AccessMode, DataId};
+    pub use supersim_des::{simulate as des_simulate, DesPolicy};
+    pub use supersim_dist::{Dist, Distribution};
+    pub use supersim_runtime::{
+        PolicyKind, Runtime, RuntimeConfig, SchedulerKind, TaskContext, TaskDesc,
+    };
+    pub use supersim_trace::{Trace, TraceComparison, TraceRecorder, TraceStats};
+    pub use supersim_workloads::driver::{
+        run_real, run_sim, session_with, Algorithm, RealRun, SimRun,
+    };
+    pub use supersim_workloads::{ExecMode, SharedTiles};
+}

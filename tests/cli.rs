@@ -1,0 +1,109 @@
+//! End-to-end tests of the `supersim` CLI binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_supersim"))
+}
+
+fn tmpdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("supersim-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn info_lists_schedulers() {
+    let out = bin().arg("info").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("quark"));
+    assert!(text.contains("starpu"));
+    assert!(text.contains("ompss"));
+    assert!(text.contains("cholesky"));
+}
+
+#[test]
+fn no_args_exits_with_usage() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("commands:"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn dag_command_emits_stats_and_dot() {
+    let dot_path = tmpdir().join("qr.dot");
+    let out = bin()
+        .args(["dag", "--alg", "qr", "--nt", "4", "--dot"])
+        .arg(&dot_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("30 tasks"), "{text}");
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph"));
+    std::fs::remove_file(&dot_path).ok();
+}
+
+#[test]
+fn real_then_sim_round_trip() {
+    let dir = tmpdir();
+    let cal = dir.join("cal.json");
+    let out = bin()
+        .args(["real", "--alg", "cholesky", "--n", "96", "--nb", "24", "--calibration-out"])
+        .arg(&cal)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("residual"), "{text}");
+
+    let svg = dir.join("trace.svg");
+    let chrome = dir.join("trace.json");
+    let out = bin()
+        .args(["sim", "--alg", "cholesky", "--n", "192", "--nb", "24", "--workers", "4"])
+        .args(["--calibration"])
+        .arg(&cal)
+        .args(["--svg"])
+        .arg(&svg)
+        .args(["--chrome"])
+        .arg(&chrome)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("predicted"), "{text}");
+    assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
+    let json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+    assert!(!json.as_array().unwrap().is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn predict_reports_error_percentage() {
+    let out = bin()
+        .args(["predict", "--alg", "cholesky", "--n", "120", "--nb", "30", "--overhead", "auto"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("error:"), "{text}");
+    assert!(text.contains("overhead:"), "{text}");
+}
+
+#[test]
+fn sim_without_calibration_is_an_error() {
+    let out = bin().args(["sim", "--alg", "qr"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--calibration"));
+}

@@ -1,0 +1,65 @@
+//! The offline DES baseline and the in-the-loop simulator must agree
+//! exactly on workloads where scheduling policy cannot matter (chains,
+//! single worker), and stay close on parallel workloads with FIFO-like
+//! policies.
+
+use supersim::des::{simulate as des_simulate, DesPolicy};
+use supersim::prelude::*;
+use supersim::workloads::synthetic::{chain, fork_join, layered, models_for, submit, to_graph};
+
+fn inloop_makespan(tasks: &[supersim::workloads::synthetic::SynthTask], workers: usize) -> f64 {
+    let session = SimSession::new(models_for(tasks), SimConfig::default());
+    let rt = Runtime::new(RuntimeConfig::simple(workers));
+    session.attach_quiesce(rt.probe());
+    submit(&rt, tasks, &ExecMode::Simulated(session.clone()), 1.0);
+    rt.seal();
+    rt.wait_all().unwrap();
+    session.virtual_now()
+}
+
+#[test]
+fn chain_agrees_exactly() {
+    let tasks = chain(10, 0.3);
+    let graph = to_graph(&tasks);
+    let des = des_simulate(&graph, 4, DesPolicy::Fifo, |t| graph.node(t).weight);
+    let inloop = inloop_makespan(&tasks, 4);
+    assert!((des.makespan - inloop).abs() < 1e-9, "{} vs {}", des.makespan, inloop);
+}
+
+#[test]
+fn single_worker_agrees_exactly() {
+    // One worker: any non-idling schedule has makespan = total work.
+    let tasks = layered(4, 5, 2, 0.02, 17);
+    let graph = to_graph(&tasks);
+    let des = des_simulate(&graph, 1, DesPolicy::Fifo, |t| graph.node(t).weight);
+    let inloop = inloop_makespan(&tasks, 1);
+    assert!(
+        (des.makespan - inloop).abs() < 1e-9,
+        "DES {} vs in-loop {}",
+        des.makespan,
+        inloop
+    );
+}
+
+#[test]
+fn fork_join_agrees_exactly() {
+    let tasks = fork_join(6, 0.5);
+    let graph = to_graph(&tasks);
+    let des = des_simulate(&graph, 6, DesPolicy::Fifo, |t| graph.node(t).weight);
+    let inloop = inloop_makespan(&tasks, 6);
+    assert!((des.makespan - inloop).abs() < 1e-9);
+}
+
+#[test]
+fn parallel_layered_within_band() {
+    // With parallelism and dispatch-order freedom the two simulators may
+    // legitimately diverge, but both are greedy non-idling schedules: by
+    // Graham's bound each is within 2x of optimal, so they are within 2x
+    // of each other.
+    let tasks = layered(6, 8, 2, 0.01, 23);
+    let graph = to_graph(&tasks);
+    let des = des_simulate(&graph, 4, DesPolicy::Fifo, |t| graph.node(t).weight);
+    let inloop = inloop_makespan(&tasks, 4);
+    let ratio = des.makespan / inloop;
+    assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+}

@@ -1,0 +1,77 @@
+//! End-to-end pipeline tests: real run -> calibrate -> simulate -> compare,
+//! for every scheduler profile and algorithm (the paper's full methodology
+//! at test-friendly sizes).
+
+use supersim::prelude::*;
+
+fn pipeline(alg: Algorithm, kind: SchedulerKind) -> (RealRun, SimRun) {
+    let (n, nb, workers) = (120, 24, 1);
+    let real = run_real(alg, kind, workers, n, nb, 1234);
+    assert!(real.residual < 1e-10, "{alg:?}/{kind:?}: bad residual {}", real.residual);
+    let cal = calibrate(&real.trace, FitOptions::default());
+    let session = session_with(cal.registry, 99);
+    let sim = run_sim(alg, kind, workers, n, nb, session);
+    (real, sim)
+}
+
+#[test]
+fn full_pipeline_all_schedulers_cholesky() {
+    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+        let (real, sim) = pipeline(Algorithm::Cholesky, kind);
+        let cmp = TraceComparison::compare(&real.trace, &sim.trace);
+        assert!(cmp.same_kernel_population, "{kind:?}: population mismatch");
+        assert_eq!(cmp.matched_tasks, real.trace.len());
+        // Single worker, calibrated from the same run: the prediction must
+        // be in the right ballpark even at this tiny size.
+        assert!(
+            cmp.makespan_abs_error() < 0.6,
+            "{kind:?}: error {:.1}%",
+            cmp.makespan_rel_error * 100.0
+        );
+        assert!(sim.trace.validate(1e-9).is_ok());
+    }
+}
+
+#[test]
+fn full_pipeline_all_schedulers_qr() {
+    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+        let (real, sim) = pipeline(Algorithm::Qr, kind);
+        let cmp = TraceComparison::compare(&real.trace, &sim.trace);
+        assert!(cmp.same_kernel_population, "{kind:?}: population mismatch");
+        assert!(cmp.makespan_abs_error() < 0.6, "{kind:?}");
+    }
+}
+
+#[test]
+fn full_pipeline_lu_extension() {
+    let (real, sim) = pipeline(Algorithm::Lu, SchedulerKind::Quark);
+    let cmp = TraceComparison::compare(&real.trace, &sim.trace);
+    assert!(cmp.same_kernel_population);
+    assert!(cmp.makespan_abs_error() < 0.6);
+}
+
+#[test]
+fn moderate_size_prediction_is_accurate() {
+    // The headline accuracy claim at a size where kernels dominate
+    // overhead: error within ~15% (paper: worst case 16%, typical < 5%).
+    let (n, nb, workers) = (480, 80, 1);
+    let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, 55);
+    let cal = calibrate(&real.trace, FitOptions::default());
+    let session = session_with(cal.registry, 3);
+    let sim = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session);
+    let err = (sim.predicted_seconds - real.seconds).abs() / real.seconds;
+    assert!(err < 0.15, "prediction error {:.1}%", err * 100.0);
+}
+
+#[test]
+fn calibration_database_round_trip_through_simulation() {
+    let (n, nb) = (96, 24);
+    let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, 1, n, nb, 8);
+    let cal = calibrate(&real.trace, FitOptions::default());
+    let db = CalibrationDb::new("integration", n, nb, 1, cal);
+    let json = db.to_json();
+    let back = CalibrationDb::from_json(&json).unwrap();
+    let session = session_with(back.calibration.registry, 4);
+    let sim = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, 1, n, nb, session);
+    assert!(sim.predicted_seconds > 0.0);
+}

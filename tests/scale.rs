@@ -1,0 +1,81 @@
+//! Scale stress: thousands of simulated tasks per scheduler profile, with
+//! full schedule validation against the explicit DAG.
+
+use supersim::dag::validate::{validate_schedule, ScheduledTask};
+use supersim::dag::DagBuilder;
+use supersim::prelude::*;
+use supersim::workloads::SharedTiles;
+
+fn big_sim(kind: SchedulerKind, workers: usize) -> (Trace, f64) {
+    // NT = 20 -> 20 + 190 + 190 + 1140 = 1540 Cholesky tasks.
+    let (n, nb) = (2000, 100);
+    let mut models = ModelRegistry::new();
+    for l in Algorithm::Cholesky.labels() {
+        models.insert(*l, KernelModel::new(Dist::gamma(9.0, 0.0003).unwrap()));
+    }
+    let session = SimSession::new(models, SimConfig { seed: 99, ..SimConfig::default() });
+    let sim = run_sim(Algorithm::Cholesky, kind, workers, n, nb, session);
+    (sim.trace, sim.predicted_seconds)
+}
+
+#[test]
+fn thousands_of_tasks_all_schedulers() {
+    // Build the reference DAG once.
+    let a = SharedTiles::layout_only(2000, 2000, 100, 0);
+    let mut b = DagBuilder::new();
+    for task in supersim::tile::cholesky::task_stream(a.nt()) {
+        b.submit(task.label(), 1.0, &supersim::workloads::cholesky::accesses(&a, task));
+    }
+    let graph = b.finish();
+    assert_eq!(graph.len(), 1540);
+
+    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+        let (trace, predicted) = big_sim(kind, 8);
+        assert_eq!(trace.len(), 1540, "{kind:?}");
+        assert!(predicted > 0.0);
+        let sched: Vec<ScheduledTask> = trace
+            .events
+            .iter()
+            .map(|e| ScheduledTask {
+                task: e.task_id as usize,
+                worker: e.worker,
+                start: e.start,
+                end: e.end,
+            })
+            .collect();
+        validate_schedule(&graph, &sched, 1e-9)
+            .unwrap_or_else(|e| panic!("{kind:?}: invalid simulated schedule: {e}"));
+        // 8 workers on a DAG with avg parallelism >> 8: utilization must
+        // be decent and the makespan far below serial.
+        let stats = TraceStats::of(&trace);
+        assert!(stats.utilization > 0.5, "{kind:?}: utilization {}", stats.utilization);
+    }
+}
+
+#[test]
+fn forty_eight_virtual_workers_qr() {
+    // The paper's platform width at its Fig. 6/7 problem: n=3960, nb=180,
+    // 48 virtual workers, 3795 tasks — pure simulation.
+    let mut models = ModelRegistry::new();
+    for l in Algorithm::Qr.labels() {
+        models.insert(*l, KernelModel::constant(0.005));
+    }
+    let session = SimSession::new(models, SimConfig { seed: 48, ..SimConfig::default() });
+    let sim = run_sim(Algorithm::Qr, SchedulerKind::Quark, 48, 3960, 180, session);
+    assert_eq!(sim.trace.len(), 3795);
+    assert!(sim.trace.validate(1e-9).is_ok());
+    // 22x22 tiles has plenty of parallelism mid-factorization; the 48-lane
+    // platform must beat an 8-lane one substantially.
+    let mut models8 = ModelRegistry::new();
+    for l in Algorithm::Qr.labels() {
+        models8.insert(*l, KernelModel::constant(0.005));
+    }
+    let session8 = SimSession::new(models8, SimConfig { seed: 48, ..SimConfig::default() });
+    let sim8 = run_sim(Algorithm::Qr, SchedulerKind::Quark, 8, 3960, 180, session8);
+    assert!(
+        sim.predicted_seconds < sim8.predicted_seconds * 0.45,
+        "48 workers ({}) should be well under half of 8 workers ({})",
+        sim.predicted_seconds,
+        sim8.predicted_seconds
+    );
+}

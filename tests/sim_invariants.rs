@@ -1,0 +1,91 @@
+//! Property-based invariants of the simulator: for random synthetic DAG
+//! workloads, the simulated trace must be a valid schedule of the DAG
+//! (precedence + worker exclusivity) and the virtual makespan must be
+//! bracketed by the critical path and the serial time.
+
+use proptest::prelude::*;
+use supersim::dag::validate::{validate_schedule, ScheduledTask};
+use supersim::prelude::*;
+use supersim::workloads::synthetic::{layered, models_for, submit, to_graph};
+
+fn run_layered(layers: usize, width: usize, fan_in: usize, seed: u64, workers: usize) {
+    let tasks = layered(layers, width, fan_in, 0.01, seed);
+    let graph = to_graph(&tasks);
+    let session = SimSession::new(
+        models_for(&tasks),
+        SimConfig { seed, ..SimConfig::default() },
+    );
+    let rt = Runtime::new(RuntimeConfig::simple(workers));
+    session.attach_quiesce(rt.probe());
+    submit(&rt, &tasks, &ExecMode::Simulated(session.clone()), 1.0);
+    rt.seal();
+    rt.wait_all().unwrap();
+    let trace = session.finish_trace(workers);
+
+    // 1. Trace is a valid schedule of the DAG.
+    let sched: Vec<ScheduledTask> = trace
+        .events
+        .iter()
+        .map(|e| ScheduledTask {
+            task: e.task_id as usize,
+            worker: e.worker,
+            start: e.start,
+            end: e.end,
+        })
+        .collect();
+    validate_schedule(&graph, &sched, 1e-9).expect("invalid simulated schedule");
+
+    // 2. Makespan bracketed by critical path and serial sum.
+    // (Constant per-label models: durations may differ slightly from DAG
+    // weights, so use the trace's own durations for the bounds.)
+    let total: f64 = trace.events.iter().map(|e| e.duration()).sum();
+    let cp = supersim::dag::critical_path::critical_path(&graph).length;
+    let makespan = trace.makespan();
+    // Critical path uses nominal weights; allow small slack for the
+    // label-mean model quantization.
+    prop_assert_with(makespan <= total + 1e-9, "makespan exceeds serial time");
+    prop_assert_with(makespan >= cp * 0.5, "makespan below half the critical path");
+}
+
+fn prop_assert_with(cond: bool, msg: &str) {
+    assert!(cond, "{msg}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulated_trace_is_valid_schedule(
+        layers in 2usize..5,
+        width in 1usize..6,
+        fan_in in 1usize..4,
+        seed in 0u64..1000,
+        workers in 1usize..5,
+    ) {
+        run_layered(layers, width, fan_in, seed, workers);
+    }
+}
+
+#[test]
+fn chain_and_fork_join_exact() {
+    use supersim::workloads::synthetic::{chain, fork_join};
+    // Chain: makespan = n * d exactly.
+    let tasks = chain(8, 0.25);
+    let session = SimSession::new(models_for(&tasks), SimConfig::default());
+    let rt = Runtime::new(RuntimeConfig::simple(3));
+    session.attach_quiesce(rt.probe());
+    submit(&rt, &tasks, &ExecMode::Simulated(session.clone()), 1.0);
+    rt.seal();
+    rt.wait_all().unwrap();
+    assert_eq!(session.virtual_now(), 2.0);
+
+    // Fork-join with enough workers: 3 levels exactly.
+    let tasks = fork_join(5, 0.5);
+    let session = SimSession::new(models_for(&tasks), SimConfig::default());
+    let rt = Runtime::new(RuntimeConfig::simple(5));
+    session.attach_quiesce(rt.probe());
+    submit(&rt, &tasks, &ExecMode::Simulated(session.clone()), 1.0);
+    rt.seal();
+    rt.wait_all().unwrap();
+    assert_eq!(session.virtual_now(), 1.5);
+}
