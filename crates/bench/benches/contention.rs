@@ -1,0 +1,52 @@
+//! Hot-path contention benchmarks: TEQ drain throughput under broadcast
+//! vs targeted wakeups across waiter counts, and engine task throughput.
+//!
+//! The targeted-wakeup claim of this codebase is that retiring a task
+//! schedules exactly one successor thread instead of stampeding every
+//! parked waiter; the gap between the two modes below is that claim
+//! measured. `src/bin/perf_baseline.rs` runs the same scenarios and writes
+//! machine-readable numbers to `BENCH_simcore.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use supersim_bench::contention::{engine_burst_seconds, teq_drain_seconds};
+use supersim_core::WakeupMode;
+
+/// Tasks each waiter thread retires per drain.
+const PER_WAITER: usize = 50;
+
+fn bench_teq_contention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("teq_contention");
+    group.sample_size(10);
+    for &waiters in &[1usize, 8, 48, 64, 128, 256] {
+        group.throughput(Throughput::Elements((waiters * PER_WAITER) as u64));
+        for (name, mode) in [
+            ("broadcast", WakeupMode::Broadcast),
+            ("targeted", WakeupMode::Targeted),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, waiters), &waiters, |b, &w| {
+                b.iter(|| teq_drain_seconds(mode, w, PER_WAITER));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_engine_burst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_burst");
+    group.sample_size(10);
+    let tasks = 5_000usize;
+    group.throughput(Throughput::Elements(tasks as u64));
+    for &workers in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("independent", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| engine_burst_seconds(w, tasks));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_teq_contention, bench_engine_burst);
+criterion_main!(benches);

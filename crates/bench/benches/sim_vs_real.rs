@@ -24,8 +24,15 @@ fn bench_sim_vs_real(c: &mut Criterion) {
     group.bench_function("simulated_execution", |b| {
         b.iter(|| {
             let session = SimSession::new(registry.clone(), SimConfig::default());
-            run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session)
-                .predicted_seconds
+            run_sim(
+                Algorithm::Cholesky,
+                SchedulerKind::Quark,
+                workers,
+                n,
+                nb,
+                session,
+            )
+            .predicted_seconds
         });
     });
     group.finish();

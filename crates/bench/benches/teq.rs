@@ -32,8 +32,7 @@ fn bench_sim_protocol(c: &mut Criterion) {
             b.iter(|| {
                 let mut models = ModelRegistry::new();
                 models.insert("k", KernelModel::constant(0.001));
-                let session: Arc<SimSession> =
-                    SimSession::new(models, SimConfig::default());
+                let session: Arc<SimSession> = SimSession::new(models, SimConfig::default());
                 let rt = Runtime::new(RuntimeConfig::simple(2));
                 session.attach_quiesce(rt.probe());
                 for _ in 0..tasks {

@@ -81,7 +81,11 @@ impl Opts {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = "all".to_string();
-    let mut opts = Opts { out: PathBuf::from("target/figures"), quick: false, paper: false };
+    let mut opts = Opts {
+        out: PathBuf::from("target/figures"),
+        quick: false,
+        paper: false,
+    };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -160,7 +164,11 @@ fn fig1(opts: &Opts) {
         profile.tasks, profile.edges, profile.dependences, profile.depth, profile.max_width
     );
     write(&opts.out, "fig1_qr_dag.dot", &dot::to_dot_default(&g));
-    write(&opts.out, "fig1_qr_dag_stats.txt", &format!("{profile:#?}\n"));
+    write(
+        &opts.out,
+        "fig1_qr_dag_stats.txt",
+        &format!("{profile:#?}\n"),
+    );
 }
 
 /// Fig. 2: the serial task stream of a 3x3-tile QR (F0..F13).
@@ -183,7 +191,11 @@ fn fig2(opts: &Opts) {
                 format!("d{}^{}", x.data.0, mode)
             })
             .collect();
-        listing.push_str(&format!("F{idx:<3} {:<8} ({})\n", task.label(), args.join(", ")));
+        listing.push_str(&format!(
+            "F{idx:<3} {:<8} ({})\n",
+            task.label(),
+            args.join(", ")
+        ));
     }
     print!("{listing}");
     write(&opts.out, "fig2_qr_task_stream.txt", &listing);
@@ -191,7 +203,10 @@ fn fig2(opts: &Opts) {
 
 /// Figs. 3 & 4: kernel timing histogram + fitted normal/gamma/lognormal.
 fn fig3_4(opts: &Opts, alg: Algorithm, kernel: &str, name: &str) {
-    println!("== {name}: {kernel} timing distribution ({}) ==", alg.name());
+    println!(
+        "== {name}: {kernel} timing distribution ({}) ==",
+        alg.name()
+    );
     let (n, nb) = if opts.quick { (240, 40) } else { (1200, 120) };
     let real = run_real(alg, SchedulerKind::Quark, opts.sweep_workers(), n, nb, 99);
     println!(
@@ -241,7 +256,11 @@ fn fig3_4(opts: &Opts, alg: Algorithm, kernel: &str, name: &str) {
     let centers = hist.centers();
     let densities = hist.densities();
     for (i, &x) in centers.iter().enumerate() {
-        plot.push_str(&format!("{x:.6e},{:.4},{:.4}", densities[i], kde.density(x)));
+        plot.push_str(&format!(
+            "{x:.6e},{:.4},{:.4}",
+            densities[i],
+            kde.density(x)
+        ));
         for c in selection.candidates() {
             plot.push_str(&format!(",{:.4}", c.dist.pdf(x)));
         }
@@ -264,27 +283,44 @@ fn fig5(opts: &Opts) {
         models.insert("A", KernelModel::constant(1.0));
         models.insert("B", KernelModel::constant(2.0));
         models.insert("C", KernelModel::constant(0.5));
-        let session = SimSession::new(models, SimConfig { seed: 1, mitigation: mit, ..SimConfig::default() });
+        let session = SimSession::new(
+            models,
+            SimConfig {
+                seed: 1,
+                mitigation: mit,
+                ..SimConfig::default()
+            },
+        );
         let rt = Runtime::new(RuntimeConfig::simple(2));
         session.attach_quiesce(rt.probe());
         use supersim_dag::{Access, DataId};
         let s = session.clone();
-        rt.submit(TaskDesc::new("A", vec![Access::write(DataId(0))], move |c| {
-            s.run_kernel(c, "A")
-        }));
+        rt.submit(TaskDesc::new(
+            "A",
+            vec![Access::write(DataId(0))],
+            move |c| s.run_kernel(c, "A"),
+        ));
         let s = session.clone();
-        rt.submit(TaskDesc::new("B", vec![Access::write(DataId(1))], move |c| {
-            s.run_kernel(c, "B")
-        }));
+        rt.submit(TaskDesc::new(
+            "B",
+            vec![Access::write(DataId(1))],
+            move |c| s.run_kernel(c, "B"),
+        ));
         let s = session.clone();
-        rt.submit(TaskDesc::new("C", vec![Access::read(DataId(0))], move |c| {
-            s.run_kernel(c, "C")
-        }));
+        rt.submit(TaskDesc::new(
+            "C",
+            vec![Access::read(DataId(0))],
+            move |c| s.run_kernel(c, "C"),
+        ));
         rt.seal();
         rt.wait_all().unwrap();
         let trace = session.finish_trace(2);
         let c_start = trace.events.iter().find(|e| e.kernel == "C").unwrap().start;
-        let verdict = if (c_start - 1.0).abs() < 1e-9 { "correct" } else { "RACED" };
+        let verdict = if (c_start - 1.0).abs() < 1e-9 {
+            "correct"
+        } else {
+            "RACED"
+        };
         out.push_str(&format!(
             "mitigation={label:<12} C.start={c_start:.2} makespan={:.2}  [{verdict}]\n",
             trace.makespan()
@@ -312,7 +348,10 @@ fn fig6_7(opts: &Opts) {
 
     let session = SimSession::new(
         cal.registry.clone(),
-        SimConfig { seed: 11, ..SimConfig::default() },
+        SimConfig {
+            seed: 11,
+            ..SimConfig::default()
+        },
     );
     let sim = run_sim(Algorithm::Qr, SchedulerKind::Quark, workers, n, nb, session);
     println!(
@@ -322,7 +361,11 @@ fn fig6_7(opts: &Opts) {
 
     let cmp = TraceComparison::compare(&real.trace, &sim.trace);
     println!("  {}", cmp.summary());
-    write(&opts.out, "fig6_7_comparison.txt", &format!("{}\n", cmp.summary()));
+    write(
+        &opts.out,
+        "fig6_7_comparison.txt",
+        &format!("{}\n", cmp.summary()),
+    );
 
     // Same time axis for both, as in the paper.
     let span = real.trace.t_max().max(sim.trace.t_max());
@@ -334,12 +377,18 @@ fn fig6_7(opts: &Opts) {
     write(
         &opts.out,
         "fig6_real_trace.svg",
-        &render(&real.trace, &svg_opts(format!("Fig. 6: real QR trace (n={n}, nb={nb})"))),
+        &render(
+            &real.trace,
+            &svg_opts(format!("Fig. 6: real QR trace (n={n}, nb={nb})")),
+        ),
     );
     write(
         &opts.out,
         "fig7_sim_trace.svg",
-        &render(&sim.trace, &svg_opts(format!("Fig. 7: simulated QR trace (n={n}, nb={nb})"))),
+        &render(
+            &sim.trace,
+            &svg_opts(format!("Fig. 7: simulated QR trace (n={n}, nb={nb})")),
+        ),
     );
 
     // Bonus: the paper's full-size platform simulated (48 virtual workers)
@@ -374,14 +423,25 @@ fn fig6_7(opts: &Opts) {
 
 /// Figs. 8-10: real vs simulated GFLOP/s sweeps for one scheduler.
 fn sweep_fig(opts: &Opts, kind: SchedulerKind, name: &str) {
-    println!("== {name}: {} real vs simulated performance ==", kind.name());
+    println!(
+        "== {name}: {} real vs simulated performance ==",
+        kind.name()
+    );
     let sizes = opts.sweep_sizes();
     let nb = opts.sweep_nb();
     let workers = opts.sweep_workers();
     // Tile size must not exceed the smallest problem.
     let sizes: Vec<usize> = sizes.into_iter().filter(|&n| n >= nb).collect();
     for alg in [Algorithm::Qr, Algorithm::Cholesky] {
-        let series = real_vs_sim(alg, kind, workers, &sizes, nb, 5, CalibrationSource::PerSize);
+        let series = real_vs_sim(
+            alg,
+            kind,
+            workers,
+            &sizes,
+            nb,
+            5,
+            CalibrationSource::PerSize,
+        );
         println!(
             "  {:<9} max|err|={:.1}% mean|err|={:.1}%",
             alg.name(),
@@ -394,7 +454,11 @@ fn sweep_fig(opts: &Opts, kind: SchedulerKind, name: &str) {
                 p.n, p.real_seconds, p.real_gflops, p.sim_seconds, p.sim_gflops, p.error_pct
             );
         }
-        write(&opts.out, &format!("{name}_{}_{}.csv", kind.name(), alg.name()), &series.to_csv());
+        write(
+            &opts.out,
+            &format!("{name}_{}_{}.csv", kind.name(), alg.name()),
+            &series.to_csv(),
+        );
     }
 }
 
@@ -444,14 +508,40 @@ fn speedup(opts: &Opts) {
 fn race_sensitivity(opts: &Opts) {
     println!("== race sensitivity: sleep/yield duration vs race rate ==");
     let reps = if opts.quick { 10 } else { 40 };
-    let mut out = String::from("mitigation,sleep_us,yields,races,reps,race_rate_pct
-");
+    let mut out = String::from(
+        "mitigation,sleep_us,yields,races,reps,race_rate_pct
+",
+    );
     let settings = [
         (RaceMitigation::None, "none"),
-        (RaceMitigation::SleepYield { yields: 4, sleep_us: 0 }, "yield_only"),
-        (RaceMitigation::SleepYield { yields: 4, sleep_us: 10 }, "sleep_10us"),
-        (RaceMitigation::SleepYield { yields: 4, sleep_us: 100 }, "sleep_100us"),
-        (RaceMitigation::SleepYield { yields: 4, sleep_us: 1000 }, "sleep_1ms"),
+        (
+            RaceMitigation::SleepYield {
+                yields: 4,
+                sleep_us: 0,
+            },
+            "yield_only",
+        ),
+        (
+            RaceMitigation::SleepYield {
+                yields: 4,
+                sleep_us: 10,
+            },
+            "sleep_10us",
+        ),
+        (
+            RaceMitigation::SleepYield {
+                yields: 4,
+                sleep_us: 100,
+            },
+            "sleep_100us",
+        ),
+        (
+            RaceMitigation::SleepYield {
+                yields: 4,
+                sleep_us: 1000,
+            },
+            "sleep_1ms",
+        ),
         (RaceMitigation::Quiesce, "quiesce"),
     ];
     for (mit, name) in settings {
@@ -461,23 +551,35 @@ fn race_sensitivity(opts: &Opts) {
             models.insert("A", KernelModel::constant(1.0));
             models.insert("B", KernelModel::constant(2.0));
             models.insert("C", KernelModel::constant(0.5));
-            let session =
-                SimSession::new(models, SimConfig { seed: 1, mitigation: mit, ..SimConfig::default() });
+            let session = SimSession::new(
+                models,
+                SimConfig {
+                    seed: 1,
+                    mitigation: mit,
+                    ..SimConfig::default()
+                },
+            );
             let rt = Runtime::new(RuntimeConfig::simple(2));
             session.attach_quiesce(rt.probe());
             use supersim_dag::{Access, DataId};
             let s = session.clone();
-            rt.submit(TaskDesc::new("A", vec![Access::write(DataId(0))], move |c| {
-                s.run_kernel(c, "A")
-            }));
+            rt.submit(TaskDesc::new(
+                "A",
+                vec![Access::write(DataId(0))],
+                move |c| s.run_kernel(c, "A"),
+            ));
             let s = session.clone();
-            rt.submit(TaskDesc::new("B", vec![Access::write(DataId(1))], move |c| {
-                s.run_kernel(c, "B")
-            }));
+            rt.submit(TaskDesc::new(
+                "B",
+                vec![Access::write(DataId(1))],
+                move |c| s.run_kernel(c, "B"),
+            ));
             let s = session.clone();
-            rt.submit(TaskDesc::new("C", vec![Access::read(DataId(0))], move |c| {
-                s.run_kernel(c, "C")
-            }));
+            rt.submit(TaskDesc::new(
+                "C",
+                vec![Access::read(DataId(0))],
+                move |c| s.run_kernel(c, "C"),
+            ));
             rt.seal();
             rt.wait_all().unwrap();
             let trace = session.finish_trace(2);
@@ -492,8 +594,10 @@ fn race_sensitivity(opts: &Opts) {
         };
         let rate = races as f64 / reps as f64 * 100.0;
         println!("  {name:<12} races {races}/{reps} ({rate:.0}%)");
-        out.push_str(&format!("{name},{sleep_us},{yields},{races},{reps},{rate:.1}
-"));
+        out.push_str(&format!(
+            "{name},{sleep_us},{yields},{races},{reps},{rate:.1}
+"
+        ));
     }
     write(&opts.out, "race_sensitivity.csv", &out);
 }
@@ -504,13 +608,19 @@ fn race_sensitivity(opts: &Opts) {
 /// sweep the paper's autotuning use case (§VI-B) performs.
 fn window_study(opts: &Opts) {
     println!("== window study: Cholesky makespan vs task window (simulated) ==");
-    let (n, nb, workers) = if opts.quick { (240, 40, 4) } else { (2000, 100, 8) };
+    let (n, nb, workers) = if opts.quick {
+        (240, 40, 4)
+    } else {
+        (2000, 100, 8)
+    };
     let mut models = ModelRegistry::new();
     for l in Algorithm::Cholesky.labels() {
         models.insert(*l, KernelModel::constant(0.002));
     }
-    let mut out = String::from("window,predicted_seconds,utilization_pct
-");
+    let mut out = String::from(
+        "window,predicted_seconds,utilization_pct
+",
+    );
     for window in [1usize, 2, 4, 8, 16, 64, 256, 5000] {
         let cfg = supersim_runtime::RuntimeConfig {
             workers,
@@ -535,8 +645,11 @@ fn window_study(opts: &Opts) {
             "  window={window:<5} predicted={:.4}s utilization={util:.1}%",
             session.virtual_now()
         );
-        out.push_str(&format!("{window},{:.6},{util:.2}
-", session.virtual_now()));
+        out.push_str(&format!(
+            "{window},{:.6},{util:.2}
+",
+            session.virtual_now()
+        ));
     }
     write(&opts.out, "window_study.csv", &out);
 }
@@ -545,14 +658,20 @@ fn window_study(opts: &Opts) {
 /// from one set of kernel models.
 fn policy_study(opts: &Opts) {
     println!("== policy study: QR makespan per ready-queue policy (simulated) ==");
-    let (n, nb, workers) = if opts.quick { (240, 40, 4) } else { (2000, 100, 8) };
+    let (n, nb, workers) = if opts.quick {
+        (240, 40, 4)
+    } else {
+        (2000, 100, 8)
+    };
     let mut models = ModelRegistry::new();
     models.insert("dgeqrt", KernelModel::constant(0.002));
     models.insert("dormqr", KernelModel::constant(0.003));
     models.insert("dtsqrt", KernelModel::constant(0.002));
     models.insert("dtsmqr", KernelModel::constant(0.004));
-    let mut out = String::from("policy,predicted_seconds,utilization_pct
-");
+    let mut out = String::from(
+        "policy,predicted_seconds,utilization_pct
+",
+    );
     use supersim_runtime::PolicyKind;
     for (policy, name) in [
         (PolicyKind::CentralFifo, "central_fifo"),
@@ -586,8 +705,11 @@ fn policy_study(opts: &Opts) {
             "  {name:<14} predicted={:.4}s utilization={util:.1}%",
             session.virtual_now()
         );
-        out.push_str(&format!("{name},{:.6},{util:.2}
-", session.virtual_now()));
+        out.push_str(&format!(
+            "{name},{:.6},{util:.2}
+",
+            session.virtual_now()
+        ));
     }
     write(&opts.out, "policy_study.csv", &out);
 }
@@ -600,7 +722,11 @@ fn policy_study(opts: &Opts) {
 /// the `des_vs_inloop` bench.
 fn ablation(opts: &Opts) {
     println!("== ablation: in-the-loop simulation vs offline DES ==");
-    let (n, nb, workers) = if opts.quick { (240, 40, 1) } else { (800, 100, 1) };
+    let (n, nb, workers) = if opts.quick {
+        (240, 40, 1)
+    } else {
+        (800, 100, 1)
+    };
     let mut out = String::from(
         "algorithm,real_seconds,inloop_seconds,inloop_err_pct,des_fifo_seconds,des_fifo_err_pct,des_blevel_seconds,des_blevel_err_pct\n",
     );
@@ -636,10 +762,9 @@ fn ablation(opts: &Opts) {
             Algorithm::Lu => unreachable!(),
         }
         let g = builder.finish();
-        let des_fifo =
-            supersim_des::simulate(&g, workers, supersim_des::DesPolicy::Fifo, |t| {
-                g.node(t).weight
-            });
+        let des_fifo = supersim_des::simulate(&g, workers, supersim_des::DesPolicy::Fifo, |t| {
+            g.node(t).weight
+        });
         let des_blvl =
             supersim_des::simulate(&g, workers, supersim_des::DesPolicy::BottomLevel, |t| {
                 g.node(t).weight

@@ -1,0 +1,120 @@
+//! Emit a machine-readable performance baseline for the simulation hot
+//! path to `BENCH_simcore.json` (in the current directory, or the path
+//! given as the first argument).
+//!
+//! Scenarios mirror `benches/contention.rs`: TEQ drain throughput under
+//! broadcast vs targeted wakeups at several waiter counts, plus engine
+//! burst throughput. The 64-waiter TEQ point carries the acceptance
+//! criterion for the targeted-wakeup redesign: >= 2x over the broadcast
+//! baseline.
+
+use serde::Serialize;
+use supersim_bench::contention::{engine_throughput, teq_throughput};
+use supersim_core::WakeupMode;
+
+/// Tasks each waiter thread retires per drain (matches the bench).
+const PER_WAITER: usize = 50;
+/// Timed repetitions per point; the best (max throughput) is reported to
+/// suppress scheduler noise, as is standard for contention microbenchmarks.
+const REPS: usize = 5;
+
+#[derive(Serialize)]
+struct TeqPoint {
+    waiters: usize,
+    tasks: usize,
+    broadcast_tasks_per_sec: f64,
+    targeted_tasks_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EnginePoint {
+    workers: usize,
+    tasks: usize,
+    tasks_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Acceptance {
+    waiters: usize,
+    speedup: f64,
+    required: f64,
+    pass: bool,
+}
+
+#[derive(Serialize)]
+struct Baseline {
+    benchmark: String,
+    per_waiter_tasks: usize,
+    reps: usize,
+    teq: Vec<TeqPoint>,
+    engine: Vec<EnginePoint>,
+    acceptance: Acceptance,
+}
+
+fn best<F: FnMut() -> f64>(mut f: F) -> f64 {
+    (0..REPS).map(|_| f()).fold(0.0f64, f64::max)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_simcore.json".to_string());
+
+    let mut teq = Vec::new();
+    for &waiters in &[1usize, 8, 48, 64, 128, 256] {
+        eprintln!("teq contention: {waiters} waiters x {PER_WAITER} tasks ...");
+        let broadcast = best(|| teq_throughput(WakeupMode::Broadcast, waiters, PER_WAITER));
+        let targeted = best(|| teq_throughput(WakeupMode::Targeted, waiters, PER_WAITER));
+        teq.push(TeqPoint {
+            waiters,
+            tasks: waiters * PER_WAITER,
+            broadcast_tasks_per_sec: broadcast,
+            targeted_tasks_per_sec: targeted,
+            speedup: targeted / broadcast,
+        });
+    }
+
+    let mut engine = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        eprintln!("engine burst: {workers} workers ...");
+        let tasks = 5_000;
+        engine.push(EnginePoint {
+            workers,
+            tasks,
+            tasks_per_sec: best(|| engine_throughput(workers, tasks)),
+        });
+    }
+
+    let gate = teq
+        .iter()
+        .find(|p| p.waiters == 64)
+        .expect("64-waiter point present");
+    let acceptance = Acceptance {
+        waiters: 64,
+        speedup: gate.speedup,
+        required: 2.0,
+        pass: gate.speedup >= 2.0,
+    };
+
+    let baseline = Baseline {
+        benchmark: "simcore contention hot path".to_string(),
+        per_waiter_tasks: PER_WAITER,
+        reps: REPS,
+        teq,
+        engine,
+        acceptance,
+    };
+
+    let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
+    std::fs::write(&out, json.as_bytes()).expect("write baseline file");
+    println!(
+        "wrote {out}: targeted/broadcast speedup at 64 waiters = {:.2}x ({})",
+        baseline.acceptance.speedup,
+        if baseline.acceptance.pass {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+}

@@ -4,4 +4,5 @@
 //! table and figure of the paper's evaluation (see DESIGN.md §4 for the
 //! experiment index). Shared sweep helpers live here.
 
+pub mod contention;
 pub mod sweep;

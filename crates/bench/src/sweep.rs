@@ -63,7 +63,10 @@ pub struct SweepSeries {
 impl SweepSeries {
     /// Largest absolute percentage error across the series.
     pub fn max_abs_error_pct(&self) -> f64 {
-        self.points.iter().map(|p| p.error_pct.abs()).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.error_pct.abs())
+            .fold(0.0, f64::max)
     }
 
     /// Mean absolute percentage error.
@@ -126,7 +129,10 @@ pub fn real_vs_sim(
         };
         let session = SimSession::new(
             registry,
-            SimConfig { seed: seed ^ n as u64, ..SimConfig::default() },
+            SimConfig {
+                seed: seed ^ n as u64,
+                ..SimConfig::default()
+            },
         );
         let sim = run_sim(alg, kind, workers, n, nb, session);
         let error_pct = (sim.predicted_seconds - real.seconds) / real.seconds * 100.0;

@@ -16,7 +16,10 @@ pub struct CollectOptions {
 
 impl Default for CollectOptions {
     fn default() -> Self {
-        CollectOptions { exclude_first_per_worker: true, trim_quantile: 0.0 }
+        CollectOptions {
+            exclude_first_per_worker: true,
+            trim_quantile: 0.0,
+        }
     }
 }
 
@@ -97,7 +100,13 @@ mod tests {
     use supersim_trace::TraceEvent;
 
     fn ev(worker: usize, kernel: &str, id: u64, start: f64, dur: f64) -> TraceEvent {
-        TraceEvent { worker, kernel: kernel.into(), task_id: id, start, end: start + dur }
+        TraceEvent {
+            worker,
+            kernel: kernel.into(),
+            task_id: id,
+            start,
+            end: start + dur,
+        }
     }
 
     fn trace(events: Vec<TraceEvent>) -> Trace {
@@ -113,7 +122,13 @@ mod tests {
             ev(0, "gemm", 1, 1.0, 1.2),
             ev(0, "trsm", 2, 2.2, 0.5),
         ]);
-        let s = collect(&t, CollectOptions { exclude_first_per_worker: false, trim_quantile: 0.0 });
+        let s = collect(
+            &t,
+            CollectOptions {
+                exclude_first_per_worker: false,
+                trim_quantile: 0.0,
+            },
+        );
         assert_eq!(s["gemm"].durations.len(), 2);
         assert_eq!(s["trsm"].durations.len(), 1);
     }
@@ -152,7 +167,10 @@ mod tests {
         let t = trace(events);
         let s = collect(
             &t,
-            CollectOptions { exclude_first_per_worker: false, trim_quantile: 0.01 },
+            CollectOptions {
+                exclude_first_per_worker: false,
+                trim_quantile: 0.01,
+            },
         );
         assert!(s["k"].trimmed >= 1);
         assert!(s["k"].durations.iter().all(|&d| d < 10.0));

@@ -63,8 +63,11 @@ pub struct Calibration {
 /// Fit one kernel class from its samples.
 pub fn fit_label(samples: &KernelSamples, opts: &FitOptions) -> Option<(KernelModel, LabelReport)> {
     let data = &samples.durations;
-    let warmup_factor =
-        if opts.estimate_warmup { samples.warmup_factor() } else { 1.0 };
+    let warmup_factor = if opts.estimate_warmup {
+        samples.warmup_factor()
+    } else {
+        1.0
+    };
 
     // Too few samples for a distribution fit: fall back to the mean
     // (a constant model) so small runs still calibrate.
@@ -189,7 +192,10 @@ mod tests {
         let cal = calibrate(&trace, FitOptions::default());
         let report = &cal.reports["dtsmqr"];
         // Lognormal should win or at least be fitted among candidates.
-        assert!(report.candidates.iter().any(|c| c.dist.family() == "lognormal"));
+        assert!(report
+            .candidates
+            .iter()
+            .any(|c| c.dist.family() == "lognormal"));
         assert_eq!(report.family, cal.registry.expect("dtsmqr").dist.family());
         // Model mean close to truth mean.
         let fitted_mean = cal.registry.expect("dtsmqr").mean();
@@ -219,7 +225,11 @@ mod tests {
         let cal = calibrate(&trace_with(t), FitOptions::default());
         let report = &cal.reports["k"];
         assert_eq!(report.warmups_excluded, 2);
-        assert!((report.warmup_factor - 10.0).abs() < 0.5, "factor {}", report.warmup_factor);
+        assert!(
+            (report.warmup_factor - 10.0).abs() < 0.5,
+            "factor {}",
+            report.warmup_factor
+        );
     }
 
     fn trace_with(t: Trace) -> Trace {
@@ -241,7 +251,10 @@ mod tests {
         let cal = calibrate(
             &t,
             FitOptions {
-                collect: CollectOptions { exclude_first_per_worker: false, trim_quantile: 0.0 },
+                collect: CollectOptions {
+                    exclude_first_per_worker: false,
+                    trim_quantile: 0.0,
+                },
                 ..Default::default()
             },
         );
@@ -264,7 +277,10 @@ mod tests {
         let cal = calibrate(
             &t,
             FitOptions {
-                collect: CollectOptions { exclude_first_per_worker: false, trim_quantile: 0.0 },
+                collect: CollectOptions {
+                    exclude_first_per_worker: false,
+                    trim_quantile: 0.0,
+                },
                 ..Default::default()
             },
         );
@@ -278,7 +294,10 @@ mod tests {
         let trace = synthetic_trace("dgemm", &truth, 3000, 2);
         let cal = calibrate(
             &trace,
-            FitOptions { force_family: Some("normal"), ..Default::default() },
+            FitOptions {
+                force_family: Some("normal"),
+                ..Default::default()
+            },
         );
         assert_eq!(cal.reports["dgemm"].family, "normal");
     }

@@ -55,7 +55,12 @@ pub fn estimate(trace: &Trace, cap: f64) -> Option<OverheadEstimate> {
     } else {
         0.0
     };
-    Some(OverheadEstimate { median_gap, mean_gap, gaps: gaps.len(), gap_fraction })
+    Some(OverheadEstimate {
+        median_gap,
+        mean_gap,
+        gaps: gaps.len(),
+        gap_fraction,
+    })
 }
 
 #[cfg(test)]
@@ -64,7 +69,13 @@ mod tests {
     use supersim_trace::TraceEvent;
 
     fn ev(w: usize, id: u64, start: f64, end: f64) -> TraceEvent {
-        TraceEvent { worker: w, kernel: "k".into(), task_id: id, start, end }
+        TraceEvent {
+            worker: w,
+            kernel: "k".into(),
+            task_id: id,
+            start,
+            end,
+        }
     }
 
     #[test]
@@ -91,7 +102,10 @@ mod tests {
         let est = estimate(&t, 0.1).unwrap();
         assert_eq!(est.gaps, 1);
         assert!((est.median_gap - 0.01).abs() < 1e-12);
-        assert!(est.gap_fraction > 0.5, "starvation still counts toward gap_fraction");
+        assert!(
+            est.gap_fraction > 0.5,
+            "starvation still counts toward gap_fraction"
+        );
     }
 
     #[test]
@@ -118,7 +132,8 @@ mod tests {
         for w in 0..2usize {
             let mut clock = 0.0;
             for i in 0..5 {
-                t.events.push(ev(w, (w * 10 + i) as u64, clock, clock + 1.0));
+                t.events
+                    .push(ev(w, (w * 10 + i) as u64, clock, clock + 1.0));
                 clock += 1.0 + 0.05 * (w as f64 + 1.0);
             }
         }

@@ -37,4 +37,4 @@ pub mod teq;
 pub use model::{KernelModel, ModelRegistry};
 pub use race::RaceMitigation;
 pub use session::{SimConfig, SimSession};
-pub use teq::TaskExecutionQueue;
+pub use teq::{TaskExecutionQueue, WakeupMode};

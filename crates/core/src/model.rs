@@ -24,12 +24,18 @@ pub struct KernelModel {
 impl KernelModel {
     /// Model with no warm-up effect.
     pub fn new(dist: Dist) -> Self {
-        KernelModel { dist, warmup_factor: 1.0 }
+        KernelModel {
+            dist,
+            warmup_factor: 1.0,
+        }
     }
 
     /// Model with a warm-up multiplier for each worker's first call.
     pub fn with_warmup(dist: Dist, warmup_factor: f64) -> Self {
-        KernelModel { dist, warmup_factor }
+        KernelModel {
+            dist,
+            warmup_factor,
+        }
     }
 
     /// Deterministic model (constant duration).
@@ -157,7 +163,10 @@ mod tests {
     fn registry_serde_round_trip() {
         let mut r = ModelRegistry::new();
         r.insert("dgemm", KernelModel::new(Dist::gamma(4.0, 0.001).unwrap()));
-        r.insert("dpotrf", KernelModel::with_warmup(Dist::log_normal(-7.0, 0.2).unwrap(), 2.0));
+        r.insert(
+            "dpotrf",
+            KernelModel::with_warmup(Dist::log_normal(-7.0, 0.2).unwrap(), 2.0),
+        );
         let json = serde_json::to_string(&r).unwrap();
         let back: ModelRegistry = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);

@@ -211,15 +211,25 @@ fn mixed_modes_simulate_correctly() {
     session.attach_quiesce(rt.probe());
     // w -> 3 parallel readers -> w2.
     let s = session.clone();
-    rt.submit(TaskDesc::new("w", vec![Access::write(DataId(0))], move |c| s.run_kernel(c, "w")));
+    rt.submit(TaskDesc::new(
+        "w",
+        vec![Access::write(DataId(0))],
+        move |c| s.run_kernel(c, "w"),
+    ));
     for _ in 0..3 {
         let s = session.clone();
-        rt.submit(TaskDesc::new("r", vec![Access::read(DataId(0))], move |c| {
-            s.run_kernel(c, "r")
-        }));
+        rt.submit(TaskDesc::new(
+            "r",
+            vec![Access::read(DataId(0))],
+            move |c| s.run_kernel(c, "r"),
+        ));
     }
     let s = session.clone();
-    rt.submit(TaskDesc::new("w", vec![Access::write(DataId(0))], move |c| s.run_kernel(c, "w")));
+    rt.submit(TaskDesc::new(
+        "w",
+        vec![Access::write(DataId(0))],
+        move |c| s.run_kernel(c, "w"),
+    ));
     rt.seal();
     rt.wait_all().unwrap();
     // w (1s) + parallel readers (1s) + w2 (1s).

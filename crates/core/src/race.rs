@@ -38,7 +38,10 @@ pub enum RaceMitigation {
 impl RaceMitigation {
     /// The paper's portable default: a few yields plus a short sleep.
     pub fn sleep_yield_default() -> Self {
-        RaceMitigation::SleepYield { yields: 4, sleep_us: 200 }
+        RaceMitigation::SleepYield {
+            yields: 4,
+            sleep_us: 200,
+        }
     }
 
     /// Execute the portable delay (no-op for the other variants — the
@@ -85,7 +88,10 @@ mod tests {
 
     #[test]
     fn portable_delay_sleeps() {
-        let m = RaceMitigation::SleepYield { yields: 0, sleep_us: 2000 };
+        let m = RaceMitigation::SleepYield {
+            yields: 0,
+            sleep_us: 2000,
+        };
         let t0 = std::time::Instant::now();
         m.portable_delay();
         assert!(t0.elapsed().as_micros() >= 2000);
@@ -96,7 +102,10 @@ mod tests {
         for m in [
             RaceMitigation::None,
             RaceMitigation::Quiesce,
-            RaceMitigation::SleepYield { yields: 2, sleep_us: 10 },
+            RaceMitigation::SleepYield {
+                yields: 2,
+                sleep_us: 10,
+            },
         ] {
             let json = serde_json::to_string(&m).unwrap();
             let back: RaceMitigation = serde_json::from_str(&json).unwrap();

@@ -147,9 +147,11 @@ impl SimSession {
     /// scheduler's perspective the kernel "ran" for its virtual duration.
     pub fn run_kernel(&self, ctx: &TaskContext, label: &str) {
         let model = self.models.expect(label);
-        let first = self.first_calls.lock().insert((ctx.worker, label.to_string()));
-        let mut rng =
-            rand::rngs::StdRng::seed_from_u64(splitmix64(self.config.seed ^ ctx.task_id));
+        let first = self
+            .first_calls
+            .lock()
+            .insert((ctx.worker, label.to_string()));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(self.config.seed ^ ctx.task_id));
         // Consume one draw so task_id=0 with seed^0 doesn't alias the raw
         // seed stream used elsewhere.
         let _: u64 = rng.random();
@@ -160,16 +162,35 @@ impl SimSession {
         // (1)+(2): read the clock for the start, insert the completion.
         let (ticket, start) = self.teq.insert(duration);
         if debug_enabled() {
-            eprintln!("[dbg] insert task={} w={} start={:.6} end={:.6}", ctx.task_id, ctx.worker, start, ticket.end);
+            eprintln!(
+                "[dbg] insert task={} w={} start={:.6} end={:.6}",
+                ctx.task_id, ctx.worker, start, ticket.end
+            );
         }
         // (3): the trace records virtual times.
-        self.trace.record(ctx.worker, label, ctx.task_id, start, ticket.end);
+        self.trace
+            .record(ctx.worker, label, ctx.task_id, start, ticket.end);
         // The task is now visible to the simulation: scheduler bookkeeping
         // for this dispatch is done.
         ctx.mark_registered();
 
         // (4): wait to be the next virtual completion, guarding against the
-        // §V-E race before retiring.
+        // §V-E race before retiring. `wait_front` parks on this ticket's
+        // own condvar (targeted wakeup): the retiring front wakes exactly
+        // the next front's owner, so re-entering the loop after a failed
+        // quiescence check costs one wakeup, not a broadcast herd. The
+        // probe handle is resolved once — not per loop iteration — since
+        // re-locking `self.quiesce` on every settle retry put an extra
+        // mutex acquisition on the hot path.
+        let probe = match self.config.mitigation {
+            RaceMitigation::Quiesce => Some(
+                self.quiesce
+                    .lock()
+                    .clone()
+                    .expect("RaceMitigation::Quiesce requires attach_quiesce"),
+            ),
+            _ => None,
+        };
         loop {
             self.teq.wait_front(ticket);
             match self.config.mitigation {
@@ -181,11 +202,6 @@ impl SimSession {
                     }
                 }
                 RaceMitigation::Quiesce => {
-                    let probe = self
-                        .quiesce
-                        .lock()
-                        .clone()
-                        .expect("RaceMitigation::Quiesce requires attach_quiesce");
                     // Every task already retired must have had its
                     // completion propagated, and the scheduler must have no
                     // in-flight dispatches. The retired count is re-read
@@ -195,10 +211,14 @@ impl SimSession {
                     // re-run against the new count — otherwise this task
                     // can slip out during the short window in which the
                     // newly retired task has left the queue but has not
-                    // yet released its successors.
-                    let retired_before = self.teq.retired();
+                    // yet released its successors. The post-wait front and
+                    // retired-count reads are fused into one TEQ lock
+                    // acquisition.
+                    let probe = probe.as_ref().expect("probe resolved above");
+                    let (_, retired_before) = self.teq.front_and_retired(ticket);
                     probe.wait_settled(retired_before);
-                    if self.teq.retired() == retired_before && self.teq.is_front(ticket) {
+                    let (is_front, retired_now) = self.teq.front_and_retired(ticket);
+                    if retired_now == retired_before && is_front {
                         break;
                     }
                 }
@@ -221,7 +241,6 @@ impl SimSession {
         move |ctx: &TaskContext| session.run_kernel(ctx, &label)
     }
 }
-
 
 /// Cached SUPERSIM_DEBUG environment check (hot paths consult this).
 fn debug_enabled() -> bool {
@@ -259,7 +278,14 @@ mod tests {
     }
 
     fn new_session(models: ModelRegistry, mitigation: RaceMitigation) -> Arc<SimSession> {
-        SimSession::new(models, SimConfig { seed: 42, mitigation, ..SimConfig::default() })
+        SimSession::new(
+            models,
+            SimConfig {
+                seed: 42,
+                mitigation,
+                ..SimConfig::default()
+            },
+        )
     }
 
     #[test]
@@ -269,9 +295,11 @@ mod tests {
         session.attach_quiesce(rt.probe());
         for _ in 0..4 {
             let s = session.clone();
-            rt.submit(TaskDesc::new("k", vec![Access::read_write(d(0))], move |ctx| {
-                s.run_kernel(ctx, "k")
-            }));
+            rt.submit(TaskDesc::new(
+                "k",
+                vec![Access::read_write(d(0))],
+                move |ctx| s.run_kernel(ctx, "k"),
+            ));
         }
         rt.seal();
         rt.wait_all().unwrap();
@@ -368,20 +396,24 @@ mod tests {
         // must be bit-identical between runs, regardless of host timing.
         let run = || {
             let mut models = ModelRegistry::new();
-            models
-                .insert("k", KernelModel::new(Dist::log_normal(-2.0, 0.4).unwrap()));
+            models.insert("k", KernelModel::new(Dist::log_normal(-2.0, 0.4).unwrap()));
             let session = SimSession::new(
                 models,
-                SimConfig { seed: 7, ..SimConfig::default() },
+                SimConfig {
+                    seed: 7,
+                    ..SimConfig::default()
+                },
             );
             let rt = Runtime::new(RuntimeConfig::simple(3));
             session.attach_quiesce(rt.probe());
             for i in 0..30u64 {
                 let s = session.clone();
                 // Chain within each of 3 lanes: data id i % 3.
-                rt.submit(TaskDesc::new("k", vec![Access::read_write(d(i % 3))], move |ctx| {
-                    s.run_kernel(ctx, "k")
-                }));
+                rt.submit(TaskDesc::new(
+                    "k",
+                    vec![Access::read_write(d(i % 3))],
+                    move |ctx| s.run_kernel(ctx, "k"),
+                ));
             }
             rt.seal();
             rt.wait_all().unwrap();
@@ -453,7 +485,10 @@ mod tests {
     #[test]
     fn fig5_race_fixed_by_sleep_yield() {
         // A generous sleep makes the portable mitigation reliable here.
-        let m = RaceMitigation::SleepYield { yields: 8, sleep_us: 5000 };
+        let m = RaceMitigation::SleepYield {
+            yields: 8,
+            sleep_us: 5000,
+        };
         for _ in 0..5 {
             let (c_start, makespan) = fig5_run(m);
             assert_eq!(c_start, 1.0, "C must start when A completes");
@@ -475,7 +510,10 @@ mod tests {
                 assert!(makespan > 2.4, "raced run must show inflated makespan");
             }
         }
-        assert!(raced > 0, "the race never manifested in 20 unmitigated runs");
+        assert!(
+            raced > 0,
+            "the race never manifested in 20 unmitigated runs"
+        );
     }
 
     #[test]
@@ -485,7 +523,9 @@ mod tests {
         let rt = Runtime::new(RuntimeConfig::simple(1));
         // No attach_quiesce: the task body panics, the runtime records it.
         let s = session.clone();
-        rt.submit(TaskDesc::new("k", vec![], move |ctx| s.run_kernel(ctx, "k")));
+        rt.submit(TaskDesc::new("k", vec![], move |ctx| {
+            s.run_kernel(ctx, "k")
+        }));
         let errs = rt.wait_all().unwrap_err();
         // Re-panic with the recorded message to satisfy should_panic.
         panic!("{}", errs[0]);
@@ -520,15 +560,20 @@ mod extension_tests {
     fn overhead_per_task_extends_durations() {
         let session = SimSession::new(
             models(1.0),
-            SimConfig { overhead_per_task: 0.5, ..SimConfig::default() },
+            SimConfig {
+                overhead_per_task: 0.5,
+                ..SimConfig::default()
+            },
         );
         let rt = Runtime::new(RuntimeConfig::simple(1));
         session.attach_quiesce(rt.probe());
         for i in 0..4u64 {
             let s = session.clone();
-            rt.submit(TaskDesc::new("k", vec![Access::write(DataId(i))], move |c| {
-                s.run_kernel(c, "k")
-            }));
+            rt.submit(TaskDesc::new(
+                "k",
+                vec![Access::write(DataId(i))],
+                move |c| s.run_kernel(c, "k"),
+            ));
         }
         rt.seal();
         rt.wait_all().unwrap();
@@ -542,15 +587,20 @@ mod extension_tests {
         // takes a quarter of the time.
         let session = SimSession::new(
             models(2.0),
-            SimConfig { worker_speeds: vec![1.0, 4.0], ..SimConfig::default() },
+            SimConfig {
+                worker_speeds: vec![1.0, 4.0],
+                ..SimConfig::default()
+            },
         );
         let rt = Runtime::new(RuntimeConfig::simple(2));
         session.attach_quiesce(rt.probe());
         for i in 0..2u64 {
             let s = session.clone();
-            rt.submit(TaskDesc::new("k", vec![Access::write(DataId(i))], move |c| {
-                s.run_kernel(c, "k")
-            }));
+            rt.submit(TaskDesc::new(
+                "k",
+                vec![Access::write(DataId(i))],
+                move |c| s.run_kernel(c, "k"),
+            ));
         }
         rt.seal();
         rt.wait_all().unwrap();
@@ -558,12 +608,19 @@ mod extension_tests {
         let durations: Vec<f64> = trace.events.iter().map(|e| e.duration()).collect();
         let mut sorted = durations.clone();
         sorted.sort_by(f64::total_cmp);
-        assert_eq!(sorted, vec![0.5, 2.0], "one fast (2/4) and one slow (2/1) execution");
+        assert_eq!(
+            sorted,
+            vec![0.5, 2.0],
+            "one fast (2/4) and one slow (2/1) execution"
+        );
     }
 
     #[test]
     fn unspecified_workers_default_to_unit_speed() {
-        let cfg = SimConfig { worker_speeds: vec![2.0], ..SimConfig::default() };
+        let cfg = SimConfig {
+            worker_speeds: vec![2.0],
+            ..SimConfig::default()
+        };
         assert_eq!(cfg.speed_of(0), 2.0);
         assert_eq!(cfg.speed_of(5), 1.0);
     }
@@ -572,19 +629,28 @@ mod extension_tests {
     fn gpu_like_platform_prefers_parallel_finish() {
         // 8 independent tasks, 1 "GPU" (10x) + 1 CPU: the makespan is far
         // below the homogeneous 2-worker packing.
-        let hetero = SimConfig { worker_speeds: vec![1.0, 10.0], ..SimConfig::default() };
+        let hetero = SimConfig {
+            worker_speeds: vec![1.0, 10.0],
+            ..SimConfig::default()
+        };
         let session = SimSession::new(models(1.0), hetero);
         let rt = Runtime::new(RuntimeConfig::simple(2));
         session.attach_quiesce(rt.probe());
         for i in 0..8u64 {
             let s = session.clone();
-            rt.submit(TaskDesc::new("k", vec![Access::write(DataId(i))], move |c| {
-                s.run_kernel(c, "k")
-            }));
+            rt.submit(TaskDesc::new(
+                "k",
+                vec![Access::write(DataId(i))],
+                move |c| s.run_kernel(c, "k"),
+            ));
         }
         rt.seal();
         rt.wait_all().unwrap();
         // Homogeneous 2 workers would need 4.0 virtual seconds.
-        assert!(session.virtual_now() < 4.0, "makespan {}", session.virtual_now());
+        assert!(
+            session.virtual_now() < 4.0,
+            "makespan {}",
+            session.virtual_now()
+        );
     }
 }

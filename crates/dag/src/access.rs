@@ -54,17 +54,26 @@ pub struct Access {
 impl Access {
     /// Read access to `data`.
     pub fn read(data: DataId) -> Self {
-        Access { data, mode: AccessMode::Read }
+        Access {
+            data,
+            mode: AccessMode::Read,
+        }
     }
 
     /// Write access to `data`.
     pub fn write(data: DataId) -> Self {
-        Access { data, mode: AccessMode::Write }
+        Access {
+            data,
+            mode: AccessMode::Write,
+        }
     }
 
     /// Read-write access to `data`.
     pub fn read_write(data: DataId) -> Self {
-        Access { data, mode: AccessMode::ReadWrite }
+        Access {
+            data,
+            mode: AccessMode::ReadWrite,
+        }
     }
 }
 
@@ -78,8 +87,10 @@ pub fn normalize_accesses(accesses: &[Access]) -> Vec<Access> {
     let mut out: Vec<Access> = Vec::with_capacity(accesses.len());
     for &a in accesses {
         if let Some(existing) = out.iter_mut().find(|e| e.data == a.data) {
-            existing.mode = match (existing.mode.reads() || a.mode.reads(),
-                                   existing.mode.writes() || a.mode.writes()) {
+            existing.mode = match (
+                existing.mode.reads() || a.mode.reads(),
+                existing.mode.writes() || a.mode.writes(),
+            ) {
                 (true, true) => AccessMode::ReadWrite,
                 (true, false) => AccessMode::Read,
                 (false, true) => AccessMode::Write,

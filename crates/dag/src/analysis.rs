@@ -56,7 +56,11 @@ pub fn profile(g: &TaskGraph) -> DagProfile {
     let max_width = width_profile.iter().copied().max().unwrap_or(0);
     let cp = critical_path(g);
     let total_work = g.total_weight();
-    let avg_parallelism = if cp.length > 0.0 { total_work / cp.length } else { 0.0 };
+    let avg_parallelism = if cp.length > 0.0 {
+        total_work / cp.length
+    } else {
+        0.0
+    };
     DagProfile {
         tasks: g.len(),
         edges: g.edge_count(),
@@ -76,7 +80,11 @@ mod tests {
     use crate::graph::TaskNode;
 
     fn node(w: f64) -> TaskNode {
-        TaskNode { label: "t".into(), weight: w, accesses: vec![] }
+        TaskNode {
+            label: "t".into(),
+            weight: w,
+            accesses: vec![],
+        }
     }
 
     #[test]

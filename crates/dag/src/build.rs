@@ -207,7 +207,9 @@ mod tests {
         let mut b = DagBuilder::new();
         let mut seed = 12345u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         for i in 0..200 {
@@ -234,7 +236,9 @@ mod tests {
         let mut b = DagBuilder::new();
         let mut seed = 999u64;
         let mut next = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as usize
         };
         let mut streams: Vec<Vec<Access>> = Vec::new();

@@ -21,7 +21,10 @@ pub struct CriticalPath {
 /// Panics if the graph is cyclic.
 pub fn critical_path(g: &TaskGraph) -> CriticalPath {
     if g.is_empty() {
-        return CriticalPath { length: 0.0, path: vec![] };
+        return CriticalPath {
+            length: 0.0,
+            path: vec![],
+        };
     }
     let order = topological_sort(g).expect("critical path requires a DAG");
     // dist[t] = heaviest path weight ending at t (inclusive).
@@ -54,7 +57,10 @@ pub fn critical_path(g: &TaskGraph) -> CriticalPath {
         path.push(cur);
     }
     path.reverse();
-    CriticalPath { length: dist[end], path }
+    CriticalPath {
+        length: dist[end],
+        path,
+    }
 }
 
 /// Bottom level of each task: the heaviest path weight from the task
@@ -63,7 +69,11 @@ pub fn bottom_levels(g: &TaskGraph) -> Vec<f64> {
     let order = topological_sort(g).expect("bottom levels require a DAG");
     let mut bl = vec![0.0f64; g.len()];
     for &u in order.iter().rev() {
-        let down = g.successors(u).iter().map(|&s| bl[s]).fold(0.0f64, f64::max);
+        let down = g
+            .successors(u)
+            .iter()
+            .map(|&s| bl[s])
+            .fold(0.0f64, f64::max);
         bl[u] = g.node(u).weight + down;
     }
     bl
@@ -92,7 +102,11 @@ mod tests {
     use crate::graph::TaskNode;
 
     fn node(w: f64) -> TaskNode {
-        TaskNode { label: "t".into(), weight: w, accesses: vec![] }
+        TaskNode {
+            label: "t".into(),
+            weight: w,
+            accesses: vec![],
+        }
     }
 
     fn weighted_diamond() -> TaskGraph {

@@ -52,7 +52,10 @@ pub fn to_dot(g: &TaskGraph, opts: &DotOptions) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "digraph {} {{", opts.name);
     let _ = writeln!(s, "  rankdir=TB;");
-    let _ = writeln!(s, "  node [shape=ellipse, style=filled, fontname=\"sans-serif\"];");
+    let _ = writeln!(
+        s,
+        "  node [shape=ellipse, style=filled, fontname=\"sans-serif\"];"
+    );
     for (i, n) in g.nodes().iter().enumerate() {
         let color = if opts.color_by_label {
             let li = labels.iter().position(|&l| l == n.label).unwrap_or(0);
@@ -60,7 +63,11 @@ pub fn to_dot(g: &TaskGraph, opts: &DotOptions) -> String {
         } else {
             "#ffffff"
         };
-        let _ = writeln!(s, "  t{i} [label=\"{}\\n#{i}\", fillcolor=\"{color}\"];", n.label);
+        let _ = writeln!(
+            s,
+            "  t{i} [label=\"{}\\n#{i}\", fillcolor=\"{color}\"];",
+            n.label
+        );
     }
     for (from, to, mult) in g.edges() {
         match opts.multi_edges {
@@ -94,8 +101,16 @@ mod tests {
 
     fn graph() -> TaskGraph {
         let mut g = TaskGraph::new();
-        g.add_node(TaskNode { label: "geqrt".into(), weight: 1.0, accesses: vec![] });
-        g.add_node(TaskNode { label: "tsqrt".into(), weight: 1.0, accesses: vec![] });
+        g.add_node(TaskNode {
+            label: "geqrt".into(),
+            weight: 1.0,
+            accesses: vec![],
+        });
+        g.add_node(TaskNode {
+            label: "tsqrt".into(),
+            weight: 1.0,
+            accesses: vec![],
+        });
         g.add_edge(0, 1);
         g.add_edge(0, 1);
         g
@@ -115,7 +130,10 @@ mod tests {
     fn labeled_style_collapses_multiplicity() {
         let dot = to_dot(
             &graph(),
-            &DotOptions { multi_edges: MultiEdgeStyle::Labeled, ..Default::default() },
+            &DotOptions {
+                multi_edges: MultiEdgeStyle::Labeled,
+                ..Default::default()
+            },
         );
         assert!(dot.contains("t0 -> t1 [label=\"x2\"];"));
         assert_eq!(dot.matches("t0 -> t1").count(), 1);
@@ -124,8 +142,16 @@ mod tests {
     #[test]
     fn same_label_same_color() {
         let mut g = TaskGraph::new();
-        g.add_node(TaskNode { label: "gemm".into(), weight: 1.0, accesses: vec![] });
-        g.add_node(TaskNode { label: "gemm".into(), weight: 1.0, accesses: vec![] });
+        g.add_node(TaskNode {
+            label: "gemm".into(),
+            weight: 1.0,
+            accesses: vec![],
+        });
+        g.add_node(TaskNode {
+            label: "gemm".into(),
+            weight: 1.0,
+            accesses: vec![],
+        });
         let dot = to_dot_default(&g);
         let color = NODE_COLORS[0];
         assert_eq!(dot.matches(color).count(), 2);

@@ -47,8 +47,7 @@ mod edge_map_serde {
         map: &BTreeMap<(TaskId, TaskId), u32>,
         ser: S,
     ) -> Result<S::Ok, S::Error> {
-        let v: Vec<(TaskId, TaskId, u32)> =
-            map.iter().map(|(&(f, t), &m)| (f, t, m)).collect();
+        let v: Vec<(TaskId, TaskId, u32)> = map.iter().map(|(&(f, t), &m)| (f, t, m)).collect();
         v.serialize(ser)
     }
 
@@ -79,7 +78,10 @@ impl TaskGraph {
     ///
     /// Panics if either id is out of range or `from == to`.
     pub fn add_edge(&mut self, from: TaskId, to: TaskId) {
-        assert!(from < self.nodes.len() && to < self.nodes.len(), "edge endpoint out of range");
+        assert!(
+            from < self.nodes.len() && to < self.nodes.len(),
+            "edge endpoint out of range"
+        );
         assert_ne!(from, to, "self-dependence is not a hazard");
         let m = self.multiplicity.entry((from, to)).or_insert(0);
         *m += 1;
@@ -146,12 +148,16 @@ impl TaskGraph {
 
     /// Ids of tasks with no predecessors.
     pub fn sources(&self) -> Vec<TaskId> {
-        (0..self.len()).filter(|&i| self.pred[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.pred[i].is_empty())
+            .collect()
     }
 
     /// Ids of tasks with no successors.
     pub fn sinks(&self) -> Vec<TaskId> {
-        (0..self.len()).filter(|&i| self.succ[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.succ[i].is_empty())
+            .collect()
     }
 
     /// Sum of all node weights (total work).
@@ -165,7 +171,11 @@ mod tests {
     use super::*;
 
     fn node(label: &str) -> TaskNode {
-        TaskNode { label: label.into(), weight: 1.0, accesses: vec![] }
+        TaskNode {
+            label: label.into(),
+            weight: 1.0,
+            accesses: vec![],
+        }
     }
 
     #[test]
@@ -218,8 +228,16 @@ mod tests {
     #[test]
     fn total_weight_sums() {
         let mut g = TaskGraph::new();
-        g.add_node(TaskNode { label: "x".into(), weight: 2.0, accesses: vec![] });
-        g.add_node(TaskNode { label: "y".into(), weight: 3.5, accesses: vec![] });
+        g.add_node(TaskNode {
+            label: "x".into(),
+            weight: 2.0,
+            accesses: vec![],
+        });
+        g.add_node(TaskNode {
+            label: "y".into(),
+            weight: 3.5,
+            accesses: vec![],
+        });
         assert!((g.total_weight() - 5.5).abs() < 1e-12);
     }
 

@@ -45,7 +45,10 @@ impl Renamer {
     pub fn rewrite(&mut self, accesses: &[Access]) -> Vec<Access> {
         let mut out = Vec::with_capacity(accesses.len() + 2);
         for &a in accesses {
-            assert!(a.data.0 < FRESH_BASE, "original data ids must stay below 2^63");
+            assert!(
+                a.data.0 < FRESH_BASE,
+                "original data ids must stay below 2^63"
+            );
             match a.mode {
                 AccessMode::Read => {
                     out.push(Access::read(self.version_of(a.data)));

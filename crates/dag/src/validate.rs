@@ -26,7 +26,9 @@ pub fn topological_sort(g: &TaskGraph) -> Result<Vec<TaskId>, TaskId> {
         Ok(order)
     } else {
         // Some node still has nonzero in-degree: it is on or behind a cycle.
-        Err((0..n).find(|&i| indeg[i] > 0).expect("cycle implies leftover in-degree"))
+        Err((0..n)
+            .find(|&i| indeg[i] > 0)
+            .expect("cycle implies leftover in-degree"))
     }
 }
 
@@ -121,7 +123,11 @@ mod tests {
     use crate::graph::TaskNode;
 
     fn node() -> TaskNode {
-        TaskNode { label: "t".into(), weight: 1.0, accesses: vec![] }
+        TaskNode {
+            label: "t".into(),
+            weight: 1.0,
+            accesses: vec![],
+        }
     }
 
     fn diamond() -> TaskGraph {
@@ -146,17 +152,40 @@ mod tests {
 
     #[test]
     fn topo_sort_empty() {
-        assert_eq!(topological_sort(&TaskGraph::new()).unwrap(), Vec::<usize>::new());
+        assert_eq!(
+            topological_sort(&TaskGraph::new()).unwrap(),
+            Vec::<usize>::new()
+        );
     }
 
     #[test]
     fn valid_schedule_passes() {
         let g = diamond();
         let sched = vec![
-            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 },
-            ScheduledTask { task: 1, worker: 0, start: 1.0, end: 2.0 },
-            ScheduledTask { task: 2, worker: 1, start: 1.0, end: 2.5 },
-            ScheduledTask { task: 3, worker: 0, start: 2.5, end: 3.0 },
+            ScheduledTask {
+                task: 0,
+                worker: 0,
+                start: 0.0,
+                end: 1.0,
+            },
+            ScheduledTask {
+                task: 1,
+                worker: 0,
+                start: 1.0,
+                end: 2.0,
+            },
+            ScheduledTask {
+                task: 2,
+                worker: 1,
+                start: 1.0,
+                end: 2.5,
+            },
+            ScheduledTask {
+                task: 3,
+                worker: 0,
+                start: 2.5,
+                end: 3.0,
+            },
         ];
         assert!(validate_schedule(&g, &sched, 1e-9).is_ok());
     }
@@ -165,11 +194,31 @@ mod tests {
     fn precedence_violation_detected() {
         let g = diamond();
         let sched = vec![
-            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 },
-            ScheduledTask { task: 1, worker: 0, start: 1.0, end: 2.0 },
-            ScheduledTask { task: 2, worker: 1, start: 1.0, end: 2.5 },
+            ScheduledTask {
+                task: 0,
+                worker: 0,
+                start: 0.0,
+                end: 1.0,
+            },
+            ScheduledTask {
+                task: 1,
+                worker: 0,
+                start: 1.0,
+                end: 2.0,
+            },
+            ScheduledTask {
+                task: 2,
+                worker: 1,
+                start: 1.0,
+                end: 2.5,
+            },
             // Starts before predecessor 2 ends.
-            ScheduledTask { task: 3, worker: 0, start: 2.0, end: 3.0 },
+            ScheduledTask {
+                task: 3,
+                worker: 0,
+                start: 2.0,
+                end: 3.0,
+            },
         ];
         let err = validate_schedule(&g, &sched, 1e-9).unwrap_err();
         assert!(err.contains("before predecessor"));
@@ -181,8 +230,18 @@ mod tests {
         g.add_node(node());
         g.add_node(node());
         let sched = vec![
-            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 2.0 },
-            ScheduledTask { task: 1, worker: 0, start: 1.0, end: 3.0 },
+            ScheduledTask {
+                task: 0,
+                worker: 0,
+                start: 0.0,
+                end: 2.0,
+            },
+            ScheduledTask {
+                task: 1,
+                worker: 0,
+                start: 1.0,
+                end: 3.0,
+            },
         ];
         let err = validate_schedule(&g, &sched, 1e-9).unwrap_err();
         assert!(err.contains("overlap"));
@@ -191,14 +250,33 @@ mod tests {
     #[test]
     fn missing_and_duplicate_tasks_detected() {
         let g = diamond();
-        let sched = vec![ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 }];
-        assert!(validate_schedule(&g, &sched, 0.0).unwrap_err().contains("never scheduled"));
+        let sched = vec![ScheduledTask {
+            task: 0,
+            worker: 0,
+            start: 0.0,
+            end: 1.0,
+        }];
+        assert!(validate_schedule(&g, &sched, 0.0)
+            .unwrap_err()
+            .contains("never scheduled"));
 
         let sched2 = vec![
-            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 },
-            ScheduledTask { task: 0, worker: 1, start: 0.0, end: 1.0 },
+            ScheduledTask {
+                task: 0,
+                worker: 0,
+                start: 0.0,
+                end: 1.0,
+            },
+            ScheduledTask {
+                task: 0,
+                worker: 1,
+                start: 0.0,
+                end: 1.0,
+            },
         ];
-        assert!(validate_schedule(&g, &sched2, 0.0).unwrap_err().contains("twice"));
+        assert!(validate_schedule(&g, &sched2, 0.0)
+            .unwrap_err()
+            .contains("twice"));
     }
 
     #[test]
@@ -211,8 +289,18 @@ mod tests {
             g
         };
         let sched = vec![
-            ScheduledTask { task: 0, worker: 0, start: 0.0, end: 1.0 },
-            ScheduledTask { task: 1, worker: 0, start: 1.0 - 1e-12, end: 2.0 },
+            ScheduledTask {
+                task: 0,
+                worker: 0,
+                start: 0.0,
+                end: 1.0,
+            },
+            ScheduledTask {
+                task: 1,
+                worker: 0,
+                start: 1.0 - 1e-12,
+                end: 2.0,
+            },
         ];
         assert!(validate_schedule(&g, &sched, 1e-9).is_ok());
     }

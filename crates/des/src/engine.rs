@@ -58,7 +58,10 @@ pub fn simulate(
         DesPolicy::BottomLevel => {
             // Insert keeping descending bottom-level order (ties: task id).
             let key = |x: TaskId| (std::cmp::Reverse(ordered(bl[x])), x);
-            let pos = ready.iter().position(|&x| key(x) > key(t)).unwrap_or(ready.len());
+            let pos = ready
+                .iter()
+                .position(|&x| key(x) > key(t))
+                .unwrap_or(ready.len());
             ready.insert(pos, t);
         }
     };
@@ -98,7 +101,10 @@ pub fn simulate(
     }
 
     let unfinished: Vec<TaskId> = (0..n).filter(|&t| deps[t] > 0).collect();
-    assert!(unfinished.is_empty(), "cyclic graph: tasks {unfinished:?} never became ready");
+    assert!(
+        unfinished.is_empty(),
+        "cyclic graph: tasks {unfinished:?} never became ready"
+    );
 
     trace.normalize();
     let makespan = trace.makespan();
@@ -171,9 +177,21 @@ mod tests {
         // diamond: 0 -> {1,2} -> 3.
         let mut b = DagBuilder::new();
         b.submit("s", 1.0, &[Access::write(DataId(0))]);
-        b.submit("l", 5.0, &[Access::read(DataId(0)), Access::write(DataId(1))]);
-        b.submit("r", 2.0, &[Access::read(DataId(0)), Access::write(DataId(2))]);
-        b.submit("j", 1.0, &[Access::read(DataId(1)), Access::read(DataId(2))]);
+        b.submit(
+            "l",
+            5.0,
+            &[Access::read(DataId(0)), Access::write(DataId(1))],
+        );
+        b.submit(
+            "r",
+            2.0,
+            &[Access::read(DataId(0)), Access::write(DataId(2))],
+        );
+        b.submit(
+            "j",
+            1.0,
+            &[Access::read(DataId(1)), Access::read(DataId(2))],
+        );
         let g = b.finish();
         let r = simulate(&g, 2, DesPolicy::Fifo, weight_of(&g));
         assert_eq!(r.makespan, 7.0); // 1 + max(5,2) + 1

@@ -59,7 +59,11 @@ impl<T> Default for EventQueue<T> {
 impl<T> EventQueue<T> {
     /// Empty queue at time 0.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, now: 0.0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0.0,
+        }
     }
 
     /// Current simulation time (the time of the last popped event).
@@ -69,7 +73,11 @@ impl<T> EventQueue<T> {
 
     /// Schedule an event at absolute time `time` (must be ≥ now).
     pub fn schedule(&mut self, time: f64, payload: T) {
-        assert!(time >= self.now - 1e-12, "cannot schedule into the past: {time} < {}", self.now);
+        assert!(
+            time >= self.now - 1e-12,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(HeapItem(Event { time, payload, seq }));

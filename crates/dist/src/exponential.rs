@@ -18,7 +18,9 @@ impl Exponential {
     /// Create an exponential with rate `lambda > 0`.
     pub fn new(lambda: f64) -> Result<Self, DistError> {
         if !(lambda.is_finite() && lambda > 0.0) {
-            return Err(DistError::InvalidParameter("exponential rate must be positive"));
+            return Err(DistError::InvalidParameter(
+                "exponential rate must be positive",
+            ));
         }
         Ok(Exponential { lambda })
     }
@@ -26,7 +28,9 @@ impl Exponential {
     /// Create from the mean (`mean = 1/lambda`).
     pub fn from_mean(mean: f64) -> Result<Self, DistError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(DistError::InvalidParameter("exponential mean must be positive"));
+            return Err(DistError::InvalidParameter(
+                "exponential mean must be positive",
+            ));
         }
         Self::new(1.0 / mean)
     }

@@ -19,7 +19,9 @@ pub fn fit_normal(data: &[f64]) -> Result<Normal, DistError> {
     let m = finite_moments(data)?;
     let sigma = m.sample_std_dev();
     if sigma <= 0.0 {
-        return Err(DistError::UnsupportedData("zero variance data cannot fit a normal"));
+        return Err(DistError::UnsupportedData(
+            "zero variance data cannot fit a normal",
+        ));
     }
     Normal::new(m.mean(), sigma)
 }
@@ -28,13 +30,17 @@ pub fn fit_normal(data: &[f64]) -> Result<Normal, DistError> {
 pub fn fit_lognormal(data: &[f64]) -> Result<LogNormal, DistError> {
     check_count(data)?;
     if data.iter().any(|&x| x <= 0.0) {
-        return Err(DistError::UnsupportedData("lognormal fit requires strictly positive data"));
+        return Err(DistError::UnsupportedData(
+            "lognormal fit requires strictly positive data",
+        ));
     }
     let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
     let m = Moments::from_slice(&logs);
     let sigma = m.sample_std_dev();
     if sigma <= 0.0 {
-        return Err(DistError::UnsupportedData("zero variance data cannot fit a lognormal"));
+        return Err(DistError::UnsupportedData(
+            "zero variance data cannot fit a lognormal",
+        ));
     }
     LogNormal::new(m.mean(), sigma)
 }
@@ -47,7 +53,9 @@ pub fn fit_lognormal(data: &[f64]) -> Result<LogNormal, DistError> {
 pub fn fit_gamma(data: &[f64]) -> Result<Gamma, DistError> {
     check_count(data)?;
     if data.iter().any(|&x| x <= 0.0) {
-        return Err(DistError::UnsupportedData("gamma fit requires strictly positive data"));
+        return Err(DistError::UnsupportedData(
+            "gamma fit requires strictly positive data",
+        ));
     }
     let m = finite_moments(data)?;
     let mean = m.mean();
@@ -57,7 +65,9 @@ pub fn fit_gamma(data: &[f64]) -> Result<Gamma, DistError> {
         // Degenerate (all samples equal) — fall back to the moment estimate.
         let var = m.sample_variance();
         if var <= 0.0 {
-            return Err(DistError::UnsupportedData("zero variance data cannot fit a gamma"));
+            return Err(DistError::UnsupportedData(
+                "zero variance data cannot fit a gamma",
+            ));
         }
         return Gamma::from_mean_std(mean, var.sqrt());
     }
@@ -91,7 +101,9 @@ pub fn fit_gamma(data: &[f64]) -> Result<Gamma, DistError> {
 pub fn fit_exponential(data: &[f64]) -> Result<Exponential, DistError> {
     let m = finite_moments(data)?;
     if m.mean() <= 0.0 {
-        return Err(DistError::UnsupportedData("exponential fit requires positive mean"));
+        return Err(DistError::UnsupportedData(
+            "exponential fit requires positive mean",
+        ));
     }
     Exponential::from_mean(m.mean())
 }
@@ -100,14 +112,19 @@ pub fn fit_exponential(data: &[f64]) -> Result<Exponential, DistError> {
 pub fn fit_uniform(data: &[f64]) -> Result<Uniform, DistError> {
     let m = finite_moments(data)?;
     if m.min() >= m.max() {
-        return Err(DistError::UnsupportedData("uniform fit requires a non-degenerate range"));
+        return Err(DistError::UnsupportedData(
+            "uniform fit requires a non-degenerate range",
+        ));
     }
     Uniform::new(m.min(), m.max())
 }
 
 fn check_count(data: &[f64]) -> Result<(), DistError> {
     if data.len() < MIN_FIT_SAMPLES {
-        return Err(DistError::InsufficientData { needed: MIN_FIT_SAMPLES, got: data.len() });
+        return Err(DistError::InsufficientData {
+            needed: MIN_FIT_SAMPLES,
+            got: data.len(),
+        });
     }
     Ok(())
 }
@@ -213,7 +230,9 @@ pub fn select_model(data: &[f64]) -> Result<ModelSelection, DistError> {
         push(Dist::Exponential(e));
     }
     if candidates.is_empty() {
-        return Err(DistError::UnsupportedData("no candidate family admits this data"));
+        return Err(DistError::UnsupportedData(
+            "no candidate family admits this data",
+        ));
     }
     candidates.sort_by(|a, b| a.aic.total_cmp(&b.aic));
     Ok(ModelSelection { candidates })
@@ -280,8 +299,14 @@ mod tests {
             Err(DistError::InsufficientData { .. })
         ));
         let with_negative = [-1.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
-        assert!(matches!(fit_lognormal(&with_negative), Err(DistError::UnsupportedData(_))));
-        assert!(matches!(fit_gamma(&with_negative), Err(DistError::UnsupportedData(_))));
+        assert!(matches!(
+            fit_lognormal(&with_negative),
+            Err(DistError::UnsupportedData(_))
+        ));
+        assert!(matches!(
+            fit_gamma(&with_negative),
+            Err(DistError::UnsupportedData(_))
+        ));
         let constant = [2.0; 10];
         assert!(fit_normal(&constant).is_err());
         assert!(fit_uniform(&constant).is_err());
@@ -314,7 +339,10 @@ mod tests {
         let data = samples(&truth, 4_000, 7);
         let sel = select_model(&data).unwrap();
         let aics: Vec<f64> = sel.candidates().iter().map(|c| c.aic).collect();
-        assert!(aics.windows(2).all(|w| w[0] <= w[1]), "not sorted: {aics:?}");
+        assert!(
+            aics.windows(2).all(|w| w[0] <= w[1]),
+            "not sorted: {aics:?}"
+        );
     }
 
     #[test]

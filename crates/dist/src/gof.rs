@@ -68,7 +68,10 @@ pub struct KsTest {
 /// Run a one-sample KS test of `data` against `dist`.
 pub fn ks_test(dist: &Dist, data: &[f64]) -> KsTest {
     let d = ks_statistic(dist, data);
-    KsTest { statistic: d, p_value: ks_p_value(d, data.len()) }
+    KsTest {
+        statistic: d,
+        p_value: ks_p_value(d, data.len()),
+    }
 }
 
 /// Two-sample KS statistic between two data sets.

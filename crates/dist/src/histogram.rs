@@ -21,8 +21,16 @@ impl Histogram {
     /// Panics if `bins == 0` or `lo >= hi` or bounds are not finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad histogram bounds [{lo},{hi}]");
-        Histogram { lo, hi, counts: vec![0; bins], total: 0 }
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad histogram bounds [{lo},{hi}]"
+        );
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Build a histogram from data with an automatically chosen bin count
@@ -107,7 +115,9 @@ impl Histogram {
     /// Bin center positions.
     pub fn centers(&self) -> Vec<f64> {
         let w = self.bin_width();
-        (0..self.counts.len()).map(|i| self.lo + (i as f64 + 0.5) * w).collect()
+        (0..self.counts.len())
+            .map(|i| self.lo + (i as f64 + 0.5) * w)
+            .collect()
     }
 
     /// Densities per bin: `count / (total * bin_width)`, so the histogram
@@ -171,7 +181,11 @@ mod tests {
     #[test]
     fn densities_integrate_to_one() {
         let mut h = Histogram::new(0.0, 2.0, 20);
-        h.add_all(&(0..1000).map(|i| (i % 200) as f64 / 100.0).collect::<Vec<_>>());
+        h.add_all(
+            &(0..1000)
+                .map(|i| (i % 200) as f64 / 100.0)
+                .collect::<Vec<_>>(),
+        );
         let sum: f64 = h.densities().iter().map(|d| d * h.bin_width()).sum();
         assert!((sum - 1.0).abs() < 1e-12, "integral {sum}");
     }

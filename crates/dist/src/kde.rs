@@ -31,7 +31,10 @@ impl Kde {
         }
         let n = finite.len() as f64;
         let bw = 0.9 * spread * n.powf(-0.2);
-        Some(Kde { data: finite, bandwidth: bw })
+        Some(Kde {
+            data: finite,
+            bandwidth: bw,
+        })
     }
 
     /// Build with an explicit bandwidth (`> 0`).
@@ -40,7 +43,10 @@ impl Kde {
         if finite.is_empty() || !(bandwidth.is_finite() && bandwidth > 0.0) {
             return None;
         }
-        Some(Kde { data: finite, bandwidth })
+        Some(Kde {
+            data: finite,
+            bandwidth,
+        })
     }
 
     /// The bandwidth in use.

@@ -83,7 +83,10 @@ impl std::fmt::Display for DistError {
         match self {
             DistError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             DistError::InsufficientData { needed, got } => {
-                write!(f, "insufficient data: need at least {needed} samples, got {got}")
+                write!(
+                    f,
+                    "insufficient data: need at least {needed} samples, got {got}"
+                )
             }
             DistError::UnsupportedData(what) => write!(f, "unsupported data: {what}"),
             DistError::NoConvergence(what) => write!(f, "fit did not converge: {what}"),
@@ -357,6 +360,8 @@ mod tests {
     fn error_display_is_informative() {
         let e = DistError::InsufficientData { needed: 2, got: 0 };
         assert!(e.to_string().contains("need at least 2"));
-        assert!(DistError::InvalidParameter("sigma").to_string().contains("sigma"));
+        assert!(DistError::InvalidParameter("sigma")
+            .to_string()
+            .contains("sigma"));
     }
 }

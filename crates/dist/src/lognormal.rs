@@ -26,7 +26,9 @@ impl LogNormal {
             return Err(DistError::InvalidParameter("lognormal mu must be finite"));
         }
         if !(sigma.is_finite() && sigma > 0.0) {
-            return Err(DistError::InvalidParameter("lognormal sigma must be positive"));
+            return Err(DistError::InvalidParameter(
+                "lognormal sigma must be positive",
+            ));
         }
         Ok(LogNormal { mu, sigma })
     }
@@ -35,10 +37,14 @@ impl LogNormal {
     /// (not of `ln X`). Convenient when matching empirical moments.
     pub fn from_mean_std(mean: f64, std: f64) -> Result<Self, DistError> {
         if !(mean.is_finite() && mean > 0.0) {
-            return Err(DistError::InvalidParameter("lognormal mean must be positive"));
+            return Err(DistError::InvalidParameter(
+                "lognormal mean must be positive",
+            ));
         }
         if !(std.is_finite() && std > 0.0) {
-            return Err(DistError::InvalidParameter("lognormal std must be positive"));
+            return Err(DistError::InvalidParameter(
+                "lognormal std must be positive",
+            ));
         }
         let cv2 = (std / mean).powi(2);
         let sigma2 = (1.0 + cv2).ln();
@@ -133,7 +139,11 @@ mod tests {
             sum += x;
         }
         let mean = sum / n as f64;
-        assert!((mean - d.mean()).abs() < 0.02 * d.mean(), "mean {mean} vs {}", d.mean());
+        assert!(
+            (mean - d.mean()).abs() < 0.02 * d.mean(),
+            "mean {mean} vs {}",
+            d.mean()
+        );
     }
 
     #[test]

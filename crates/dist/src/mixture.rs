@@ -22,13 +22,20 @@ impl Mixture {
     /// and are normalized internally; at least one component is required.
     pub fn new(components: Vec<(f64, Dist)>) -> Result<Self, DistError> {
         if components.is_empty() {
-            return Err(DistError::InvalidParameter("mixture needs at least one component"));
+            return Err(DistError::InvalidParameter(
+                "mixture needs at least one component",
+            ));
         }
         if components.iter().any(|(w, _)| !(w.is_finite() && *w > 0.0)) {
-            return Err(DistError::InvalidParameter("mixture weights must be positive"));
+            return Err(DistError::InvalidParameter(
+                "mixture weights must be positive",
+            ));
         }
         let total: f64 = components.iter().map(|(w, _)| w).sum();
-        let components = components.into_iter().map(|(w, d)| (w / total, d)).collect();
+        let components = components
+            .into_iter()
+            .map(|(w, d)| (w / total, d))
+            .collect();
         Ok(Mixture { components })
     }
 
@@ -36,7 +43,9 @@ impl Mixture {
     /// probability `p_fast`, else `slow` — the cache-hit/cache-miss model.
     pub fn bimodal(p_fast: f64, fast: Dist, slow: Dist) -> Result<Self, DistError> {
         if !(p_fast.is_finite() && p_fast > 0.0 && p_fast < 1.0) {
-            return Err(DistError::InvalidParameter("bimodal probability must be in (0,1)"));
+            return Err(DistError::InvalidParameter(
+                "bimodal probability must be in (0,1)",
+            ));
         }
         Self::new(vec![(p_fast, fast), (1.0 - p_fast, slow)])
     }
@@ -123,7 +132,11 @@ mod tests {
         assert!((m.mean() - 2.2).abs() < 1e-12);
         // E[X^2] = 0.7*(0.0025+1) + 0.3*(0.01+25) = 0.701750 + 7.503 = 8.20475
         let var = 8.20475 - 2.2 * 2.2;
-        assert!((m.variance() - var).abs() < 1e-10, "{} vs {var}", m.variance());
+        assert!(
+            (m.variance() - var).abs() < 1e-10,
+            "{} vs {var}",
+            m.variance()
+        );
     }
 
     #[test]
@@ -140,7 +153,10 @@ mod tests {
     fn pdf_cdf_are_weighted_sums() {
         let m = bimodal();
         assert!(m.pdf(1.0) > m.pdf(3.0), "density peaks at the fast mode");
-        assert!((m.cdf(3.0) - 0.7).abs() < 1e-6, "70% of mass below the valley");
+        assert!(
+            (m.cdf(3.0) - 0.7).abs() < 1e-6,
+            "70% of mass below the valley"
+        );
         assert!((m.cdf(100.0) - 1.0).abs() < 1e-9);
         assert!(m.cdf(-100.0) < 1e-9);
     }

@@ -44,8 +44,7 @@ impl Moments {
         let delta_n2 = delta_n * delta_n;
         let term1 = delta * delta_n * n1;
         self.mean += delta_n;
-        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0)
-            + 6.0 * delta_n2 * self.m2
+        self.m4 += term1 * delta_n2 * (n * n - 3.0 * n + 3.0) + 6.0 * delta_n2 * self.m2
             - 4.0 * delta_n * self.m3;
         self.m3 += term1 * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
         self.m2 += term1;
@@ -225,7 +224,9 @@ mod tests {
 
     #[test]
     fn merge_equals_sequential() {
-        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 * 0.13 + 1.0).collect();
+        let data: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37) % 101) as f64 * 0.13 + 1.0)
+            .collect();
         let whole = Moments::from_slice(&data);
         let mut a = Moments::from_slice(&data[..333]);
         let b = Moments::from_slice(&data[333..]);

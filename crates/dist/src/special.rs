@@ -67,7 +67,8 @@ pub fn digamma(mut x: f64) -> f64 {
     // Asymptotic expansion: ln x - 1/(2x) - sum B_{2n}/(2n x^{2n}).
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
+    result + x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
@@ -235,7 +236,10 @@ mod tests {
     use super::*;
 
     fn close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "{a} != {b} (tol {tol})");
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "{a} != {b} (tol {tol})"
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@ use crate::task::{DispatchToken, TaskBody, TaskContext, TaskDesc};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use supersim_dag::{normalize_accesses, DataId};
@@ -49,6 +50,32 @@ struct Inner {
     stats: RuntimeStats,
 }
 
+/// Per-worker statistics slot, updated lock-free by its owning worker.
+///
+/// Only the owning worker ever writes its slot, so plain relaxed
+/// load/store pairs are race-free; `Runtime::stats()` readers observe an
+/// atomic snapshot of each field without touching the `Inner` lock.
+/// Padded to a cache line so neighbouring workers' counters do not
+/// false-share.
+#[repr(align(128))]
+#[derive(Default)]
+struct WorkerSlot {
+    /// Tasks executed by this worker.
+    tasks: AtomicU64,
+    /// Wall-clock busy seconds, stored as `f64::to_bits`.
+    busy_bits: AtomicU64,
+}
+
+impl WorkerSlot {
+    fn add_task(&self, busy: f64) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        // Owner-only writer: a load/store pair cannot lose updates.
+        let prev = f64::from_bits(self.busy_bits.load(Ordering::Relaxed));
+        self.busy_bits
+            .store((prev + busy).to_bits(), Ordering::Relaxed);
+    }
+}
+
 struct Shared {
     inner: Mutex<Inner>,
     work_cv: Condvar,
@@ -58,6 +85,9 @@ struct Shared {
     window: usize,
     epoch: Instant,
     trace: Option<TraceRecorder>,
+    /// Per-worker counters live outside the big `Inner` lock; the hot
+    /// completion path touches them without serializing on other workers.
+    worker_slots: Vec<WorkerSlot>,
 }
 
 /// The superscalar runtime.
@@ -119,6 +149,7 @@ impl Runtime {
             window: config.window,
             epoch: Instant::now(),
             trace: recorder,
+            worker_slots: (0..config.workers).map(|_| WorkerSlot::default()).collect(),
         });
         let workers = (0..config.workers)
             .map(|w| {
@@ -129,7 +160,11 @@ impl Runtime {
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        Runtime { shared, workers, config }
+        Runtime {
+            shared,
+            workers,
+            config,
+        }
     }
 
     /// The configuration this runtime was built with.
@@ -143,7 +178,10 @@ impl Runtime {
         let accesses = normalize_accesses(&desc.accesses);
         let affinity = accesses.iter().find(|a| a.mode.writes()).map(|a| a.data.0);
         let mut inner = self.shared.inner.lock();
-        assert!(!inner.sealed, "submit() after seal(); call unseal() for a new phase");
+        assert!(
+            !inner.sealed,
+            "submit() after seal(); call unseal() for a new phase"
+        );
         while inner.in_flight >= self.shared.window {
             inner.submitter_waiting += 1;
             self.shared.quiesce_cv.notify_all();
@@ -196,7 +234,11 @@ impl Runtime {
         inner.in_flight += 1;
 
         if deps == 0 {
-            let meta = ReadyMeta { priority: desc.priority, releaser: None, affinity };
+            let meta = ReadyMeta {
+                priority: desc.priority,
+                releaser: None,
+                affinity,
+            };
             inner.policy.push(id, meta);
             self.shared.work_cv.notify_one();
             self.shared.quiesce_cv.notify_all();
@@ -236,9 +278,16 @@ impl Runtime {
         }
     }
 
-    /// Snapshot of the execution statistics.
+    /// Snapshot of the execution statistics. Aggregate counters come from
+    /// the engine lock; per-worker counters are read from the lock-free
+    /// worker slots.
     pub fn stats(&self) -> RuntimeStats {
-        self.shared.inner.lock().stats.clone()
+        let mut stats = self.shared.inner.lock().stats.clone();
+        for (w, slot) in self.shared.worker_slots.iter().enumerate() {
+            stats.per_worker_tasks[w] = slot.tasks.load(Ordering::Relaxed);
+            stats.per_worker_busy[w] = f64::from_bits(slot.busy_bits.load(Ordering::Relaxed));
+        }
+        stats
     }
 
     /// Number of tasks submitted so far.
@@ -280,7 +329,9 @@ impl Runtime {
 
     /// A [`Quiesce`] handle for the simulation layer.
     pub fn probe(&self) -> Arc<dyn Quiesce> {
-        Arc::new(RuntimeProbe { shared: self.shared.clone() })
+        Arc::new(RuntimeProbe {
+            shared: self.shared.clone(),
+        })
     }
 
     /// Seconds since this runtime started (the wall-clock trace origin).
@@ -403,9 +454,13 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
         ctx.finish_registration();
         let t_end = shared.epoch.elapsed().as_secs_f64();
 
+        // Both the trace record and the per-worker counter bump happen
+        // outside the engine lock: the trace recorder shards internally and
+        // the counter slot is owned by this worker alone.
         if let Some(trace) = &shared.trace {
             trace.record(worker, &label, task_id, t_start, t_end);
         }
+        shared.worker_slots[worker].add_task(t_end - t_start);
 
         // Completion: propagate to successors.
         {
@@ -429,17 +484,22 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                     released += 1;
                 }
             }
-            for _ in 0..released {
+            // Wake exactly as many workers as can absorb the released
+            // tasks: a notify beyond `idle_workers` has no parked worker to
+            // land on (awake workers re-check the ready queue before
+            // sleeping, so surplus tasks are never stranded), and a notify
+            // beyond `released` would wake a worker to an empty queue.
+            for _ in 0..released.min(inner.idle_workers) {
                 shared.work_cv.notify_one();
             }
             inner.in_flight -= 1;
             inner.stats.completed += 1;
-            inner.stats.per_worker_tasks[worker] += 1;
-            inner.stats.per_worker_busy[worker] += t_end - t_start;
             if let Err(panic) = result {
                 inner.stats.failed += 1;
                 let msg = panic_message(&*panic);
-                inner.errors.push(format!("task {task_id} ({label}): {msg}"));
+                inner
+                    .errors
+                    .push(format!("task {task_id} ({label}): {msg}"));
             }
             inner.busy_workers -= 1;
             shared.window_cv.notify_all();
@@ -448,7 +508,6 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
         }
     }
 }
-
 
 /// Cached SUPERSIM_DEBUG environment check (hot paths consult this).
 fn debug_enabled() -> bool {
@@ -483,13 +542,21 @@ mod tests {
         let log = Arc::new(Mutex::new(Vec::new()));
         for i in 0..20u64 {
             let log = log.clone();
-            rt.submit(TaskDesc::new("t", vec![Access::read_write(d(0))], move |_| {
-                log.lock().push(i);
-            }));
+            rt.submit(TaskDesc::new(
+                "t",
+                vec![Access::read_write(d(0))],
+                move |_| {
+                    log.lock().push(i);
+                },
+            ));
         }
         rt.wait_all().unwrap();
         let log = log.lock();
-        assert_eq!(*log, (0..20).collect::<Vec<_>>(), "RW chain must serialize in order");
+        assert_eq!(
+            *log,
+            (0..20).collect::<Vec<_>>(),
+            "RW chain must serialize in order"
+        );
     }
 
     #[test]
@@ -614,16 +681,24 @@ mod tests {
 
     #[test]
     fn all_scheduler_profiles_run_a_dag() {
-        for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+        for kind in [
+            SchedulerKind::Quark,
+            SchedulerKind::StarPu,
+            SchedulerKind::OmpSs,
+        ] {
             let rt = Runtime::new(kind.config(3));
             let count = Arc::new(AtomicU64::new(0));
             // Diamond DAGs over 10 data regions.
             for i in 0..10u64 {
                 for _ in 0..3 {
                     let c = count.clone();
-                    rt.submit(TaskDesc::new("t", vec![Access::read_write(d(i))], move |_| {
-                        c.fetch_add(1, Ordering::SeqCst);
-                    }));
+                    rt.submit(TaskDesc::new(
+                        "t",
+                        vec![Access::read_write(d(i))],
+                        move |_| {
+                            c.fetch_add(1, Ordering::SeqCst);
+                        },
+                    ));
                 }
             }
             rt.wait_all().unwrap();
@@ -676,11 +751,15 @@ mod tests {
         rt.submit(TaskDesc::new("t", vec![Access::write(d(0))], move |ctx| {
             ready_tx.send(()).unwrap();
             // Hold the dispatch window open until the main thread checked.
-            go_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            go_rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .unwrap();
             ctx.mark_registered();
         }));
         rt.seal();
-        ready_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        ready_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
         // Task popped but not registered: in dispatch -> not quiescent.
         assert!(!probe.quiescent());
         go_tx.send(()).unwrap();
@@ -703,9 +782,13 @@ mod tests {
         let gate = Arc::new(std::sync::Barrier::new(2));
         let g2 = gate.clone();
         // Blocker occupies the worker while we enqueue the contenders.
-        rt.submit(TaskDesc::new("block", vec![Access::write(d(9))], move |_| {
-            g2.wait();
-        }));
+        rt.submit(TaskDesc::new(
+            "block",
+            vec![Access::write(d(9))],
+            move |_| {
+                g2.wait();
+            },
+        ));
         let o1 = order.clone();
         rt.submit(
             TaskDesc::new("low", vec![Access::write(d(1))], move |_| {
@@ -807,23 +890,39 @@ mod cancellation_tests {
         let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
         let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
         // Blocker occupies the only worker.
-        rt.submit(TaskDesc::new("block", vec![Access::write(DataId(0))], move |_| {
-            started_tx.send(()).unwrap();
-            gate_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
-        }));
+        rt.submit(TaskDesc::new(
+            "block",
+            vec![Access::write(DataId(0))],
+            move |_| {
+                started_tx.send(()).unwrap();
+                gate_rx
+                    .recv_timeout(std::time::Duration::from_secs(5))
+                    .unwrap();
+            },
+        ));
         for i in 1..=5u64 {
             let ran = ran.clone();
-            rt.submit(TaskDesc::new("work", vec![Access::write(DataId(i))], move |_| {
-                ran.fetch_add(1, Ordering::SeqCst);
-            }));
+            rt.submit(TaskDesc::new(
+                "work",
+                vec![Access::write(DataId(i))],
+                move |_| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                },
+            ));
         }
         rt.seal();
-        started_rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
         let cancelled = rt.abort_pending();
         gate_tx.send(()).unwrap();
         rt.wait_all().unwrap();
         assert_eq!(cancelled, 5);
-        assert_eq!(ran.load(Ordering::SeqCst), 0, "cancelled tasks must not run");
+        assert_eq!(
+            ran.load(Ordering::SeqCst),
+            0,
+            "cancelled tasks must not run"
+        );
         assert_eq!(rt.stats().cancelled, 5);
         assert_eq!(rt.stats().completed, 1, "only the blocker executed");
     }
@@ -839,9 +938,13 @@ mod cancellation_tests {
         rt.unseal();
         let ran = Arc::new(AtomicU64::new(0));
         let r2 = ran.clone();
-        rt.submit(TaskDesc::new("t2", vec![Access::write(DataId(1))], move |_| {
-            r2.fetch_add(1, Ordering::SeqCst);
-        }));
+        rt.submit(TaskDesc::new(
+            "t2",
+            vec![Access::write(DataId(1))],
+            move |_| {
+                r2.fetch_add(1, Ordering::SeqCst);
+            },
+        ));
         rt.seal();
         rt.wait_all().unwrap();
         assert_eq!(ran.load(Ordering::SeqCst), 1);
@@ -852,14 +955,22 @@ mod cancellation_tests {
         // Error-recovery pattern: a failing task's successors are aborted.
         let rt = Runtime::new(RuntimeConfig::simple(1));
         let ran = Arc::new(AtomicU64::new(0));
-        rt.submit(TaskDesc::new("boom", vec![Access::write(DataId(0))], |_| {
-            panic!("numerical breakdown");
-        }));
+        rt.submit(TaskDesc::new(
+            "boom",
+            vec![Access::write(DataId(0))],
+            |_| {
+                panic!("numerical breakdown");
+            },
+        ));
         // Give the failure a moment to land, then cancel the rest.
         let r2 = ran.clone();
-        rt.submit(TaskDesc::new("dependent", vec![Access::read(DataId(0))], move |_| {
-            r2.fetch_add(1, Ordering::SeqCst);
-        }));
+        rt.submit(TaskDesc::new(
+            "dependent",
+            vec![Access::read(DataId(0))],
+            move |_| {
+                r2.fetch_add(1, Ordering::SeqCst);
+            },
+        ));
         rt.seal();
         // Busy-wait for the failure to be recorded, then abort.
         for _ in 0..500 {

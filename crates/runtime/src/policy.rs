@@ -115,7 +115,11 @@ impl PartialOrd for PrioEntry {
 impl Policy for PriorityQueue {
     fn push(&mut self, task: u64, meta: ReadyMeta) {
         self.seq += 1;
-        self.heap.push(PrioEntry { priority: meta.priority, neg_seq: -(self.seq as i64), task });
+        self.heap.push(PrioEntry {
+            priority: meta.priority,
+            neg_seq: -(self.seq as i64),
+            task,
+        });
     }
 
     fn pop(&mut self, _worker: usize) -> Option<u64> {
@@ -193,7 +197,10 @@ pub struct LocalityAware {
 impl LocalityAware {
     /// Create with one queue per worker.
     pub fn new(workers: usize) -> Self {
-        LocalityAware { queues: (0..workers.max(1)).map(|_| VecDeque::new()).collect(), rr: 0 }
+        LocalityAware {
+            queues: (0..workers.max(1)).map(|_| VecDeque::new()).collect(),
+            rr: 0,
+        }
     }
 }
 
@@ -229,7 +236,11 @@ mod tests {
     use super::*;
 
     fn meta() -> ReadyMeta {
-        ReadyMeta { priority: 0, releaser: None, affinity: None }
+        ReadyMeta {
+            priority: 0,
+            releaser: None,
+            affinity: None,
+        }
     }
 
     #[test]
@@ -260,10 +271,34 @@ mod tests {
     #[test]
     fn priority_order_with_fifo_ties() {
         let mut p = PriorityQueue::default();
-        p.push(10, ReadyMeta { priority: 1, ..meta() });
-        p.push(11, ReadyMeta { priority: 5, ..meta() });
-        p.push(12, ReadyMeta { priority: 5, ..meta() });
-        p.push(13, ReadyMeta { priority: 0, ..meta() });
+        p.push(
+            10,
+            ReadyMeta {
+                priority: 1,
+                ..meta()
+            },
+        );
+        p.push(
+            11,
+            ReadyMeta {
+                priority: 5,
+                ..meta()
+            },
+        );
+        p.push(
+            12,
+            ReadyMeta {
+                priority: 5,
+                ..meta()
+            },
+        );
+        p.push(
+            13,
+            ReadyMeta {
+                priority: 0,
+                ..meta()
+            },
+        );
         assert_eq!(p.pop(0), Some(11)); // highest priority, earliest
         assert_eq!(p.pop(0), Some(12));
         assert_eq!(p.pop(0), Some(10));
@@ -273,9 +308,27 @@ mod tests {
     #[test]
     fn work_stealing_prefers_own_then_steals() {
         let mut p = WorkStealing::new(2);
-        p.push(1, ReadyMeta { releaser: Some(0), ..meta() });
-        p.push(2, ReadyMeta { releaser: Some(0), ..meta() });
-        p.push(3, ReadyMeta { releaser: Some(1), ..meta() });
+        p.push(
+            1,
+            ReadyMeta {
+                releaser: Some(0),
+                ..meta()
+            },
+        );
+        p.push(
+            2,
+            ReadyMeta {
+                releaser: Some(0),
+                ..meta()
+            },
+        );
+        p.push(
+            3,
+            ReadyMeta {
+                releaser: Some(1),
+                ..meta()
+            },
+        );
         // Worker 0 pops own deque LIFO: 2 first.
         assert_eq!(p.pop(0), Some(2));
         assert_eq!(p.pop(0), Some(1));
@@ -305,10 +358,28 @@ mod tests {
     #[test]
     fn locality_bins_by_affinity() {
         let mut p = LocalityAware::new(4);
-        p.push(1, ReadyMeta { affinity: Some(2), ..meta() });
-        p.push(2, ReadyMeta { affinity: Some(2), ..meta() });
-        p.push(3, ReadyMeta { affinity: Some(6), ..meta() }); // 6 % 4 == 2
-        // Worker 2 gets them FIFO.
+        p.push(
+            1,
+            ReadyMeta {
+                affinity: Some(2),
+                ..meta()
+            },
+        );
+        p.push(
+            2,
+            ReadyMeta {
+                affinity: Some(2),
+                ..meta()
+            },
+        );
+        p.push(
+            3,
+            ReadyMeta {
+                affinity: Some(6),
+                ..meta()
+            },
+        ); // 6 % 4 == 2
+           // Worker 2 gets them FIFO.
         assert_eq!(p.pop(2), Some(1));
         assert_eq!(p.pop(2), Some(2));
         assert_eq!(p.pop(2), Some(3));
@@ -317,8 +388,18 @@ mod tests {
     #[test]
     fn locality_allows_stealing() {
         let mut p = LocalityAware::new(2);
-        p.push(9, ReadyMeta { affinity: Some(1), ..meta() });
-        assert_eq!(p.pop(0), Some(9), "worker 0 must steal from worker 1's queue");
+        p.push(
+            9,
+            ReadyMeta {
+                affinity: Some(1),
+                ..meta()
+            },
+        );
+        assert_eq!(
+            p.pop(0),
+            Some(9),
+            "worker 0 must steal from worker 1's queue"
+        );
     }
 
     #[test]

@@ -10,17 +10,16 @@ pub fn runtime_for(kind: SchedulerKind, workers: usize) -> Runtime {
 }
 
 /// Build a trace-recording runtime for one of the paper's schedulers.
-pub fn traced_runtime_for(
-    kind: SchedulerKind,
-    workers: usize,
-    recorder: TraceRecorder,
-) -> Runtime {
+pub fn traced_runtime_for(kind: SchedulerKind, workers: usize, recorder: TraceRecorder) -> Runtime {
     Runtime::with_trace(kind.config(workers), Some(recorder))
 }
 
 /// All three profiles, for sweep loops.
-pub const ALL_SCHEDULERS: [SchedulerKind; 3] =
-    [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs];
+pub const ALL_SCHEDULERS: [SchedulerKind; 3] = [
+    SchedulerKind::Quark,
+    SchedulerKind::StarPu,
+    SchedulerKind::OmpSs,
+];
 
 #[cfg(test)]
 mod tests {

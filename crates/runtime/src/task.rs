@@ -30,7 +30,12 @@ impl TaskDesc {
         accesses: Vec<Access>,
         body: impl FnOnce(&TaskContext) + Send + 'static,
     ) -> Self {
-        TaskDesc { label: label.into(), accesses, priority: 0, body: Box::new(body) }
+        TaskDesc {
+            label: label.into(),
+            accesses,
+            priority: 0,
+            body: Box::new(body),
+        }
     }
 
     /// Set the scheduling priority.
@@ -62,7 +67,9 @@ pub struct DispatchToken {
 
 impl DispatchToken {
     pub(crate) fn new() -> Arc<Self> {
-        Arc::new(DispatchToken { registered: AtomicBool::new(false) })
+        Arc::new(DispatchToken {
+            registered: AtomicBool::new(false),
+        })
     }
 
     /// Mark registered; returns true on the first call only.

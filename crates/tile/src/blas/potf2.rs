@@ -16,7 +16,11 @@ pub struct NotPositiveDefinite {
 
 impl std::fmt::Display for NotPositiveDefinite {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matrix not positive definite: pivot {} = {:.6e}", self.pivot, self.value)
+        write!(
+            f,
+            "matrix not positive definite: pivot {} = {:.6e}",
+            self.pivot, self.value
+        )
     }
 }
 
@@ -60,7 +64,9 @@ mod tests {
     fn spd(n: usize, seed: u64) -> Matrix {
         let mut s = seed;
         let b = Matrix::from_fn(n, n, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         });
         // A = B*B^T + n*I is SPD.
@@ -73,7 +79,11 @@ mod tests {
     }
 
     fn lower_of(a: &Matrix) -> Matrix {
-        Matrix::from_fn(a.rows(), a.cols(), |i, j| if i >= j { a[(i, j)] } else { 0.0 })
+        Matrix::from_fn(
+            a.rows(),
+            a.cols(),
+            |i, j| if i >= j { a[(i, j)] } else { 0.0 },
+        )
     }
 
     #[test]

@@ -164,7 +164,9 @@ mod tests {
     fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
         let mut s = seed;
         Matrix::from_fn(rows, cols, |_, _| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -259,7 +261,15 @@ mod tests {
         let a = Matrix::identity(3);
         let b0 = rand_matrix(3, 2, 11);
         let mut b = b0.clone();
-        dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 3.0, &a, &mut b);
+        dtrsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            3.0,
+            &a,
+            &mut b,
+        );
         for i in 0..3 {
             for j in 0..2 {
                 assert!((b[(i, j)] - 3.0 * b0[(i, j)]).abs() < 1e-14);
@@ -272,7 +282,15 @@ mod tests {
     fn rejects_non_square_factor() {
         let a = Matrix::zeros(3, 2);
         let mut b = Matrix::zeros(3, 2);
-        dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::NonUnit, 1.0, &a, &mut b);
+        dtrsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::NonUnit,
+            1.0,
+            &a,
+            &mut b,
+        );
     }
 
     #[test]
@@ -281,7 +299,15 @@ mod tests {
         a[(0, 0)] = 123.0; // must be ignored under Diag::Unit
         a[(1, 0)] = 0.0;
         let mut b = Matrix::from_fn(2, 1, |i, _| (i + 1) as f64);
-        dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, &a, &mut b);
+        dtrsm(
+            Side::Left,
+            Uplo::Lower,
+            Trans::No,
+            Diag::Unit,
+            1.0,
+            &a,
+            &mut b,
+        );
         assert_eq!(b[(0, 0)], 1.0);
         assert_eq!(b[(1, 0)], 2.0);
     }

@@ -79,7 +79,15 @@ pub fn execute_task(a: &mut TiledMatrix, task: CholeskyTask) -> Result<(), NotPo
         CholeskyTask::Gemm { k, i, j } => {
             let aik = a.tile(i, k).clone();
             let ajk = a.tile(j, k).clone();
-            dgemm(Trans::No, Trans::Yes, -1.0, &aik, &ajk, 1.0, a.tile_mut(i, j));
+            dgemm(
+                Trans::No,
+                Trans::Yes,
+                -1.0,
+                &aik,
+                &ajk,
+                1.0,
+                a.tile_mut(i, j),
+            );
         }
     }
     Ok(())

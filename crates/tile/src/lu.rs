@@ -21,7 +21,11 @@ pub struct ZeroPivot {
 
 impl std::fmt::Display for ZeroPivot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "zero pivot at index {} (LU without pivoting)", self.pivot)
+        write!(
+            f,
+            "zero pivot at index {} (LU without pivoting)",
+            self.pivot
+        )
     }
 }
 
@@ -79,7 +83,9 @@ pub fn dgetrf_nopiv(a: &mut Matrix, pivot_base: usize) -> Result<(), ZeroPivot> 
     for k in 0..n {
         let piv = a[(k, k)];
         if piv == 0.0 || !piv.is_finite() {
-            return Err(ZeroPivot { pivot: pivot_base + k });
+            return Err(ZeroPivot {
+                pivot: pivot_base + k,
+            });
         }
         for i in (k + 1)..n {
             let l = a[(i, k)] / piv;
@@ -102,16 +108,40 @@ pub fn execute_task(a: &mut TiledMatrix, task: LuTask) -> Result<(), ZeroPivot> 
         }
         LuTask::TrsmL { k, j } => {
             let akk = a.tile(k, k).clone();
-            dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, &akk, a.tile_mut(k, j));
+            dtrsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                Diag::Unit,
+                1.0,
+                &akk,
+                a.tile_mut(k, j),
+            );
         }
         LuTask::TrsmU { k, i } => {
             let akk = a.tile(k, k).clone();
-            dtrsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, &akk, a.tile_mut(i, k));
+            dtrsm(
+                Side::Right,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                1.0,
+                &akk,
+                a.tile_mut(i, k),
+            );
         }
         LuTask::Gemm { k, i, j } => {
             let aik = a.tile(i, k).clone();
             let akj = a.tile(k, j).clone();
-            dgemm(Trans::No, Trans::No, -1.0, &aik, &akj, 1.0, a.tile_mut(i, j));
+            dgemm(
+                Trans::No,
+                Trans::No,
+                -1.0,
+                &aik,
+                &akj,
+                1.0,
+                a.tile_mut(i, j),
+            );
         }
     }
     Ok(())

@@ -14,7 +14,11 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -128,7 +132,11 @@ impl Matrix {
 
     /// Elementwise difference `self - other`.
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let mut out = self.clone();
         for (o, &b) in out.data.iter_mut().zip(other.data.iter()) {
             *o -= b;
@@ -148,8 +156,14 @@ impl Matrix {
         dst_i: usize,
         dst_j: usize,
     ) {
-        assert!(src_i + rows <= src.rows && src_j + cols <= src.cols, "src block out of range");
-        assert!(dst_i + rows <= self.rows && dst_j + cols <= self.cols, "dst block out of range");
+        assert!(
+            src_i + rows <= src.rows && src_j + cols <= src.cols,
+            "src block out of range"
+        );
+        assert!(
+            dst_i + rows <= self.rows && dst_j + cols <= self.cols,
+            "dst block out of range"
+        );
         for j in 0..cols {
             for i in 0..rows {
                 self[(dst_i + i, dst_j + j)] = src[(src_i + i, src_j + j)];
@@ -168,7 +182,10 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[j * self.rows + i]
     }
 }
@@ -176,7 +193,10 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[j * self.rows + i]
     }
 }

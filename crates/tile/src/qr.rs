@@ -160,7 +160,13 @@ pub fn apply_q(a: &TiledMatrix, ts: &TiledMatrix, trans: ApplyTrans, c: &mut Til
 /// Extract the upper-triangular `R` factor from a factored tiled matrix.
 pub fn extract_r(a: &TiledMatrix) -> Matrix {
     let full = a.to_matrix();
-    Matrix::from_fn(full.rows(), full.cols(), |i, j| if i <= j { full[(i, j)] } else { 0.0 })
+    Matrix::from_fn(full.rows(), full.cols(), |i, j| {
+        if i <= j {
+            full[(i, j)]
+        } else {
+            0.0
+        }
+    })
 }
 
 #[cfg(test)]

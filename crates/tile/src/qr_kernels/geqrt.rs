@@ -142,7 +142,11 @@ mod tests {
         let mut qtq = Matrix::identity(6);
         dgemm(Trans::Yes, Trans::No, 1.0, &q, &q, -1.0, &mut qtq);
         // qtq now holds Q^T Q - I.
-        assert!(frobenius(&qtq) < 1e-13, "orthogonality defect {}", frobenius(&qtq));
+        assert!(
+            frobenius(&qtq) < 1e-13,
+            "orthogonality defect {}",
+            frobenius(&qtq)
+        );
     }
 
     #[test]

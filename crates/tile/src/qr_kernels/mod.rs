@@ -65,8 +65,11 @@ mod house_tests {
         let v = [1.0, x[0], x[1]];
         let orig = [alpha, x_old[0], x_old[1]];
         let w: f64 = v.iter().zip(orig.iter()).map(|(a, b)| a * b).sum();
-        let reflected: Vec<f64> =
-            orig.iter().zip(v.iter()).map(|(o, vi)| o - tau * w * vi).collect();
+        let reflected: Vec<f64> = orig
+            .iter()
+            .zip(v.iter())
+            .map(|(o, vi)| o - tau * w * vi)
+            .collect();
         assert!((reflected[0] - beta).abs() < 1e-12);
         assert!(reflected[1].abs() < 1e-12);
         assert!(reflected[2].abs() < 1e-12);

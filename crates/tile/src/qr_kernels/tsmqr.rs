@@ -137,7 +137,11 @@ mod tests {
                 );
             }
         }
-        assert!(frobenius(&c2) < 1e-12, "bottom block not annihilated: {}", frobenius(&c2));
+        assert!(
+            frobenius(&c2) < 1e-12,
+            "bottom block not annihilated: {}",
+            frobenius(&c2)
+        );
     }
 
     #[test]

@@ -114,7 +114,11 @@ mod tests {
     }
 
     fn upper_of(r: &Matrix) -> Matrix {
-        Matrix::from_fn(r.rows(), r.cols(), |i, j| if i <= j { r[(i, j)] } else { 0.0 })
+        Matrix::from_fn(
+            r.rows(),
+            r.cols(),
+            |i, j| if i <= j { r[(i, j)] } else { 0.0 },
+        )
     }
 
     fn triangular_r(n: usize, seed: u64) -> Matrix {
@@ -144,13 +148,17 @@ mod tests {
 
         // Original stack [upper(R0); B0] must equal Q * [R'; 0].
         let q = q_of(&b, &t);
-        let stacked_r = Matrix::from_fn(n + m, n, |i, j| {
-            if i < n && i <= j {
-                r[(i, j)]
-            } else {
-                0.0
-            }
-        });
+        let stacked_r = Matrix::from_fn(
+            n + m,
+            n,
+            |i, j| {
+                if i < n && i <= j {
+                    r[(i, j)]
+                } else {
+                    0.0
+                }
+            },
+        );
         let mut recon = Matrix::zeros(n + m, n);
         dgemm(Trans::No, Trans::No, 1.0, &q, &stacked_r, 0.0, &mut recon);
         let orig = Matrix::from_fn(n + m, n, |i, j| {

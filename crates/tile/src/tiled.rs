@@ -36,7 +36,14 @@ impl TiledMatrix {
                 tiles.push(Matrix::zeros(tr, tc));
             }
         }
-        TiledMatrix { rows, cols, nb, mt, nt, tiles }
+        TiledMatrix {
+            rows,
+            cols,
+            nb,
+            mt,
+            nt,
+            tiles,
+        }
     }
 
     fn edge(total: usize, nb: usize, idx: usize) -> usize {
@@ -137,7 +144,14 @@ impl TiledMatrix {
         cols: usize,
     ) -> Self {
         assert_eq!(tiles.len(), mt * nt, "tile count mismatch");
-        TiledMatrix { rows, cols, nb, mt, nt, tiles }
+        TiledMatrix {
+            rows,
+            cols,
+            nb,
+            mt,
+            nt,
+            tiles,
+        }
     }
 }
 

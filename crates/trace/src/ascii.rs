@@ -81,7 +81,13 @@ mod tests {
     use crate::TraceEvent;
 
     fn ev(worker: usize, kernel: &str, id: u64, start: f64, end: f64) -> TraceEvent {
-        TraceEvent { worker, kernel: kernel.into(), task_id: id, start, end }
+        TraceEvent {
+            worker,
+            kernel: kernel.into(),
+            task_id: id,
+            start,
+            end,
+        }
     }
 
     #[test]
@@ -116,8 +122,20 @@ mod tests {
         let art = render(&t, 12);
         let legend = art.lines().last().unwrap();
         // Two distinct glyphs assigned.
-        let g1 = legend.split("=geqrt").next().unwrap().chars().last().unwrap();
-        let g2 = legend.split("=gemm").next().unwrap().chars().last().unwrap();
+        let g1 = legend
+            .split("=geqrt")
+            .next()
+            .unwrap()
+            .chars()
+            .last()
+            .unwrap();
+        let g2 = legend
+            .split("=gemm")
+            .next()
+            .unwrap()
+            .chars()
+            .last()
+            .unwrap();
         assert_ne!(g1, g2);
     }
 

@@ -70,8 +70,11 @@ impl TraceComparison {
                 .all(|(k, v)| sc.kernels.get(k).is_some_and(|w| w.count == v.count));
 
         // Match tasks by id.
-        let by_id: HashMap<u64, (usize, f64)> =
-            r.events.iter().map(|e| (e.task_id, (e.worker, e.start))).collect();
+        let by_id: HashMap<u64, (usize, f64)> = r
+            .events
+            .iter()
+            .map(|e| (e.task_id, (e.worker, e.start)))
+            .collect();
         let mut matched = 0usize;
         let mut same_worker = 0usize;
         let mut xs = Vec::new();
@@ -88,8 +91,11 @@ impl TraceComparison {
                 shift_sum += (e.start - s).abs();
             }
         }
-        let placement_agreement =
-            if matched > 0 { same_worker as f64 / matched as f64 } else { 0.0 };
+        let placement_agreement = if matched > 0 {
+            same_worker as f64 / matched as f64
+        } else {
+            0.0
+        };
         let start_time_correlation = pearson(&xs, &ys);
         let mean_start_shift = if matched > 0 && makespan_ref > 0.0 {
             shift_sum / matched as f64 / makespan_ref
@@ -161,7 +167,13 @@ mod tests {
     use crate::TraceEvent;
 
     fn ev(worker: usize, kernel: &str, id: u64, start: f64, end: f64) -> TraceEvent {
-        TraceEvent { worker, kernel: kernel.into(), task_id: id, start, end }
+        TraceEvent {
+            worker,
+            kernel: kernel.into(),
+            task_id: id,
+            start,
+            end,
+        }
     }
 
     fn base_trace() -> Trace {

@@ -25,9 +25,9 @@ pub mod ascii;
 pub mod chrome;
 pub mod color;
 pub mod compare;
-pub mod recorder;
 #[cfg(test)]
 mod proptests;
+pub mod recorder;
 pub mod stats;
 pub mod svg;
 pub mod text;
@@ -74,7 +74,10 @@ pub struct Trace {
 impl Trace {
     /// An empty trace with `workers` lanes.
     pub fn new(workers: usize) -> Self {
-        Trace { workers, events: Vec::new() }
+        Trace {
+            workers,
+            events: Vec::new(),
+        }
     }
 
     /// Number of events.
@@ -97,7 +100,11 @@ impl Trace {
         if self.events.is_empty() {
             return 0.0;
         }
-        let start = self.events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+        let start = self
+            .events
+            .iter()
+            .map(|e| e.start)
+            .fold(f64::INFINITY, f64::min);
         self.t_max() - start
     }
 
@@ -107,7 +114,11 @@ impl Trace {
         if let Some(max_w) = self.events.iter().map(|e| e.worker).max() {
             self.workers = self.workers.max(max_w + 1);
         }
-        let t0 = self.events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+        let t0 = self
+            .events
+            .iter()
+            .map(|e| e.start)
+            .fold(f64::INFINITY, f64::min);
         if t0.is_finite() && t0 != 0.0 {
             for e in &mut self.events {
                 e.start -= t0;
@@ -182,7 +193,13 @@ mod tests {
     use super::*;
 
     fn ev(worker: usize, kernel: &str, id: u64, start: f64, end: f64) -> TraceEvent {
-        TraceEvent { worker, kernel: kernel.to_string(), task_id: id, start, end }
+        TraceEvent {
+            worker,
+            kernel: kernel.to_string(),
+            task_id: id,
+            start,
+            end,
+        }
     }
 
     #[test]

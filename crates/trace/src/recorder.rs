@@ -3,18 +3,58 @@
 //! In a real run every worker thread logs `(worker, kernel, start, end)` in
 //! wall-clock seconds; in a simulated run the sim-kernel protocol logs the
 //! same tuple in virtual time. Both go through [`TraceRecorder`].
+//!
+//! The recorder is **sharded**: events land in one of [`SHARDS`] per-shard
+//! buffers selected by `worker % SHARDS`, so concurrent workers recording
+//! on different shards never contend on a common lock. Each event is
+//! stamped with a globally unique sequence number from a single atomic
+//! counter; [`TraceRecorder::snapshot`] and [`TraceRecorder::finish`] merge
+//! the shards by `(start, seq)`, which makes the merged order deterministic
+//! for a given set of recorded events regardless of shard interleaving.
 
 use crate::{Trace, TraceEvent};
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Number of independent event buffers. Workers map onto shards by
+/// `worker % SHARDS`; 32 shards keep lock collisions rare for any
+/// realistic worker count while bounding per-recorder memory.
+const SHARDS: usize = 32;
+
+/// One shard: a locked event buffer, padded to its own cache line so
+/// neighbouring shard locks do not false-share.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct Shard {
+    events: Mutex<Vec<(u64, TraceEvent)>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: Vec<Shard>,
+    /// Global event sequence stamp: the deterministic merge tie-breaker.
+    seq: AtomicU64,
+}
 
 /// A shareable, thread-safe accumulator of trace events.
 ///
-/// Cloning shares the underlying buffer ([`Arc`] internally), so every
+/// Cloning shares the underlying buffers ([`Arc`] internally), so every
 /// worker thread can own a handle.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TraceRecorder {
-    inner: Arc<Mutex<Vec<TraceEvent>>>,
+    inner: Arc<Inner>,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder {
+            inner: Arc::new(Inner {
+                shards: (0..SHARDS).map(|_| Shard::default()).collect(),
+                seq: AtomicU64::new(0),
+            }),
+        }
+    }
 }
 
 impl TraceRecorder {
@@ -25,7 +65,7 @@ impl TraceRecorder {
 
     /// Record one event.
     pub fn record(&self, worker: usize, kernel: &str, task_id: u64, start: f64, end: f64) {
-        self.inner.lock().push(TraceEvent {
+        self.record_event(TraceEvent {
             worker,
             kernel: kernel.to_string(),
             task_id,
@@ -36,29 +76,58 @@ impl TraceRecorder {
 
     /// Record a prebuilt event.
     pub fn record_event(&self, event: TraceEvent) {
-        self.inner.lock().push(event);
+        let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.inner.shards[event.worker % SHARDS];
+        shard.events.lock().push((seq, event));
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.events.lock().len())
+            .sum()
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.inner.shards.iter().all(|s| s.events.lock().is_empty())
     }
 
-    /// Drop all recorded events.
+    /// Drop all recorded events. The sequence stamp keeps counting up —
+    /// only relative order within one merge matters.
     pub fn clear(&self) {
-        self.inner.lock().clear();
+        for s in &self.inner.shards {
+            s.events.lock().clear();
+        }
+    }
+
+    /// Merge every shard into one deterministically ordered event list:
+    /// ascending `(start, seq)`, with `total_cmp` on the timestamp so the
+    /// order is total even for exotic floats.
+    fn merged(&self, take: bool) -> Vec<TraceEvent> {
+        let mut stamped: Vec<(u64, TraceEvent)> = Vec::new();
+        for s in &self.inner.shards {
+            let mut guard = s.events.lock();
+            if take {
+                stamped.append(&mut guard);
+            } else {
+                stamped.extend(guard.iter().cloned());
+            }
+        }
+        stamped.sort_by(|a, b| a.1.start.total_cmp(&b.1.start).then(a.0.cmp(&b.0)));
+        stamped.into_iter().map(|(_, e)| e).collect()
     }
 
     /// Take a normalized snapshot of the trace with `workers` lanes
     /// (grown if events reference higher worker indices). The recorder
     /// keeps its contents.
     pub fn snapshot(&self, workers: usize) -> Trace {
-        let mut t = Trace { workers, events: self.inner.lock().clone() };
+        let mut t = Trace {
+            workers,
+            events: self.merged(false),
+        };
         t.normalize();
         t
     }
@@ -66,8 +135,10 @@ impl TraceRecorder {
     /// Consume the recorded events into a normalized [`Trace`], leaving the
     /// recorder empty.
     pub fn finish(&self, workers: usize) -> Trace {
-        let events = std::mem::take(&mut *self.inner.lock());
-        let mut t = Trace { workers, events };
+        let mut t = Trace {
+            workers,
+            events: self.merged(true),
+        };
         t.normalize();
         t
     }
@@ -147,5 +218,37 @@ mod tests {
         r.record(0, "a", 0, 0.0, 1.0);
         r.clear();
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn shards_beyond_worker_count_still_merge() {
+        // Workers far above SHARDS wrap onto existing shards without loss.
+        let r = TraceRecorder::new();
+        for w in 0..(SHARDS * 3) {
+            r.record(w, "k", w as u64, w as f64, w as f64 + 0.5);
+        }
+        let t = r.finish(1);
+        assert_eq!(t.len(), SHARDS * 3);
+        assert_eq!(t.workers, SHARDS * 3);
+    }
+
+    #[test]
+    fn merge_order_is_deterministic_on_timestamp_ties() {
+        // Same timestamps recorded from one thread across different
+        // shards: the (start, seq) merge must reproduce recording order
+        // before normalization re-sorts by lane.
+        let r = TraceRecorder::new();
+        for i in 0..10u64 {
+            r.record((i % 4) as usize, "k", i, 1.0, 2.0);
+        }
+        let merged = r.merged(false);
+        let ids: Vec<u64> = merged.iter().map(|e| e.task_id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        // And two identical recorders produce identical snapshots.
+        let r2 = TraceRecorder::new();
+        for i in 0..10u64 {
+            r2.record((i % 4) as usize, "k", i, 1.0, 2.0);
+        }
+        assert_eq!(r.snapshot(4), r2.snapshot(4));
     }
 }

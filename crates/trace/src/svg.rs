@@ -199,7 +199,9 @@ fn format_time(t: f64) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -247,8 +249,20 @@ mod tests {
     #[test]
     fn fixed_time_span_scales_positions() {
         let t = trace();
-        let narrow = render(&t, &SvgOptions { time_span: Some(2.0), ..Default::default() });
-        let wide = render(&t, &SvgOptions { time_span: Some(4.0), ..Default::default() });
+        let narrow = render(
+            &t,
+            &SvgOptions {
+                time_span: Some(2.0),
+                ..Default::default()
+            },
+        );
+        let wide = render(
+            &t,
+            &SvgOptions {
+                time_span: Some(4.0),
+                ..Default::default()
+            },
+        );
         // Same events, different widths: documents must differ.
         assert_ne!(narrow, wide);
     }

@@ -35,7 +35,11 @@ pub fn write(trace: &Trace) -> String {
     let mut s = String::with_capacity(64 + trace.events.len() * 48);
     let _ = writeln!(s, "# supersim-trace v1 workers={}", trace.workers);
     for e in &trace.events {
-        let _ = writeln!(s, "{} {} {} {:.9} {:.9}", e.worker, e.kernel, e.task_id, e.start, e.end);
+        let _ = writeln!(
+            s,
+            "{} {} {} {:.9} {:.9}",
+            e.worker, e.kernel, e.task_id, e.start, e.end
+        );
     }
     s
 }
@@ -87,7 +91,10 @@ pub fn parse(input: &str) -> Result<Trace, ParseError> {
             message: format!("bad end time {:?}", fields[4]),
         })?;
         if end < start {
-            return Err(ParseError { line: lineno, message: "end < start".to_string() });
+            return Err(ParseError {
+                line: lineno,
+                message: "end < start".to_string(),
+            });
         }
         trace.events.push(TraceEvent {
             worker,

@@ -13,10 +13,16 @@ pub fn accesses(a: &SharedTiles, task: CholeskyTask) -> Vec<Access> {
     match task {
         CholeskyTask::Potrf { k } => vec![Access::read_write(a.data_id(k, k))],
         CholeskyTask::Trsm { k, i } => {
-            vec![Access::read(a.data_id(k, k)), Access::read_write(a.data_id(i, k))]
+            vec![
+                Access::read(a.data_id(k, k)),
+                Access::read_write(a.data_id(i, k)),
+            ]
         }
         CholeskyTask::Syrk { k, i } => {
-            vec![Access::read(a.data_id(i, k)), Access::read_write(a.data_id(i, i))]
+            vec![
+                Access::read(a.data_id(i, k)),
+                Access::read_write(a.data_id(i, i)),
+            ]
         }
         CholeskyTask::Gemm { k, i, j } => vec![
             Access::read(a.data_id(i, k)),
@@ -52,7 +58,15 @@ pub fn execute_real(a: &SharedTiles, task: CholeskyTask) {
         CholeskyTask::Trsm { k, i } => {
             let akk = a.read(k, k).clone();
             let mut aik = a.write(i, k);
-            dtrsm(Side::Right, Uplo::Lower, Trans::Yes, Diag::NonUnit, 1.0, &akk, &mut aik);
+            dtrsm(
+                Side::Right,
+                Uplo::Lower,
+                Trans::Yes,
+                Diag::NonUnit,
+                1.0,
+                &akk,
+                &mut aik,
+            );
         }
         CholeskyTask::Syrk { k, i } => {
             let aik = a.read(i, k).clone();
@@ -105,7 +119,11 @@ mod tests {
 
     #[test]
     fn real_run_factors_correctly_all_schedulers() {
-        for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+        for kind in [
+            SchedulerKind::Quark,
+            SchedulerKind::StarPu,
+            SchedulerKind::OmpSs,
+        ] {
             let n = 24;
             let a0 = spd(n, 7);
             let shared = SharedTiles::new(TiledMatrix::from_matrix(&a0, 6), 0);
@@ -152,8 +170,7 @@ mod tests {
         // Real run.
         let shared = SharedTiles::new(TiledMatrix::from_matrix(&a0, 6), 0);
         let recorder = supersim_trace::TraceRecorder::new();
-        let rt =
-            Runtime::with_trace(RuntimeConfig::simple(2), Some(recorder.clone()));
+        let rt = Runtime::with_trace(RuntimeConfig::simple(2), Some(recorder.clone()));
         submit(&rt, &shared, &ExecMode::Real);
         rt.seal();
         rt.wait_all().unwrap();
@@ -184,11 +201,8 @@ mod tests {
             priority(4, CholeskyTask::Potrf { k: 0 }) > priority(4, CholeskyTask::Potrf { k: 1 })
         );
         assert!(
-            priority(4, CholeskyTask::Potrf { k: 0 }) > priority(4, CholeskyTask::Gemm {
-                k: 0,
-                i: 2,
-                j: 1
-            })
+            priority(4, CholeskyTask::Potrf { k: 0 })
+                > priority(4, CholeskyTask::Gemm { k: 0, i: 2, j: 1 })
         );
     }
 }

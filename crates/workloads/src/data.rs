@@ -54,9 +54,18 @@ impl SharedTiles {
         assert!(nb > 0, "tile size must be positive");
         let mt = rows.div_ceil(nb);
         let nt = cols.div_ceil(nb);
-        let tiles: Vec<RwLock<Matrix>> =
-            (0..mt * nt).map(|_| RwLock::new(Matrix::zeros(0, 0))).collect();
-        SharedTiles { tiles: Arc::new(tiles), mt, nt, nb, rows, cols, base_id }
+        let tiles: Vec<RwLock<Matrix>> = (0..mt * nt)
+            .map(|_| RwLock::new(Matrix::zeros(0, 0)))
+            .collect();
+        SharedTiles {
+            tiles: Arc::new(tiles),
+            mt,
+            nt,
+            nb,
+            rows,
+            cols,
+            base_id,
+        }
     }
 
     /// Number of tile rows.

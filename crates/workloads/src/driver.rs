@@ -95,7 +95,13 @@ pub struct SimRun {
     pub gflops: f64,
 }
 
-fn submit_algorithm(alg: Algorithm, rt: &Runtime, a: &SharedTiles, t: Option<&SharedTiles>, mode: &ExecMode) {
+fn submit_algorithm(
+    alg: Algorithm,
+    rt: &Runtime,
+    a: &SharedTiles,
+    t: Option<&SharedTiles>,
+    mode: &ExecMode,
+) {
     match alg {
         Algorithm::Cholesky => {
             cholesky::submit(rt, a, mode);
@@ -127,7 +133,10 @@ pub fn run_real(
     };
     let a = SharedTiles::new(TiledMatrix::from_matrix(&a0, nb), 0);
     let t = match alg {
-        Algorithm::Qr => Some(SharedTiles::new(TiledMatrix::zeros(n, n, nb), a.id_range().1)),
+        Algorithm::Qr => Some(SharedTiles::new(
+            TiledMatrix::zeros(n, n, nb),
+            a.id_range().1,
+        )),
         _ => None,
     };
 
@@ -142,9 +151,7 @@ pub fn run_real(
 
     let residual = match alg {
         Algorithm::Cholesky => verify::cholesky_residual(&a0, &a.to_tiled()),
-        Algorithm::Qr => {
-            verify::qr_residual(&a0, &a.to_tiled(), &t.as_ref().unwrap().to_tiled())
-        }
+        Algorithm::Qr => verify::qr_residual(&a0, &a.to_tiled(), &t.as_ref().unwrap().to_tiled()),
         Algorithm::Lu => verify::lu_residual(&a0, &a.to_tiled()),
     };
 
@@ -207,7 +214,13 @@ pub fn run_sim(
 
 /// Convenience: a fresh session with the given models and default config.
 pub fn session_with(models: supersim_core::ModelRegistry, seed: u64) -> Arc<SimSession> {
-    SimSession::new(models, SimConfig { seed, ..SimConfig::default() })
+    SimSession::new(
+        models,
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -255,7 +268,14 @@ mod tests {
         // N=3960, nb=180 (the paper's Fig. 6/7 size): runs in O(tasks),
         // no O(n^2) allocation.
         let session = session_with(constant_models(Algorithm::Cholesky, 0.001), 4);
-        let run = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, 8, 3960, 180, session);
+        let run = run_sim(
+            Algorithm::Cholesky,
+            SchedulerKind::Quark,
+            8,
+            3960,
+            180,
+            session,
+        );
         assert_eq!(run.n, 3960);
         // NT = 22: tasks = 22 + 2*231 + 1540 = 2024.
         assert_eq!(run.trace.len(), 2024);

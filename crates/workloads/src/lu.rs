@@ -14,10 +14,16 @@ pub fn accesses(a: &SharedTiles, task: LuTask) -> Vec<Access> {
     match task {
         LuTask::Getrf { k } => vec![Access::read_write(a.data_id(k, k))],
         LuTask::TrsmL { k, j } => {
-            vec![Access::read(a.data_id(k, k)), Access::read_write(a.data_id(k, j))]
+            vec![
+                Access::read(a.data_id(k, k)),
+                Access::read_write(a.data_id(k, j)),
+            ]
         }
         LuTask::TrsmU { k, i } => {
-            vec![Access::read(a.data_id(k, k)), Access::read_write(a.data_id(i, k))]
+            vec![
+                Access::read(a.data_id(k, k)),
+                Access::read_write(a.data_id(i, k)),
+            ]
         }
         LuTask::Gemm { k, i, j } => vec![
             Access::read(a.data_id(i, k)),
@@ -48,12 +54,28 @@ pub fn execute_real(a: &SharedTiles, task: LuTask, nb: usize) {
         LuTask::TrsmL { k, j } => {
             let akk = a.read(k, k).clone();
             let mut akj = a.write(k, j);
-            dtrsm(Side::Left, Uplo::Lower, Trans::No, Diag::Unit, 1.0, &akk, &mut akj);
+            dtrsm(
+                Side::Left,
+                Uplo::Lower,
+                Trans::No,
+                Diag::Unit,
+                1.0,
+                &akk,
+                &mut akj,
+            );
         }
         LuTask::TrsmU { k, i } => {
             let akk = a.read(k, k).clone();
             let mut aik = a.write(i, k);
-            dtrsm(Side::Right, Uplo::Upper, Trans::No, Diag::NonUnit, 1.0, &akk, &mut aik);
+            dtrsm(
+                Side::Right,
+                Uplo::Upper,
+                Trans::No,
+                Diag::NonUnit,
+                1.0,
+                &akk,
+                &mut aik,
+            );
         }
         LuTask::Gemm { k, i, j } => {
             let aik = a.read(i, k).clone();

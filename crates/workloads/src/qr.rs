@@ -15,7 +15,10 @@ use supersim_tile::Matrix;
 pub fn accesses(a: &SharedTiles, t: &SharedTiles, task: QrTask) -> Vec<Access> {
     match task {
         QrTask::Geqrt { k } => {
-            vec![Access::read_write(a.data_id(k, k)), Access::write(t.data_id(k, k))]
+            vec![
+                Access::read_write(a.data_id(k, k)),
+                Access::write(t.data_id(k, k)),
+            ]
         }
         QrTask::Ormqr { k, n } => vec![
             Access::read(a.data_id(k, k)),
@@ -86,7 +89,11 @@ pub fn execute_real(a: &SharedTiles, t: &SharedTiles, task: QrTask) {
 /// `a` (holding the T factors) with a disjoint id range. Returns the task
 /// count; call `rt.seal()` afterwards.
 pub fn submit(rt: &Runtime, a: &SharedTiles, t: &SharedTiles, mode: &ExecMode) -> u64 {
-    assert_eq!(a.mt(), a.nt(), "tile QR workload requires a square tile grid");
+    assert_eq!(
+        a.mt(),
+        a.nt(),
+        "tile QR workload requires a square tile grid"
+    );
     assert_eq!(a.mt(), t.mt(), "T grid shape mismatch");
     assert_eq!(a.nt(), t.nt(), "T grid shape mismatch");
     let (a_lo, a_hi) = a.id_range();
@@ -133,7 +140,11 @@ mod tests {
 
     #[test]
     fn real_run_factors_correctly_all_schedulers() {
-        for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+        for kind in [
+            SchedulerKind::Quark,
+            SchedulerKind::StarPu,
+            SchedulerKind::OmpSs,
+        ] {
             let (a0, a, t) = grids(24, 6, 11);
             let rt = supersim_runtime::profiles::runtime_for(kind, 3);
             submit(&rt, &a, &t, &ExecMode::Real);
@@ -188,7 +199,10 @@ mod tests {
         let f4 = trace.events.iter().find(|e| e.task_id == 4).unwrap();
         assert_eq!(f9.kernel, "dgeqrt");
         assert_eq!(f4.kernel, "dtsmqr");
-        assert!(f9.start >= f4.end - 1e-9, "geqrt(1) started before tsmqr(0,1,1) ended");
+        assert!(
+            f9.start >= f4.end - 1e-9,
+            "geqrt(1) started before tsmqr(0,1,1) ended"
+        );
     }
 
     #[test]

@@ -51,7 +51,9 @@ pub fn fork_join(width: usize, duration: f64) -> Vec<SynthTask> {
     tasks.push(SynthTask {
         label: "join".to_string(),
         duration,
-        accesses: (0..width).map(|i| Access::read(DataId(1 + i as u64))).collect(),
+        accesses: (0..width)
+            .map(|i| Access::read(DataId(1 + i as u64)))
+            .collect(),
     });
     tasks
 }
@@ -60,8 +62,17 @@ pub fn fork_join(width: usize, duration: f64) -> Vec<SynthTask> {
 /// `fan_in` random outputs of the previous layer and writes its own output.
 /// Durations are uniform in `[0.5, 1.5) * base_duration`. Deterministic in
 /// `seed`.
-pub fn layered(layers: usize, width: usize, fan_in: usize, base_duration: f64, seed: u64) -> Vec<SynthTask> {
-    assert!(layers > 0 && width > 0, "layered DAG needs positive dimensions");
+pub fn layered(
+    layers: usize,
+    width: usize,
+    fan_in: usize,
+    base_duration: f64,
+    seed: u64,
+) -> Vec<SynthTask> {
+    assert!(
+        layers > 0 && width > 0,
+        "layered DAG needs positive dimensions"
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut tasks = Vec::with_capacity(layers * width);
     let out_id = |layer: usize, slot: usize| DataId((layer * width + slot) as u64);
@@ -75,7 +86,11 @@ pub fn layered(layers: usize, width: usize, fan_in: usize, base_duration: f64, s
                 }
             }
             let duration = base_duration * (0.5 + rng.random::<f64>());
-            tasks.push(SynthTask { label: format!("l{layer}"), duration, accesses });
+            tasks.push(SynthTask {
+                label: format!("l{layer}"),
+                duration,
+                accesses,
+            });
         }
     }
     tasks
@@ -98,12 +113,7 @@ pub fn to_graph(tasks: &[SynthTask]) -> TaskGraph {
 /// workload in milliseconds); in simulated mode it runs the sim-kernel
 /// protocol (the session must hold a model per label — see
 /// [`models_for`]).
-pub fn submit(
-    rt: &Runtime,
-    tasks: &[SynthTask],
-    mode: &ExecMode,
-    real_time_scale: f64,
-) -> u64 {
+pub fn submit(rt: &Runtime, tasks: &[SynthTask], mode: &ExecMode, real_time_scale: f64) -> u64 {
     for task in tasks {
         let desc = match mode {
             ExecMode::Real => {
@@ -232,8 +242,16 @@ mod tests {
     #[test]
     fn models_for_averages_durations() {
         let tasks = vec![
-            SynthTask { label: "x".into(), duration: 1.0, accesses: vec![] },
-            SynthTask { label: "x".into(), duration: 3.0, accesses: vec![] },
+            SynthTask {
+                label: "x".into(),
+                duration: 1.0,
+                accesses: vec![],
+            },
+            SynthTask {
+                label: "x".into(),
+                duration: 3.0,
+                accesses: vec![],
+            },
         ];
         let reg = models_for(&tasks);
         assert_eq!(reg.expect("x").mean(), 2.0);

@@ -21,7 +21,10 @@ fn main() {
     let candidates = [60usize, 90, 120, 180, 240];
 
     println!("autotuning tile size for Cholesky n={n} on {workers} workers (quark)");
-    println!("{:>6} {:>12} {:>14} {:>12}", "nb", "cal[s]", "sim pred[s]", "pred GF/s");
+    println!(
+        "{:>6} {:>12} {:>14} {:>12}",
+        "nb", "cal[s]", "sim pred[s]", "pred GF/s"
+    );
 
     let mut best: Option<(usize, f64)> = None;
     for &nb in &candidates {
@@ -33,20 +36,39 @@ fn main() {
         // cache residency, which is why the paper calibrates from "the
         // actual execution of the algorithm" rather than isolated timing).
         let cal_n = (n / 2).max(3 * nb);
-        let cal_run = run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, cal_n, nb, 5);
+        let cal_run = run_real(
+            Algorithm::Cholesky,
+            SchedulerKind::Quark,
+            workers,
+            cal_n,
+            nb,
+            5,
+        );
         let cal = calibrate(&cal_run.trace, FitOptions::default());
         // Model the per-task scheduler overhead too: with small tiles the
         // task count explodes and dispatch cost dominates — ignoring it
         // would make the autotuner wrongly favor tiny tiles (this is the
         // paper's own §VII diagnosis of its small-size errors).
-        let overhead =
-            estimate_overhead(&cal_run.trace, 0.005).map(|e| e.median_gap).unwrap_or(0.0);
+        let overhead = estimate_overhead(&cal_run.trace, 0.005)
+            .map(|e| e.median_gap)
+            .unwrap_or(0.0);
         // Simulate the full size.
         let session = SimSession::new(
             cal.registry,
-            SimConfig { seed: nb as u64, overhead_per_task: overhead, ..SimConfig::default() },
+            SimConfig {
+                seed: nb as u64,
+                overhead_per_task: overhead,
+                ..SimConfig::default()
+            },
         );
-        let sim = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session);
+        let sim = run_sim(
+            Algorithm::Cholesky,
+            SchedulerKind::Quark,
+            workers,
+            n,
+            nb,
+            session,
+        );
         println!(
             "{:>6} {:>12.3} {:>14.3} {:>12.2}",
             nb, cal_run.seconds, sim.predicted_seconds, sim.gflops
@@ -61,8 +83,18 @@ fn main() {
     println!("verifying the full sweep with real runs...");
     let mut real_best: Option<(usize, f64)> = None;
     for &cand in &candidates {
-        let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, cand, 6);
-        println!("  nb={cand:<4} real {:.3}s ({:.2} GFLOP/s)", real.seconds, real.gflops);
+        let real = run_real(
+            Algorithm::Cholesky,
+            SchedulerKind::Quark,
+            workers,
+            n,
+            cand,
+            6,
+        );
+        println!(
+            "  nb={cand:<4} real {:.3}s ({:.2} GFLOP/s)",
+            real.seconds, real.gflops
+        );
         if real_best.is_none_or(|(_, t)| real.seconds < t) {
             real_best = Some((cand, real.seconds));
         }

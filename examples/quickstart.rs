@@ -21,7 +21,14 @@ fn main() {
     let (n, nb, workers) = (720, 90, 1);
 
     println!("real run: tile Cholesky n={n} nb={nb} workers={workers} (quark)");
-    let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, 42);
+    let real = run_real(
+        Algorithm::Cholesky,
+        SchedulerKind::Quark,
+        workers,
+        n,
+        nb,
+        42,
+    );
     println!(
         "  elapsed {:.3}s  ({:.2} GFLOP/s), residual {:.2e} -> numerically correct",
         real.seconds, real.gflops, real.residual
@@ -40,7 +47,14 @@ fn main() {
 
     println!("simulated run (same scheduler, same DAG, no computation):");
     let session = session_with(cal.registry.clone(), 7);
-    let sim = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session);
+    let sim = run_sim(
+        Algorithm::Cholesky,
+        SchedulerKind::Quark,
+        workers,
+        n,
+        nb,
+        session,
+    );
     println!(
         "  predicted {:.3}s  ({:.2} GFLOP/s), simulation itself took {:.3}s wall",
         sim.predicted_seconds, sim.gflops, sim.wall_seconds
@@ -52,12 +66,25 @@ fn main() {
     // the paper: the main source of its small-size error).
     use supersim::calibrate::estimate_overhead;
     use supersim::core::{SimConfig, SimSession};
-    let overhead = estimate_overhead(&real.trace, 0.005).map(|e| e.median_gap).unwrap_or(0.0);
+    let overhead = estimate_overhead(&real.trace, 0.005)
+        .map(|e| e.median_gap)
+        .unwrap_or(0.0);
     let session = SimSession::new(
         cal.registry,
-        SimConfig { seed: 7, overhead_per_task: overhead, ..SimConfig::default() },
+        SimConfig {
+            seed: 7,
+            overhead_per_task: overhead,
+            ..SimConfig::default()
+        },
     );
-    let sim2 = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session);
+    let sim2 = run_sim(
+        Algorithm::Cholesky,
+        SchedulerKind::Quark,
+        workers,
+        n,
+        nb,
+        session,
+    );
     let err2 = (sim2.predicted_seconds - real.seconds) / real.seconds * 100.0;
     println!(
         "with {:.1} µs/task overhead modeled: predicted {:.3}s, error {err2:+.1}%",

@@ -19,8 +19,14 @@ fn run(mitigation: RaceMitigation) -> Trace {
     models.insert("A", KernelModel::constant(1.0));
     models.insert("B", KernelModel::constant(2.0));
     models.insert("C", KernelModel::constant(0.5));
-    let session: Arc<SimSession> =
-        SimSession::new(models, SimConfig { seed: 1, mitigation, ..SimConfig::default() });
+    let session: Arc<SimSession> = SimSession::new(
+        models,
+        SimConfig {
+            seed: 1,
+            mitigation,
+            ..SimConfig::default()
+        },
+    );
 
     let rt = Runtime::new(RuntimeConfig::simple(2));
     session.attach_quiesce(rt.probe());
@@ -30,7 +36,9 @@ fn run(mitigation: RaceMitigation) -> Trace {
         ("C", vec![Access::read(DataId(0))]),
     ] {
         let s = session.clone();
-        rt.submit(TaskDesc::new(label, accesses, move |ctx| s.run_kernel(ctx, label)));
+        rt.submit(TaskDesc::new(label, accesses, move |ctx| {
+            s.run_kernel(ctx, label)
+        }));
     }
     rt.seal();
     rt.wait_all().unwrap();

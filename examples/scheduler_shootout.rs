@@ -23,8 +23,15 @@ fn main() {
     );
 
     println!("simulated QR n={n} nb={nb} on {workers} virtual workers:");
-    println!("{:>10} {:>12} {:>12} {:>14}", "scheduler", "pred[s]", "GFLOP/s", "utilization");
-    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+    println!(
+        "{:>10} {:>12} {:>12} {:>14}",
+        "scheduler", "pred[s]", "GFLOP/s", "utilization"
+    );
+    for kind in [
+        SchedulerKind::Quark,
+        SchedulerKind::StarPu,
+        SchedulerKind::OmpSs,
+    ] {
         let session = session_with(cal.registry.clone(), 23);
         let sim = run_sim(Algorithm::Qr, kind, workers, n, nb, session);
         let stats = TraceStats::of(&sim.trace);

@@ -7,11 +7,13 @@
 //! ```
 
 use supersim::prelude::*;
-use supersim::trace::svg::{render, SvgOptions};
 use supersim::trace::ascii;
+use supersim::trace::svg::{render, SvgOptions};
 
 fn main() {
-    let out = std::env::args().nth(1).unwrap_or_else(|| "target".to_string());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target".to_string());
     let (n, nb, workers) = (720, 90, 4);
 
     println!("real QR run: n={n} nb={nb} workers={workers}");

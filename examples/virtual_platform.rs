@@ -14,13 +14,19 @@ fn main() {
     let (cal_n, nb) = (720, 180);
     println!("calibrating from a real QR run (n={cal_n}, nb={nb})...");
     let real = run_real(Algorithm::Qr, SchedulerKind::Quark, 1, cal_n, nb, 9);
-    println!("  done in {:.2}s, residual {:.1e}", real.seconds, real.residual);
+    println!(
+        "  done in {:.2}s, residual {:.1e}",
+        real.seconds, real.residual
+    );
     let cal = calibrate(&real.trace, FitOptions::default());
 
     // Predict the paper's platform: n=3960, nb=180, sweeping workers.
     let n = 3960;
     println!("simulated strong scaling of QR n={n} nb={nb} (22x22 tiles, 2024 tasks):");
-    println!("{:>8} {:>12} {:>12} {:>10}", "workers", "pred[s]", "GFLOP/s", "speedup");
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "workers", "pred[s]", "GFLOP/s", "speedup"
+    );
     let mut t1 = None;
     for workers in [1usize, 2, 4, 8, 16, 32, 48, 64] {
         let session = session_with(cal.registry.clone(), workers as u64);

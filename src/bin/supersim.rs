@@ -15,9 +15,7 @@
 
 use std::collections::HashMap;
 use std::process::exit;
-use supersim::calibrate::{
-    calibrate, estimate_overhead, CalibrationDb, FitOptions,
-};
+use supersim::calibrate::{calibrate, estimate_overhead, CalibrationDb, FitOptions};
 use supersim::core::{SimConfig, SimSession};
 use supersim::prelude::*;
 use supersim::trace::{chrome, svg, text};
@@ -122,7 +120,11 @@ fn cmd_real(opts: &HashMap<String, String>) {
     let workers = get(opts, "workers", 1usize);
     let seed = get(opts, "seed", 42u64);
 
-    println!("real {} n={n} nb={nb} workers={workers} scheduler={}", alg.name(), kind.name());
+    println!(
+        "real {} n={n} nb={nb} workers={workers} scheduler={}",
+        alg.name(),
+        kind.name()
+    );
     let run = run_real(alg, kind, workers, n, nb, seed);
     println!(
         "elapsed {:.4}s   {:.2} GFLOP/s   residual {:.2e}",
@@ -144,7 +146,8 @@ fn cmd_real(opts: &HashMap<String, String>) {
             workers,
             cal,
         );
-        db.save(std::path::Path::new(path)).expect("write calibration");
+        db.save(std::path::Path::new(path))
+            .expect("write calibration");
         println!("calibration written to {path}");
     }
 }
@@ -178,7 +181,11 @@ fn cmd_sim(opts: &HashMap<String, String>) {
         }),
     };
 
-    let config = SimConfig { seed, overhead_per_task: overhead, ..SimConfig::default() };
+    let config = SimConfig {
+        seed,
+        overhead_per_task: overhead,
+        ..SimConfig::default()
+    };
     let session = SimSession::new(db.calibration.registry, config);
     println!(
         "sim {} n={n} nb={nb} workers={workers} scheduler={} (calibration: {})",
@@ -214,7 +221,11 @@ fn cmd_predict(opts: &HashMap<String, String>) {
     let seed = get(opts, "seed", 42u64);
     let model_overhead = opts.get("overhead").map(String::as_str) == Some("auto");
 
-    println!("predict {} n={n} nb={nb} workers={workers} scheduler={}", alg.name(), kind.name());
+    println!(
+        "predict {} n={n} nb={nb} workers={workers} scheduler={}",
+        alg.name(),
+        kind.name()
+    );
     let real = run_real(alg, kind, workers, n, nb, seed);
     println!(
         "real:      {:.4}s  {:.2} GFLOP/s  residual {:.2e}",
@@ -222,15 +233,24 @@ fn cmd_predict(opts: &HashMap<String, String>) {
     );
     let cal = calibrate(&real.trace, FitOptions::default());
     let overhead = if model_overhead {
-        let est = estimate_overhead(&real.trace, 0.01).map(|e| e.median_gap).unwrap_or(0.0);
-        println!("overhead:  modeling {:.2} µs/task from trace gaps", est * 1e6);
+        let est = estimate_overhead(&real.trace, 0.01)
+            .map(|e| e.median_gap)
+            .unwrap_or(0.0);
+        println!(
+            "overhead:  modeling {:.2} µs/task from trace gaps",
+            est * 1e6
+        );
         est
     } else {
         0.0
     };
     let session = SimSession::new(
         cal.registry,
-        SimConfig { seed, overhead_per_task: overhead, ..SimConfig::default() },
+        SimConfig {
+            seed,
+            overhead_per_task: overhead,
+            ..SimConfig::default()
+        },
     );
     let sim = run_sim(alg, kind, workers, n, nb, session);
     println!(
@@ -252,17 +272,29 @@ fn cmd_dag(opts: &HashMap<String, String>) {
     match alg {
         Algorithm::Cholesky => {
             for task in supersim::tile::cholesky::task_stream(nt) {
-                builder.submit(task.label(), 1.0, &supersim::workloads::cholesky::accesses(&a, task));
+                builder.submit(
+                    task.label(),
+                    1.0,
+                    &supersim::workloads::cholesky::accesses(&a, task),
+                );
             }
         }
         Algorithm::Qr => {
             for task in supersim::tile::qr::task_stream(nt) {
-                builder.submit(task.label(), 1.0, &supersim::workloads::qr::accesses(&a, &t, task));
+                builder.submit(
+                    task.label(),
+                    1.0,
+                    &supersim::workloads::qr::accesses(&a, &t, task),
+                );
             }
         }
         Algorithm::Lu => {
             for task in supersim::tile::lu::task_stream(nt) {
-                builder.submit(task.label(), 1.0, &supersim::workloads::lu::accesses(&a, task));
+                builder.submit(
+                    task.label(),
+                    1.0,
+                    &supersim::workloads::lu::accesses(&a, task),
+                );
             }
         }
     }
@@ -288,13 +320,21 @@ fn cmd_info() {
     println!("supersim {}", env!("CARGO_PKG_VERSION"));
     println!("algorithms: cholesky (Algorithm 1), qr (Algorithm 2), lu (extension)");
     println!("schedulers:");
-    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+    for kind in [
+        SchedulerKind::Quark,
+        SchedulerKind::StarPu,
+        SchedulerKind::OmpSs,
+    ] {
         let c = kind.config(1);
         println!(
             "  {:<8} policy={:?} window={}",
             kind.name(),
             c.policy,
-            if c.window == usize::MAX { "unbounded".to_string() } else { c.window.to_string() }
+            if c.window == usize::MAX {
+                "unbounded".to_string()
+            } else {
+                c.window.to_string()
+            }
         );
     }
     println!("race mitigations: quiesce (exact), sleep_yield (portable), none (demo)");

@@ -57,9 +57,7 @@ pub use supersim_workloads as workloads;
 /// The most common imports for driving the simulator.
 pub mod prelude {
     pub use supersim_calibrate::{calibrate, CalibrationDb, CollectOptions, FitOptions};
-    pub use supersim_core::{
-        KernelModel, ModelRegistry, RaceMitigation, SimConfig, SimSession,
-    };
+    pub use supersim_core::{KernelModel, ModelRegistry, RaceMitigation, SimConfig, SimSession};
     pub use supersim_dag::{Access, AccessMode, DataId};
     pub use supersim_des::{simulate as des_simulate, DesPolicy};
     pub use supersim_dist::{Dist, Distribution};

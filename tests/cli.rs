@@ -45,7 +45,11 @@ fn dag_command_emits_stats_and_dot() {
         .arg(&dot_path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("30 tasks"), "{text}");
     let dot = std::fs::read_to_string(&dot_path).unwrap();
@@ -58,18 +62,41 @@ fn real_then_sim_round_trip() {
     let dir = tmpdir();
     let cal = dir.join("cal.json");
     let out = bin()
-        .args(["real", "--alg", "cholesky", "--n", "96", "--nb", "24", "--calibration-out"])
+        .args([
+            "real",
+            "--alg",
+            "cholesky",
+            "--n",
+            "96",
+            "--nb",
+            "24",
+            "--calibration-out",
+        ])
         .arg(&cal)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("residual"), "{text}");
 
     let svg = dir.join("trace.svg");
     let chrome = dir.join("trace.json");
     let out = bin()
-        .args(["sim", "--alg", "cholesky", "--n", "192", "--nb", "24", "--workers", "4"])
+        .args([
+            "sim",
+            "--alg",
+            "cholesky",
+            "--n",
+            "192",
+            "--nb",
+            "24",
+            "--workers",
+            "4",
+        ])
         .args(["--calibration"])
         .arg(&cal)
         .args(["--svg"])
@@ -78,7 +105,11 @@ fn real_then_sim_round_trip() {
         .arg(&chrome)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("predicted"), "{text}");
     assert!(std::fs::read_to_string(&svg).unwrap().starts_with("<svg"));
@@ -91,10 +122,24 @@ fn real_then_sim_round_trip() {
 #[test]
 fn predict_reports_error_percentage() {
     let out = bin()
-        .args(["predict", "--alg", "cholesky", "--n", "120", "--nb", "30", "--overhead", "auto"])
+        .args([
+            "predict",
+            "--alg",
+            "cholesky",
+            "--n",
+            "120",
+            "--nb",
+            "30",
+            "--overhead",
+            "auto",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("error:"), "{text}");
     assert!(text.contains("overhead:"), "{text}");

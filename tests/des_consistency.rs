@@ -23,7 +23,12 @@ fn chain_agrees_exactly() {
     let graph = to_graph(&tasks);
     let des = des_simulate(&graph, 4, DesPolicy::Fifo, |t| graph.node(t).weight);
     let inloop = inloop_makespan(&tasks, 4);
-    assert!((des.makespan - inloop).abs() < 1e-9, "{} vs {}", des.makespan, inloop);
+    assert!(
+        (des.makespan - inloop).abs() < 1e-9,
+        "{} vs {}",
+        des.makespan,
+        inloop
+    );
 }
 
 #[test]

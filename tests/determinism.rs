@@ -8,8 +8,22 @@ fn sim_once(seed: u64, workers: usize) -> Trace {
     for l in Algorithm::Cholesky.labels() {
         models.insert(*l, KernelModel::new(Dist::log_normal(-6.0, 0.3).unwrap()));
     }
-    let session = SimSession::new(models, SimConfig { seed, ..SimConfig::default() });
-    run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, 160, 20, session).trace
+    let session = SimSession::new(
+        models,
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    run_sim(
+        Algorithm::Cholesky,
+        SchedulerKind::Quark,
+        workers,
+        160,
+        20,
+        session,
+    )
+    .trace
 }
 
 #[test]
@@ -36,8 +50,7 @@ fn seed_stability_across_worker_counts() {
     let a = sim_once(7, 1);
     let b = sim_once(7, 4);
     use std::collections::HashMap;
-    let da: HashMap<u64, f64> =
-        a.events.iter().map(|e| (e.task_id, e.duration())).collect();
+    let da: HashMap<u64, f64> = a.events.iter().map(|e| (e.task_id, e.duration())).collect();
     for e in &b.events {
         let expect = da[&e.task_id];
         assert!(
@@ -45,5 +58,20 @@ fn seed_stability_across_worker_counts() {
             "task {} duration changed with worker count",
             e.task_id
         );
+    }
+}
+
+#[test]
+fn same_seed_same_virtual_times_many_workers() {
+    // Oversubscribed: 48 virtual workers on however few host cores. The
+    // targeted-wakeup TEQ must keep virtual times bit-for-bit reproducible
+    // under heavy thread interleaving, not just at small worker counts.
+    let a = sim_once(42, 48);
+    for _ in 0..5 {
+        let b = sim_once(42, 48);
+        let cmp = TraceComparison::compare(&a, &b);
+        assert_eq!(cmp.matched_tasks, a.len());
+        assert_eq!(cmp.makespan_rel_error, 0.0, "makespans differ");
+        assert_eq!(cmp.mean_start_shift, 0.0, "start times differ");
     }
 }

@@ -14,25 +14,51 @@ use supersim::prelude::*;
 #[test]
 fn overhead_modeling_does_not_hurt_accuracy() {
     let (n, nb, workers) = (240, 30, 1); // small tiles: overhead-dominated
-    let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, 77);
+    let real = run_real(
+        Algorithm::Cholesky,
+        SchedulerKind::Quark,
+        workers,
+        n,
+        nb,
+        77,
+    );
     let cal = calibrate(&real.trace, FitOptions::default());
-    let overhead = estimate_overhead(&real.trace, 0.005).map(|e| e.median_gap).unwrap_or(0.0);
-    assert!(overhead > 0.0, "a real run must show nonzero scheduler gaps");
+    let overhead = estimate_overhead(&real.trace, 0.005)
+        .map(|e| e.median_gap)
+        .unwrap_or(0.0);
+    assert!(
+        overhead > 0.0,
+        "a real run must show nonzero scheduler gaps"
+    );
 
     let run_with = |oh: f64| {
         let session = SimSession::new(
             cal.registry.clone(),
-            SimConfig { seed: 5, overhead_per_task: oh, ..SimConfig::default() },
+            SimConfig {
+                seed: 5,
+                overhead_per_task: oh,
+                ..SimConfig::default()
+            },
         );
-        run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session)
-            .predicted_seconds
+        run_sim(
+            Algorithm::Cholesky,
+            SchedulerKind::Quark,
+            workers,
+            n,
+            nb,
+            session,
+        )
+        .predicted_seconds
     };
     let plain = run_with(0.0);
     let modeled = run_with(overhead);
 
     let err_plain = (plain - real.seconds).abs() / real.seconds;
     let err_modeled = (modeled - real.seconds).abs() / real.seconds;
-    assert!(plain <= real.seconds * 1.02, "unmodeled prediction should be optimistic");
+    assert!(
+        plain <= real.seconds * 1.02,
+        "unmodeled prediction should be optimistic"
+    );
     assert!(modeled > plain, "overhead must lengthen the prediction");
     assert!(
         err_modeled <= err_plain + 0.02,
@@ -54,15 +80,20 @@ fn heterogeneous_platform_speedup() {
         let workers = speeds.len().max(2);
         let session = SimSession::new(
             models,
-            SimConfig { worker_speeds: speeds, ..SimConfig::default() },
+            SimConfig {
+                worker_speeds: speeds,
+                ..SimConfig::default()
+            },
         );
         let rt = Runtime::new(RuntimeConfig::simple(workers));
         session.attach_quiesce(rt.probe());
         for i in 0..bag {
             let s = session.clone();
-            rt.submit(TaskDesc::new("k", vec![Access::write(DataId(i))], move |c| {
-                s.run_kernel(c, "k")
-            }));
+            rt.submit(TaskDesc::new(
+                "k",
+                vec![Access::write(DataId(i))],
+                move |c| s.run_kernel(c, "k"),
+            ));
         }
         rt.seal();
         rt.wait_all().unwrap();
@@ -80,28 +111,30 @@ fn heterogeneous_platform_speedup() {
 /// serde persistence, and simulation.
 #[test]
 fn mixture_kernel_model_end_to_end() {
-    let bimodal = Dist::Mixture(
-        Mixture::bimodal(
-            0.8,
-            Dist::constant(0.001),
-            Dist::constant(0.010),
-        )
-        .unwrap(),
-    );
+    let bimodal =
+        Dist::Mixture(Mixture::bimodal(0.8, Dist::constant(0.001), Dist::constant(0.010)).unwrap());
     let mut models = ModelRegistry::new();
     models.insert("k", KernelModel::new(bimodal));
     // Persist and reload (the calibration-database path).
     let json = serde_json::to_string(&models).unwrap();
     let models: ModelRegistry = serde_json::from_str(&json).unwrap();
 
-    let session = SimSession::new(models, SimConfig { seed: 3, ..SimConfig::default() });
+    let session = SimSession::new(
+        models,
+        SimConfig {
+            seed: 3,
+            ..SimConfig::default()
+        },
+    );
     let rt = Runtime::new(RuntimeConfig::simple(1));
     session.attach_quiesce(rt.probe());
     for i in 0..200u64 {
         let s = session.clone();
-        rt.submit(TaskDesc::new("k", vec![Access::write(DataId(i))], move |c| {
-            s.run_kernel(c, "k")
-        }));
+        rt.submit(TaskDesc::new(
+            "k",
+            vec![Access::write(DataId(i))],
+            move |c| s.run_kernel(c, "k"),
+        ));
     }
     rt.seal();
     rt.wait_all().unwrap();
@@ -125,9 +158,11 @@ fn abort_during_simulation() {
     session.attach_quiesce(rt.probe());
     for i in 0..40u64 {
         let s = session.clone();
-        rt.submit(TaskDesc::new("k", vec![Access::read_write(DataId(i % 2))], move |c| {
-            s.run_kernel(c, "k")
-        }));
+        rt.submit(TaskDesc::new(
+            "k",
+            vec![Access::read_write(DataId(i % 2))],
+            move |c| s.run_kernel(c, "k"),
+        ));
     }
     rt.seal();
     let cancelled = rt.abort_pending();

@@ -7,7 +7,11 @@ use supersim::prelude::*;
 fn pipeline(alg: Algorithm, kind: SchedulerKind) -> (RealRun, SimRun) {
     let (n, nb, workers) = (120, 24, 1);
     let real = run_real(alg, kind, workers, n, nb, 1234);
-    assert!(real.residual < 1e-10, "{alg:?}/{kind:?}: bad residual {}", real.residual);
+    assert!(
+        real.residual < 1e-10,
+        "{alg:?}/{kind:?}: bad residual {}",
+        real.residual
+    );
     let cal = calibrate(&real.trace, FitOptions::default());
     let session = session_with(cal.registry, 99);
     let sim = run_sim(alg, kind, workers, n, nb, session);
@@ -16,7 +20,11 @@ fn pipeline(alg: Algorithm, kind: SchedulerKind) -> (RealRun, SimRun) {
 
 #[test]
 fn full_pipeline_all_schedulers_cholesky() {
-    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+    for kind in [
+        SchedulerKind::Quark,
+        SchedulerKind::StarPu,
+        SchedulerKind::OmpSs,
+    ] {
         let (real, sim) = pipeline(Algorithm::Cholesky, kind);
         let cmp = TraceComparison::compare(&real.trace, &sim.trace);
         assert!(cmp.same_kernel_population, "{kind:?}: population mismatch");
@@ -34,7 +42,11 @@ fn full_pipeline_all_schedulers_cholesky() {
 
 #[test]
 fn full_pipeline_all_schedulers_qr() {
-    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+    for kind in [
+        SchedulerKind::Quark,
+        SchedulerKind::StarPu,
+        SchedulerKind::OmpSs,
+    ] {
         let (real, sim) = pipeline(Algorithm::Qr, kind);
         let cmp = TraceComparison::compare(&real.trace, &sim.trace);
         assert!(cmp.same_kernel_population, "{kind:?}: population mismatch");
@@ -55,10 +67,24 @@ fn moderate_size_prediction_is_accurate() {
     // The headline accuracy claim at a size where kernels dominate
     // overhead: error within ~15% (paper: worst case 16%, typical < 5%).
     let (n, nb, workers) = (480, 80, 1);
-    let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, 55);
+    let real = run_real(
+        Algorithm::Cholesky,
+        SchedulerKind::Quark,
+        workers,
+        n,
+        nb,
+        55,
+    );
     let cal = calibrate(&real.trace, FitOptions::default());
     let session = session_with(cal.registry, 3);
-    let sim = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, session);
+    let sim = run_sim(
+        Algorithm::Cholesky,
+        SchedulerKind::Quark,
+        workers,
+        n,
+        nb,
+        session,
+    );
     let err = (sim.predicted_seconds - real.seconds).abs() / real.seconds;
     assert!(err < 0.15, "prediction error {:.1}%", err * 100.0);
 }

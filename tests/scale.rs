@@ -13,7 +13,13 @@ fn big_sim(kind: SchedulerKind, workers: usize) -> (Trace, f64) {
     for l in Algorithm::Cholesky.labels() {
         models.insert(*l, KernelModel::new(Dist::gamma(9.0, 0.0003).unwrap()));
     }
-    let session = SimSession::new(models, SimConfig { seed: 99, ..SimConfig::default() });
+    let session = SimSession::new(
+        models,
+        SimConfig {
+            seed: 99,
+            ..SimConfig::default()
+        },
+    );
     let sim = run_sim(Algorithm::Cholesky, kind, workers, n, nb, session);
     (sim.trace, sim.predicted_seconds)
 }
@@ -24,12 +30,20 @@ fn thousands_of_tasks_all_schedulers() {
     let a = SharedTiles::layout_only(2000, 2000, 100, 0);
     let mut b = DagBuilder::new();
     for task in supersim::tile::cholesky::task_stream(a.nt()) {
-        b.submit(task.label(), 1.0, &supersim::workloads::cholesky::accesses(&a, task));
+        b.submit(
+            task.label(),
+            1.0,
+            &supersim::workloads::cholesky::accesses(&a, task),
+        );
     }
     let graph = b.finish();
     assert_eq!(graph.len(), 1540);
 
-    for kind in [SchedulerKind::Quark, SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+    for kind in [
+        SchedulerKind::Quark,
+        SchedulerKind::StarPu,
+        SchedulerKind::OmpSs,
+    ] {
         let (trace, predicted) = big_sim(kind, 8);
         assert_eq!(trace.len(), 1540, "{kind:?}");
         assert!(predicted > 0.0);
@@ -48,7 +62,11 @@ fn thousands_of_tasks_all_schedulers() {
         // 8 workers on a DAG with avg parallelism >> 8: utilization must
         // be decent and the makespan far below serial.
         let stats = TraceStats::of(&trace);
-        assert!(stats.utilization > 0.5, "{kind:?}: utilization {}", stats.utilization);
+        assert!(
+            stats.utilization > 0.5,
+            "{kind:?}: utilization {}",
+            stats.utilization
+        );
     }
 }
 
@@ -60,7 +78,13 @@ fn forty_eight_virtual_workers_qr() {
     for l in Algorithm::Qr.labels() {
         models.insert(*l, KernelModel::constant(0.005));
     }
-    let session = SimSession::new(models, SimConfig { seed: 48, ..SimConfig::default() });
+    let session = SimSession::new(
+        models,
+        SimConfig {
+            seed: 48,
+            ..SimConfig::default()
+        },
+    );
     let sim = run_sim(Algorithm::Qr, SchedulerKind::Quark, 48, 3960, 180, session);
     assert_eq!(sim.trace.len(), 3795);
     assert!(sim.trace.validate(1e-9).is_ok());
@@ -70,7 +94,13 @@ fn forty_eight_virtual_workers_qr() {
     for l in Algorithm::Qr.labels() {
         models8.insert(*l, KernelModel::constant(0.005));
     }
-    let session8 = SimSession::new(models8, SimConfig { seed: 48, ..SimConfig::default() });
+    let session8 = SimSession::new(
+        models8,
+        SimConfig {
+            seed: 48,
+            ..SimConfig::default()
+        },
+    );
     let sim8 = run_sim(Algorithm::Qr, SchedulerKind::Quark, 8, 3960, 180, session8);
     assert!(
         sim.predicted_seconds < sim8.predicted_seconds * 0.45,

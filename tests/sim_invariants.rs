@@ -13,7 +13,10 @@ fn run_layered(layers: usize, width: usize, fan_in: usize, seed: u64, workers: u
     let graph = to_graph(&tasks);
     let session = SimSession::new(
         models_for(&tasks),
-        SimConfig { seed, ..SimConfig::default() },
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
     );
     let rt = Runtime::new(RuntimeConfig::simple(workers));
     session.attach_quiesce(rt.probe());
@@ -44,7 +47,10 @@ fn run_layered(layers: usize, width: usize, fan_in: usize, seed: u64, workers: u
     // Critical path uses nominal weights; allow small slack for the
     // label-mean model quantization.
     prop_assert_with(makespan <= total + 1e-9, "makespan exceeds serial time");
-    prop_assert_with(makespan >= cp * 0.5, "makespan below half the critical path");
+    prop_assert_with(
+        makespan >= cp * 0.5,
+        "makespan below half the critical path",
+    );
 }
 
 fn prop_assert_with(cond: bool, msg: &str) {

@@ -1,0 +1,291 @@
+//! Offline vendored shim: the subset of the `criterion` API this
+//! workspace's benches use, backed by a plain wall-clock timing loop.
+//!
+//! No statistics beyond mean/min/max, no HTML reports, no comparison to
+//! saved baselines — each benchmark warms up briefly, then runs
+//! `sample_size` timed samples and prints mean time per iteration plus
+//! derived throughput when one was declared.
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, same contract as criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared work per iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier (`function_id/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_id: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Times a closure over a fixed number of samples.
+pub struct Bencher<'a> {
+    samples: usize,
+    /// Captured per-sample durations, one per sample.
+    times: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Run the routine once per sample (plus one warm-up call), timing
+    /// each call individually.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.times.push(t0.elapsed());
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<S, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<S, I, F>(&mut self, id: S, input: &I, mut f: F) -> &mut Self
+    where
+        S: IntoBenchmarkId,
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_benchmark_id().id;
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut times = Vec::with_capacity(self.sample_size);
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: &mut times,
+        };
+        f(&mut b);
+        self.criterion.report(&full, &times, self.throughput);
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Accepts both `&str`/`String` and [`BenchmarkId`] where criterion does.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honour `cargo bench -- <filter>`; ignore criterion's own flags.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench" && a != "--test");
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 100,
+        }
+    }
+
+    pub fn bench_function<S, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        S: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut g = self.benchmark_group(id.clone());
+        g.bench_function(id, f);
+        self
+    }
+
+    fn report(&mut self, id: &str, times: &[Duration], throughput: Option<Throughput>) {
+        if times.is_empty() {
+            println!("{id:<48} (no samples)");
+            return;
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mut line = format!(
+            "{id:<48} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+        if let Some(tp) = throughput {
+            let secs = mean.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Elements(n) => {
+                    let _ = write!(line, "  thrpt: {} elem/s", fmt_rate(n as f64 / secs));
+                }
+                Throughput::Bytes(n) => {
+                    let _ = write!(line, "  thrpt: {}B/s", fmt_rate(n as f64 / secs));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn fmt_rate(r: f64) -> String {
+    if r >= 1e9 {
+        format!("{:.3} G", r / 1e9)
+    } else if r >= 1e6 {
+        format!("{:.3} M", r / 1e6)
+    } else if r >= 1e3 {
+        format!("{:.3} K", r / 1e3)
+    } else {
+        format!("{r:.1} ")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("sum", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 3), &3u64, |b, &k| {
+            b.iter(|| (0..k).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, spin);
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion { filter: None };
+        benches(&mut c);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("cholesky", 24).id, "cholesky/24");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+}

@@ -1,0 +1,558 @@
+//! Offline vendored shim: the subset of the `serde` API this workspace
+//! uses, implemented over an explicit JSON-like [`Value`] data model.
+//!
+//! Upstream serde's visitor architecture is far more general than this
+//! workspace needs; every (de)serialization here ultimately targets JSON
+//! via `serde_json`, so both traits funnel through [`Value`]:
+//!
+//! * [`Serialize`] hands a [`Value`] to a [`Serializer`];
+//! * [`Deserialize`] pulls a [`Value`] out of a [`Deserializer`].
+//!
+//! Generic signatures (`S: Serializer`, `D: Deserializer<'de>`, associated
+//! `Ok`/`Error` types, `de::Error::custom`) are preserved so hand-written
+//! impls (e.g. `#[serde(with = "...")]` modules) compile unchanged. The
+//! derive macros live in the companion `serde_derive` proc-macro crate and
+//! are re-exported here.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// The JSON-like data model every (de)serialization funnels through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number (f64 is sufficient for this workspace's data: virtual
+    /// times, counts, and small integer ids).
+    Number(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` on other variants or missing key).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element lookup on arrays.
+    pub fn get_index(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Array(a) => a.get(i),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as u64, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The number as i64, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get_index(i).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+macro_rules! value_eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(*other as f64)
+            }
+        }
+    )*};
+}
+value_eq_num!(i32, i64, u32, u64, usize, f64);
+
+/// Serialization/deserialization error: a plain message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl Error {
+    /// Build an error from any displayable message.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+/// Deserialization-side error support (upstream `serde::de`).
+pub mod de {
+    use std::fmt::Display;
+
+    /// Errors constructible from a message (`serde::de::Error`).
+    pub trait Error: Sized {
+        /// Build an error carrying `msg`.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            super::Error(msg.to_string())
+        }
+    }
+}
+
+/// Serialization-side error support (upstream `serde::ser`).
+pub mod ser {
+    use std::fmt::Display;
+
+    /// Errors constructible from a message (`serde::ser::Error`).
+    pub trait Error: Sized {
+        /// Build an error carrying `msg`.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    impl Error for super::Error {
+        fn custom<T: Display>(msg: T) -> Self {
+            super::Error(msg.to_string())
+        }
+    }
+}
+
+/// A sink for one [`Value`] (upstream `serde::Serializer`, value-based).
+pub trait Serializer: Sized {
+    /// Successful output of the serializer.
+    type Ok;
+    /// Error type (must absorb shim-internal errors).
+    type Error: From<Error>;
+
+    /// Consume the serializer with the fully-built value.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source of one [`Value`] (upstream `serde::Deserializer`).
+pub trait Deserializer<'de>: Sized {
+    /// Error type, constructible from a message.
+    type Error: de::Error;
+
+    /// Consume the deserializer, yielding its value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Serializer whose output is the [`Value`] itself (used internally and by
+/// derive-generated code for `#[serde(with = "...")]` fields).
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+    fn serialize_value(self, v: Value) -> Result<Value, Error> {
+        Ok(v)
+    }
+}
+
+/// Deserializer over an owned [`Value`].
+pub struct ValueDeserializer(pub Value);
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.0)
+    }
+}
+
+/// Types serializable into the data model (upstream `serde::Serialize`).
+pub trait Serialize {
+    /// Serialize `self` into `serializer`.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Types deserializable from the data model (upstream `serde::Deserialize`).
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize a value out of `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Convert any serializable value to a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Result<Value, Error> {
+    v.serialize(ValueSerializer)
+}
+
+/// Build any deserializable type from a [`Value`].
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer(v))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize / Deserialize impls for the std types the workspace persists.
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                s.serialize_value(Value::Number(*self as f64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                match d.take_value()? {
+                    Value::Number(n) => Ok(n as $t),
+                    other => Err(de::Error::custom(format!(
+                        concat!("expected number for ", stringify!($t), ", got {:?}"),
+                        other
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::Bool(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(de::Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.clone()))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(Value::String(self.to_string()))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::String(s) => Ok(s),
+            other => Err(de::Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        match self {
+            None => s.serialize_value(Value::Null),
+            Some(v) => {
+                let inner = to_value(v)?;
+                s.serialize_value(inner)
+            }
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => T::deserialize(ValueDeserializer(v))
+                .map(Some)
+                .map_err(de::Error::custom),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut items = Vec::with_capacity(self.len());
+        for v in self {
+            items.push(to_value(v)?);
+        }
+        s.serialize_value(Value::Array(items))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Array(items) => items
+                .into_iter()
+                .map(|v| T::deserialize(ValueDeserializer(v)).map_err(de::Error::custom))
+                .collect(),
+            other => Err(de::Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            entries.push((k.clone(), to_value(v)?));
+        }
+        s.serialize_value(Value::Object(entries))
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Object(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    V::deserialize(ValueDeserializer(v))
+                        .map(|v| (k, v))
+                        .map_err(de::Error::custom)
+                })
+                .collect(),
+            other => Err(de::Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        // Deterministic output: sort keys.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut entries = Vec::with_capacity(self.len());
+        for k in keys {
+            entries.push((k.clone(), to_value(&self[k])?));
+        }
+        s.serialize_value(Value::Object(entries))
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Object(entries) => entries
+                .into_iter()
+                .map(|(k, v)| {
+                    V::deserialize(ValueDeserializer(v))
+                        .map(|v| (k, v))
+                        .map_err(de::Error::custom)
+                })
+                .collect(),
+            other => Err(de::Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+                let items = vec![$(to_value(&self.$n)?),+];
+                s.serialize_value(Value::Array(items))
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<__D: Deserializer<'de>>(d: __D) -> Result<Self, __D::Error> {
+                match d.take_value()? {
+                    Value::Array(items) => {
+                        let n = [$($n),+].len();
+                        if items.len() != n {
+                            return Err(de::Error::custom(format!(
+                                "expected {}-tuple, got {} items", n, items.len())));
+                        }
+                        let mut it = items.into_iter();
+                        Ok(($(
+                            $t::deserialize(ValueDeserializer(
+                                it.next().expect("length checked")
+                            )).map_err(de::Error::custom)?,
+                        )+))
+                    }
+                    other => Err(de::Error::custom(format!(
+                        "expected array for tuple, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_value(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(from_value::<u64>(to_value(&7u64).unwrap()).unwrap(), 7);
+        assert_eq!(from_value::<f64>(to_value(&1.5f64).unwrap()).unwrap(), 1.5);
+        assert!(from_value::<bool>(to_value(&true).unwrap()).unwrap());
+        assert_eq!(
+            from_value::<String>(to_value("hi").unwrap()).unwrap(),
+            "hi".to_string()
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(1usize, 2usize, 3u32), (4, 5, 6)];
+        let back: Vec<(usize, usize, u32)> = from_value(to_value(&v).unwrap()).unwrap();
+        assert_eq!(v, back);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1.0f64, 2.0]);
+        let back: BTreeMap<String, Vec<f64>> = from_value(to_value(&m).unwrap()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        let some: Option<u32> = Some(3);
+        let none: Option<u32> = None;
+        assert_eq!(
+            from_value::<Option<u32>>(to_value(&some).unwrap()).unwrap(),
+            some
+        );
+        assert_eq!(
+            from_value::<Option<u32>>(to_value(&none).unwrap()).unwrap(),
+            none
+        );
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = Value::Object(vec![(
+            "xs".into(),
+            Value::Array(vec![Value::Number(1.0), Value::String("two".into())]),
+        )]);
+        assert_eq!(v["xs"][0], 1u64);
+        assert_eq!(v["xs"][1], "two");
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(from_value::<u64>(Value::String("x".into())).is_err());
+        assert!(from_value::<Vec<u64>>(Value::Bool(true)).is_err());
+    }
+}

@@ -1,0 +1,579 @@
+//! Offline vendored shim: `#[derive(Serialize)]` / `#[derive(Deserialize)]`
+//! for the workspace's value-based serde, written against `proc_macro`
+//! directly (no `syn`/`quote` — they cannot be fetched in this container).
+//!
+//! Supported shapes (everything the workspace derives on):
+//! * structs with named fields, including `#[serde(with = "module")]`
+//!   field attributes;
+//! * newtype tuple structs (serialized transparently as the inner value);
+//! * enums with unit, newtype and struct variants, externally tagged by
+//!   default or internally tagged via `#[serde(tag = "...")]`, with
+//!   optional `#[serde(rename_all = "snake_case")]`.
+//!
+//! Unknown object keys are ignored on deserialization; missing keys fall
+//! back to `Value::Null` (so `Option` fields read as `None`, while other
+//! types produce a type-mismatch error naming the field).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the workspace `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_serialize(&c)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive the workspace `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let c = parse_container(input);
+    gen_deserialize(&c)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct Container {
+    name: String,
+    kind: Kind,
+    /// `#[serde(tag = "...")]`: internally-tagged enum representation.
+    tag: Option<String>,
+    /// `#[serde(rename_all = "snake_case")]` (the only casing used here).
+    snake_case: bool,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    NewtypeStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token parsing
+// ---------------------------------------------------------------------------
+
+/// Serde-relevant facts extracted from one `#[...]` attribute group.
+#[derive(Default)]
+struct AttrFacts {
+    with: Option<String>,
+    tag: Option<String>,
+    snake_case: bool,
+}
+
+/// Consume leading attributes from `toks` starting at `*i`, merging any
+/// `#[serde(...)]` facts.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> AttrFacts {
+    let mut facts = AttrFacts::default();
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *i += 1;
+                let TokenTree::Group(g) = &toks[*i] else {
+                    panic!("expected [...] after #");
+                };
+                parse_serde_attr(g.stream(), &mut facts);
+                *i += 1;
+            }
+            _ => break,
+        }
+    }
+    facts
+}
+
+/// If the attribute body is `serde(k = "v", ...)`, record the pairs.
+fn parse_serde_attr(body: TokenStream, facts: &mut AttrFacts) {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = toks.get(1) else {
+        return;
+    };
+    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut j = 0;
+    while j < args.len() {
+        let TokenTree::Ident(key) = &args[j] else {
+            j += 1;
+            continue;
+        };
+        let key = key.to_string();
+        // Expect `= "literal"` after the key (all attrs used here have it).
+        if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+            (args.get(j + 1), args.get(j + 2))
+        {
+            if eq.as_char() == '=' {
+                let text = lit.to_string();
+                let text = text.trim_matches('"').to_string();
+                match key.as_str() {
+                    "with" => facts.with = Some(text),
+                    "tag" => facts.tag = Some(text),
+                    "rename_all" => {
+                        assert_eq!(
+                            text, "snake_case",
+                            "only rename_all = \"snake_case\" is supported"
+                        );
+                        facts.snake_case = true;
+                    }
+                    other => panic!("unsupported serde attribute `{other}`"),
+                }
+                j += 3;
+                if let Some(TokenTree::Punct(c)) = args.get(j) {
+                    if c.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        panic!("unsupported serde attribute form at `{key}`");
+    }
+}
+
+fn parse_container(input: TokenStream) -> Container {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container_facts = skip_attrs(&toks, &mut i);
+
+    // Visibility.
+    if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+            i += 1;
+        }
+    }
+
+    let TokenTree::Ident(kw) = &toks[i] else {
+        panic!("expected struct/enum")
+    };
+    let kw = kw.to_string();
+    i += 1;
+    let TokenTree::Ident(name) = &toks[i] else {
+        panic!("expected type name")
+    };
+    let name = name.to_string();
+    i += 1;
+    if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("generic types are not supported by the vendored serde derive");
+    }
+
+    let kind = match (kw.as_str(), &toks[i]) {
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Kind::NamedStruct(parse_fields(g.stream()))
+        }
+        ("struct", TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            let commas = top_level_commas(&inner);
+            assert_eq!(
+                commas, 0,
+                "only single-field newtype tuple structs are supported"
+            );
+            Kind::NewtypeStruct
+        }
+        ("enum", TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("unsupported item shape for serde derive"),
+    };
+
+    Container {
+        name,
+        kind,
+        tag: container_facts.tag,
+        snake_case: container_facts.snake_case,
+    }
+}
+
+/// Count commas outside angle brackets (groups are atomic tokens already).
+fn top_level_commas(toks: &[TokenTree]) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => commas += 1,
+                _ => {}
+            }
+        }
+    }
+    commas
+}
+
+/// Parse `attrs vis name : Type ,` named-field lists.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let facts = skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&toks[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis) {
+                i += 1;
+            }
+        }
+        let TokenTree::Ident(fname) = &toks[i] else {
+            panic!("expected field name")
+        };
+        let fname = fname.to_string();
+        i += 1;
+        assert!(
+            matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "expected `:` after field `{fname}`"
+        );
+        i += 1;
+        // Skip the type: everything until a comma outside angle brackets.
+        let mut depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            name: fname,
+            with: facts.with,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let TokenTree::Ident(vname) = &toks[i] else {
+            panic!("expected variant name")
+        };
+        let vname = vname.to_string();
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                assert_eq!(
+                    top_level_commas(&inner),
+                    0,
+                    "only newtype (single-field) tuple variants are supported"
+                );
+                i += 1;
+                VariantKind::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_fields(g.stream());
+                i += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name: vname, kind });
+    }
+    variants
+}
+
+/// `LogNormal` -> `log_normal`.
+fn snake(name: &str) -> String {
+    let mut out = String::new();
+    for (k, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if k > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn field_to_value(access: &str, f: &Field) -> String {
+    match &f.with {
+        Some(path) => format!("{path}::serialize(&{access}, ::serde::ValueSerializer)?"),
+        None => format!("::serde::to_value(&{access})?"),
+    }
+}
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s =
+                String::from("let mut __obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__obj.push((\"{n}\".to_string(), {v}));\n",
+                    n = f.name,
+                    v = field_to_value(&format!("self.{}", f.name), f)
+                ));
+            }
+            s.push_str("__serializer.serialize_value(::serde::Value::Object(__obj))");
+            s
+        }
+        Kind::NewtypeStruct => "let __v = ::serde::to_value(&self.0)?;\n\
+             __serializer.serialize_value(__v)"
+            .to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                let key = if c.snake_case { snake(vn) } else { vn.clone() };
+                let arm = match (&v.kind, &c.tag) {
+                    (VariantKind::Unit, None) => format!(
+                        "{name}::{vn} => __serializer.serialize_value(\
+                         ::serde::Value::String(\"{key}\".to_string())),\n"
+                    ),
+                    (VariantKind::Unit, Some(tag)) => format!(
+                        "{name}::{vn} => __serializer.serialize_value(\
+                         ::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                         ::serde::Value::String(\"{key}\".to_string()))])),\n"
+                    ),
+                    (VariantKind::Newtype, None) => format!(
+                        "{name}::{vn}(__x) => {{\n\
+                         let __inner = ::serde::to_value(__x)?;\n\
+                         __serializer.serialize_value(::serde::Value::Object(vec![\
+                         (\"{key}\".to_string(), __inner)]))\n}}\n"
+                    ),
+                    (VariantKind::Newtype, Some(tag)) => format!(
+                        "{name}::{vn}(__x) => {{\n\
+                         let __inner = ::serde::to_value(__x)?;\n\
+                         let mut __obj = match __inner {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             _ => return Err(::serde::Error::msg(\
+                                 \"internally tagged newtype variant `{vn}` must \
+                                  serialize to an object\").into()),\n\
+                         }};\n\
+                         __obj.insert(0, (\"{tag}\".to_string(), \
+                             ::serde::Value::String(\"{key}\".to_string())));\n\
+                         __serializer.serialize_value(::serde::Value::Object(__obj))\n}}\n"
+                    ),
+                    (VariantKind::Struct(fields), tag) => {
+                        let pats: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __f: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            inner.push_str(&format!(
+                                "__f.push((\"{tag}\".to_string(), \
+                                 ::serde::Value::String(\"{key}\".to_string())));\n"
+                            ));
+                        }
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__f.push((\"{n}\".to_string(), {v}));\n",
+                                n = f.name,
+                                v = field_to_value(f.name.as_str(), f)
+                            ));
+                        }
+                        let payload = if tag.is_some() {
+                            "__serializer.serialize_value(::serde::Value::Object(__f))".to_string()
+                        } else {
+                            format!(
+                                "__serializer.serialize_value(::serde::Value::Object(\
+                                 vec![(\"{key}\".to_string(), \
+                                 ::serde::Value::Object(__f))]))"
+                            )
+                        };
+                        format!(
+                            "{name}::{vn} {{ {pat} }} => {{\n{inner}{payload}\n}}\n",
+                            pat = pats.join(", ")
+                        )
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+         -> Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Shared deserialization helpers emitted in front of field extraction:
+/// `__obj` (the entries) and `__take` (lookup by key, Null when missing).
+const OBJ_PRELUDE: &str = "\
+let __obj = match __v {\n\
+    ::serde::Value::Object(m) => m,\n\
+    other => return Err(<__D::Error as ::serde::de::Error>::custom(\n\
+        format!(\"expected object, got {:?}\", other))),\n\
+};\n\
+let __take = |__k: &str| -> ::serde::Value {\n\
+    __obj.iter().find(|(k, _)| k == __k).map(|(_, v)| v.clone())\n\
+        .unwrap_or(::serde::Value::Null)\n\
+};\n";
+
+fn field_from_value(f: &Field, ctx: &str) -> String {
+    let n = &f.name;
+    match &f.with {
+        Some(path) => format!(
+            "{n}: {path}::deserialize(::serde::ValueDeserializer(__take(\"{n}\")))\n\
+             .map_err(|e| <__D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"{ctx}.{n}: {{}}\", e)))?,\n"
+        ),
+        None => format!(
+            "{n}: ::serde::from_value(__take(\"{n}\"))\n\
+             .map_err(|e| <__D::Error as ::serde::de::Error>::custom(\n\
+                 format!(\"{ctx}.{n}: {{}}\", e)))?,\n"
+        ),
+    }
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.kind {
+        Kind::NamedStruct(fields) => {
+            let mut s = String::from(OBJ_PRELUDE);
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                s.push_str(&field_from_value(f, name));
+            }
+            s.push_str("})");
+            s
+        }
+        Kind::NewtypeStruct => format!(
+            "Ok({name}(::serde::from_value(__v)\n\
+             .map_err(|e| <__D::Error as ::serde::de::Error>::custom(e))?))"
+        ),
+        Kind::Enum(variants) => {
+            if let Some(tag) = &c.tag {
+                // Internally tagged: read the tag key, hand the same object
+                // to the variant's inner type (extra keys are ignored).
+                let mut arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    let key = if c.snake_case { snake(vn) } else { vn.clone() };
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            arms.push_str(&format!("\"{key}\" => Ok({name}::{vn}),\n"))
+                        }
+                        VariantKind::Newtype => arms.push_str(&format!(
+                            "\"{key}\" => Ok({name}::{vn}(\
+                             ::serde::from_value(::serde::Value::Object(__obj.clone()))\n\
+                             .map_err(|e| <__D::Error as ::serde::de::Error>::custom(\n\
+                                 format!(\"{name}::{vn}: {{}}\", e)))?)),\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let mut inner = format!("Ok({name}::{vn} {{\n");
+                            for f in fields {
+                                inner.push_str(&field_from_value(f, &format!("{name}::{vn}")));
+                            }
+                            inner.push_str("})");
+                            arms.push_str(&format!("\"{key}\" => {{ {inner} }}\n"));
+                        }
+                    }
+                }
+                format!(
+                    "{OBJ_PRELUDE}\
+                     let __tag = match __take(\"{tag}\") {{\n\
+                         ::serde::Value::String(s) => s,\n\
+                         other => return Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"missing/invalid `{tag}` tag on {name}: {{:?}}\", \
+                             other))),\n\
+                     }};\n\
+                     match __tag.as_str() {{\n{arms}\
+                     other => Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                         format!(\"unknown {name} tag `{{}}`\", other))),\n}}\n"
+                )
+            } else {
+                // Externally tagged: a bare string for unit variants, a
+                // single-entry object otherwise.
+                let mut unit_arms = String::new();
+                let mut payload_arms = String::new();
+                for v in variants {
+                    let vn = &v.name;
+                    let key = if c.snake_case { snake(vn) } else { vn.clone() };
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            unit_arms.push_str(&format!("\"{key}\" => Ok({name}::{vn}),\n"));
+                            payload_arms.push_str(&format!("\"{key}\" => Ok({name}::{vn}),\n"));
+                        }
+                        VariantKind::Newtype => payload_arms.push_str(&format!(
+                            "\"{key}\" => Ok({name}::{vn}(\
+                             ::serde::from_value(__payload)\n\
+                             .map_err(|e| <__D::Error as ::serde::de::Error>::custom(\n\
+                                 format!(\"{name}::{vn}: {{}}\", e)))?)),\n"
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let mut inner = String::from("let __v = __payload;\n");
+                            inner.push_str(OBJ_PRELUDE);
+                            inner.push_str(&format!("Ok({name}::{vn} {{\n"));
+                            for f in fields {
+                                inner.push_str(&field_from_value(f, &format!("{name}::{vn}")));
+                            }
+                            inner.push_str("})");
+                            payload_arms.push_str(&format!("\"{key}\" => {{ {inner} }}\n"));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                         other => Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"unknown {name} variant `{{}}`\", other))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                         let (__k, __payload) = __m.into_iter().next().expect(\"len 1\");\n\
+                         match __k.as_str() {{\n{payload_arms}\
+                         other => Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                             format!(\"unknown {name} variant `{{}}`\", other))),\n\
+                         }}\n\
+                     }}\n\
+                     other => Err(<__D::Error as ::serde::de::Error>::custom(\n\
+                         format!(\"cannot deserialize {name} from {{:?}}\", other))),\n\
+                     }}\n"
+                )
+            }
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+         -> Result<Self, __D::Error> {{\n\
+         #[allow(unused_variables)]\n\
+         let __v = __deserializer.take_value()?;\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,433 @@
+//! Offline vendored shim: the subset of the `serde_json` API this
+//! workspace uses — [`to_string`], [`to_string_pretty`], [`from_str`] and
+//! [`Value`] — over the value-based vendored `serde`.
+//!
+//! Numbers are stored as `f64`. Rust's float `Display` already produces
+//! the shortest representation that round-trips, which is what the
+//! upstream `float_roundtrip` feature guarantees for parsing.
+
+pub use serde::Value;
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// JSON error: a message plus (for parse errors) a byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    msg: String,
+    offset: Option<usize>,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.offset {
+            Some(o) => write!(f, "{} at byte {}", self.msg, o),
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error {
+            msg: e.0,
+            offset: None,
+        }
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error {
+            msg: msg.to_string(),
+            offset: None,
+        }
+    }
+}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = serde::to_value(value)?;
+    let mut out = String::new();
+    write_value(&mut out, &v, None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to human-readable, 2-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = serde::to_value(value)?;
+    let mut out = String::new();
+    write_value(&mut out, &v, Some(2), 0);
+    Ok(out)
+}
+
+/// Convert a serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(serde::to_value(value)?)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<'de, T: Deserialize<'de>>(s: &str) -> Result<T, Error> {
+    let v = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    }
+    .parse_document()?;
+    T::deserialize(serde::ValueDeserializer(v)).map_err(|e| Error {
+        msg: e.0,
+        offset: None,
+    })
+}
+
+/// Build a deserializable type from a [`Value`] tree.
+pub fn from_value<T: for<'de> Deserialize<'de>>(v: Value) -> Result<T, Error> {
+    Ok(serde::from_value(v)?)
+}
+
+// ---------------------------------------------------------------------------
+// Printer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth + 1);
+            }
+            newline_indent(out, indent, depth);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if n.is_finite() {
+        if n.fract() == 0.0 && n.abs() < 1e15 {
+            // Integral values print without the trailing `.0` Rust's
+            // Display would omit anyway; force integer form for clarity.
+            let _ = write!(out, "{}", n as i64);
+        } else {
+            let _ = write!(out, "{n}");
+        }
+    } else {
+        // JSON has no NaN/Inf; upstream serde_json errors here. Emitting
+        // null matches what this workspace needs (diagnostic dumps only).
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> Error {
+        Error {
+            msg: msg.into(),
+            offset: Some(self.pos),
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Value, Error> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters after JSON value"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, Error> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| self.err("unexpected end of input"))
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek()? {
+            b'{' => self.parse_object(),
+            b'[' => self.parse_array(),
+            b'"' => Ok(Value::String(self.parse_string()?)),
+            b't' => self.parse_keyword("true", Value::Bool(true)),
+            b'f' => self.parse_keyword("false", Value::Bool(false)),
+            b'n' => self.parse_keyword("null", Value::Null),
+            _ => self.parse_number(),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("invalid literal, expected `{kw}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by this
+                            // workspace's own output; map lone surrogates
+                            // to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(self.err(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8 in string"))?;
+                    let c = rest.chars().next().expect("non-empty checked");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&3u64).unwrap(), "3");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<String>("\"hi\\nthere\"").unwrap(), "hi\nthere");
+    }
+
+    #[test]
+    fn round_trip_float_precision() {
+        for x in [0.1, 1.0 / 3.0, 1e-9, 123456.789, f64::MIN_POSITIVE] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back, x, "{s}");
+        }
+    }
+
+    #[test]
+    fn nested_containers() {
+        let v: Vec<(u64, String)> = vec![(1, "a".into()), (2, "b\"c".into())];
+        let s = to_string(&v).unwrap();
+        let back: Vec<(u64, String)> = from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn parses_whitespace_and_pretty() {
+        let v = from_str::<Value>(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ").unwrap();
+        assert_eq!(v["a"][1], 2u64);
+        assert!(v["b"].is_null());
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{\"a\":}").is_err());
+        assert!(from_str::<Value>("[1,,2]").is_err());
+        assert!(from_str::<Value>("[1] trailing").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+
+    #[test]
+    fn value_comparisons() {
+        let v = from_str::<Value>("{\"name\":\"dgemm\",\"tid\":0}").unwrap();
+        assert_eq!(v["name"], "dgemm");
+        assert_eq!(v["tid"], 0);
+    }
+}
