@@ -1,0 +1,74 @@
+//! Cost of the observability layer itself.
+//!
+//! Two kinds of measurement:
+//!
+//! * raw instrument throughput — counter increments, sampled stamps, and
+//!   histogram records, the primitives the hot path leans on;
+//! * the instrumented TEQ drain at the acceptance point (64 waiters,
+//!   targeted wakeups) — run this bench once on a default build and once
+//!   with `--no-default-features` to see the end-to-end delta that
+//!   `perf_baseline --overhead-bin` records against the 2% budget.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use supersim_bench::contention::teq_drain_seconds;
+use supersim_core::WakeupMode;
+
+/// Tasks each waiter thread retires per drain (matches `contention.rs`).
+const PER_WAITER: usize = 50;
+
+fn bench_instrumented_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_overhead");
+    group.sample_size(10);
+    let waiters = 64usize;
+    group.throughput(Throughput::Elements((waiters * PER_WAITER) as u64));
+    let label = if cfg!(feature = "metrics") {
+        "teq_drain_64_metrics_on"
+    } else {
+        "teq_drain_64_metrics_off"
+    };
+    group.bench_function(label, |b| {
+        b.iter(|| teq_drain_seconds(WakeupMode::Targeted, waiters, PER_WAITER));
+    });
+    group.finish();
+}
+
+#[cfg(feature = "metrics")]
+fn bench_instruments(c: &mut Criterion) {
+    use supersim_metrics::{global, LocalHistogram};
+
+    let mut group = c.benchmark_group("metrics_instruments");
+    group.throughput(Throughput::Elements(1));
+
+    let counter = global().counter("bench.counter");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    let hist = global().histogram("bench.hist");
+    group.bench_function("histogram_record", |b| {
+        let mut ns = 1u64;
+        b.iter(|| {
+            hist.record(ns);
+            ns = ns.wrapping_mul(6364136223846793005).wrapping_add(1) >> 32;
+        })
+    });
+
+    group.bench_function("local_histogram_record", |b| {
+        let mut h = LocalHistogram::new();
+        let mut ns = 1u64;
+        b.iter(|| {
+            h.record(ns);
+            ns = ns.wrapping_mul(6364136223846793005).wrapping_add(1) >> 32;
+        })
+    });
+
+    group.bench_function("sampled_stamp", |b| {
+        b.iter(supersim_core::obs::stamp);
+    });
+
+    group.finish();
+}
+
+#[cfg(not(feature = "metrics"))]
+fn bench_instruments(_c: &mut Criterion) {}
+
+criterion_group!(benches, bench_instrumented_drain, bench_instruments);
+criterion_main!(benches);

@@ -1,12 +1,29 @@
 //! Emit a machine-readable performance baseline for the simulation hot
 //! path to `BENCH_simcore.json` (in the current directory, or the path
-//! given as the first argument).
+//! given as the first positional argument).
 //!
 //! Scenarios mirror `benches/contention.rs`: TEQ drain throughput under
 //! broadcast vs targeted wakeups at several waiter counts, plus engine
 //! burst throughput. The 64-waiter TEQ point carries the acceptance
 //! criterion for the targeted-wakeup redesign: >= 2x over the broadcast
 //! baseline.
+//!
+//! Flags (for the CI perf gate):
+//!
+//! * `--gate FILE` — compare the fresh targeted-wakeup 64-waiter median
+//!   drain throughput against the committed baseline in `FILE`; exit
+//!   non-zero if it regressed by more than 30%.
+//! * `--overhead-bin PATH` — `PATH` is this same binary built with
+//!   `--no-default-features` (metrics compiled out). Alternates rounds of
+//!   in-process measurement with spawns of `PATH --probe-targeted-64`, so
+//!   the on/off samples interleave in time and host drift cancels —
+//!   measuring the two builds minutes apart was observed to mis-report
+//!   the overhead by tens of percent either way. Embeds an `overhead`
+//!   section; the 2% budget verdict is recorded and printed, not a hard
+//!   failure (the regression gate is the enforced one; overhead trends
+//!   are judged from the uploaded artifacts).
+//! * `--probe-targeted-64` — print one median gate-point measurement and
+//!   exit; used by `--overhead-bin` as the other half of the pair.
 
 use serde::Serialize;
 use supersim_bench::contention::{engine_throughput, teq_throughput};
@@ -17,6 +34,12 @@ const PER_WAITER: usize = 50;
 /// Timed repetitions per point; the best (max throughput) is reported to
 /// suppress scheduler noise, as is standard for contention microbenchmarks.
 const REPS: usize = 5;
+/// Repetitions for the gate/overhead measurement. The drain is bimodal
+/// under scheduler luck (a fortunate interleaving turns most waits into
+/// immediate front hits and inflates throughput ~30x), so the gates
+/// compare **medians**, which sit stably in the all-parked mode; a best-of
+/// comparison would be pure noise.
+const GATE_REPS: usize = 31;
 
 #[derive(Serialize)]
 struct TeqPoint {
@@ -42,24 +65,83 @@ struct Acceptance {
     pass: bool,
 }
 
+/// Metrics-on vs metrics-off cost of the instrumentation on the 64-waiter
+/// targeted drain (median throughputs), per the observability acceptance
+/// criterion. Negative `overhead_percent` means the instrumented build
+/// measured faster — i.e. the true overhead is below measurement noise.
+#[derive(Serialize)]
+struct Overhead {
+    targeted_64_on_tasks_per_sec: f64,
+    targeted_64_off_tasks_per_sec: f64,
+    overhead_percent: f64,
+    required_percent: f64,
+    pass: bool,
+}
+
 #[derive(Serialize)]
 struct Baseline {
     benchmark: String,
+    metrics_enabled: bool,
     per_waiter_tasks: usize,
     reps: usize,
+    gate_reps: usize,
+    /// Median targeted-wakeup drain throughput at 64 waiters — the number
+    /// the CI perf gate and the metrics-overhead gate compare.
+    targeted_64_median_tasks_per_sec: f64,
     teq: Vec<TeqPoint>,
     engine: Vec<EnginePoint>,
     acceptance: Acceptance,
+    overhead: Option<Overhead>,
 }
 
 fn best<F: FnMut() -> f64>(mut f: F) -> f64 {
     (0..REPS).map(|_| f()).fold(0.0f64, f64::max)
 }
 
+fn median<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    let mut xs: Vec<f64> = (0..reps).map(|_| f()).collect();
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+/// The median targeted 64-waiter throughput recorded in a previously
+/// written baseline JSON.
+fn targeted_64_of(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad JSON in {path}: {e}"));
+    v["targeted_64_median_tasks_per_sec"]
+        .as_f64()
+        .expect("targeted_64_median_tasks_per_sec number in baseline")
+}
+
+/// One median gate-point measurement (the `--probe-targeted-64` payload).
+fn gate_point_median() -> f64 {
+    median(GATE_REPS, || {
+        teq_throughput(WakeupMode::Targeted, 64, PER_WAITER)
+    })
+}
+
 fn main() {
-    let out = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_simcore.json".to_string());
+    let mut out = "BENCH_simcore.json".to_string();
+    let mut gate_path: Option<String> = None;
+    let mut overhead_bin_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--probe-targeted-64" => {
+                println!("{}", gate_point_median());
+                return;
+            }
+            "--gate" => gate_path = Some(args.next().expect("--gate needs a file")),
+            "--overhead-bin" => {
+                overhead_bin_path = Some(args.next().expect("--overhead-bin needs a path"))
+            }
+            other if !other.starts_with("--") => out = other.to_string(),
+            other => panic!("unknown flag {other}"),
+        }
+    }
 
     let mut teq = Vec::new();
     for &waiters in &[1usize, 8, 48, 64, 128, 256] {
@@ -97,13 +179,61 @@ fn main() {
         pass: gate.speedup >= 2.0,
     };
 
+    eprintln!("gate point: targeted @ 64 waiters, median of {GATE_REPS} ...");
+    let mut on_medians = vec![gate_point_median()];
+    let overhead = overhead_bin_path.map(|bin| {
+        // Interleave rounds so host drift hits both builds alike.
+        const ROUNDS: usize = 5;
+        let mut off_medians = Vec::with_capacity(ROUNDS);
+        for round in 0..ROUNDS {
+            eprintln!("overhead round {}/{ROUNDS} (off then on) ...", round + 1);
+            let out = std::process::Command::new(&bin)
+                .arg("--probe-targeted-64")
+                .output()
+                .unwrap_or_else(|e| panic!("cannot run probe {bin}: {e}"));
+            assert!(
+                out.status.success(),
+                "probe {bin} failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let off: f64 = String::from_utf8_lossy(&out.stdout)
+                .trim()
+                .parse()
+                .expect("probe prints one number");
+            off_medians.push(off);
+            on_medians.push(gate_point_median());
+        }
+        let mid = |xs: &mut Vec<f64>| {
+            xs.sort_by(|a, b| a.total_cmp(b));
+            xs[xs.len() / 2]
+        };
+        let on = mid(&mut on_medians);
+        let off = mid(&mut off_medians);
+        let overhead_percent = (off - on) / off * 100.0;
+        Overhead {
+            targeted_64_on_tasks_per_sec: on,
+            targeted_64_off_tasks_per_sec: off,
+            overhead_percent,
+            required_percent: 2.0,
+            pass: overhead_percent <= 2.0,
+        }
+    });
+    let fresh_targeted_64 = match &overhead {
+        Some(o) => o.targeted_64_on_tasks_per_sec,
+        None => on_medians[0],
+    };
+
     let baseline = Baseline {
         benchmark: "simcore contention hot path".to_string(),
+        metrics_enabled: cfg!(feature = "metrics"),
         per_waiter_tasks: PER_WAITER,
         reps: REPS,
+        gate_reps: GATE_REPS,
+        targeted_64_median_tasks_per_sec: fresh_targeted_64,
         teq,
         engine,
         acceptance,
+        overhead,
     };
 
     let json = serde_json::to_string_pretty(&baseline).expect("serialize baseline");
@@ -117,4 +247,36 @@ fn main() {
             "FAIL"
         }
     );
+
+    let mut failed = false;
+    if let Some(o) = &baseline.overhead {
+        println!(
+            "metrics overhead at 64 waiters: {:.2}% (on {:.0}/s vs off {:.0}/s, budget {:.1}%) {}",
+            o.overhead_percent,
+            o.targeted_64_on_tasks_per_sec,
+            o.targeted_64_off_tasks_per_sec,
+            o.required_percent,
+            if o.pass {
+                "PASS"
+            } else {
+                "OVER (informational)"
+            }
+        );
+    }
+    if let Some(path) = gate_path {
+        let committed = targeted_64_of(&path);
+        let ratio = fresh_targeted_64 / committed;
+        let pass = ratio >= 0.7;
+        println!(
+            "perf gate vs {path}: fresh targeted@64 = {:.0}/s, committed = {:.0}/s, ratio {:.2} (floor 0.70) {}",
+            fresh_targeted_64,
+            committed,
+            ratio,
+            if pass { "PASS" } else { "FAIL" }
+        );
+        failed |= !pass;
+    }
+    if failed {
+        std::process::exit(1);
+    }
 }

@@ -28,6 +28,7 @@
 //!   trace, and runtime quiescence together.
 
 pub mod model;
+pub mod obs;
 #[cfg(test)]
 mod proptests;
 pub mod race;

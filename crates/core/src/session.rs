@@ -31,8 +31,9 @@
 //! ```
 
 use crate::model::ModelRegistry;
+use crate::obs;
 use crate::race::RaceMitigation;
-use crate::teq::TaskExecutionQueue;
+use crate::teq::{TaskExecutionQueue, WakeupMode};
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
@@ -62,6 +63,12 @@ pub struct SimConfig {
     /// paper lists as future work. Workers beyond the vector's length get
     /// speed 1.0.
     pub worker_speeds: Vec<f64>,
+    /// Wakeup discipline for the session's Task Execution Queue.
+    /// [`WakeupMode::Targeted`] (the default) wakes exactly the new front
+    /// owner per retirement; [`WakeupMode::Broadcast`] is the thundering-
+    /// herd baseline, kept selectable so the `supersim metrics` command
+    /// can report wakeup counters for both disciplines side by side.
+    pub wakeup_mode: WakeupMode,
 }
 
 impl Default for SimConfig {
@@ -71,6 +78,7 @@ impl Default for SimConfig {
             mitigation: RaceMitigation::Quiesce,
             overhead_per_task: 0.0,
             worker_speeds: Vec::new(),
+            wakeup_mode: WakeupMode::default(),
         }
     }
 }
@@ -92,18 +100,25 @@ pub struct SimSession {
     config: SimConfig,
     quiesce: Mutex<Option<Arc<dyn Quiesce>>>,
     first_calls: Mutex<HashSet<(usize, String)>>,
+    /// Recorder shard occupancy captured by [`SimSession::finish_trace`]
+    /// just before the shards are drained, so metrics published after the
+    /// run still describe the run (not the emptied buffers).
+    #[cfg(feature = "metrics")]
+    final_occupancy: Mutex<Option<Vec<usize>>>,
 }
 
 impl SimSession {
     /// Create a session over a model registry.
     pub fn new(models: ModelRegistry, config: SimConfig) -> Arc<Self> {
         Arc::new(SimSession {
-            teq: TaskExecutionQueue::new(),
+            teq: TaskExecutionQueue::with_wakeup_mode(config.wakeup_mode),
             models,
             trace: TraceRecorder::new(),
             config,
             quiesce: Mutex::new(None),
             first_calls: Mutex::new(HashSet::new()),
+            #[cfg(feature = "metrics")]
+            final_occupancy: Mutex::new(None),
         })
     }
 
@@ -136,7 +151,35 @@ impl SimSession {
     /// Consume the virtual-time trace recorded so far (normalized, with
     /// `workers` lanes).
     pub fn finish_trace(&self, workers: usize) -> Trace {
+        #[cfg(feature = "metrics")]
+        {
+            *self.final_occupancy.lock() = Some(self.trace.shard_occupancy());
+        }
         self.trace.finish(workers)
+    }
+
+    /// Publish this session's observability data into `snap`: the TEQ
+    /// tally (counts, latency histograms, wakeups under the configured
+    /// [`WakeupMode`]'s name), the trace recorder's total event count, and
+    /// its per-shard occupancy (as captured at [`SimSession::finish_trace`]
+    /// time, or live if the trace has not been finished). See DESIGN.md
+    /// §5e for the metric catalog.
+    #[cfg(feature = "metrics")]
+    pub fn publish_metrics(&self, snap: &mut supersim_metrics::MetricsSnapshot) {
+        self.teq.publish_metrics(snap);
+        snap.push_counter("trace.events.recorded", self.trace.total_recorded());
+        let occupancy = self
+            .final_occupancy
+            .lock()
+            .clone()
+            .unwrap_or_else(|| self.trace.shard_occupancy());
+        let occupied = occupancy.iter().filter(|&&n| n > 0).count();
+        snap.push_gauge("trace.shards.occupied", occupied as i64);
+        for (i, &n) in occupancy.iter().enumerate() {
+            if n > 0 {
+                snap.push_gauge(&format!("trace.shard.{i:02}.occupancy"), n as i64);
+            }
+        }
     }
 
     /// The simulated-kernel protocol (paper §V-D). Call from inside a task
@@ -146,6 +189,7 @@ impl SimSession {
     /// an earlier virtual completion has returned, then returns — from the
     /// scheduler's perspective the kernel "ran" for its virtual duration.
     pub fn run_kernel(&self, ctx: &TaskContext, label: &str) {
+        obs::inc_kernels();
         let model = self.models.expect(label);
         let first = self
             .first_calls
@@ -191,6 +235,11 @@ impl SimSession {
             ),
             _ => None,
         };
+        // Settle retries: every extra pass through this loop means a
+        // quiescence (or re-front) check failed and the task went back to
+        // waiting. Accumulated locally and flushed to the global counter
+        // once per kernel, so the hot loop touches no shared state.
+        let mut spins = 0u64;
         loop {
             self.teq.wait_front(ticket);
             match self.config.mitigation {
@@ -200,6 +249,7 @@ impl SimSession {
                     if self.teq.is_front(ticket) {
                         break;
                     }
+                    spins += 1;
                 }
                 RaceMitigation::Quiesce => {
                     // Every task already retired must have had its
@@ -221,9 +271,11 @@ impl SimSession {
                     if retired_now == retired_before && is_front {
                         break;
                     }
+                    spins += 1;
                 }
             }
         }
+        obs::add_quiesce_spins(spins);
         // (5): retire — advance the clock to this task's completion.
         if debug_enabled() {
             eprintln!("[dbg] retire task={} end={:.6}", ctx.task_id, ticket.end);

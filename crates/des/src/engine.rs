@@ -74,6 +74,7 @@ pub fn simulate(
 
     // Dispatch loop: start tasks while both a ready task and an idle
     // worker exist; otherwise advance to the next completion.
+    let mut events_processed = 0u64;
     loop {
         while !ready.is_empty() && !idle.is_empty() {
             let t = ready.pop_front().expect("checked non-empty");
@@ -90,6 +91,7 @@ pub fn simulate(
             q.schedule(start + d, Ev::Complete { task: t, worker: w });
         }
         let Some(ev) = q.pop() else { break };
+        events_processed += 1;
         let Ev::Complete { task, worker } = ev.payload;
         idle.push(worker);
         for &s in graph.successors(task) {
@@ -108,6 +110,19 @@ pub fn simulate(
 
     trace.normalize();
     let makespan = trace.makespan();
+
+    // End-of-run totals into the global registry: the offline DES has no
+    // hot-path contention to protect, so plain global counters suffice.
+    #[cfg(feature = "metrics")]
+    {
+        let reg = supersim_metrics::global();
+        reg.counter("des.simulations").inc();
+        reg.counter("des.tasks").add(n as u64);
+        reg.counter("des.events").add(events_processed);
+    }
+    #[cfg(not(feature = "metrics"))]
+    let _ = events_processed;
+
     DesResult { trace, makespan }
 }
 
@@ -264,5 +279,19 @@ mod tests {
         let r = simulate(&g, 2, DesPolicy::Fifo, |_| 0.0);
         assert_eq!(r.makespan, 0.0);
         assert_eq!(r.trace.len(), 3);
+    }
+
+    #[cfg(feature = "metrics")]
+    #[test]
+    fn run_totals_land_in_global_registry() {
+        let before = supersim_metrics::global().snapshot();
+        let g = chain(4, 1.0);
+        simulate(&g, 2, DesPolicy::Fifo, weight_of(&g));
+        let after = supersim_metrics::global().snapshot();
+        let delta =
+            |name: &str| after.counter(name).unwrap_or(0) - before.counter(name).unwrap_or(0);
+        assert!(delta("des.simulations") >= 1);
+        assert!(delta("des.tasks") >= 4);
+        assert!(delta("des.events") >= 4);
     }
 }

@@ -1,0 +1,44 @@
+//! # supersim-metrics
+//!
+//! Observability for the simulator's own internals. The paper's central
+//! claim is that the simulated *trace* is faithful and cheap to produce;
+//! this crate makes "cheap" continuously measurable instead of asserted
+//! once: where does wall time go inside the Task Execution Queue, how
+//! often do quiescence checks spin, how hard is the engine lock hit.
+//!
+//! Three layers:
+//!
+//! * [`instruments`] — the primitive instruments: [`Counter`] (a
+//!   cache-padded atomic, safe to hammer from any thread), [`Gauge`]
+//!   (last-value atomic), and [`Histogram`] (atomic fixed log₂-scale
+//!   nanosecond buckets). There is also [`LocalHistogram`], the plain
+//!   non-atomic twin used by components that already hold a lock on their
+//!   update path (the TEQ records its tallies *under the state mutex it
+//!   already owns*, which costs nothing extra; see DESIGN.md §5e).
+//! * [`registry`] — a process-global named-instrument registry. Lookup
+//!   takes a registration lock **once** per call site (call sites cache
+//!   the returned `&'static` instrument); updates are lock-free atomics.
+//! * [`snapshot`] — [`MetricsSnapshot`], a point-in-time, serializable
+//!   view assembled from the global registry plus any component-local
+//!   tallies merged in, with JSON output via the vendored serde shims.
+//!
+//! Reading a snapshot mid-run is safe and tear-free in the sense that a
+//! concurrently incremented counter is observed at some value **at most**
+//! its final total and **at least** its value when the snapshot began —
+//! never doubled, never torn (each instrument is a single atomic, and
+//! histogram totals are derived from the buckets rather than kept as a
+//! separate racing counter).
+//!
+//! Hot paths that cannot afford two `Instant::now` calls per operation
+//! use [`sample::tick`]: a thread-local 1-in-N sampler whose first tick
+//! on every thread always samples, so short runs still populate their
+//! latency histograms.
+
+pub mod instruments;
+pub mod registry;
+pub mod sample;
+pub mod snapshot;
+
+pub use instruments::{Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, BUCKETS};
+pub use registry::{global, Registry};
+pub use snapshot::{BucketSample, CounterSample, GaugeSample, HistogramSample, MetricsSnapshot};

@@ -1,0 +1,206 @@
+//! The process-global named-instrument registry.
+//!
+//! Registration (first lookup of a name) takes a mutex and leaks the
+//! instrument to get a `&'static` handle; every later update on that
+//! handle is a lock-free atomic. Call sites are expected to cache the
+//! handle in a `OnceLock` so even the registration lock is paid once per
+//! process, not per operation.
+
+use crate::instruments::{Counter, Gauge, Histogram};
+use crate::snapshot::MetricsSnapshot;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// A named-instrument registry. Most users want the process-global
+/// [`global`] instance; separate registries exist for tests.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Families>,
+}
+
+#[derive(Default)]
+struct Families {
+    counters: BTreeMap<String, &'static Counter>,
+    gauges: BTreeMap<String, &'static Gauge>,
+    histograms: BTreeMap<String, &'static Histogram>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    /// The returned handle is `'static`: cache it, then update lock-free.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut f = self.inner.lock();
+        if let Some(c) = f.counters.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        f.counters.insert(name.to_string(), c);
+        c
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut f = self.inner.lock();
+        if let Some(g) = f.gauges.get(name) {
+            return g;
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        f.gauges.insert(name.to_string(), g);
+        g
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut f = self.inner.lock();
+        if let Some(h) = f.histograms.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        f.histograms.insert(name.to_string(), h);
+        h
+    }
+
+    /// Point-in-time snapshot of every registered instrument. Concurrent
+    /// updates during the walk are observed at-most-once each: every
+    /// instrument is read with a single atomic load (histogram buckets
+    /// individually), so no value can tear or double-count.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        // Clone the name -> handle maps under the registration lock, then
+        // read the atomics outside it: a snapshot must not serialize
+        // against concurrent registrations longer than necessary.
+        let (counters, gauges, histograms) = {
+            let f = self.inner.lock();
+            (f.counters.clone(), f.gauges.clone(), f.histograms.clone())
+        };
+        let mut snap = MetricsSnapshot::default();
+        for (name, c) in counters {
+            snap.push_counter(&name, c.get());
+        }
+        for (name, g) in gauges {
+            snap.push_gauge(&name, g.get());
+        }
+        for (name, h) in histograms {
+            snap.push_histogram(&name, &h.snapshot());
+        }
+        snap
+    }
+}
+
+/// The process-global registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    fn distinct_names_distinct_instruments() {
+        let r = Registry::new();
+        let a = r.counter("a");
+        let b = r.counter("b");
+        assert!(!std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn snapshot_contains_all_kinds() {
+        let r = Registry::new();
+        r.counter("c").add(7);
+        r.gauge("g").set(-3);
+        r.histogram("h").record(1000);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(7));
+        assert_eq!(s.gauge("g"), Some(-3));
+        assert_eq!(s.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn global_is_a_singleton() {
+        let a = global().counter("registry.test.singleton");
+        let b = global().counter("registry.test.singleton");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    /// The mid-run tear test (ISSUE satellite): snapshots taken while
+    /// writers hammer a counter and a histogram must observe sums that
+    /// never exceed the final totals and never decrease between
+    /// consecutive snapshots — no double count, no torn read, no panic.
+    #[test]
+    fn snapshot_mid_run_does_not_tear() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        let r = Arc::new(Registry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        const WRITERS: usize = 4;
+        const PER_WRITER: u64 = 200_000;
+
+        let writers: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    let c = r.counter("tear.count");
+                    let h = r.histogram("tear.ns");
+                    for i in 0..PER_WRITER {
+                        c.inc();
+                        h.record((w as u64) * 1000 + (i % 7));
+                    }
+                })
+            })
+            .collect();
+
+        let reader = {
+            let r = r.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let total = WRITERS as u64 * PER_WRITER;
+                let mut last_count = 0u64;
+                let mut last_hist = 0u64;
+                let mut snaps = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = r.snapshot();
+                    let c = s.counter("tear.count").unwrap_or(0);
+                    let h = s.histogram("tear.ns").map_or(0, |h| h.count);
+                    assert!(c <= total, "counter over-read: {c} > {total}");
+                    assert!(h <= total, "histogram over-read: {h} > {total}");
+                    assert!(c >= last_count, "counter went backwards");
+                    assert!(h >= last_hist, "histogram went backwards");
+                    last_count = c;
+                    last_hist = h;
+                    snaps += 1;
+                }
+                snaps
+            })
+        };
+
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let snaps = reader.join().unwrap();
+        assert!(snaps > 0, "reader must have snapshotted mid-run");
+
+        let s = r.snapshot();
+        let total = WRITERS as u64 * PER_WRITER;
+        assert_eq!(s.counter("tear.count"), Some(total));
+        assert_eq!(s.histogram("tear.ns").unwrap().count, total);
+    }
+}

@@ -178,6 +178,7 @@ impl Runtime {
         let accesses = normalize_accesses(&desc.accesses);
         let affinity = accesses.iter().find(|a| a.mode.writes()).map(|a| a.data.0);
         let mut inner = self.shared.inner.lock();
+        inner.stats.lock_acquisitions += 1;
         assert!(
             !inner.sealed,
             "submit() after seal(); call unseal() for a new phase"
@@ -403,6 +404,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
         // Acquire a task (or exit on shutdown).
         let (task_id, body, label) = {
             let mut inner = shared.inner.lock();
+            inner.stats.lock_acquisitions += 1;
             let task = loop {
                 if let Some(t) = inner.policy.pop(worker) {
                     // Cancelled tasks may still sit in the ready queue;
@@ -419,6 +421,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                     break None;
                 }
                 inner.idle_workers += 1;
+                inner.stats.idle_transitions += 1;
                 shared.work_cv.wait(&mut inner);
                 inner.idle_workers -= 1;
             };
@@ -428,6 +431,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             }
             inner.in_dispatch += 1;
             inner.busy_workers += 1;
+            inner.stats.busy_transitions += 1;
             let e = &mut inner.entries[t as usize];
             let body = e.body.take().expect("task body already taken");
             (t, body, e.label.clone())
@@ -443,6 +447,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             token,
             on_register: Arc::new(move || {
                 let mut inner = reg_shared.inner.lock();
+                inner.stats.lock_acquisitions += 1;
                 inner.in_dispatch -= 1;
                 reg_shared.quiesce_cv.notify_all();
             }),
@@ -465,6 +470,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
         // Completion: propagate to successors.
         {
             let mut inner = shared.inner.lock();
+            inner.stats.lock_acquisitions += 1;
             inner.entries[task_id as usize].done = true;
             let succs = std::mem::take(&mut inner.entries[task_id as usize].succs);
             let mut released = 0;
@@ -820,6 +826,26 @@ mod tests {
         let s = rt.stats();
         assert_eq!(s.per_worker_tasks.iter().sum::<u64>(), 40);
         assert_eq!(s.completed, 40);
+    }
+
+    #[test]
+    fn stats_track_transitions_and_lock_traffic() {
+        let rt = Runtime::new(RuntimeConfig::simple(2));
+        for i in 0..10u64 {
+            rt.submit(TaskDesc::new("t", vec![Access::write(d(i))], |_| {}));
+        }
+        rt.wait_all().unwrap();
+        let s = rt.stats();
+        // One busy transition per executed task.
+        assert_eq!(s.busy_transitions, 10);
+        // At least one submit + one acquire + one completion lock per task.
+        assert!(
+            s.lock_acquisitions >= 30,
+            "lock acquisitions {}",
+            s.lock_acquisitions
+        );
+        // Both workers must have parked at least once waiting for work.
+        assert!(s.idle_transitions >= 1);
     }
 
     #[test]

@@ -38,4 +38,5 @@ pub mod task;
 pub use config::{PolicyKind, RuntimeConfig, SchedulerKind};
 pub use engine::Runtime;
 pub use quiesce::Quiesce;
+pub use stats::RuntimeStats;
 pub use task::{TaskContext, TaskDesc};

@@ -4,6 +4,12 @@
 //! Chromium browser's `chrome://tracing` page or in <https://ui.perfetto.dev>
 //! to explore a trace interactively. Times are exported in microseconds
 //! ("complete" `X` events, one per task, `tid` = worker lane).
+//!
+//! With the `metrics` feature, [`to_chrome_json_with_metrics`] also emits
+//! counter tracks (`C` events): a `running_tasks` concurrency track
+//! derived from the trace's own event boundaries, plus one flat track per
+//! counter in a [`supersim_metrics::MetricsSnapshot`], so wakeup counts
+//! and TEQ traffic are visible alongside the timeline they came from.
 
 use crate::Trace;
 use std::fmt::Write as _;
@@ -13,11 +19,19 @@ pub fn to_chrome_json(trace: &Trace) -> String {
     let mut s = String::with_capacity(64 + trace.events.len() * 96);
     s.push('[');
     let mut first = true;
+    push_task_events(&mut s, trace, &mut first);
+    s.push(']');
+    s
+}
+
+/// Append one `X` event per task to `s` (comma-separated, updating the
+/// leading-comma state in `first`).
+fn push_task_events(s: &mut String, trace: &Trace, first: &mut bool) {
     for e in &trace.events {
-        if !first {
+        if !*first {
             s.push(',');
         }
-        first = false;
+        *first = false;
         let _ = write!(
             s,
             r#"{{"name":{},"ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"args":{{"task_id":{}}}}}"#,
@@ -28,6 +42,67 @@ pub fn to_chrome_json(trace: &Trace) -> String {
             e.task_id
         );
     }
+}
+
+/// Append one `C` (counter) sample to `s`.
+#[cfg(feature = "metrics")]
+fn push_counter_sample(s: &mut String, name: &str, ts_us: f64, value: f64, first: &mut bool) {
+    if !*first {
+        s.push(',');
+    }
+    *first = false;
+    let _ = write!(
+        s,
+        r#"{{"name":{},"ph":"C","ts":{:.3},"pid":0,"args":{{"value":{}}}}}"#,
+        json_string(name),
+        ts_us,
+        value
+    );
+}
+
+/// Serialize a trace plus metrics counter tracks.
+///
+/// Emits the same `X` events as [`to_chrome_json`], then:
+///
+/// * a `running_tasks` counter track sampled at every task start/end
+///   boundary (the instantaneous parallelism profile of the trace), and
+/// * one flat counter track per counter in `snap`, sampled at the trace
+///   origin and at its makespan, so Perfetto renders the run's totals as
+///   horizontal bands next to the timeline.
+#[cfg(feature = "metrics")]
+pub fn to_chrome_json_with_metrics(
+    trace: &Trace,
+    snap: &supersim_metrics::MetricsSnapshot,
+) -> String {
+    let mut s = String::with_capacity(64 + trace.events.len() * 128 + snap.counters.len() * 160);
+    s.push('[');
+    let mut first = true;
+    push_task_events(&mut s, trace, &mut first);
+
+    // Concurrency track: +1 at each start, -1 at each end, cumulative sum
+    // in timestamp order (ends before starts on ties, so a task handing
+    // off to another at the same instant does not double-count).
+    let mut deltas: Vec<(f64, i64)> = Vec::with_capacity(trace.events.len() * 2);
+    for e in &trace.events {
+        deltas.push((e.start, 1));
+        deltas.push((e.end, -1));
+    }
+    deltas.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut running = 0i64;
+    for (t, d) in deltas {
+        running += d;
+        push_counter_sample(&mut s, "running_tasks", t * 1e6, running as f64, &mut first);
+    }
+
+    // Flat per-counter tracks across the whole timeline.
+    let end_us = trace.makespan() * 1e6;
+    for c in &snap.counters {
+        push_counter_sample(&mut s, &c.name, 0.0, c.value as f64, &mut first);
+        if end_us > 0.0 {
+            push_counter_sample(&mut s, &c.name, end_us, c.value as f64, &mut first);
+        }
+    }
+
     s.push(']');
     s
 }
@@ -98,5 +173,54 @@ mod tests {
     #[test]
     fn empty_trace_is_empty_array() {
         assert_eq!(to_chrome_json(&Trace::new(0)), "[]");
+    }
+
+    #[cfg(feature = "metrics")]
+    mod metrics {
+        use super::*;
+        use supersim_metrics::MetricsSnapshot;
+
+        #[test]
+        fn counter_tracks_appended_after_task_events() {
+            let mut snap = MetricsSnapshot::default();
+            snap.push_counter("teq.wakeup.targeted", 42);
+            let json = to_chrome_json_with_metrics(&trace(), &snap);
+            let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            let arr = v.as_array().unwrap();
+            // 2 X events + 4 running_tasks samples + 2 flat samples.
+            assert_eq!(arr.len(), 8);
+            let c_events: Vec<_> = arr.iter().filter(|e| e["ph"] == "C").collect();
+            assert_eq!(c_events.len(), 6);
+            let wakeups: Vec<_> = c_events
+                .iter()
+                .filter(|e| e["name"] == "teq.wakeup.targeted")
+                .collect();
+            assert_eq!(wakeups.len(), 2, "value at origin and at makespan");
+            assert_eq!(wakeups[0]["args"]["value"].as_f64(), Some(42.0));
+        }
+
+        #[test]
+        fn running_tasks_track_is_a_parallelism_profile() {
+            let json = to_chrome_json_with_metrics(&trace(), &MetricsSnapshot::default());
+            let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            let samples: Vec<f64> = v
+                .as_array()
+                .unwrap()
+                .iter()
+                .filter(|e| e["name"] == "running_tasks")
+                .map(|e| e["args"]["value"].as_f64().unwrap())
+                .collect();
+            // Events: [0, 0.5ms] and [1ms, 2ms]: 1, 0, 1, 0.
+            assert_eq!(samples, vec![1.0, 0.0, 1.0, 0.0]);
+        }
+
+        #[test]
+        fn empty_trace_with_metrics_has_only_origin_samples() {
+            let mut snap = MetricsSnapshot::default();
+            snap.push_counter("c", 1);
+            let json = to_chrome_json_with_metrics(&Trace::new(0), &snap);
+            let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+            assert_eq!(v.as_array().unwrap().len(), 1, "no duplicate at ts 0");
+        }
     }
 }

@@ -4,7 +4,7 @@
 //! wall-clock seconds; in a simulated run the sim-kernel protocol logs the
 //! same tuple in virtual time. Both go through [`TraceRecorder`].
 //!
-//! The recorder is **sharded**: events land in one of [`SHARDS`] per-shard
+//! The recorder is **sharded**: events land in one of `SHARDS` per-shard
 //! buffers selected by `worker % SHARDS`, so concurrent workers recording
 //! on different shards never contend on a common lock. Each event is
 //! stamped with a globally unique sequence number from a single atomic
@@ -118,6 +118,29 @@ impl TraceRecorder {
         }
         stamped.sort_by(|a, b| a.1.start.total_cmp(&b.1.start).then(a.0.cmp(&b.0)));
         stamped.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// The number of shards events are distributed over.
+    pub fn shard_count(&self) -> usize {
+        SHARDS
+    }
+
+    /// Events currently buffered in each shard (index = shard). A heavily
+    /// skewed distribution means workers are aliasing onto few shards and
+    /// contending on their locks.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.events.lock().len())
+            .collect()
+    }
+
+    /// Total events ever recorded through this recorder, including ones
+    /// since consumed by [`TraceRecorder::finish`] or dropped by
+    /// [`TraceRecorder::clear`] (read from the global sequence stamp).
+    pub fn total_recorded(&self) -> u64 {
+        self.inner.seq.load(Ordering::Relaxed)
     }
 
     /// Take a normalized snapshot of the trace with `workers` lanes

@@ -9,7 +9,7 @@ use crate::mode::ExecMode;
 use crate::{cholesky, lu, qr};
 use std::sync::Arc;
 use supersim_core::{SimConfig, SimSession};
-use supersim_runtime::{Runtime, SchedulerKind};
+use supersim_runtime::{Runtime, RuntimeStats, SchedulerKind};
 use supersim_tile::{flops, generate, verify, TiledMatrix};
 use supersim_trace::{Trace, TraceRecorder};
 
@@ -72,6 +72,9 @@ pub struct RealRun {
     pub residual: f64,
     /// Achieved GFLOP/s (standard flop count / seconds).
     pub gflops: f64,
+    /// Engine execution statistics (per-worker task counts, lock and
+    /// idle/busy transition counters).
+    pub stats: RuntimeStats,
 }
 
 /// Result of a simulated run.
@@ -93,6 +96,9 @@ pub struct SimRun {
     pub trace: Trace,
     /// Predicted GFLOP/s.
     pub gflops: f64,
+    /// Engine execution statistics of the simulation run (the real
+    /// scheduler kept in the loop, per the paper's design).
+    pub stats: RuntimeStats,
 }
 
 fn submit_algorithm(
@@ -147,6 +153,7 @@ pub fn run_real(
     rt.seal();
     rt.wait_all().expect("real run failed");
     let seconds = t0.elapsed().as_secs_f64();
+    let stats = rt.stats();
     let trace = recorder.finish(workers);
 
     let residual = match alg {
@@ -164,6 +171,7 @@ pub fn run_real(
         trace,
         residual,
         gflops: flops::gflops(alg.flops(n), seconds),
+        stats,
     }
 }
 
@@ -197,6 +205,7 @@ pub fn run_sim(
     rt.seal();
     rt.wait_all().expect("simulated run failed");
     let wall_seconds = t0.elapsed().as_secs_f64();
+    let stats = rt.stats();
     let predicted_seconds = session.virtual_now();
     let trace = session.finish_trace(workers);
 
@@ -209,6 +218,7 @@ pub fn run_sim(
         wall_seconds,
         trace,
         gflops: flops::gflops(alg.flops(n), predicted_seconds),
+        stats,
     }
 }
 

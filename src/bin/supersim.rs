@@ -10,8 +10,19 @@
 //!                  [--overhead auto|SECONDS]
 //! supersim predict --alg qr --n 1000 --nb 100     (real + calibrate + sim)
 //! supersim dag     --alg qr --nt 4 [--dot out.dot]
+//! supersim metrics --workload cholesky [--n 512] [--nb 64] [--workers 8]
+//!                  [--seed 42] [--mode both|targeted|broadcast]
+//!                  [--out m.json] [--chrome t.json] [--trace-out t.txt]
 //! supersim info
 //! ```
+//!
+//! `metrics` runs a synthetic simulated workload (lognormal kernel models,
+//! no calibration file needed) once per requested TEQ wakeup mode and dumps
+//! the merged [`supersim::metrics::MetricsSnapshot`] as JSON: TEQ traffic
+//! and wait-latency histograms, engine counters, trace-shard occupancy.
+//! `--chrome` adds counter tracks next to the task timeline;
+//! `--trace-out` writes the (virtual-time, deterministic) text trace of
+//! the last run, which CI diffs bit-for-bit across repeated runs.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -33,6 +44,7 @@ fn main() {
         "sim" => cmd_sim(&opts),
         "predict" => cmd_predict(&opts),
         "dag" => cmd_dag(&opts),
+        "metrics" => cmd_metrics(&opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
@@ -51,6 +63,7 @@ fn usage_and_exit() -> ! {
          \x20 sim      simulate from a stored calibration\n\
          \x20 predict  real run + calibration + simulation, with comparison\n\
          \x20 dag      emit the task DAG of an algorithm\n\
+         \x20 metrics  run a simulated workload and dump instrumentation as JSON\n\
          \x20 info     list algorithms and scheduler profiles\n\
          \n\
          common flags: --alg cholesky|qr|lu  --scheduler quark|starpu|ompss\n\
@@ -314,6 +327,108 @@ fn cmd_dag(opts: &HashMap<String, String>) {
         std::fs::write(path, supersim::dag::dot::to_dot_default(&g)).expect("write dot");
         println!("DOT written to {path}");
     }
+}
+
+/// Run a synthetic simulated workload once per requested TEQ wakeup mode,
+/// publish every instrumented component into one snapshot, and dump it.
+#[cfg(feature = "metrics")]
+fn cmd_metrics(opts: &HashMap<String, String>) {
+    use supersim::core::WakeupMode;
+    use supersim::metrics::MetricsSnapshot;
+
+    let alg = match opts
+        .get("workload")
+        .or_else(|| opts.get("alg"))
+        .map(String::as_str)
+    {
+        Some("cholesky") | None => Algorithm::Cholesky,
+        Some("qr") => Algorithm::Qr,
+        Some("lu") => Algorithm::Lu,
+        Some(other) => {
+            eprintln!("unknown workload {other} (cholesky|qr|lu)");
+            exit(2)
+        }
+    };
+    let kind = scheduler(opts);
+    let n = get(opts, "n", 512usize);
+    let nb = get(opts, "nb", 64usize);
+    let workers = get(opts, "workers", 8usize);
+    let seed = get(opts, "seed", 42u64);
+    let modes: &[WakeupMode] = match opts.get("mode").map(String::as_str) {
+        None | Some("both") => &[WakeupMode::Targeted, WakeupMode::Broadcast],
+        Some("targeted") => &[WakeupMode::Targeted],
+        Some("broadcast") => &[WakeupMode::Broadcast],
+        Some(other) => {
+            eprintln!("unknown --mode {other} (both|targeted|broadcast)");
+            exit(2)
+        }
+    };
+
+    let mut snap = MetricsSnapshot::default();
+    let mut last_trace = None;
+    for &mode in modes {
+        let mut models = ModelRegistry::new();
+        for l in alg.labels() {
+            models.insert(*l, KernelModel::new(Dist::log_normal(-6.0, 0.3).unwrap()));
+        }
+        let session = SimSession::new(
+            models,
+            SimConfig {
+                seed,
+                wakeup_mode: mode,
+                ..SimConfig::default()
+            },
+        );
+        let run = run_sim(alg, kind, workers, n, nb, session.clone());
+        session.publish_metrics(&mut snap);
+        run.stats.publish_metrics(&mut snap);
+        eprintln!(
+            "{mode:?} wakeups: {} tasks, predicted {:.4}s (wall {:.4}s)",
+            run.trace.len(),
+            run.predicted_seconds,
+            run.wall_seconds
+        );
+        last_trace = Some(run.trace);
+    }
+    // Fold in process-global instruments (sim.* session counters, des.*).
+    snap.merge(&supersim::metrics::global().snapshot());
+
+    let json = snap.to_json();
+    println!("{json}");
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, &json).expect("write metrics");
+        eprintln!("metrics written to {path}");
+    }
+    let trace = last_trace.expect("at least one mode ran");
+    if let Some(path) = opts.get("chrome") {
+        std::fs::write(path, chrome::to_chrome_json_with_metrics(&trace, &snap))
+            .expect("write chrome trace");
+        eprintln!("chrome trace written to {path}");
+    }
+    if let Some(path) = opts.get("trace-out") {
+        // Canonical virtual-time trace: one line per task, sorted by task
+        // id, no worker lanes. Worker placement is scheduler-race
+        // dependent, but virtual times are seed-deterministic, so this
+        // file diffs bit-for-bit across repeated runs (the CI determinism
+        // gate relies on that).
+        let mut events: Vec<_> = trace.events.iter().collect();
+        events.sort_by_key(|e| e.task_id);
+        let mut s = String::with_capacity(events.len() * 48);
+        for e in events {
+            use std::fmt::Write as _;
+            let _ = writeln!(s, "{} {} {:?} {:?}", e.task_id, e.kernel, e.start, e.end);
+        }
+        std::fs::write(path, s).expect("write trace");
+        eprintln!("canonical trace written to {path}");
+    }
+}
+
+/// Without the `metrics` feature the instrumentation is compiled out, so
+/// there is nothing to dump.
+#[cfg(not(feature = "metrics"))]
+fn cmd_metrics(_opts: &HashMap<String, String>) {
+    eprintln!("this binary was built without the `metrics` feature; rebuild with default features");
+    exit(2)
 }
 
 fn cmd_info() {

@@ -21,6 +21,7 @@
 //! | [`dag`] | `supersim-dag` | hazard analysis, DAG export/analysis |
 //! | [`trace`] | `supersim-trace` | trace model, SVG/ASCII rendering, comparison metrics |
 //! | [`des`] | `supersim-des` | offline DES baseline (list scheduling) |
+//! | [`metrics`] | `supersim-metrics` | lock-free metrics registry, snapshots, JSON export (feature `metrics`, on by default) |
 //!
 //! ## Quickstart
 //!
@@ -49,6 +50,8 @@ pub use supersim_core as core;
 pub use supersim_dag as dag;
 pub use supersim_des as des;
 pub use supersim_dist as dist;
+#[cfg(feature = "metrics")]
+pub use supersim_metrics as metrics;
 pub use supersim_runtime as runtime;
 pub use supersim_tile as tile;
 pub use supersim_trace as trace;

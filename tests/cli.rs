@@ -145,6 +145,114 @@ fn predict_reports_error_percentage() {
     assert!(text.contains("overhead:"), "{text}");
 }
 
+#[cfg(feature = "metrics")]
+#[test]
+fn metrics_dumps_instrumented_snapshot() {
+    let dir = tmpdir();
+    let chrome = dir.join("metrics-trace.json");
+    let out = bin()
+        .args([
+            "metrics",
+            "--workload",
+            "cholesky",
+            "--n",
+            "192",
+            "--nb",
+            "24",
+            "--workers",
+            "4",
+            "--chrome",
+        ])
+        .arg(&chrome)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let snap: serde_json::Value =
+        serde_json::from_str(std::str::from_utf8(&out.stdout).unwrap()).unwrap();
+    let counter = |name: &str| {
+        snap["counters"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["name"] == name)
+            .map(|c| c["value"].as_u64().unwrap())
+    };
+    // Both wakeup modes ran (the default --mode both), each counted under
+    // its own name.
+    assert!(counter("teq.wakeup.targeted").unwrap() > 0);
+    assert!(counter("teq.wakeup.broadcast").unwrap() > 0);
+    assert!(counter("teq.insert.count").unwrap() > 0);
+    assert!(counter("sim.kernels.count").unwrap() > 0);
+    // The parked-wait histogram is timed unconditionally, so a non-trivial
+    // run always lands samples in it.
+    let wait = snap["histograms"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|h| h["name"] == "teq.wait.parked.ns")
+        .expect("teq.wait.parked.ns histogram present");
+    assert!(wait["count"].as_u64().unwrap() > 0);
+    assert!(wait["sum_ns"].as_u64().unwrap() > 0);
+    // The chrome export gained counter tracks alongside the task events.
+    let trace: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&chrome).unwrap()).unwrap();
+    let arr = trace.as_array().unwrap();
+    assert!(arr.iter().any(|e| e["ph"] == "X"));
+    assert!(arr
+        .iter()
+        .any(|e| e["ph"] == "C" && e["name"] == "running_tasks"));
+    assert!(arr
+        .iter()
+        .any(|e| e["ph"] == "C" && e["name"] == "teq.wakeup.targeted"));
+    std::fs::remove_file(&chrome).ok();
+}
+
+#[cfg(feature = "metrics")]
+#[test]
+fn metrics_trace_out_is_deterministic() {
+    let dir = tmpdir();
+    let run = |path: &std::path::Path| {
+        let out = bin()
+            .args([
+                "metrics",
+                "--workload",
+                "cholesky",
+                "--n",
+                "160",
+                "--nb",
+                "20",
+                "--workers",
+                "3",
+                "--mode",
+                "targeted",
+                "--seed",
+                "7",
+                "--trace-out",
+            ])
+            .arg(path)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+    let a = dir.join("a.txt");
+    let b = dir.join("b.txt");
+    run(&a);
+    run(&b);
+    let ta = std::fs::read_to_string(&a).unwrap();
+    assert_eq!(ta, std::fs::read_to_string(&b).unwrap());
+    assert!(!ta.is_empty());
+    std::fs::remove_file(&a).ok();
+    std::fs::remove_file(&b).ok();
+}
+
 #[test]
 fn sim_without_calibration_is_an_error() {
     let out = bin().args(["sim", "--alg", "qr"]).output().unwrap();

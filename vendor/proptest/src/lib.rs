@@ -237,7 +237,7 @@ pub mod prop {
         use crate::TestRng;
         use rand::Rng;
 
-        /// Length specification for [`vec`]: a range or an exact size
+        /// Length specification for [`vec()`]: a range or an exact size
         /// (upstream's `Into<SizeRange>`).
         pub trait IntoSizeRange {
             fn into_size_range(self) -> std::ops::Range<usize>;
