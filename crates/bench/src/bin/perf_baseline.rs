@@ -57,6 +57,19 @@ struct EnginePoint {
     tasks_per_sec: f64,
 }
 
+/// Wall-clock drain throughput of a distributed (multi-node) simulated
+/// workload: real scheduler + pinned NIC lanes + transfer tasks, virtual
+/// kernels. Tracks the cluster subsystem's end-to-end overhead.
+#[derive(Serialize)]
+struct ClusterPoint {
+    nodes: usize,
+    workers_per_node: usize,
+    interconnect: String,
+    compute_tasks: u64,
+    transfers: u64,
+    tasks_per_sec: f64,
+}
+
 #[derive(Serialize)]
 struct Acceptance {
     waiters: usize,
@@ -90,6 +103,7 @@ struct Baseline {
     targeted_64_median_tasks_per_sec: f64,
     teq: Vec<TeqPoint>,
     engine: Vec<EnginePoint>,
+    cluster: Vec<ClusterPoint>,
     acceptance: Acceptance,
     overhead: Option<Overhead>,
 }
@@ -121,6 +135,57 @@ fn gate_point_median() -> f64 {
     median(GATE_REPS, || {
         teq_throughput(WakeupMode::Targeted, 64, PER_WAITER)
     })
+}
+
+/// Best-of-REPS wall-clock throughput (tasks drained per second, compute +
+/// transfer) of a distributed tile Cholesky on constant kernel models.
+fn cluster_point(nodes: usize, workers: usize, model: &str) -> ClusterPoint {
+    use std::sync::Arc;
+    use supersim_cluster::{BlockCyclic, Hockney, Interconnect, ZeroCost};
+    use supersim_core::{KernelModel, ModelRegistry, SimConfig, SimSession};
+    use supersim_workloads::driver::Algorithm;
+    use supersim_workloads::run_cluster;
+
+    let interconnect: Arc<dyn Interconnect> = match model {
+        "zero" => Arc::new(ZeroCost),
+        "hockney" => Arc::new(Hockney::new(1e-5, 1e10)),
+        other => panic!("unknown interconnect {other}"),
+    };
+    let run_once = || {
+        let mut models = ModelRegistry::new();
+        for l in Algorithm::Cholesky.labels() {
+            models.insert(*l, KernelModel::constant(1e-6));
+        }
+        let session = SimSession::new(
+            models,
+            SimConfig {
+                seed: 42,
+                ..SimConfig::default()
+            },
+        );
+        run_cluster(
+            Algorithm::Cholesky,
+            supersim_cluster::ClusterSpec::new(nodes, workers),
+            interconnect.clone(),
+            Arc::new(BlockCyclic::square(nodes)),
+            480,
+            48,
+            session,
+        )
+    };
+    let probe = run_once();
+    let tasks_per_sec = best(|| {
+        let run = run_once();
+        (run.compute_tasks + run.transfers) as f64 / run.wall_seconds.max(1e-12)
+    });
+    ClusterPoint {
+        nodes,
+        workers_per_node: workers,
+        interconnect: model.to_string(),
+        compute_tasks: probe.compute_tasks,
+        transfers: probe.transfers,
+        tasks_per_sec,
+    }
 }
 
 fn main() {
@@ -166,6 +231,12 @@ fn main() {
             tasks,
             tasks_per_sec: best(|| engine_throughput(workers, tasks)),
         });
+    }
+
+    let mut cluster = Vec::new();
+    for &(nodes, workers, model) in &[(2usize, 4usize, "zero"), (4, 4, "hockney")] {
+        eprintln!("cluster drain: {nodes} nodes x {workers} workers, {model} ...");
+        cluster.push(cluster_point(nodes, workers, model));
     }
 
     let gate = teq
@@ -232,6 +303,7 @@ fn main() {
         targeted_64_median_tasks_per_sec: fresh_targeted_64,
         teq,
         engine,
+        cluster,
         acceptance,
         overhead,
     };

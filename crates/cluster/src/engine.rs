@@ -1,0 +1,421 @@
+//! The cluster engine: one runtime, one virtual clock, N nodes.
+
+use crate::interconnect::Interconnect;
+use crate::spec::{ClusterSpec, Lane};
+use crate::TRANSFER_LABEL;
+use std::collections::HashMap;
+use std::sync::Arc;
+use supersim_core::SimSession;
+use supersim_dag::{Access, DataId};
+use supersim_runtime::{PolicyKind, Runtime, RuntimeConfig, RuntimeStats, TaskDesc};
+use supersim_trace::Trace;
+
+/// Simulates a distributed-memory machine on the paper's single-node
+/// protocol.
+///
+/// Every lane of the cluster — each node's compute workers and NIC lanes —
+/// is a worker of **one** runtime under the `Pinned` policy, and every
+/// task (compute or transfer) goes through **one** shared Task Execution
+/// Queue. Virtual time is therefore globally consistent by construction:
+/// the TEQ's completion-order invariant is exactly the clock-sharing
+/// invariant a distributed simulation needs, with no cross-node clock
+/// protocol.
+///
+/// Drivers submit *compute* tasks with owner-computes accesses
+/// ([`ClusterEngine::submit_compute`]); the engine inserts *transfer*
+/// tasks automatically whenever a read crosses the placement. A transfer
+/// reads the home tile, writes a fresh ghost tile on the consuming node,
+/// takes [`Interconnect::transfer_seconds`] of virtual time, and is pinned
+/// to the consuming node's NIC lanes — so link contention emerges from
+/// NIC-lane occupancy, the same way the paper's compute contention emerges
+/// from worker occupancy. The consuming task reads *both* the home tile
+/// and the ghost: the ghost read orders it after the transfer, the home
+/// read keeps the WaR edge against the tile's next writer, preserving the
+/// single-node schedule under a zero-cost interconnect.
+pub struct ClusterEngine {
+    spec: ClusterSpec,
+    interconnect: Arc<dyn Interconnect>,
+    session: Arc<SimSession>,
+    rt: Runtime,
+    /// For each tile: which nodes hold a valid copy, and under which
+    /// DataId (the home node maps to the tile's own id, consumers to
+    /// ghost ids). Cleared on write.
+    valid: HashMap<DataId, HashMap<usize, DataId>>,
+    next_ghost: u64,
+    transfers: u64,
+    transfer_bytes: u64,
+    node_transfers: Vec<u64>,
+    node_bytes: Vec<u64>,
+}
+
+impl ClusterEngine {
+    /// Build an engine over `spec`. `ghost_base` must be above every
+    /// DataId the driver will submit (ghost tiles are allocated upward
+    /// from it). The session's warm-up budget is set to one slot per
+    /// compute worker, matching the first-call-per-worker effect of a
+    /// single-node run of the same width.
+    pub fn new(
+        spec: ClusterSpec,
+        interconnect: Arc<dyn Interconnect>,
+        session: Arc<SimSession>,
+        ghost_base: u64,
+    ) -> Self {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: spec.total_workers(),
+            policy: PolicyKind::Pinned,
+            window: usize::MAX,
+            name: "cluster",
+        });
+        session.attach_quiesce(rt.probe());
+        session.set_warmup_slots(spec.total_compute_workers());
+        let nodes = spec.nodes;
+        ClusterEngine {
+            spec,
+            interconnect,
+            session,
+            rt,
+            valid: HashMap::new(),
+            next_ghost: ghost_base,
+            transfers: 0,
+            transfer_bytes: 0,
+            node_transfers: vec![0; nodes],
+            node_bytes: vec![0; nodes],
+        }
+    }
+
+    /// Submit one compute task to `node`. Each access comes with the
+    /// owning node of its tile; writes must be local (owner-computes).
+    /// Remote reads insert transfer tasks as needed (one per
+    /// tile-per-node until the tile is rewritten — copies are reused).
+    /// Returns the compute task's id.
+    pub fn submit_compute(
+        &mut self,
+        node: usize,
+        label: &str,
+        accesses: &[(Access, usize)],
+        priority: i64,
+    ) -> u64 {
+        assert!(node < self.spec.nodes, "node {node} out of range");
+        let mut acc = Vec::with_capacity(accesses.len());
+        for (a, home) in accesses {
+            if a.mode.writes() {
+                assert_eq!(
+                    *home, node,
+                    "owner-computes violated: write to a tile of node {home} \
+                     submitted on node {node}"
+                );
+                acc.push(*a);
+            } else if *home == node {
+                acc.push(*a);
+            } else {
+                let ghost = self.ensure_copy(a, *home, node);
+                // Keep the home-tile read (WaR edge against the next
+                // writer) and add the ghost read (RaW edge after the
+                // transfer).
+                acc.push(*a);
+                acc.push(Access::read(ghost).with_bytes(a.bytes));
+            }
+        }
+        // A write supersedes every remote copy: later readers must fetch
+        // the new version.
+        for (a, home) in accesses {
+            if a.mode.writes() {
+                let m = self.valid.entry(a.data).or_default();
+                m.clear();
+                m.insert(*home, a.data);
+            }
+        }
+        let (lo, hi) = self.spec.compute_range(node);
+        let body = self.session.planned_body(label);
+        self.rt.submit(
+            TaskDesc::new(label, acc, body)
+                .with_priority(priority)
+                .with_pin(lo, hi),
+        )
+    }
+
+    /// Get `node` a valid copy of the tile behind `a`, inserting a
+    /// transfer task if it does not have one. Returns the DataId the
+    /// consumer should read (a ghost id for fetched copies).
+    fn ensure_copy(&mut self, a: &Access, home: usize, node: usize) -> DataId {
+        {
+            let m = self.valid.entry(a.data).or_default();
+            if m.is_empty() {
+                // First sighting: the initial version lives at home.
+                m.insert(home, a.data);
+            }
+            if let Some(&copy) = m.get(&node) {
+                return copy;
+            }
+        }
+        let ghost = DataId(self.next_ghost);
+        self.next_ghost += 1;
+        let duration = self.interconnect.transfer_seconds(a.bytes);
+        let (lo, hi) = self.spec.nic_range(node);
+        let session = self.session.clone();
+        let desc = TaskDesc::new(
+            TRANSFER_LABEL,
+            vec![
+                Access::read(a.data).with_bytes(a.bytes),
+                Access::write(ghost).with_bytes(a.bytes),
+            ],
+            move |ctx| session.run_fixed(ctx, TRANSFER_LABEL, duration),
+        )
+        .with_pin(lo, hi);
+        self.rt.submit(desc);
+        self.transfers += 1;
+        self.transfer_bytes += a.bytes;
+        self.node_transfers[node] += 1;
+        self.node_bytes[node] += a.bytes;
+        self.valid
+            .get_mut(&a.data)
+            .expect("entry created above")
+            .insert(node, ghost);
+        ghost
+    }
+
+    /// Seal the runtime (no more submissions) and wait for everything to
+    /// finish.
+    pub fn seal_and_wait(&self) -> Result<(), Vec<String>> {
+        self.rt.seal();
+        self.rt.wait_all()
+    }
+
+    /// Predicted makespan so far (virtual seconds).
+    pub fn virtual_now(&self) -> f64 {
+        self.session.virtual_now()
+    }
+
+    /// Consume the virtual-time trace: one lane per cluster worker, NIC
+    /// lanes after the compute lanes (see [`ClusterSpec::lane_names`]).
+    pub fn finish_trace(&self) -> Trace {
+        self.session.finish_trace(self.spec.total_workers())
+    }
+
+    /// Engine execution statistics of the underlying runtime.
+    pub fn stats(&self) -> RuntimeStats {
+        self.rt.stats()
+    }
+
+    /// The cluster shape.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The session driving the virtual clock.
+    pub fn session(&self) -> &Arc<SimSession> {
+        &self.session
+    }
+
+    /// The interconnect model in use.
+    pub fn interconnect(&self) -> &Arc<dyn Interconnect> {
+        &self.interconnect
+    }
+
+    /// Transfer tasks inserted so far.
+    pub fn transfers(&self) -> u64 {
+        self.transfers
+    }
+
+    /// Total bytes moved by inserted transfers.
+    pub fn transfer_bytes(&self) -> u64 {
+        self.transfer_bytes
+    }
+
+    /// Per-node inbound transfer counts.
+    pub fn node_transfers(&self) -> &[u64] {
+        &self.node_transfers
+    }
+
+    /// Per-node inbound transfer bytes.
+    pub fn node_bytes(&self) -> &[u64] {
+        &self.node_bytes
+    }
+
+    /// Total busy seconds of `node`'s NIC lanes in `trace`.
+    pub fn nic_busy_seconds(&self, trace: &Trace, node: usize) -> f64 {
+        let (lo, hi) = self.spec.nic_range(node);
+        (lo..hi)
+            .flat_map(|w| trace.lane(w))
+            .map(|e| e.duration())
+            .sum()
+    }
+
+    /// Publish the cluster's observability data into `snap`: session/TEQ
+    /// instruments plus transfer counters (total and per node). NIC busy
+    /// time needs the trace; pass it when available.
+    #[cfg(feature = "metrics")]
+    pub fn publish_metrics(
+        &self,
+        snap: &mut supersim_metrics::MetricsSnapshot,
+        trace: Option<&Trace>,
+    ) {
+        self.session.publish_metrics(snap);
+        snap.push_counter("cluster.transfers", self.transfers);
+        snap.push_counter("cluster.transfer.bytes", self.transfer_bytes);
+        snap.push_gauge("cluster.nodes", self.spec.nodes as i64);
+        snap.push_gauge(
+            "cluster.workers.per_node",
+            self.spec.workers_per_node as i64,
+        );
+        for node in 0..self.spec.nodes {
+            snap.push_counter(
+                &format!("cluster.node.{node:02}.transfers"),
+                self.node_transfers[node],
+            );
+            snap.push_counter(
+                &format!("cluster.node.{node:02}.transfer.bytes"),
+                self.node_bytes[node],
+            );
+            if let Some(t) = trace {
+                let busy_us = (self.nic_busy_seconds(t, node) * 1e6).round() as i64;
+                snap.push_gauge(&format!("cluster.node.{node:02}.nic.busy_us"), busy_us);
+            }
+        }
+    }
+
+    /// Classify a trace lane (delegates to the spec; handy for renderers).
+    pub fn lane_of(&self, worker: usize) -> Lane {
+        self.spec.lane_of(worker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interconnect::{Hockney, ZeroCost};
+    use supersim_core::{KernelModel, ModelRegistry, SimConfig};
+
+    fn session(seed: u64) -> Arc<SimSession> {
+        let mut models = ModelRegistry::new();
+        models.insert("k", KernelModel::constant(1.0));
+        SimSession::new(
+            models,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    fn engine(ic: Arc<dyn Interconnect>) -> ClusterEngine {
+        let lanes = ic.default_nic_lanes();
+        ClusterEngine::new(
+            ClusterSpec::new(2, 1).with_nic_lanes(lanes),
+            ic,
+            session(7),
+            100,
+        )
+    }
+
+    #[test]
+    fn remote_read_inserts_one_transfer() {
+        let mut e = engine(Arc::new(ZeroCost));
+        let d0 = DataId(0);
+        let d1 = DataId(1);
+        // Producer on node 0, consumer on node 1.
+        e.submit_compute(0, "k", &[(Access::read_write(d0), 0)], 0);
+        e.submit_compute(
+            1,
+            "k",
+            &[(Access::read(d0), 0), (Access::read_write(d1), 1)],
+            0,
+        );
+        e.seal_and_wait().unwrap();
+        assert_eq!(e.transfers(), 1);
+        assert_eq!(e.node_transfers(), &[0, 1]);
+        // Zero-cost transfer: chain of two 1s kernels.
+        assert_eq!(e.virtual_now(), 2.0);
+        let trace = e.finish_trace();
+        // The transfer landed on node 1's NIC lane.
+        assert_eq!(trace.lane(e.spec().nic_range(1).0).count(), 1);
+        assert!(trace.validate(1e-9).is_ok());
+    }
+
+    #[test]
+    fn copies_are_reused_until_invalidated_by_write() {
+        let mut e = engine(Arc::new(ZeroCost));
+        let d0 = DataId(0);
+        let (d1, d2) = (DataId(1), DataId(2));
+        e.submit_compute(0, "k", &[(Access::read_write(d0), 0)], 0);
+        // Two consumers on node 1: one fetch, second reuses the copy.
+        e.submit_compute(
+            1,
+            "k",
+            &[(Access::read(d0), 0), (Access::read_write(d1), 1)],
+            0,
+        );
+        e.submit_compute(
+            1,
+            "k",
+            &[(Access::read(d0), 0), (Access::read_write(d2), 1)],
+            0,
+        );
+        assert_eq!(e.transfers(), 1);
+        // A rewrite at home invalidates node 1's copy: next read refetches.
+        e.submit_compute(0, "k", &[(Access::read_write(d0), 0)], 0);
+        e.submit_compute(
+            1,
+            "k",
+            &[(Access::read(d0), 0), (Access::read_write(d1), 1)],
+            0,
+        );
+        assert_eq!(e.transfers(), 2);
+        e.seal_and_wait().unwrap();
+        assert!(e.finish_trace().validate(1e-9).is_ok());
+    }
+
+    #[test]
+    fn hockney_latency_shows_up_in_makespan() {
+        let mut e = engine(Arc::new(Hockney::new(0.5, 1e9)));
+        let d0 = DataId(0);
+        let d1 = DataId(1);
+        e.submit_compute(0, "k", &[(Access::read_write(d0), 0)], 0);
+        e.submit_compute(
+            1,
+            "k",
+            &[(Access::read(d0), 0), (Access::read_write(d1), 1)],
+            0,
+        );
+        e.seal_and_wait().unwrap();
+        // 1s produce + 0.5s transfer (0 bytes) + 1s consume.
+        assert!((e.virtual_now() - 2.5).abs() < 1e-12);
+        assert_eq!(e.transfer_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner-computes violated")]
+    fn remote_write_is_rejected() {
+        let mut e = engine(Arc::new(ZeroCost));
+        e.submit_compute(1, "k", &[(Access::write(DataId(0)), 0)], 0);
+    }
+
+    #[test]
+    fn transfer_bytes_are_counted() {
+        let mut e = engine(Arc::new(Hockney::new(0.0, 1e6)));
+        let d0 = DataId(0);
+        let d1 = DataId(1);
+        e.submit_compute(
+            0,
+            "k",
+            &[(Access::read_write(d0).with_bytes(2_000_000), 0)],
+            0,
+        );
+        e.submit_compute(
+            1,
+            "k",
+            &[
+                (Access::read(d0).with_bytes(2_000_000), 0),
+                (Access::read_write(d1), 1),
+            ],
+            0,
+        );
+        e.seal_and_wait().unwrap();
+        assert_eq!(e.transfer_bytes(), 2_000_000);
+        // 1s + 2s transfer + 1s.
+        assert!((e.virtual_now() - 4.0).abs() < 1e-12);
+        let trace = e.finish_trace();
+        assert!((e.nic_busy_seconds(&trace, 1) - 2.0).abs() < 1e-12);
+        assert_eq!(e.nic_busy_seconds(&trace, 0), 0.0);
+    }
+}

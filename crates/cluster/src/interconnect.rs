@@ -1,0 +1,208 @@
+//! Interconnect cost models.
+//!
+//! A model maps a message size to a virtual transfer duration. Whether
+//! concurrent transfers share the wire is *not* part of the model — it is
+//! decided by how many NIC lanes the model asks for: a single-lane NIC
+//! admits one in-flight transfer per node at a time, so queueing (and
+//! thus contention) emerges from lane occupancy in the TEQ, exactly the
+//! way compute contention emerges from worker occupancy in the paper.
+
+/// An interconnect cost model.
+pub trait Interconnect: Send + Sync {
+    /// Model name (for CLI selection and JSON output).
+    fn name(&self) -> &'static str;
+    /// Virtual seconds to move `bytes` across the interconnect.
+    fn transfer_seconds(&self, bytes: u64) -> f64;
+    /// NIC lanes per node this model wants by default: 1 means transfers
+    /// to a node serialize, more means that many messages fly
+    /// concurrently at full per-message cost.
+    fn default_nic_lanes(&self) -> usize {
+        1
+    }
+}
+
+/// Free interconnect: every transfer takes zero virtual time. The
+/// distributed run must then reproduce the equivalent single-node
+/// schedule exactly — the cluster layer's correctness baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ZeroCost;
+
+impl Interconnect for ZeroCost {
+    fn name(&self) -> &'static str {
+        "zero"
+    }
+
+    fn transfer_seconds(&self, _bytes: u64) -> f64 {
+        0.0
+    }
+}
+
+/// Hockney model: `latency + bytes / bandwidth` per message, messages
+/// independent (multiple NIC lanes — per-message cost, no link sharing).
+#[derive(Debug, Clone, Copy)]
+pub struct Hockney {
+    /// Per-message latency (alpha) in seconds.
+    pub latency: f64,
+    /// Link bandwidth (1/beta) in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl Hockney {
+    /// A Hockney model with the given alpha (seconds) and bandwidth (B/s).
+    pub fn new(latency: f64, bandwidth: f64) -> Self {
+        assert!(latency >= 0.0, "latency must be non-negative");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        Hockney { latency, bandwidth }
+    }
+}
+
+impl Interconnect for Hockney {
+    fn name(&self) -> &'static str {
+        "hockney"
+    }
+
+    fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    fn default_nic_lanes(&self) -> usize {
+        4
+    }
+}
+
+/// Contention-aware shared link: same per-message cost as [`Hockney`],
+/// but a single NIC lane per node, so concurrent transfers to one node
+/// serialize in virtual time (each waits for the lane, then pays the
+/// full message cost).
+#[derive(Debug, Clone, Copy)]
+pub struct SharedLink {
+    /// Per-message latency in seconds.
+    pub latency: f64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl SharedLink {
+    /// A shared-link model with the given latency (seconds) and bandwidth
+    /// (B/s).
+    pub fn new(latency: f64, bandwidth: f64) -> Self {
+        assert!(latency >= 0.0, "latency must be non-negative");
+        assert!(bandwidth > 0.0, "bandwidth must be positive");
+        SharedLink { latency, bandwidth }
+    }
+}
+
+impl Interconnect for SharedLink {
+    fn name(&self) -> &'static str {
+        "sharedlink"
+    }
+
+    fn transfer_seconds(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// Completion times of transfers `(ready, duration)` on one serializing
+/// lane: processed in ready order, each starting at
+/// `max(its ready time, previous completion)` — the reference discipline a
+/// single-lane NIC realizes through the TEQ.
+pub fn serialized_completions(transfers: &[(f64, f64)]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..transfers.len()).collect();
+    order.sort_by(|&a, &b| transfers[a].0.total_cmp(&transfers[b].0));
+    let mut done = vec![0.0; transfers.len()];
+    let mut lane_free = f64::NEG_INFINITY;
+    for &i in &order {
+        let (ready, dur) = transfers[i];
+        let start = ready.max(lane_free);
+        lane_free = start + dur;
+        done[i] = lane_free;
+    }
+    done
+}
+
+/// Completion times of the same offered load with no contention: every
+/// transfer runs the moment it is ready.
+pub fn contention_free_completions(transfers: &[(f64, f64)]) -> Vec<f64> {
+    transfers.iter().map(|&(r, d)| r + d).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hockney_formula() {
+        let h = Hockney::new(1e-6, 1e9);
+        assert_eq!(h.transfer_seconds(0), 1e-6);
+        let t = h.transfer_seconds(1_000_000_000);
+        assert!((t - 1.000001).abs() < 1e-12);
+        assert_eq!(h.name(), "hockney");
+        assert_eq!(h.default_nic_lanes(), 4);
+    }
+
+    #[test]
+    fn zero_cost_is_free() {
+        assert_eq!(ZeroCost.transfer_seconds(u64::MAX), 0.0);
+        assert_eq!(ZeroCost.default_nic_lanes(), 1);
+    }
+
+    #[test]
+    fn shared_link_serializes_by_lane_count() {
+        let s = SharedLink::new(0.0, 1e6);
+        assert_eq!(s.default_nic_lanes(), 1);
+        assert_eq!(s.transfer_seconds(2_000_000), 2.0);
+    }
+
+    #[test]
+    fn serialized_never_beats_contention_free() {
+        let load = [(0.0, 1.0), (0.5, 2.0), (0.5, 0.25), (3.0, 1.0)];
+        let ser = serialized_completions(&load);
+        let free = contention_free_completions(&load);
+        for (s, f) in ser.iter().zip(free.iter()) {
+            assert!(s >= f, "serialized {s} earlier than contention-free {f}");
+        }
+        // Back-to-back transfers stack up.
+        assert_eq!(ser[0], 1.0);
+        assert_eq!(ser[1], 3.0);
+        assert_eq!(ser[2], 3.25);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Hockney duration is monotone (non-decreasing) in message size.
+        #[test]
+        fn hockney_monotone_in_bytes(
+            latency in 0.0f64..1e-2,
+            bandwidth in 1e3f64..1e12,
+            a in 0u64..1u64 << 40,
+            b in 0u64..1u64 << 40,
+        ) {
+            let h = Hockney::new(latency, bandwidth);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(h.transfer_seconds(lo) <= h.transfer_seconds(hi));
+            // And strictly more bytes on a finite-bandwidth link costs
+            // strictly more time.
+            if lo < hi {
+                prop_assert!(h.transfer_seconds(lo) < h.transfer_seconds(hi));
+            }
+        }
+
+        /// A serializing link never completes any transfer earlier than
+        /// the contention-free model for the same offered load.
+        #[test]
+        fn contention_never_early(
+            load in prop::collection::vec((0.0f64..100.0, 0.0f64..10.0), 1..40),
+        ) {
+            let ser = serialized_completions(&load);
+            let free = contention_free_completions(&load);
+            for (s, f) in ser.iter().zip(free.iter()) {
+                prop_assert!(s >= f);
+            }
+        }
+    }
+}

@@ -36,7 +36,8 @@ use crate::race::RaceMitigation;
 use crate::teq::{TaskExecutionQueue, WakeupMode};
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use supersim_runtime::{Quiesce, TaskContext};
 use supersim_trace::{Trace, TraceRecorder};
@@ -100,6 +101,14 @@ pub struct SimSession {
     config: SimConfig,
     quiesce: Mutex<Option<Arc<dyn Quiesce>>>,
     first_calls: Mutex<HashSet<(usize, String)>>,
+    /// Warm-up budget for the plan-based protocol: the first `n`
+    /// submissions of each label sample warm (see
+    /// [`SimSession::set_warmup_slots`]). 0 disables warm-up entirely.
+    warmup_slots: AtomicUsize,
+    /// Per-label submission-rank counters for [`SimSession::planned_body`].
+    /// Ranks are assigned on the (serial) master thread at submission
+    /// time, so they are deterministic regardless of worker interleaving.
+    ranks: Mutex<HashMap<String, u64>>,
     /// Recorder shard occupancy captured by [`SimSession::finish_trace`]
     /// just before the shards are drained, so metrics published after the
     /// run still describe the run (not the emptied buffers).
@@ -117,6 +126,8 @@ impl SimSession {
             config,
             quiesce: Mutex::new(None),
             first_calls: Mutex::new(HashSet::new()),
+            warmup_slots: AtomicUsize::new(0),
+            ranks: Mutex::new(HashMap::new()),
             #[cfg(feature = "metrics")]
             final_occupancy: Mutex::new(None),
         })
@@ -189,7 +200,6 @@ impl SimSession {
     /// an earlier virtual completion has returned, then returns — from the
     /// scheduler's perspective the kernel "ran" for its virtual duration.
     pub fn run_kernel(&self, ctx: &TaskContext, label: &str) {
-        obs::inc_kernels();
         let model = self.models.expect(label);
         let first = self
             .first_calls
@@ -202,7 +212,63 @@ impl SimSession {
         let speed = self.config.speed_of(ctx.worker);
         assert!(speed > 0.0, "worker speed must be positive");
         let duration = model.sample(&mut rng, first) / speed + self.config.overhead_per_task;
+        self.simulate(ctx, label, duration);
+    }
 
+    /// Set the warm-up budget for the plan-based protocol: the first `n`
+    /// submissions of each label (by submission rank, not worker arrival
+    /// order) sample with the model's warm-up factor applied. Drivers set
+    /// this to the worker count so a cold run warms one slot per worker —
+    /// but unlike the legacy first-call-per-worker keying, the choice of
+    /// *which* tasks are warm is fixed at submission time and therefore
+    /// deterministic across schedules and placements.
+    pub fn set_warmup_slots(&self, n: usize) {
+        self.warmup_slots.store(n, Ordering::Relaxed);
+    }
+
+    /// Claim the next submission rank for `label`. Call from the (serial)
+    /// master thread at task-build time; [`SimSession::planned_body`] does
+    /// this for you.
+    pub fn next_rank(&self, label: &str) -> u64 {
+        let mut ranks = self.ranks.lock();
+        let r = ranks.entry(label.to_string()).or_insert(0);
+        let rank = *r;
+        *r += 1;
+        rank
+    }
+
+    /// The plan-based simulated-kernel protocol: like
+    /// [`SimSession::run_kernel`], but the duration RNG is keyed by
+    /// `(seed, label, rank)` — the task's submission rank within its label
+    /// — instead of the runtime task id, and warm-up applies to the first
+    /// [`SimSession::set_warmup_slots`] ranks of each label. Both keys are
+    /// fixed at submission time, so per-task durations are identical across
+    /// worker counts, schedulers, and cluster placements (transfer tasks
+    /// interleaved into the id space cannot shift them).
+    pub fn run_kernel_ranked(&self, ctx: &TaskContext, label: &str, rank: u64) {
+        let model = self.models.expect(label);
+        let warm = (rank as usize) < self.warmup_slots.load(Ordering::Relaxed);
+        let key = self.config.seed ^ label_hash(label) ^ rank.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(key));
+        let _: u64 = rng.random();
+        let speed = self.config.speed_of(ctx.worker);
+        assert!(speed > 0.0, "worker speed must be positive");
+        let duration = model.sample(&mut rng, warm) / speed + self.config.overhead_per_task;
+        self.simulate(ctx, label, duration);
+    }
+
+    /// Run a simulated task with an externally computed `duration` —
+    /// no model lookup, no RNG, no speed scaling, no per-task overhead.
+    /// Used for communication tasks whose duration comes from an
+    /// interconnect model. Zero durations are valid: the task occupies its
+    /// lane for a virtual instant without advancing the clock.
+    pub fn run_fixed(&self, ctx: &TaskContext, label: &str, duration: f64) {
+        self.simulate(ctx, label, duration);
+    }
+
+    /// Steps (1)–(5) of the protocol, shared by every entry point.
+    fn simulate(&self, ctx: &TaskContext, label: &str, duration: f64) {
+        obs::inc_kernels();
         // (1)+(2): read the clock for the start, insert the completion.
         let (ticket, start) = self.teq.insert(duration);
         if debug_enabled() {
@@ -292,12 +358,36 @@ impl SimSession {
         let label = label.into();
         move |ctx: &TaskContext| session.run_kernel(ctx, &label)
     }
+
+    /// Build a task body for the plan-based protocol: claims the label's
+    /// next submission rank *now* (call on the master thread, in
+    /// submission order) and runs [`SimSession::run_kernel_ranked`] with it
+    /// when the task executes.
+    pub fn planned_body(
+        self: &Arc<Self>,
+        label: impl Into<String>,
+    ) -> impl FnOnce(&TaskContext) + Send + 'static {
+        let session = self.clone();
+        let label = label.into();
+        let rank = session.next_rank(&label);
+        move |ctx: &TaskContext| session.run_kernel_ranked(ctx, &label, rank)
+    }
 }
 
 /// Cached SUPERSIM_DEBUG environment check (hot paths consult this).
 fn debug_enabled() -> bool {
     static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *FLAG.get_or_init(|| std::env::var_os("SUPERSIM_DEBUG").is_some())
+}
+
+/// FNV-1a hash of a label, mixing the kernel class into the ranked RNG key.
+fn label_hash(label: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in label.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// SplitMix64 — decorrelates seed^task_id into a well-mixed RNG seed.
@@ -581,6 +671,101 @@ mod tests {
         let errs = rt.wait_all().unwrap_err();
         // Re-panic with the recorded message to satisfy should_panic.
         panic!("{}", errs[0]);
+    }
+
+    #[test]
+    fn planned_warmup_is_rank_keyed_and_deterministic() {
+        let run = |workers: usize| {
+            let mut models = ModelRegistry::new();
+            models.insert("k", KernelModel::with_warmup(Dist::constant(1.0), 3.0));
+            let session = new_session(models, RaceMitigation::Quiesce);
+            session.set_warmup_slots(1);
+            let rt = Runtime::new(RuntimeConfig::simple(workers));
+            session.attach_quiesce(rt.probe());
+            for i in 0..3u64 {
+                rt.submit(TaskDesc::new(
+                    "k",
+                    vec![Access::read_write(d(i % 1))],
+                    session.planned_body("k"),
+                ));
+            }
+            rt.seal();
+            rt.wait_all().unwrap();
+            session.virtual_now()
+        };
+        // A single chain: rank 0 is warm (3s), ranks 1-2 are 1s each.
+        // The warm task is the *first submitted*, independent of which
+        // worker happens to pop it — so the makespan is schedule-stable.
+        assert_eq!(run(1), 5.0);
+        assert_eq!(run(4), 5.0);
+    }
+
+    #[test]
+    fn ranked_durations_independent_of_task_ids() {
+        // Same label ranks must draw the same durations even when the
+        // runtime task ids differ (e.g. transfer tasks interleaved).
+        let run = |extra_tasks: u64| {
+            let mut models = ModelRegistry::new();
+            models.insert("k", KernelModel::new(Dist::log_normal(-2.0, 0.4).unwrap()));
+            models.insert("pad", KernelModel::constant(0.0));
+            let session = new_session(models, RaceMitigation::Quiesce);
+            let rt = Runtime::new(RuntimeConfig::simple(2));
+            session.attach_quiesce(rt.probe());
+            for i in 0..extra_tasks {
+                rt.submit(TaskDesc::new(
+                    "pad",
+                    vec![Access::write(d(100 + i))],
+                    session.planned_body("pad"),
+                ));
+            }
+            for i in 0..6u64 {
+                rt.submit(TaskDesc::new(
+                    "k",
+                    vec![Access::read_write(d(i % 2))],
+                    session.planned_body("k"),
+                ));
+            }
+            rt.seal();
+            rt.wait_all().unwrap();
+            let trace = session.finish_trace(2);
+            let mut durs: Vec<f64> = trace
+                .events
+                .iter()
+                .filter(|e| e.kernel == "k")
+                .map(|e| e.duration())
+                .collect();
+            durs.sort_by(f64::total_cmp);
+            durs
+        };
+        assert_eq!(run(0), run(5), "padding tasks must not shift durations");
+    }
+
+    #[test]
+    fn run_fixed_uses_exact_duration_no_overhead() {
+        let session = SimSession::new(
+            ModelRegistry::new(), // no models needed
+            SimConfig {
+                overhead_per_task: 0.5,
+                worker_speeds: vec![0.25],
+                ..SimConfig::default()
+            },
+        );
+        let rt = Runtime::new(RuntimeConfig::simple(1));
+        session.attach_quiesce(rt.probe());
+        let s = session.clone();
+        rt.submit(TaskDesc::new("xfer", vec![Access::write(d(0))], move |c| {
+            s.run_fixed(c, "xfer", 2.0)
+        }));
+        let s = session.clone();
+        rt.submit(TaskDesc::new("xfer", vec![Access::write(d(1))], move |c| {
+            s.run_fixed(c, "xfer", 0.0)
+        }));
+        rt.seal();
+        rt.wait_all().unwrap();
+        // Neither overhead nor worker speed applies to fixed durations.
+        assert_eq!(session.virtual_now(), 2.0);
+        let trace = session.finish_trace(1);
+        assert_eq!(trace.len(), 2);
     }
 
     #[test]

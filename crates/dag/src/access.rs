@@ -49,6 +49,11 @@ pub struct Access {
     pub data: DataId,
     /// How it is accessed.
     pub mode: AccessMode,
+    /// Size of the region in bytes (0 = unknown). Edges that cross a data
+    /// distribution use this to cost the transfer; single-node scheduling
+    /// ignores it.
+    #[serde(default)]
+    pub bytes: u64,
 }
 
 impl Access {
@@ -57,6 +62,7 @@ impl Access {
         Access {
             data,
             mode: AccessMode::Read,
+            bytes: 0,
         }
     }
 
@@ -65,6 +71,7 @@ impl Access {
         Access {
             data,
             mode: AccessMode::Write,
+            bytes: 0,
         }
     }
 
@@ -73,7 +80,14 @@ impl Access {
         Access {
             data,
             mode: AccessMode::ReadWrite,
+            bytes: 0,
         }
+    }
+
+    /// Annotate the access with the region's size in bytes.
+    pub fn with_bytes(mut self, bytes: u64) -> Self {
+        self.bytes = bytes;
+        self
     }
 }
 
@@ -87,6 +101,7 @@ pub fn normalize_accesses(accesses: &[Access]) -> Vec<Access> {
     let mut out: Vec<Access> = Vec::with_capacity(accesses.len());
     for &a in accesses {
         if let Some(existing) = out.iter_mut().find(|e| e.data == a.data) {
+            existing.bytes = existing.bytes.max(a.bytes);
             existing.mode = match (
                 existing.mode.reads() || a.mode.reads(),
                 existing.mode.writes() || a.mode.writes(),
@@ -143,6 +158,20 @@ mod tests {
         assert_eq!(norm[0].data, d);
         assert_eq!(norm[0].mode, AccessMode::ReadWrite);
         assert_eq!(norm[1], Access::read(e));
+    }
+
+    #[test]
+    fn bytes_ride_along_and_merge_by_max() {
+        let d = DataId(1);
+        assert_eq!(Access::read(d).bytes, 0);
+        assert_eq!(Access::read(d).with_bytes(4096).bytes, 4096);
+        let norm = normalize_accesses(&[
+            Access::read(d).with_bytes(100),
+            Access::write(d).with_bytes(300),
+        ]);
+        assert_eq!(norm.len(), 1);
+        assert_eq!(norm[0].mode, AccessMode::ReadWrite);
+        assert_eq!(norm[0].bytes, 300);
     }
 
     #[test]

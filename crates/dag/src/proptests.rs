@@ -18,6 +18,7 @@ fn access_strategy() -> impl Strategy<Value = Access> {
             1 => AccessMode::Write,
             _ => AccessMode::ReadWrite,
         },
+        bytes: 0,
     })
 }
 

@@ -19,6 +19,10 @@ pub enum PolicyKind {
     /// a task is queued on the worker that owns its first writable data
     /// region; stealing is allowed when a worker's own queue is empty.
     LocalityAware,
+    /// FIFO honoring per-task worker-range pins (cluster simulation:
+    /// compute tasks pinned to a node's workers, transfers to its NIC
+    /// lanes). Unpinned tasks may run anywhere.
+    Pinned,
 }
 
 /// Named scheduler profile: a preset of policy + window modeled after one

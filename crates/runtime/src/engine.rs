@@ -23,6 +23,7 @@ struct Entry {
     body: Option<TaskBody>,
     priority: i64,
     affinity: Option<u64>,
+    pin: Option<(usize, usize)>,
     done: bool,
     cancelled: bool,
 }
@@ -41,8 +42,11 @@ struct Inner {
     in_flight: usize,
     idle_workers: usize,
     in_dispatch: usize,
-    busy_workers: usize,
-    total_workers: usize,
+    /// Per-worker busy flags (`busy[w]` while worker `w` executes a task).
+    /// The quiescence query hands these to [`Policy::stalled`], which for
+    /// pinned policies must know *which* workers are busy, not just how
+    /// many.
+    busy: Vec<bool>,
     shutdown: bool,
     sealed: bool,
     submitter_waiting: usize,
@@ -134,8 +138,7 @@ impl Runtime {
                 in_flight: 0,
                 idle_workers: 0,
                 in_dispatch: 0,
-                busy_workers: 0,
-                total_workers: config.workers,
+                busy: vec![false; config.workers],
                 shutdown: false,
                 sealed: false,
                 submitter_waiting: 0,
@@ -229,6 +232,7 @@ impl Runtime {
             body: Some(desc.body),
             priority: desc.priority,
             affinity,
+            pin: desc.pin,
             done: false,
             cancelled: false,
         });
@@ -239,9 +243,16 @@ impl Runtime {
                 priority: desc.priority,
                 releaser: None,
                 affinity,
+                pin: desc.pin,
             };
             inner.policy.push(id, meta);
-            self.shared.work_cv.notify_one();
+            if inner.policy.broadcast_wakeups() {
+                // A targeted notify could land on a worker outside the
+                // task's pin range; broadcast so an eligible one wakes.
+                self.shared.work_cv.notify_all();
+            } else {
+                self.shared.work_cv.notify_one();
+            }
             self.shared.quiesce_cv.notify_all();
         }
         id
@@ -389,14 +400,15 @@ fn quiescent_locked(inner: &Inner) -> bool {
     // task window; otherwise tasks not yet submitted could still have
     // earlier virtual start times than the caller's completion. Beyond
     // that: no task may sit in its dispatch window (popped but not yet
-    // registered), and if ready tasks exist there must be no worker able
-    // to absorb one — i.e. every worker is busy executing. A worker that
-    // has not reached its scheduling loop yet (thread start-up) counts as
-    // able to absorb work, which is why the condition is phrased against
-    // busy workers rather than idle ones.
+    // registered), and every queued ready task must be stalled behind
+    // busy workers — the policy decides, since under a pinned policy a
+    // task can be stalled while other workers idle. A worker that has not
+    // reached its scheduling loop yet (thread start-up) counts as able to
+    // absorb work, which is why the flags mark busy workers rather than
+    // non-idle ones.
     (inner.sealed || inner.submitter_waiting > 0)
         && inner.in_dispatch == 0
-        && (inner.policy.is_empty() || inner.busy_workers == inner.total_workers)
+        && inner.policy.stalled(&inner.busy)
 }
 
 fn worker_loop(shared: Arc<Shared>, worker: usize) {
@@ -430,7 +442,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                 eprintln!("[dbg] pop {t} by w{worker}");
             }
             inner.in_dispatch += 1;
-            inner.busy_workers += 1;
+            inner.busy[worker] = true;
             inner.stats.busy_transitions += 1;
             let e = &mut inner.entries[t as usize];
             let body = e.body.take().expect("task body already taken");
@@ -482,6 +494,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                         priority: e.priority,
                         releaser: Some(worker),
                         affinity: e.affinity,
+                        pin: e.pin,
                     };
                     if debug_enabled() {
                         eprintln!("[dbg] push_ready {s} (released by {task_id})");
@@ -490,13 +503,20 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                     released += 1;
                 }
             }
-            // Wake exactly as many workers as can absorb the released
-            // tasks: a notify beyond `idle_workers` has no parked worker to
-            // land on (awake workers re-check the ready queue before
-            // sleeping, so surplus tasks are never stranded), and a notify
-            // beyond `released` would wake a worker to an empty queue.
-            for _ in 0..released.min(inner.idle_workers) {
-                shared.work_cv.notify_one();
+            if released > 0 && inner.policy.broadcast_wakeups() {
+                // Pinned tasks: only specific workers are eligible, and a
+                // targeted notify cannot aim — broadcast instead.
+                shared.work_cv.notify_all();
+            } else {
+                // Wake exactly as many workers as can absorb the released
+                // tasks: a notify beyond `idle_workers` has no parked worker
+                // to land on (awake workers re-check the ready queue before
+                // sleeping, so surplus tasks are never stranded), and a
+                // notify beyond `released` would wake a worker to an empty
+                // queue.
+                for _ in 0..released.min(inner.idle_workers) {
+                    shared.work_cv.notify_one();
+                }
             }
             inner.in_flight -= 1;
             inner.stats.completed += 1;
@@ -507,7 +527,7 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                     .errors
                     .push(format!("task {task_id} ({label}): {msg}"));
             }
-            inner.busy_workers -= 1;
+            inner.busy[worker] = false;
             shared.window_cv.notify_all();
             shared.done_cv.notify_all();
             shared.quiesce_cv.notify_all();
@@ -869,6 +889,74 @@ mod tests {
         }
         rt.wait_all().unwrap();
         assert_eq!(count.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn pinned_tasks_run_only_inside_their_range() {
+        let cfg = RuntimeConfig {
+            workers: 4,
+            policy: PolicyKind::Pinned,
+            window: usize::MAX,
+            name: "pin-test",
+        };
+        let rt = Runtime::new(cfg);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..24u64 {
+            let seen = seen.clone();
+            let lo = (i % 2) as usize * 2; // [0,2) or [2,4)
+            rt.submit(
+                TaskDesc::new("t", vec![Access::write(d(i))], move |ctx| {
+                    seen.lock().push((lo, ctx.worker));
+                })
+                .with_pin(lo, lo + 2),
+            );
+        }
+        rt.wait_all().unwrap();
+        for (lo, w) in seen.lock().iter() {
+            assert!(
+                *w >= *lo && *w < lo + 2,
+                "task pinned to [{lo}, {}) ran on worker {w}",
+                lo + 2
+            );
+        }
+    }
+
+    #[test]
+    fn pinned_quiescence_sees_past_stalled_lane() {
+        // One ready task pinned to a busy lane, other workers idle: the
+        // probe must report quiescent (the legacy predicate would spin
+        // forever because not every worker is busy).
+        let cfg = RuntimeConfig {
+            workers: 3,
+            policy: PolicyKind::Pinned,
+            window: usize::MAX,
+            name: "pin-q",
+        };
+        let rt = Runtime::new(cfg);
+        let probe = rt.probe();
+        let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        // Occupy worker 0's lane...
+        rt.submit(
+            TaskDesc::new("hold", vec![Access::write(d(0))], move |ctx| {
+                ctx.mark_registered();
+                started_tx.send(()).unwrap();
+                hold_rx
+                    .recv_timeout(std::time::Duration::from_secs(5))
+                    .unwrap();
+            })
+            .with_pin(0, 1),
+        );
+        // ...and queue a second task behind the same lane.
+        rt.submit(TaskDesc::new("next", vec![Access::write(d(1))], |_| {}).with_pin(0, 1));
+        rt.seal();
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        probe.wait_quiescent();
+        assert!(probe.quiescent());
+        hold_tx.send(()).unwrap();
+        rt.wait_all().unwrap();
     }
 
     #[test]

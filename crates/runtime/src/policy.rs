@@ -17,6 +17,8 @@ pub struct ReadyMeta {
     pub releaser: Option<usize>,
     /// Affinity key (e.g. the task's first written data region id).
     pub affinity: Option<u64>,
+    /// Half-open worker range the task is pinned to (`None` = any).
+    pub pin: Option<(usize, usize)>,
 }
 
 /// A ready-queue policy. Implementations are driven under the engine lock,
@@ -32,6 +34,21 @@ pub trait Policy: Send {
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+    /// Whether the queue can make no progress given per-worker busy flags
+    /// (`busy[w]` is true while worker `w` executes a task). Used by the
+    /// engine's quiescence query: the system has settled when every queued
+    /// task is stalled behind busy workers. The default covers policies
+    /// where any idle worker can take any task.
+    fn stalled(&self, busy: &[bool]) -> bool {
+        self.is_empty() || busy.iter().all(|&b| b)
+    }
+    /// Whether ready-task wakeups must be broadcast to all workers.
+    /// Policies where only specific workers are eligible for a given task
+    /// return true so a targeted `notify_one` cannot land on an ineligible
+    /// worker and get lost.
+    fn broadcast_wakeups(&self) -> bool {
+        false
+    }
 }
 
 /// Instantiate the policy for a configuration.
@@ -42,6 +59,7 @@ pub fn make_policy(kind: PolicyKind, workers: usize) -> Box<dyn Policy> {
         PolicyKind::Priority => Box::new(PriorityQueue::default()),
         PolicyKind::WorkStealing => Box::new(WorkStealing::new(workers)),
         PolicyKind::LocalityAware => Box::new(LocalityAware::new(workers)),
+        PolicyKind::Pinned => Box::new(PinnedQueue::default()),
     }
 }
 
@@ -231,6 +249,52 @@ impl Policy for LocalityAware {
     }
 }
 
+/// FIFO with worker-range pins (cluster node/NIC lanes).
+///
+/// Tasks carrying a `pin` range may only be popped by workers inside it;
+/// unpinned tasks go to anyone. `pop` scans for the first eligible entry,
+/// preserving FIFO order within each pin class. O(queue) per pop, which is
+/// fine at cluster scale (ready queues stay short in virtual time).
+#[derive(Debug, Default)]
+pub struct PinnedQueue {
+    queue: VecDeque<(u64, Option<(usize, usize)>)>,
+}
+
+fn pin_admits(pin: Option<(usize, usize)>, worker: usize) -> bool {
+    match pin {
+        None => true,
+        Some((start, end)) => worker >= start && worker < end,
+    }
+}
+
+impl Policy for PinnedQueue {
+    fn push(&mut self, task: u64, meta: ReadyMeta) {
+        self.queue.push_back((task, meta.pin));
+    }
+
+    fn pop(&mut self, worker: usize) -> Option<u64> {
+        let idx = self
+            .queue
+            .iter()
+            .position(|&(_, pin)| pin_admits(pin, worker))?;
+        self.queue.remove(idx).map(|(t, _)| t)
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn stalled(&self, busy: &[bool]) -> bool {
+        self.queue
+            .iter()
+            .all(|&(_, pin)| (0..busy.len()).all(|w| !pin_admits(pin, w) || busy[w]))
+    }
+
+    fn broadcast_wakeups(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +304,7 @@ mod tests {
             priority: 0,
             releaser: None,
             affinity: None,
+            pin: None,
         }
     }
 
@@ -410,11 +475,75 @@ mod tests {
             PolicyKind::Priority,
             PolicyKind::WorkStealing,
             PolicyKind::LocalityAware,
+            PolicyKind::Pinned,
         ] {
             let mut p = make_policy(kind, 2);
             p.push(1, meta());
             assert_eq!(p.len(), 1);
             assert_eq!(p.pop(0), Some(1));
         }
+    }
+
+    #[test]
+    fn pinned_respects_worker_ranges() {
+        let mut p = PinnedQueue::default();
+        p.push(
+            1,
+            ReadyMeta {
+                pin: Some((2, 4)),
+                ..meta()
+            },
+        );
+        p.push(2, meta()); // unpinned
+                           // Worker 0 is outside [2, 4): skips task 1, takes the unpinned one.
+        assert_eq!(p.pop(0), Some(2));
+        assert_eq!(p.pop(0), None);
+        assert_eq!(p.pop(3), Some(1));
+    }
+
+    #[test]
+    fn pinned_keeps_fifo_within_range() {
+        let mut p = PinnedQueue::default();
+        for t in 0..3 {
+            p.push(
+                t,
+                ReadyMeta {
+                    pin: Some((0, 1)),
+                    ..meta()
+                },
+            );
+        }
+        assert_eq!(p.pop(0), Some(0));
+        assert_eq!(p.pop(0), Some(1));
+        assert_eq!(p.pop(0), Some(2));
+    }
+
+    #[test]
+    fn pinned_stalled_looks_past_busy_lanes() {
+        let mut p = PinnedQueue::default();
+        p.push(
+            7,
+            ReadyMeta {
+                pin: Some((1, 2)),
+                ..meta()
+            },
+        );
+        // Only worker 1 is eligible: stalled iff worker 1 is busy, no
+        // matter how many other workers idle.
+        assert!(p.stalled(&[false, true, false]));
+        assert!(!p.stalled(&[true, false, true]));
+        assert!(p.broadcast_wakeups());
+        // Default policies keep the old predicate.
+        let f = CentralFifo::default();
+        assert!(f.stalled(&[true, false])); // empty queue
+        assert!(!f.broadcast_wakeups());
+    }
+
+    #[test]
+    fn default_stalled_matches_legacy_predicate() {
+        let mut p = CentralFifo::default();
+        p.push(1, meta());
+        assert!(!p.stalled(&[false, true]), "an idle worker can take it");
+        assert!(p.stalled(&[true, true]), "all busy -> settled");
     }
 }

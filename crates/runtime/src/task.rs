@@ -19,6 +19,10 @@ pub struct TaskDesc {
     /// Scheduling priority (higher runs first under the `Priority` policy;
     /// ignored by FIFO policies).
     pub priority: i64,
+    /// Restrict execution to the half-open worker range `[start, end)`.
+    /// `None` means any worker. Only the `Pinned` policy honors pins;
+    /// other policies ignore them.
+    pub pin: Option<(usize, usize)>,
     /// The task body.
     pub body: TaskBody,
 }
@@ -34,6 +38,7 @@ impl TaskDesc {
             label: label.into(),
             accesses,
             priority: 0,
+            pin: None,
             body: Box::new(body),
         }
     }
@@ -41,6 +46,13 @@ impl TaskDesc {
     /// Set the scheduling priority.
     pub fn with_priority(mut self, priority: i64) -> Self {
         self.priority = priority;
+        self
+    }
+
+    /// Pin the task to the half-open worker range `[start, end)`.
+    pub fn with_pin(mut self, start: usize, end: usize) -> Self {
+        assert!(start < end, "empty pin range [{start}, {end})");
+        self.pin = Some((start, end));
         self
     }
 }
@@ -133,7 +145,10 @@ mod tests {
         let d = TaskDesc::new("gemm", vec![], |_| {}).with_priority(7);
         assert_eq!(d.label, "gemm");
         assert_eq!(d.priority, 7);
+        assert_eq!(d.pin, None);
         assert!(format!("{d:?}").contains("gemm"));
+        let p = TaskDesc::new("xfer", vec![], |_| {}).with_pin(4, 8);
+        assert_eq!(p.pin, Some((4, 8)));
     }
 
     #[test]

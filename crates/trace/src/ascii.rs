@@ -8,6 +8,14 @@ use crate::Trace;
 
 /// Render a trace as ASCII art, `cols` characters wide.
 pub fn render(trace: &Trace, cols: usize) -> String {
+    let names: Vec<String> = (0..trace.workers).map(|w| w.to_string()).collect();
+    render_labeled(trace, cols, &names)
+}
+
+/// Render with custom lane labels (e.g. `n0.w3` / `n1.nic0` for cluster
+/// traces). `names[w]` labels lane `w`; missing names fall back to the
+/// numeric index.
+pub fn render_labeled(trace: &Trace, cols: usize, names: &[String]) -> String {
     let cols = cols.max(4);
     let span = trace.t_max().max(1e-12);
     let labels = trace.kernel_labels();
@@ -28,9 +36,23 @@ pub fn render(trace: &Trace, cols: usize) -> String {
         }
     }
 
+    let fallback: Vec<String> = (names.len()..trace.workers)
+        .map(|w| w.to_string())
+        .collect();
+    let label = |w: usize| -> &str {
+        match names.get(w) {
+            Some(s) => s,
+            None => &fallback[w - names.len()],
+        }
+    };
+    let width = (0..trace.workers)
+        .map(|w| label(w).len())
+        .max()
+        .unwrap_or(1)
+        .max(3);
     let mut out = String::new();
     for (w, row) in rows.iter().enumerate() {
-        out.push_str(&format!("{w:>3} |"));
+        out.push_str(&format!("{:>width$} |", label(w)));
         out.extend(row.iter());
         out.push('\n');
     }
@@ -102,6 +124,20 @@ mod tests {
         assert!(lines[1].contains('T'));
         assert!(lines[2].contains("G=gemm"));
         assert!(lines[2].contains("T=trsm"));
+    }
+
+    #[test]
+    fn labeled_lanes_use_names_and_align() {
+        let mut t = Trace::new(3);
+        t.events.push(ev(0, "gemm", 0, 0.0, 0.5));
+        t.events.push(ev(2, "trsm", 1, 0.5, 1.0));
+        let names = vec!["n0.w0".to_string(), "n0.w1".to_string()];
+        let art = render_labeled(&t, 20, &names);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].starts_with("n0.w0 |"));
+        assert!(lines[1].starts_with("n0.w1 |"));
+        // Missing name falls back to the numeric index, right-aligned.
+        assert!(lines[2].starts_with("    2 |"), "got {:?}", lines[2]);
     }
 
     #[test]

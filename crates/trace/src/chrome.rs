@@ -24,6 +24,79 @@ pub fn to_chrome_json(trace: &Trace) -> String {
     s
 }
 
+/// How one trace lane should appear in a grouped Chrome export: which
+/// process row it belongs to and what the process/thread rows are called.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneGroup {
+    /// Process id the lane is grouped under (e.g. the cluster node index).
+    pub pid: usize,
+    /// Process row label (e.g. `"node 0"`). Lanes sharing a pid should
+    /// agree on this; the first lane's name wins.
+    pub process_name: String,
+    /// Thread row label (e.g. `"w3"` or `"nic0"`).
+    pub thread_name: String,
+}
+
+/// Serialize a trace with lanes grouped into named processes — one
+/// Perfetto process row per cluster node, with its compute workers and
+/// NIC lanes as named threads. `lanes[w]` describes trace lane `w`;
+/// lanes beyond the slice fall back to pid 0 / numeric names.
+///
+/// Emits `M` (metadata) `process_name`/`thread_name` events followed by
+/// the same `X` events as [`to_chrome_json`], with `pid`/`tid` taken from
+/// the grouping.
+pub fn to_chrome_json_grouped(trace: &Trace, lanes: &[LaneGroup]) -> String {
+    let mut s = String::with_capacity(256 + trace.events.len() * 96 + lanes.len() * 96);
+    s.push('[');
+    let mut first = true;
+    let mut named_pids: Vec<usize> = Vec::new();
+    for (w, lane) in lanes.iter().enumerate() {
+        if !named_pids.contains(&lane.pid) {
+            named_pids.push(lane.pid);
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            let _ = write!(
+                s,
+                r#"{{"name":"process_name","ph":"M","pid":{},"args":{{"name":{}}}}}"#,
+                lane.pid,
+                json_string(&lane.process_name)
+            );
+        }
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let _ = write!(
+            s,
+            r#"{{"name":"thread_name","ph":"M","pid":{},"tid":{},"args":{{"name":{}}}}}"#,
+            lane.pid,
+            w,
+            json_string(&lane.thread_name)
+        );
+    }
+    for e in &trace.events {
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        let pid = lanes.get(e.worker).map_or(0, |l| l.pid);
+        let _ = write!(
+            s,
+            r#"{{"name":{},"ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":{},"args":{{"task_id":{}}}}}"#,
+            json_string(&e.kernel),
+            e.start * 1e6,
+            e.duration() * 1e6,
+            pid,
+            e.worker,
+            e.task_id
+        );
+    }
+    s.push(']');
+    s
+}
+
 /// Append one `X` event per task to `s` (comma-separated, updating the
 /// leading-comma state in `first`).
 fn push_task_events(s: &mut String, trace: &Trace, first: &mut bool) {
@@ -173,6 +246,75 @@ mod tests {
     #[test]
     fn empty_trace_is_empty_array() {
         assert_eq!(to_chrome_json(&Trace::new(0)), "[]");
+    }
+
+    #[test]
+    fn grouped_export_emits_process_and_thread_metadata() {
+        let lanes = vec![
+            LaneGroup {
+                pid: 0,
+                process_name: "node 0".into(),
+                thread_name: "w0".into(),
+            },
+            LaneGroup {
+                pid: 1,
+                process_name: "node 1".into(),
+                thread_name: "nic0".into(),
+            },
+        ];
+        let json = to_chrome_json_grouped(&trace(), &lanes);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        // 2 process_name + 2 thread_name + 2 X events.
+        assert_eq!(arr.len(), 6);
+        let meta: Vec<_> = arr.iter().filter(|e| e["ph"] == "M").collect();
+        assert_eq!(meta.len(), 4);
+        assert!(meta
+            .iter()
+            .any(|e| e["name"] == "process_name" && e["args"]["name"] == "node 1"));
+        assert!(meta
+            .iter()
+            .any(|e| e["name"] == "thread_name" && e["args"]["name"] == "nic0" && e["pid"] == 1));
+        // The X event on lane 1 inherits lane 1's pid.
+        let x1 = arr
+            .iter()
+            .find(|e| e["ph"] == "X" && e["tid"] == 1)
+            .unwrap();
+        assert_eq!(x1["pid"], 1);
+    }
+
+    #[test]
+    fn grouped_export_tolerates_missing_lane_info() {
+        let json = to_chrome_json_grouped(&trace(), &[]);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        assert_eq!(arr.len(), 2, "no metadata, X events only");
+        assert!(arr.iter().all(|e| e["pid"] == 0));
+    }
+
+    #[test]
+    fn shared_pid_named_once() {
+        let lanes = vec![
+            LaneGroup {
+                pid: 0,
+                process_name: "node 0".into(),
+                thread_name: "w0".into(),
+            },
+            LaneGroup {
+                pid: 0,
+                process_name: "node 0".into(),
+                thread_name: "w1".into(),
+            },
+        ];
+        let json = to_chrome_json_grouped(&trace(), &lanes);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let names = v
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e["name"] == "process_name")
+            .count();
+        assert_eq!(names, 1);
     }
 
     #[cfg(feature = "metrics")]

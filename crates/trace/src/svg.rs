@@ -31,6 +31,10 @@ pub struct SvgOptions {
     pub title: String,
     /// Number of x-axis tick marks.
     pub ticks: usize,
+    /// Custom lane labels (e.g. `n0.w3` / `n1.nic0` for cluster traces).
+    /// Lanes beyond the vector fall back to their numeric index; empty
+    /// means all-numeric.
+    pub lane_names: Vec<String>,
 }
 
 impl Default for SvgOptions {
@@ -43,6 +47,7 @@ impl Default for SvgOptions {
             legend: true,
             title: String::new(),
             ticks: 10,
+            lane_names: Vec::new(),
         }
     }
 }
@@ -91,12 +96,16 @@ pub fn render(trace: &Trace, opts: &SvgOptions) -> String {
             r##"<rect x="{:.1}" y="{:.1}" width="{:.1}" height="{:.1}" fill="#f4f4f4"/>"##,
             MARGIN_LEFT, y, plot_w, opts.lane_height
         );
+        let name = opts
+            .lane_names
+            .get(w)
+            .map_or_else(|| w.to_string(), |n| n.clone());
         let _ = writeln!(
             s,
             r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="9" text-anchor="end">{}</text>"#,
             MARGIN_LEFT - 4.0,
             y + opts.lane_height * 0.75,
-            w
+            escape(&name)
         );
     }
 
@@ -271,6 +280,20 @@ mod tests {
     fn empty_trace_renders() {
         let svg = render_default(&Trace::new(3));
         assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn custom_lane_names_replace_numeric_labels() {
+        let svg = render(
+            &trace(),
+            &SvgOptions {
+                lane_names: vec!["n0.w0".into(), "n0.nic0".into()],
+                ..Default::default()
+            },
+        );
+        assert!(svg.contains(">n0.w0</text>"));
+        assert!(svg.contains(">n0.nic0</text>"));
+        assert!(!svg.contains(r#"text-anchor="end">0</text>"#));
     }
 
     #[test]

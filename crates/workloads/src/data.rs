@@ -98,6 +98,24 @@ impl SharedTiles {
         (self.base_id, self.base_id + self.tiles.len() as u64)
     }
 
+    /// Row count of tile `(i, j)` (edge tiles are smaller).
+    pub fn tile_rows(&self, i: usize) -> usize {
+        assert!(i < self.mt, "tile row {i} out of range");
+        (self.rows - i * self.nb).min(self.nb)
+    }
+
+    /// Column count of tile `(i, j)` (edge tiles are smaller).
+    pub fn tile_cols(&self, j: usize) -> usize {
+        assert!(j < self.nt, "tile column {j} out of range");
+        (self.cols - j * self.nb).min(self.nb)
+    }
+
+    /// Size of tile `(i, j)` in bytes (f64 elements) — what a transfer of
+    /// this tile moves across an interconnect.
+    pub fn tile_bytes(&self, i: usize, j: usize) -> u64 {
+        (self.tile_rows(i) * self.tile_cols(j) * std::mem::size_of::<f64>()) as u64
+    }
+
     /// Dependence-tracking id of tile `(i, j)`.
     pub fn data_id(&self, i: usize, j: usize) -> DataId {
         assert!(i < self.mt && j < self.nt, "tile ({i},{j}) out of range");

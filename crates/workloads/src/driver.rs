@@ -199,6 +199,11 @@ pub fn run_sim(
     }
     let rt = Runtime::new(kind.config(workers));
     session.attach_quiesce(rt.probe());
+    // Plan-based warm-up: one warm slot per worker, assigned by submission
+    // rank rather than worker arrival order, so warm-up placement is
+    // deterministic even with `warmup_factor != 1` (see
+    // `SimSession::run_kernel_ranked`).
+    session.set_warmup_slots(workers);
     let mode = ExecMode::Simulated(session.clone());
     let t0 = std::time::Instant::now();
     submit_algorithm(alg, &rt, &a, t.as_ref(), &mode);

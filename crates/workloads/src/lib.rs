@@ -26,9 +26,13 @@
 //! * [`synthetic`] — synthetic DAG generators (chains, fork-join, random
 //!   layered graphs) for stress tests and the DES comparison;
 //! * [`driver`] — one-call real/simulated runs returning traces, timings
-//!   and verification results.
+//!   and verification results;
+//! * [`cluster`] — distributed variants of Cholesky/LU over a
+//!   `supersim_cluster::ClusterSpec` with owner-computes placement and
+//!   automatic transfer tasks.
 
 pub mod cholesky;
+pub mod cluster;
 pub mod data;
 pub mod driver;
 pub mod lu;
@@ -36,6 +40,7 @@ pub mod mode;
 pub mod qr;
 pub mod synthetic;
 
+pub use cluster::{run_cluster, ClusterRun};
 pub use data::SharedTiles;
 pub use driver::{RealRun, SimRun};
 pub use mode::ExecMode;

@@ -102,10 +102,7 @@ pub fn submit(rt: &Runtime, a: &SharedTiles, mode: &ExecMode) -> u64 {
                 let tiles = a.clone();
                 TaskDesc::new(label, acc, move |_ctx| execute_real(&tiles, task, nb))
             }
-            ExecMode::Simulated(session) => {
-                let s = session.clone();
-                TaskDesc::new(label, acc, move |ctx| s.run_kernel(ctx, label))
-            }
+            ExecMode::Simulated(session) => TaskDesc::new(label, acc, session.planned_body(label)),
         };
         rt.submit(desc.with_priority(prio));
         count += 1;

@@ -111,10 +111,7 @@ pub fn submit(rt: &Runtime, a: &SharedTiles, t: &SharedTiles, mode: &ExecMode) -
                 let t2 = t.clone();
                 TaskDesc::new(label, acc, move |_ctx| execute_real(&a2, &t2, task))
             }
-            ExecMode::Simulated(session) => {
-                let s = session.clone();
-                TaskDesc::new(label, acc, move |ctx| s.run_kernel(ctx, label))
-            }
+            ExecMode::Simulated(session) => TaskDesc::new(label, acc, session.planned_body(label)),
         };
         rt.submit(desc.with_priority(prio));
         count += 1;

@@ -122,13 +122,11 @@ pub fn submit(rt: &Runtime, tasks: &[SynthTask], mode: &ExecMode, real_time_scal
                     spin_sleep(dur);
                 })
             }
-            ExecMode::Simulated(session) => {
-                let s = session.clone();
-                let label = task.label.clone();
-                TaskDesc::new(task.label.clone(), task.accesses.clone(), move |ctx| {
-                    s.run_kernel(ctx, &label)
-                })
-            }
+            ExecMode::Simulated(session) => TaskDesc::new(
+                task.label.clone(),
+                task.accesses.clone(),
+                session.planned_body(task.label.clone()),
+            ),
         };
         rt.submit(desc);
     }

@@ -9,6 +9,11 @@
 //!                  [--workers 8] [--svg out.svg] [--chrome out.json]
 //!                  [--overhead auto|SECONDS]
 //! supersim predict --alg qr --n 1000 --nb 100     (real + calibrate + sim)
+//! supersim cluster --alg cholesky --n 960 --nb 96 --nodes 4 [--workers 4]
+//!                  [--interconnect zero|hockney|sharedlink] [--latency S]
+//!                  [--bandwidth B/s] [--nic-lanes L]
+//!                  [--placement square|row|col|PxQ] [--seed 42]
+//!                  [--trace-out t.txt] [--chrome t.json] [--svg t.svg]
 //! supersim dag     --alg qr --nt 4 [--dot out.dot]
 //! supersim metrics --workload cholesky [--n 512] [--nb 64] [--workers 8]
 //!                  [--seed 42] [--mode both|targeted|broadcast]
@@ -43,6 +48,7 @@ fn main() {
         "real" => cmd_real(&opts),
         "sim" => cmd_sim(&opts),
         "predict" => cmd_predict(&opts),
+        "cluster" => cmd_cluster(&opts),
         "dag" => cmd_dag(&opts),
         "metrics" => cmd_metrics(&opts),
         "info" => cmd_info(),
@@ -62,6 +68,7 @@ fn usage_and_exit() -> ! {
          \x20 real     run an algorithm for real; verify, time, optionally calibrate\n\
          \x20 sim      simulate from a stored calibration\n\
          \x20 predict  real run + calibration + simulation, with comparison\n\
+         \x20 cluster  simulate a distributed run over N nodes with an interconnect model\n\
          \x20 dag      emit the task DAG of an algorithm\n\
          \x20 metrics  run a simulated workload and dump instrumentation as JSON\n\
          \x20 info     list algorithms and scheduler profiles\n\
@@ -276,6 +283,212 @@ fn cmd_predict(opts: &HashMap<String, String>) {
     println!("traces:    {}", cmp.summary());
 }
 
+/// Canonical virtual-time trace text: one line per task, sorted by task
+/// id, no worker lanes. Worker placement is scheduler-race dependent, but
+/// virtual times are seed-deterministic, so this format diffs bit-for-bit
+/// across repeated runs (the CI determinism gates rely on that).
+fn canonical_trace(trace: &supersim::trace::Trace) -> String {
+    let mut events: Vec<_> = trace.events.iter().collect();
+    events.sort_by_key(|e| e.task_id);
+    let mut s = String::with_capacity(events.len() * 48);
+    for e in events {
+        use std::fmt::Write as _;
+        let _ = writeln!(s, "{} {} {:?} {:?}", e.task_id, e.kernel, e.start, e.end);
+    }
+    s
+}
+
+/// Simulate a distributed run: N nodes of W workers, owner-computes
+/// block-cyclic placement, automatic transfer tasks costed by the chosen
+/// interconnect model. Prints a JSON report to stdout; the human summary
+/// goes to stderr.
+fn cmd_cluster(opts: &HashMap<String, String>) {
+    use std::sync::Arc;
+    use supersim::cluster::{ClusterSpec, Hockney, Interconnect, SharedLink, ZeroCost};
+    use supersim::trace::chrome::LaneGroup;
+    use supersim::workloads::run_cluster;
+
+    let alg = match opts.get("alg").map(String::as_str) {
+        Some("cholesky") | None => Algorithm::Cholesky,
+        Some("lu") => Algorithm::Lu,
+        Some(other) => {
+            eprintln!("unknown cluster algorithm {other} (cholesky|lu; distributed QR is not implemented)");
+            exit(2)
+        }
+    };
+    let n = get(opts, "n", 960usize);
+    let nb = get(opts, "nb", 96usize);
+    let nodes = get(opts, "nodes", 4usize);
+    let workers = get(opts, "workers", 4usize);
+    let seed = get(opts, "seed", 42u64);
+    let latency = get(opts, "latency", 1e-5f64);
+    let bandwidth = get(opts, "bandwidth", 1e10f64);
+    let interconnect: Arc<dyn Interconnect> = match opts.get("interconnect").map(String::as_str) {
+        Some("zero") => Arc::new(ZeroCost),
+        Some("hockney") | None => Arc::new(Hockney::new(latency, bandwidth)),
+        Some("sharedlink") => Arc::new(SharedLink::new(latency, bandwidth)),
+        Some(other) => {
+            eprintln!("unknown interconnect {other} (zero|hockney|sharedlink)");
+            exit(2)
+        }
+    };
+    let nic_lanes = get(opts, "nic-lanes", interconnect.default_nic_lanes());
+    let placement = match opts.get("placement").map(String::as_str) {
+        None | Some("square") => BlockCyclic::square(nodes),
+        Some("row") => BlockCyclic::row(nodes),
+        Some("col") => BlockCyclic::col(nodes),
+        Some(grid) => {
+            let parts: Vec<usize> = grid
+                .split('x')
+                .map(|p| {
+                    p.parse().unwrap_or_else(|_| {
+                        eprintln!("bad --placement {grid} (square|row|col|PxQ)");
+                        exit(2)
+                    })
+                })
+                .collect();
+            if parts.len() != 2 || parts[0] * parts[1] != nodes {
+                eprintln!("--placement {grid} must be PxQ with P*Q = {nodes} nodes");
+                exit(2);
+            }
+            BlockCyclic::new(parts[0], parts[1])
+        }
+    };
+
+    // Built-in lognormal kernel models with a warm-up factor — no
+    // calibration file needed, and deterministic for the given seed (the
+    // plan-based protocol keys durations by submission rank, not worker).
+    let mut models = ModelRegistry::new();
+    for l in alg.labels() {
+        models.insert(
+            *l,
+            KernelModel::with_warmup(Dist::log_normal(-6.0, 0.3).unwrap(), 1.5),
+        );
+    }
+    let session = SimSession::new(
+        models,
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    let spec = ClusterSpec::new(nodes, workers).with_nic_lanes(nic_lanes);
+    eprintln!(
+        "cluster {} n={n} nb={nb} nodes={nodes} workers={workers}/node nic-lanes={nic_lanes} \
+         interconnect={} placement={}",
+        alg.name(),
+        interconnect.name(),
+        placement.name()
+    );
+    let run = run_cluster(
+        alg,
+        spec.clone(),
+        interconnect,
+        Arc::new(placement),
+        n,
+        nb,
+        session,
+    );
+    eprintln!(
+        "predicted {:.4}s   {:.2} GFLOP/s   {} compute tasks, {} transfers ({} bytes)   (wall {:.4}s)",
+        run.predicted_seconds,
+        run.gflops,
+        run.compute_tasks,
+        run.transfers,
+        run.transfer_bytes,
+        run.wall_seconds
+    );
+
+    // The vendored serde derive does not support generic (lifetime-
+    // parameterised) structs, so the report owns its data.
+    #[derive(serde::Serialize)]
+    struct ClusterReport {
+        algorithm: String,
+        n: usize,
+        nb: usize,
+        nodes: usize,
+        workers_per_node: usize,
+        nic_lanes_per_node: usize,
+        interconnect: String,
+        placement: String,
+        seed: u64,
+        compute_tasks: u64,
+        transfers: u64,
+        transfer_bytes: u64,
+        node_transfers: Vec<u64>,
+        node_bytes: Vec<u64>,
+        nic_busy_seconds: Vec<f64>,
+        node_owned_bytes: Vec<u64>,
+        predicted_seconds: f64,
+        gflops: f64,
+        wall_seconds: f64,
+    }
+    let report = ClusterReport {
+        algorithm: alg.name().to_string(),
+        n,
+        nb,
+        nodes,
+        workers_per_node: workers,
+        nic_lanes_per_node: nic_lanes,
+        interconnect: run.interconnect.to_string(),
+        placement: run.placement.clone(),
+        seed,
+        compute_tasks: run.compute_tasks,
+        transfers: run.transfers,
+        transfer_bytes: run.transfer_bytes,
+        node_transfers: run.node_transfers.clone(),
+        node_bytes: run.node_bytes.clone(),
+        nic_busy_seconds: run.nic_busy_seconds.clone(),
+        node_owned_bytes: run.node_owned_bytes.clone(),
+        predicted_seconds: run.predicted_seconds,
+        gflops: run.gflops,
+        wall_seconds: run.wall_seconds,
+    };
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("serialize report")
+    );
+
+    if let Some(path) = opts.get("trace-out") {
+        std::fs::write(path, canonical_trace(&run.trace)).expect("write trace");
+        eprintln!("canonical trace written to {path}");
+    }
+    if let Some(path) = opts.get("chrome") {
+        let names = spec.lane_names();
+        let lanes: Vec<LaneGroup> = (0..spec.total_workers())
+            .map(|w| {
+                let node = match spec.lane_of(w) {
+                    supersim::cluster::Lane::Compute { node, .. } => node,
+                    supersim::cluster::Lane::Nic { node, .. } => node,
+                };
+                LaneGroup {
+                    pid: node,
+                    process_name: format!("node {node}"),
+                    thread_name: names[w].clone(),
+                }
+            })
+            .collect();
+        std::fs::write(path, chrome::to_chrome_json_grouped(&run.trace, &lanes))
+            .expect("write chrome trace");
+        eprintln!("chrome trace written to {path}");
+    }
+    if let Some(path) = opts.get("svg") {
+        let svg_opts = svg::SvgOptions {
+            title: format!(
+                "{} n={n} nb={nb}: {} nodes x {} workers over {}",
+                alg.name(),
+                nodes,
+                workers,
+                run.interconnect
+            ),
+            lane_names: spec.lane_names(),
+            ..Default::default()
+        };
+        std::fs::write(path, svg::render(&run.trace, &svg_opts)).expect("write svg");
+        eprintln!("trace SVG written to {path}");
+    }
+}
+
 fn cmd_dag(opts: &HashMap<String, String>) {
     let alg = algorithm(opts);
     let nt = get(opts, "nt", 4usize);
@@ -344,8 +557,16 @@ fn cmd_metrics(opts: &HashMap<String, String>) {
         Some("cholesky") | None => Algorithm::Cholesky,
         Some("qr") => Algorithm::Qr,
         Some("lu") => Algorithm::Lu,
+        Some("cluster-cholesky") => {
+            cmd_metrics_cluster(opts, Algorithm::Cholesky);
+            return;
+        }
+        Some("cluster-lu") => {
+            cmd_metrics_cluster(opts, Algorithm::Lu);
+            return;
+        }
         Some(other) => {
-            eprintln!("unknown workload {other} (cholesky|qr|lu)");
+            eprintln!("unknown workload {other} (cholesky|qr|lu|cluster-cholesky|cluster-lu)");
             exit(2)
         }
     };
@@ -406,19 +627,94 @@ fn cmd_metrics(opts: &HashMap<String, String>) {
         eprintln!("chrome trace written to {path}");
     }
     if let Some(path) = opts.get("trace-out") {
-        // Canonical virtual-time trace: one line per task, sorted by task
-        // id, no worker lanes. Worker placement is scheduler-race
-        // dependent, but virtual times are seed-deterministic, so this
-        // file diffs bit-for-bit across repeated runs (the CI determinism
-        // gate relies on that).
-        let mut events: Vec<_> = trace.events.iter().collect();
-        events.sort_by_key(|e| e.task_id);
-        let mut s = String::with_capacity(events.len() * 48);
-        for e in events {
-            use std::fmt::Write as _;
-            let _ = writeln!(s, "{} {} {:?} {:?}", e.task_id, e.kernel, e.start, e.end);
-        }
-        std::fs::write(path, s).expect("write trace");
+        std::fs::write(path, canonical_trace(&trace)).expect("write trace");
+        eprintln!("canonical trace written to {path}");
+    }
+}
+
+/// `supersim metrics --workload cluster-cholesky|cluster-lu`: run a
+/// distributed simulated workload and dump cluster instrumentation
+/// (transfer counts/bytes, per-node NIC busy time) alongside the session
+/// and engine metrics.
+#[cfg(feature = "metrics")]
+fn cmd_metrics_cluster(opts: &HashMap<String, String>, alg: Algorithm) {
+    use std::sync::Arc;
+    use supersim::cluster::{ClusterSpec, Hockney};
+    use supersim::metrics::MetricsSnapshot;
+    use supersim::workloads::run_cluster;
+
+    let n = get(opts, "n", 480usize);
+    let nb = get(opts, "nb", 60usize);
+    let nodes = get(opts, "nodes", 4usize);
+    let workers = get(opts, "workers", 2usize);
+    let seed = get(opts, "seed", 42u64);
+
+    let mut models = ModelRegistry::new();
+    for l in alg.labels() {
+        models.insert(
+            *l,
+            KernelModel::with_warmup(Dist::log_normal(-6.0, 0.3).unwrap(), 1.5),
+        );
+    }
+    let session = SimSession::new(
+        models,
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    let run = run_cluster(
+        alg,
+        ClusterSpec::new(nodes, workers),
+        Arc::new(Hockney::new(1e-5, 1e10)),
+        Arc::new(BlockCyclic::square(nodes)),
+        n,
+        nb,
+        session.clone(),
+    );
+
+    let mut snap = MetricsSnapshot::default();
+    session.publish_metrics(&mut snap);
+    run.stats.publish_metrics(&mut snap);
+    snap.push_counter("cluster.transfers", run.transfers);
+    snap.push_counter("cluster.transfer.bytes", run.transfer_bytes);
+    snap.push_gauge("cluster.nodes", nodes as i64);
+    for node in 0..nodes {
+        snap.push_counter(
+            &format!("cluster.node.{node:02}.transfers"),
+            run.node_transfers[node],
+        );
+        snap.push_counter(
+            &format!("cluster.node.{node:02}.transfer.bytes"),
+            run.node_bytes[node],
+        );
+        snap.push_gauge(
+            &format!("cluster.node.{node:02}.nic.busy_us"),
+            (run.nic_busy_seconds[node] * 1e6).round() as i64,
+        );
+    }
+    snap.merge(&supersim::metrics::global().snapshot());
+
+    eprintln!(
+        "cluster-{} metrics: {} compute tasks, {} transfers, predicted {:.4}s",
+        alg.name(),
+        run.compute_tasks,
+        run.transfers,
+        run.predicted_seconds
+    );
+    let json = snap.to_json();
+    println!("{json}");
+    if let Some(path) = opts.get("out") {
+        std::fs::write(path, &json).expect("write metrics");
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = opts.get("chrome") {
+        std::fs::write(path, chrome::to_chrome_json_with_metrics(&run.trace, &snap))
+            .expect("write chrome trace");
+        eprintln!("chrome trace written to {path}");
+    }
+    if let Some(path) = opts.get("trace-out") {
+        std::fs::write(path, canonical_trace(&run.trace)).expect("write trace");
         eprintln!("canonical trace written to {path}");
     }
 }

@@ -14,6 +14,7 @@
 //! |---|---|---|
 //! | [`core`] | `supersim-core` | virtual clock, Task Execution Queue, simulated-kernel protocol, race mitigations |
 //! | [`runtime`] | `supersim-runtime` | the superscalar runtime with QUARK/StarPU/OmpSs profiles |
+//! | [`cluster`] | `supersim-cluster` | multi-node simulation: interconnect models, placement, transfer tasks |
 //! | [`workloads`] | `supersim-workloads` | tile Cholesky/QR/LU + synthetic DAGs in real & simulated modes |
 //! | [`tile`] | `supersim-tile` | dense tile linear algebra kernels and drivers |
 //! | [`calibrate`] | `supersim-calibrate` | kernel-model fitting from real traces |
@@ -46,6 +47,7 @@
 //! ```
 
 pub use supersim_calibrate as calibrate;
+pub use supersim_cluster as cluster;
 pub use supersim_core as core;
 pub use supersim_dag as dag;
 pub use supersim_des as des;
@@ -60,6 +62,10 @@ pub use supersim_workloads as workloads;
 /// The most common imports for driving the simulator.
 pub mod prelude {
     pub use supersim_calibrate::{calibrate, CalibrationDb, CollectOptions, FitOptions};
+    pub use supersim_cluster::{
+        BlockCyclic, ClusterEngine, ClusterSpec, Hockney, Interconnect, Placement, SharedLink,
+        ZeroCost,
+    };
     pub use supersim_core::{KernelModel, ModelRegistry, RaceMitigation, SimConfig, SimSession};
     pub use supersim_dag::{Access, AccessMode, DataId};
     pub use supersim_des::{simulate as des_simulate, DesPolicy};
@@ -71,5 +77,5 @@ pub mod prelude {
     pub use supersim_workloads::driver::{
         run_real, run_sim, session_with, Algorithm, RealRun, SimRun,
     };
-    pub use supersim_workloads::{ExecMode, SharedTiles};
+    pub use supersim_workloads::{run_cluster, ClusterRun, ExecMode, SharedTiles};
 }

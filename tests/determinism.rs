@@ -62,6 +62,47 @@ fn seed_stability_across_worker_counts() {
 }
 
 #[test]
+fn warmup_penalty_is_deterministic() {
+    // With `warmup_factor != 1` the warm/cold split used to follow worker
+    // *arrival order* — a host-scheduling race. Warm slots are now granted
+    // by submission rank, so repeated oversubscribed runs must still agree
+    // bit-for-bit on every virtual time.
+    let sim = |seed: u64| -> Trace {
+        let mut models = ModelRegistry::new();
+        for l in Algorithm::Cholesky.labels() {
+            models.insert(
+                *l,
+                KernelModel::with_warmup(Dist::log_normal(-6.0, 0.3).unwrap(), 3.0),
+            );
+        }
+        let session = SimSession::new(
+            models,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        );
+        run_sim(
+            Algorithm::Cholesky,
+            SchedulerKind::Quark,
+            16,
+            160,
+            20,
+            session,
+        )
+        .trace
+    };
+    let a = sim(42);
+    for _ in 0..3 {
+        let b = sim(42);
+        let cmp = TraceComparison::compare(&a, &b);
+        assert_eq!(cmp.matched_tasks, a.len());
+        assert_eq!(cmp.makespan_rel_error, 0.0, "makespans differ");
+        assert_eq!(cmp.mean_start_shift, 0.0, "start times differ");
+    }
+}
+
+#[test]
 fn same_seed_same_virtual_times_many_workers() {
     // Oversubscribed: 48 virtual workers on however few host cores. The
     // targeted-wakeup TEQ must keep virtual times bit-for-bit reproducible

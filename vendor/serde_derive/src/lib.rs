@@ -4,7 +4,7 @@
 //!
 //! Supported shapes (everything the workspace derives on):
 //! * structs with named fields, including `#[serde(with = "module")]`
-//!   field attributes;
+//!   and `#[serde(default)]` field attributes;
 //! * newtype tuple structs (serialized transparently as the inner value);
 //! * enums with unit, newtype and struct variants, externally tagged by
 //!   default or internally tagged via `#[serde(tag = "...")]`, with
@@ -56,6 +56,8 @@ enum Kind {
 struct Field {
     name: String,
     with: Option<String>,
+    /// `#[serde(default)]`: a missing key deserializes to `Default::default()`.
+    default: bool,
 }
 
 struct Variant {
@@ -79,6 +81,7 @@ struct AttrFacts {
     with: Option<String>,
     tag: Option<String>,
     snake_case: bool,
+    default: bool,
 }
 
 /// Consume leading attributes from `toks` starting at `*i`, merging any
@@ -119,7 +122,20 @@ fn parse_serde_attr(body: TokenStream, facts: &mut AttrFacts) {
             continue;
         };
         let key = key.to_string();
-        // Expect `= "literal"` after the key (all attrs used here have it).
+        // Bare `default` takes no value.
+        if key == "default"
+            && !matches!(args.get(j + 1), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+        {
+            facts.default = true;
+            j += 1;
+            if let Some(TokenTree::Punct(c)) = args.get(j) {
+                if c.as_char() == ',' {
+                    j += 1;
+                }
+            }
+            continue;
+        }
+        // Expect `= "literal"` after the key (all other attrs have it).
         if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
             (args.get(j + 1), args.get(j + 2))
         {
@@ -263,6 +279,7 @@ fn parse_fields(body: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name: fname,
             with: facts.with,
+            default: facts.default,
         });
     }
     fields
@@ -448,6 +465,20 @@ let __take = |__k: &str| -> ::serde::Value {\n\
 
 fn field_from_value(f: &Field, ctx: &str) -> String {
     let n = &f.name;
+    if f.default {
+        assert!(
+            f.with.is_none(),
+            "combining serde(default) with serde(with) is not supported"
+        );
+        return format!(
+            "{n}: match __take(\"{n}\") {{\n\
+                 ::serde::Value::Null => ::core::default::Default::default(),\n\
+                 __val => ::serde::from_value(__val)\n\
+                     .map_err(|e| <__D::Error as ::serde::de::Error>::custom(\n\
+                         format!(\"{ctx}.{n}: {{}}\", e)))?,\n\
+             }},\n"
+        );
+    }
     match &f.with {
         Some(path) => format!(
             "{n}: {path}::deserialize(::serde::ValueDeserializer(__take(\"{n}\")))\n\
