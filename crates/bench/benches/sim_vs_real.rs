@@ -6,33 +6,32 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use supersim_calibrate::{calibrate, FitOptions};
-use supersim_core::{SimConfig, SimSession};
-use supersim_runtime::SchedulerKind;
-use supersim_workloads::driver::{run_real, run_sim, Algorithm};
+use supersim_core::SimConfig;
+use supersim_workloads::{Algorithm, Scenario};
 
 fn bench_sim_vs_real(c: &mut Criterion) {
     let (n, nb, workers) = (240usize, 60usize, 2usize);
+    let scenario = Scenario::new(Algorithm::Cholesky)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb);
     // Calibrate once outside the measurement.
-    let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, 1);
+    let real = scenario.clone().seed(1).run_real();
     let registry = calibrate(&real.trace, FitOptions::default()).registry;
 
     let mut group = c.benchmark_group("sim_vs_real_cholesky_240");
     group.sample_size(10);
     group.bench_function("real_execution", |b| {
-        b.iter(|| run_real(Algorithm::Cholesky, SchedulerKind::Quark, workers, n, nb, 2).seconds);
+        b.iter(|| scenario.clone().seed(2).run_real().seconds);
     });
     group.bench_function("simulated_execution", |b| {
         b.iter(|| {
-            let session = SimSession::new(registry.clone(), SimConfig::default());
-            run_sim(
-                Algorithm::Cholesky,
-                SchedulerKind::Quark,
-                workers,
-                n,
-                nb,
-                session,
-            )
-            .predicted_seconds
+            scenario
+                .clone()
+                .models(registry.clone())
+                .config(SimConfig::default())
+                .run_sim()
+                .predicted_seconds
         });
     });
     group.finish();

@@ -23,8 +23,7 @@ use supersim_dist::Distribution;
 use supersim_runtime::{Runtime, RuntimeConfig, SchedulerKind, TaskDesc};
 use supersim_trace::svg::{render, SvgOptions};
 use supersim_trace::{ascii, TraceComparison};
-use supersim_workloads::driver::{run_real, run_sim, Algorithm};
-use supersim_workloads::{qr as qr_workload, SharedTiles};
+use supersim_workloads::{qr as qr_workload, Algorithm, Scenario, SharedTiles};
 
 #[derive(Debug, Clone)]
 struct Opts {
@@ -208,7 +207,12 @@ fn fig3_4(opts: &Opts, alg: Algorithm, kernel: &str, name: &str) {
         alg.name()
     );
     let (n, nb) = if opts.quick { (240, 40) } else { (1200, 120) };
-    let real = run_real(alg, SchedulerKind::Quark, opts.sweep_workers(), n, nb, 99);
+    let real = Scenario::new(alg)
+        .workers(opts.sweep_workers())
+        .n(n)
+        .tile_size(nb)
+        .seed(99)
+        .run_real();
     println!(
         "  real run: n={n} nb={nb} seconds={:.3} residual={:.2e}",
         real.seconds, real.residual
@@ -337,7 +341,12 @@ fn fig5(opts: &Opts) {
 fn fig6_7(opts: &Opts) {
     let (n, nb, workers) = opts.trace_cfg();
     println!("== Figs. 6/7: QR trace, real vs simulated (n={n}, nb={nb}, {workers} workers) ==");
-    let real = run_real(Algorithm::Qr, SchedulerKind::Quark, workers, n, nb, 7);
+    let real = Scenario::new(Algorithm::Qr)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .seed(7)
+        .run_real();
     println!(
         "  real: seconds={:.3} gflops={:.2} residual={:.2e}",
         real.seconds, real.gflops, real.residual
@@ -346,14 +355,16 @@ fn fig6_7(opts: &Opts) {
     print!("{}", report::render(&cal));
     write(&opts.out, "fig6_7_calibration.txt", &report::render(&cal));
 
-    let session = SimSession::new(
-        cal.registry.clone(),
-        SimConfig {
+    let sim = Scenario::new(Algorithm::Qr)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .models(cal.registry.clone())
+        .config(SimConfig {
             seed: 11,
             ..SimConfig::default()
-        },
-    );
-    let sim = run_sim(Algorithm::Qr, SchedulerKind::Quark, workers, n, nb, session);
+        })
+        .run_sim();
     println!(
         "  sim:  predicted={:.3}s (wall {:.3}s) gflops={:.2}",
         sim.predicted_seconds, sim.wall_seconds, sim.gflops
@@ -399,8 +410,13 @@ fn fig6_7(opts: &Opts) {
             let m = cal.reports.get(*label).map(|r| r.mean).unwrap_or(0.001);
             models.insert(*label, KernelModel::constant(m));
         }
-        let session = SimSession::new(models, SimConfig::default());
-        let big = run_sim(Algorithm::Qr, SchedulerKind::Quark, 48, 3960, 180, session);
+        let big = Scenario::new(Algorithm::Qr)
+            .workers(48)
+            .n(3960)
+            .tile_size(180)
+            .models(models)
+            .config(SimConfig::default())
+            .run_sim();
         println!(
             "  48-virtual-worker paper config (n=3960, nb=180): predicted={:.3}s, {} tasks, sim wall={:.3}s",
             big.predicted_seconds,
@@ -475,10 +491,20 @@ fn speedup(opts: &Opts) {
     let mut out = String::from("algorithm,n,real_seconds,sim_wall_seconds,speedup\n");
     for alg in [Algorithm::Cholesky, Algorithm::Qr] {
         for &n in &sizes {
-            let real = run_real(alg, SchedulerKind::Quark, workers, n, nb, 3);
+            let real = Scenario::new(alg)
+                .workers(workers)
+                .n(n)
+                .tile_size(nb)
+                .seed(3)
+                .run_real();
             let cal = calibrate(&real.trace, FitOptions::default());
-            let session = SimSession::new(cal.registry, SimConfig::default());
-            let sim = run_sim(alg, SchedulerKind::Quark, workers, n, nb, session);
+            let sim = Scenario::new(alg)
+                .workers(workers)
+                .n(n)
+                .tile_size(nb)
+                .models(cal.registry)
+                .config(SimConfig::default())
+                .run_sim();
             let speedup = real.seconds / sim.wall_seconds.max(1e-9);
             println!(
                 "  {:<9} n={:<5} real={:.3}s sim_wall={:.3}s speedup={:.1}x",
@@ -731,12 +757,22 @@ fn ablation(opts: &Opts) {
         "algorithm,real_seconds,inloop_seconds,inloop_err_pct,des_fifo_seconds,des_fifo_err_pct,des_blevel_seconds,des_blevel_err_pct\n",
     );
     for alg in [Algorithm::Cholesky, Algorithm::Qr] {
-        let real = run_real(alg, SchedulerKind::Quark, workers, n, nb, 13);
+        let real = Scenario::new(alg)
+            .workers(workers)
+            .n(n)
+            .tile_size(nb)
+            .seed(13)
+            .run_real();
         let cal = calibrate(&real.trace, FitOptions::default());
 
         // In-the-loop simulation.
-        let session = SimSession::new(cal.registry.clone(), SimConfig::default());
-        let sim = run_sim(alg, SchedulerKind::Quark, workers, n, nb, session);
+        let sim = Scenario::new(alg)
+            .workers(workers)
+            .n(n)
+            .tile_size(nb)
+            .models(cal.registry.clone())
+            .config(SimConfig::default())
+            .run_sim();
 
         // Offline DES over the explicit DAG with mean durations.
         let a = SharedTiles::layout_only(n, n, nb, 0);

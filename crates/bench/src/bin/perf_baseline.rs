@@ -142,9 +142,8 @@ fn gate_point_median() -> f64 {
 fn cluster_point(nodes: usize, workers: usize, model: &str) -> ClusterPoint {
     use std::sync::Arc;
     use supersim_cluster::{BlockCyclic, Hockney, Interconnect, ZeroCost};
-    use supersim_core::{KernelModel, ModelRegistry, SimConfig, SimSession};
-    use supersim_workloads::driver::Algorithm;
-    use supersim_workloads::run_cluster;
+    use supersim_core::{KernelModel, ModelRegistry, SimConfig};
+    use supersim_workloads::{Algorithm, Scenario};
 
     let interconnect: Arc<dyn Interconnect> = match model {
         "zero" => Arc::new(ZeroCost),
@@ -156,22 +155,18 @@ fn cluster_point(nodes: usize, workers: usize, model: &str) -> ClusterPoint {
         for l in Algorithm::Cholesky.labels() {
             models.insert(*l, KernelModel::constant(1e-6));
         }
-        let session = SimSession::new(
-            models,
-            SimConfig {
+        Scenario::new(Algorithm::Cholesky)
+            .n(480)
+            .tile_size(48)
+            .models(models)
+            .config(SimConfig {
                 seed: 42,
                 ..SimConfig::default()
-            },
-        );
-        run_cluster(
-            Algorithm::Cholesky,
-            supersim_cluster::ClusterSpec::new(nodes, workers),
-            interconnect.clone(),
-            Arc::new(BlockCyclic::square(nodes)),
-            480,
-            48,
-            session,
-        )
+            })
+            .cluster(supersim_cluster::ClusterSpec::new(nodes, workers))
+            .interconnect(interconnect.clone())
+            .placement(Arc::new(BlockCyclic::square(nodes)))
+            .run_cluster()
     };
     let probe = run_once();
     let tasks_per_sec = best(|| {

@@ -7,9 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 use supersim_calibrate::{calibrate, FitOptions};
-use supersim_core::{ModelRegistry, SimConfig, SimSession};
+use supersim_core::{ModelRegistry, SimConfig};
 use supersim_runtime::SchedulerKind;
-use supersim_workloads::driver::{run_real, run_sim, Algorithm};
+use supersim_workloads::{Algorithm, Scenario};
 
 /// Where the kernel models for a simulated point come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,9 +112,16 @@ pub fn real_vs_sim(
     source: CalibrationSource,
 ) -> SweepSeries {
     // Pre-calibrate if a single source size is requested.
+    let base = |n: usize| {
+        Scenario::new(alg)
+            .scheduler(kind)
+            .workers(workers)
+            .n(n)
+            .tile_size(nb)
+    };
     let fixed_registry: Option<ModelRegistry> = match source {
         CalibrationSource::FromSize(n0) => {
-            let real = run_real(alg, kind, workers, n0, nb, seed);
+            let real = base(n0).seed(seed).run_real();
             Some(calibrate(&real.trace, FitOptions::default()).registry)
         }
         CalibrationSource::PerSize => None,
@@ -122,19 +129,18 @@ pub fn real_vs_sim(
 
     let mut points = Vec::with_capacity(sizes.len());
     for (i, &n) in sizes.iter().enumerate() {
-        let real = run_real(alg, kind, workers, n, nb, seed.wrapping_add(i as u64));
+        let real = base(n).seed(seed.wrapping_add(i as u64)).run_real();
         let registry = match &fixed_registry {
             Some(r) => r.clone(),
             None => calibrate(&real.trace, FitOptions::default()).registry,
         };
-        let session = SimSession::new(
-            registry,
-            SimConfig {
+        let sim = base(n)
+            .models(registry)
+            .config(SimConfig {
                 seed: seed ^ n as u64,
                 ..SimConfig::default()
-            },
-        );
-        let sim = run_sim(alg, kind, workers, n, nb, session);
+            })
+            .run_sim();
         let error_pct = (sim.predicted_seconds - real.seconds) / real.seconds * 100.0;
         points.push(SweepPoint {
             n,

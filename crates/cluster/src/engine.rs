@@ -174,6 +174,34 @@ impl ClusterEngine {
         ghost
     }
 
+    /// Decommission a single global lane (see [`Runtime::decommission`]):
+    /// a permanent single-worker failure on a node that keeps its other
+    /// lanes. Do this before submitting work that must avoid the lane.
+    pub fn decommission_lane(&self, worker: usize) {
+        self.rt.decommission(worker);
+    }
+
+    /// Decommission every lane of `node` — compute workers and NIC lanes —
+    /// modelling a permanent node failure. Do this *before* submitting
+    /// work that must avoid the node: tasks pinned exclusively to its
+    /// lanes can never run (see [`Runtime::decommission`]). Coherence
+    /// copies held by the node are dropped from the valid map, so a
+    /// (hypothetical) later reader would re-fetch from home.
+    pub fn decommission_node(&mut self, node: usize) {
+        assert!(node < self.spec.nodes, "node {node} out of range");
+        let (lo, hi) = self.spec.compute_range(node);
+        for w in lo..hi {
+            self.rt.decommission(w);
+        }
+        let (lo, hi) = self.spec.nic_range(node);
+        for w in lo..hi {
+            self.rt.decommission(w);
+        }
+        for copies in self.valid.values_mut() {
+            copies.remove(&node);
+        }
+    }
+
     /// Seal the runtime (no more submissions) and wait for everything to
     /// finish.
     pub fn seal_and_wait(&self) -> Result<(), Vec<String>> {
@@ -363,6 +391,27 @@ mod tests {
         assert_eq!(e.transfers(), 2);
         e.seal_and_wait().unwrap();
         assert!(e.finish_trace().validate(1e-9).is_ok());
+    }
+
+    #[test]
+    fn decommissioned_node_lanes_stay_idle() {
+        let mut e = engine(Arc::new(ZeroCost));
+        e.decommission_node(1);
+        let d0 = DataId(0);
+        // A 2-task chain on the surviving node runs to completion.
+        e.submit_compute(0, "k", &[(Access::read_write(d0), 0)], 0);
+        e.submit_compute(0, "k", &[(Access::read_write(d0), 0)], 0);
+        e.seal_and_wait().unwrap();
+        assert_eq!(e.virtual_now(), 2.0);
+        let trace = e.finish_trace();
+        let (lo, hi) = e.spec().compute_range(1);
+        for w in lo..hi {
+            assert_eq!(trace.lane(w).count(), 0, "dead lane {w} executed work");
+        }
+        let (lo, hi) = e.spec().nic_range(1);
+        for w in lo..hi {
+            assert_eq!(trace.lane(w).count(), 0, "dead NIC lane {w} executed work");
+        }
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod teq;
 
 pub use model::{KernelModel, ModelRegistry};
 pub use race::RaceMitigation;
-pub use session::{SimConfig, SimSession};
+pub use session::{FaultInjector, SimConfig, SimSession, TransientSpec};
 pub use teq::{TaskExecutionQueue, WakeupMode};

@@ -91,6 +91,67 @@ impl SimConfig {
     }
 }
 
+/// Prescription for a transient task failure: the task fails
+/// `failures` times (consuming part of a freshly sampled duration each
+/// time, then backing off in virtual time) before succeeding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientSpec {
+    /// Failed attempts before the task finally succeeds.
+    pub failures: u32,
+    /// Fraction of an attempt's duration consumed before the failure is
+    /// detected, clamped to `[0, 1]`.
+    pub fail_fraction: f64,
+    /// Backoff after the first failed attempt (virtual seconds); attempt
+    /// `i` backs off `backoff_base * 2^i`.
+    pub backoff_base: f64,
+    /// Ceiling on any single backoff (virtual seconds).
+    pub backoff_cap: f64,
+}
+
+/// Deterministic fault hooks consulted by the simulated-kernel protocol.
+///
+/// Implementations must be pure functions of their arguments (plus
+/// immutable compiled state): `perturb` runs under the TEQ state lock, so
+/// the duration a task observes depends only on `(worker, start,
+/// duration)` — never on host timing. An unattached injector (the default)
+/// leaves every code path bit-for-bit identical to a fault-free session.
+pub trait FaultInjector: Send + Sync {
+    /// Perturbed duration of `duration` seconds of work starting at
+    /// virtual time `start` on lane `worker` (straggler windows, degraded
+    /// links). The default is the identity.
+    fn perturb(&self, worker: usize, start: f64, duration: f64) -> f64 {
+        let _ = (worker, start);
+        duration
+    }
+
+    /// Transient-failure prescription for the `rank`-th submission of
+    /// `label`, or `None` for a clean execution. Keyed on submission rank
+    /// (not worker or task id) so the decision is placement-independent.
+    fn transient(&self, label: &str, rank: u64) -> Option<TransientSpec> {
+        let _ = (label, rank);
+        None
+    }
+
+    /// Notification that a transient prescription was executed:
+    /// `failures` retries costing `aborted_virtual_seconds` of discarded
+    /// (post-perturbation) work. Implementations use this for fault
+    /// accounting; determinism of the simulation does not depend on it.
+    fn on_transient(&self, label: &str, failures: u32, aborted_virtual_seconds: f64) {
+        let _ = (label, failures, aborted_virtual_seconds);
+    }
+}
+
+/// Segment kinds of a transiently failing task's virtual timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Segment {
+    /// A failed attempt (discarded work).
+    Failed,
+    /// Idle retry backoff.
+    Backoff,
+    /// The final, successful execution.
+    Work,
+}
+
 /// A simulation session. Create one per simulated run; hand
 /// [`SimSession::run_kernel`] (or [`SimSession::kernel_body`]) to every
 /// task body, then read the predicted makespan and the virtual-time trace.
@@ -100,6 +161,10 @@ pub struct SimSession {
     trace: TraceRecorder,
     config: SimConfig,
     quiesce: Mutex<Option<Arc<dyn Quiesce>>>,
+    /// Optional fault injector (straggler windows, transient failures,
+    /// link degradation). `None` — the default — keeps every simulated
+    /// path bit-for-bit identical to a fault-free session.
+    faults: Mutex<Option<Arc<dyn FaultInjector>>>,
     first_calls: Mutex<HashSet<(usize, String)>>,
     /// Warm-up budget for the plan-based protocol: the first `n`
     /// submissions of each label sample warm (see
@@ -125,6 +190,7 @@ impl SimSession {
             trace: TraceRecorder::new(),
             config,
             quiesce: Mutex::new(None),
+            faults: Mutex::new(None),
             first_calls: Mutex::new(HashSet::new()),
             warmup_slots: AtomicUsize::new(0),
             ranks: Mutex::new(HashMap::new()),
@@ -137,6 +203,21 @@ impl SimSession {
     /// [`RaceMitigation::Quiesce`]; ignored by the other strategies).
     pub fn attach_quiesce(&self, probe: Arc<dyn Quiesce>) {
         *self.quiesce.lock() = Some(probe);
+    }
+
+    /// Attach a fault injector. Call before submitting tasks; a session
+    /// with no injector attached executes the exact fault-free code path.
+    pub fn attach_faults(&self, injector: Arc<dyn FaultInjector>) {
+        *self.faults.lock() = Some(injector);
+    }
+
+    /// A fresh session with the same models and configuration but reset
+    /// state (clock at 0, empty trace, fresh warm-up and rank counters, no
+    /// quiescence probe or fault injector). Used by phased fault replay:
+    /// the post-failure phase re-runs the surviving work on a clean clock
+    /// and is stitched onto the pre-failure trace afterwards.
+    pub fn fork(&self) -> Arc<Self> {
+        SimSession::new(self.models.clone(), self.config.clone())
     }
 
     /// The session configuration.
@@ -254,6 +335,31 @@ impl SimSession {
         let speed = self.config.speed_of(ctx.worker);
         assert!(speed > 0.0, "worker speed must be positive");
         let duration = model.sample(&mut rng, warm) / speed + self.config.overhead_per_task;
+        let faults = self.faults.lock().clone();
+        if let Some(inj) = &faults {
+            if let Some(spec) = inj.transient(label, rank) {
+                // Transient failure: `failures` aborted attempts, each
+                // consuming a fraction of a *freshly sampled* duration
+                // (retries re-draw from the same keyed stream — a retry is
+                // a new execution, not a replay), separated by capped
+                // exponential backoff in virtual time, then the final
+                // successful execution.
+                let frac = spec.fail_fraction.clamp(0.0, 1.0);
+                let mut segs = Vec::with_capacity(2 * spec.failures as usize + 1);
+                let mut attempt = duration;
+                for i in 0..spec.failures {
+                    segs.push((Segment::Failed, attempt * frac));
+                    let backoff =
+                        (spec.backoff_base * (1u64 << i.min(62)) as f64).min(spec.backoff_cap);
+                    segs.push((Segment::Backoff, backoff.max(0.0)));
+                    attempt = model.sample(&mut rng, warm) / speed + self.config.overhead_per_task;
+                }
+                segs.push((Segment::Work, attempt));
+                let aborted = self.simulate_segments(ctx, label, &segs, inj);
+                inj.on_transient(label, spec.failures, aborted);
+                return;
+            }
+        }
         self.simulate(ctx, label, duration);
     }
 
@@ -270,7 +376,17 @@ impl SimSession {
     fn simulate(&self, ctx: &TaskContext, label: &str, duration: f64) {
         obs::inc_kernels();
         // (1)+(2): read the clock for the start, insert the completion.
-        let (ticket, start) = self.teq.insert(duration);
+        // With an injector attached the duration is re-derived from the
+        // start time *under the TEQ lock*, so start-dependent costs
+        // (straggler windows, degraded links) are a pure function of the
+        // virtual timeline.
+        let faults = self.faults.lock().clone();
+        let (ticket, start) = match &faults {
+            None => self.teq.insert(duration),
+            Some(inj) => self
+                .teq
+                .insert_with(|start| inj.perturb(ctx.worker, start, duration)),
+        };
         if debug_enabled() {
             eprintln!(
                 "[dbg] insert task={} w={} start={:.6} end={:.6}",
@@ -283,7 +399,79 @@ impl SimSession {
         // The task is now visible to the simulation: scheduler bookkeeping
         // for this dispatch is done.
         ctx.mark_registered();
+        self.settle_and_retire(ctx, ticket);
+    }
 
+    /// Steps (1)–(5) for a transiently failing task: one TEQ insertion
+    /// covering the whole failed-attempt / backoff / re-execution timeline
+    /// (computed segment by segment under the TEQ lock, stragglers applied
+    /// to work but not to idle backoff), recorded as one trace span per
+    /// segment under the same task id. Returns the aborted virtual seconds
+    /// (the post-perturbation cost of the failed attempts).
+    fn simulate_segments(
+        &self,
+        ctx: &TaskContext,
+        label: &str,
+        segs: &[(Segment, f64)],
+        inj: &Arc<dyn FaultInjector>,
+    ) -> f64 {
+        obs::inc_kernels();
+        let mut bounds: Vec<(Segment, f64, f64)> = Vec::with_capacity(segs.len());
+        let (ticket, start) = self.teq.insert_with(|start| {
+            let mut t = start;
+            for &(kind, nominal) in segs {
+                // Backoff is idle waiting — a slow worker waits at the
+                // same rate as a fast one — so only work is perturbed.
+                let d = match kind {
+                    Segment::Backoff => nominal,
+                    Segment::Failed | Segment::Work => inj.perturb(ctx.worker, t, nominal),
+                };
+                let d = if d.is_finite() { d.max(0.0) } else { 0.0 };
+                bounds.push((kind, t, t + d));
+                t += d;
+            }
+            t - start
+        });
+        if debug_enabled() {
+            eprintln!(
+                "[dbg] insert task={} w={} start={:.6} end={:.6} segments={}",
+                ctx.task_id,
+                ctx.worker,
+                start,
+                ticket.end,
+                segs.len()
+            );
+        }
+        let mut aborted = 0.0;
+        for &(kind, s, e) in &bounds {
+            match kind {
+                Segment::Failed => {
+                    aborted += e - s;
+                    let marked = format!("{label}{}", supersim_trace::fault::FAIL_SUFFIX);
+                    self.trace.record(ctx.worker, &marked, ctx.task_id, s, e);
+                }
+                Segment::Backoff => {
+                    if e > s {
+                        self.trace.record(
+                            ctx.worker,
+                            supersim_trace::fault::BACKOFF_LABEL,
+                            ctx.task_id,
+                            s,
+                            e,
+                        );
+                    }
+                }
+                Segment::Work => self.trace.record(ctx.worker, label, ctx.task_id, s, e),
+            }
+        }
+        ctx.mark_registered();
+        self.settle_and_retire(ctx, ticket);
+        aborted
+    }
+
+    /// Steps (4)+(5) of the protocol, shared by [`SimSession::simulate`]
+    /// and [`SimSession::simulate_segments`].
+    fn settle_and_retire(&self, ctx: &TaskContext, ticket: crate::teq::TeqTicket) {
         // (4): wait to be the next virtual completion, guarding against the
         // §V-E race before retiring. `wait_front` parks on this ticket's
         // own condvar (targeted wakeup): the retiring front wakes exactly

@@ -176,16 +176,26 @@ impl TaskExecutionQueue {
     /// `duration` is clamped at 0 (models can produce tiny negative
     /// samples when a fitted normal has mass below zero).
     pub fn insert(&self, duration: f64) -> (TeqTicket, f64) {
-        let duration = if duration.is_finite() {
-            duration.max(0.0)
-        } else {
-            0.0
-        };
+        self.insert_with(|_| duration)
+    }
+
+    /// Like [`TaskExecutionQueue::insert`], but the duration is computed
+    /// from the task's start time *under the state lock*, so start-time-
+    /// dependent costs (fault windows, time-varying slowdowns) see exactly
+    /// the clock value the task starts at — no other insert or retire can
+    /// interleave between the clock read and the completion insert.
+    pub fn insert_with(&self, duration_at: impl FnOnce(f64) -> f64) -> (TeqTicket, f64) {
         // Sampled latency stamp, taken before the lock so the measurement
         // covers acquisition (the interesting part under contention).
         let stamp = obs::stamp();
         let mut st = self.state.lock();
         let start = st.clock;
+        let duration = duration_at(start);
+        let duration = if duration.is_finite() {
+            duration.max(0.0)
+        } else {
+            0.0
+        };
         let end = start + duration;
         let seq = st.next_seq;
         st.next_seq += 1;
@@ -378,6 +388,21 @@ mod tests {
         let (_a, _) = q.insert(1.0);
         let (b, _) = q.insert(2.0);
         q.retire(b);
+    }
+
+    #[test]
+    fn insert_with_computes_duration_from_start() {
+        let q = TaskExecutionQueue::new();
+        let (a, _) = q.insert(2.0);
+        q.wait_front(a);
+        q.retire(a);
+        // Clock is 2.0: the closure must observe exactly that start.
+        let (t, s) = q.insert_with(|start| start * 0.5);
+        assert_eq!(s, 2.0);
+        assert_eq!(t.end, 3.0);
+        // Non-finite computed durations are clamped like plain inserts.
+        let (t2, s2) = q.insert_with(|_| f64::NAN);
+        assert_eq!(t2.end, s2);
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! The degradation report: clean vs faulted comparison and attribution.
+
+use serde::{Deserialize, Serialize};
+use supersim_trace::Trace;
+
+/// The makespan impact of one fault event run in isolation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultAttribution {
+    /// Human-readable description of the event.
+    pub fault: String,
+    /// Makespan with only this event active.
+    pub makespan: f64,
+    /// `makespan / clean_makespan`.
+    pub slowdown: f64,
+}
+
+/// Clean-vs-faulted comparison for one scenario under one fault plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Makespan of the fault-free run (virtual seconds).
+    pub clean_makespan: f64,
+    /// Makespan under the full fault plan.
+    pub faulted_makespan: f64,
+    /// `faulted_makespan / clean_makespan` (1.0 for an empty plan).
+    pub slowdown: f64,
+    /// Lane finishing last in the clean run. Lane assignment races
+    /// run-to-run (only virtual *times* are deterministic, and only on
+    /// the deterministic central-FIFO profile), so the two critical-lane
+    /// fields are diagnostics, not part of the canonical determinism
+    /// contract.
+    pub critical_lane_clean: usize,
+    /// Lane finishing last in the faulted run (a shift reveals the fault
+    /// moved the critical path).
+    pub critical_lane_faulted: usize,
+    /// Failed transient attempts executed.
+    pub retries: u64,
+    /// Virtual seconds of work discarded by transient failures.
+    pub aborted_virtual_seconds: f64,
+    /// Virtual seconds of completed work lost to a permanent failure
+    /// (truncated in-flight spans and rolled-back completions).
+    pub lost_virtual_seconds: f64,
+    /// Virtual seconds of checkpoint overhead folded into the faulted
+    /// makespan (snapshots taken + restore).
+    pub checkpoint_overhead: f64,
+    /// Tasks re-executed in the restart phase of a permanent failure.
+    pub restarted_tasks: u64,
+    /// Per-event attribution: each fault run alone against the clean run.
+    pub per_fault: Vec<FaultAttribution>,
+}
+
+impl DegradationReport {
+    /// Publish the report's headline numbers into `snap`.
+    #[cfg(feature = "metrics")]
+    pub fn publish_metrics(&self, snap: &mut supersim_metrics::MetricsSnapshot) {
+        snap.push_gauge(
+            "faults.makespan.clean_us",
+            (self.clean_makespan * 1e6).round() as i64,
+        );
+        snap.push_gauge(
+            "faults.makespan.faulted_us",
+            (self.faulted_makespan * 1e6).round() as i64,
+        );
+        snap.push_counter("faults.retries", self.retries);
+        snap.push_counter("faults.restarted.tasks", self.restarted_tasks);
+        snap.push_gauge(
+            "faults.aborted.virtual_us",
+            (self.aborted_virtual_seconds * 1e6).round() as i64,
+        );
+        snap.push_gauge(
+            "faults.lost.virtual_us",
+            (self.lost_virtual_seconds * 1e6).round() as i64,
+        );
+    }
+}
+
+/// The lane whose last event ends latest — where the makespan is decided.
+/// Returns 0 for an empty trace.
+pub fn critical_lane(trace: &Trace) -> usize {
+    trace
+        .events
+        .iter()
+        .max_by(|a, b| {
+            a.end
+                .total_cmp(&b.end)
+                .then_with(|| a.worker.cmp(&b.worker))
+        })
+        .map(|e| e.worker)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_trace::TraceEvent;
+
+    #[test]
+    fn critical_lane_is_latest_finisher() {
+        let mut t = Trace::new(3);
+        for (w, end) in [(0, 1.0), (1, 5.0), (2, 3.0)] {
+            t.events.push(TraceEvent {
+                worker: w,
+                kernel: "k".into(),
+                task_id: w as u64,
+                start: 0.0,
+                end,
+            });
+        }
+        assert_eq!(critical_lane(&t), 1);
+        assert_eq!(critical_lane(&Trace::new(2)), 0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let r = DegradationReport {
+            clean_makespan: 1.0,
+            faulted_makespan: 1.5,
+            slowdown: 1.5,
+            critical_lane_clean: 0,
+            critical_lane_faulted: 2,
+            retries: 3,
+            aborted_virtual_seconds: 0.1,
+            lost_virtual_seconds: 0.0,
+            checkpoint_overhead: 0.0,
+            restarted_tasks: 0,
+            per_fault: vec![FaultAttribution {
+                fault: "straggler worker 2 x2.0 [0, 1)".into(),
+                makespan: 1.4,
+                slowdown: 1.4,
+            }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DegradationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,90 @@
+//! Trace surgery for phased permanent-failure replay.
+//!
+//! A permanent failure is simulated in two phases: phase A runs the full
+//! workload and is *cut* at the failure time; phase B re-runs the
+//! surviving work on the reduced machine, on a fresh clock. These helpers
+//! mark the work lost to the cut and stitch the two phases into one
+//! trace on a common timeline with unique task ids.
+
+use supersim_trace::fault::LOST_SUFFIX;
+use supersim_trace::{Trace, TraceEvent};
+
+/// A copy of `e` marked as lost to a permanent failure, optionally
+/// truncated at the failure time (for in-flight work cut mid-span).
+pub fn mark_lost(e: &TraceEvent, truncate_at: Option<f64>) -> TraceEvent {
+    let mut out = e.clone();
+    out.kernel = format!(
+        "{}{LOST_SUFFIX}",
+        supersim_trace::fault::base_kernel(&e.kernel)
+    );
+    if let Some(t) = truncate_at {
+        out.end = out.end.min(t).max(out.start);
+    }
+    out
+}
+
+/// Stitch the kept/marked phase-A events and the phase-B trace into one
+/// trace: phase-B times are shifted by `time_offset` (the restart point
+/// on the global timeline) and phase-B task ids by `id_offset` (so the
+/// canonical, id-sorted serialization keeps the phases distinct).
+pub fn stitch(
+    workers: usize,
+    phase_a: Vec<TraceEvent>,
+    phase_b: &Trace,
+    time_offset: f64,
+    id_offset: u64,
+) -> Trace {
+    let mut events = phase_a;
+    events.reserve(phase_b.events.len());
+    for e in &phase_b.events {
+        let mut e = e.clone();
+        e.start += time_offset;
+        e.end += time_offset;
+        e.task_id += id_offset;
+        events.push(e);
+    }
+    let mut trace = Trace { workers, events };
+    trace.normalize();
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_trace::fault::{event_kind, SpanKind};
+
+    fn ev(worker: usize, kernel: &str, id: u64, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            worker,
+            kernel: kernel.to_string(),
+            task_id: id,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn mark_lost_marks_and_truncates() {
+        let e = ev(0, "dgemm", 3, 1.0, 4.0);
+        let lost = mark_lost(&e, Some(2.5));
+        assert_eq!(lost.kernel, "dgemm!lost");
+        assert_eq!(lost.end, 2.5);
+        assert_eq!(event_kind(&lost), SpanKind::Lost);
+        // No truncation point: span kept whole.
+        assert_eq!(mark_lost(&e, None).end, 4.0);
+        // Truncation before the start clamps to an instant, not negative.
+        assert_eq!(mark_lost(&e, Some(0.5)).end, 1.0);
+    }
+
+    #[test]
+    fn stitch_offsets_phase_b() {
+        let a = vec![ev(0, "k", 0, 0.0, 1.0), ev(1, "k!lost", 1, 0.0, 0.5)];
+        let mut b = Trace::new(2);
+        b.events.push(ev(0, "k", 0, 0.0, 2.0));
+        let t = stitch(2, a, &b, 10.0, 100);
+        assert_eq!(t.len(), 3);
+        let re = t.events.iter().find(|e| e.task_id == 100).unwrap();
+        assert_eq!((re.start, re.end), (10.0, 12.0));
+        assert!(t.validate(1e-12).is_ok());
+    }
+}

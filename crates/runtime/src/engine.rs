@@ -47,6 +47,11 @@ struct Inner {
     /// pinned policies must know *which* workers are busy, not just how
     /// many.
     busy: Vec<bool>,
+    /// Per-worker decommission flags (fault injection: a decommissioned
+    /// worker's thread exits at its next dispatch and its lane is marked
+    /// permanently busy, so pinned-policy quiescence treats it as unable
+    /// to absorb work).
+    decommissioned: Vec<bool>,
     shutdown: bool,
     sealed: bool,
     submitter_waiting: usize,
@@ -139,6 +144,7 @@ impl Runtime {
                 idle_workers: 0,
                 in_dispatch: 0,
                 busy: vec![false; config.workers],
+                decommissioned: vec![false; config.workers],
                 shutdown: false,
                 sealed: false,
                 submitter_waiting: 0,
@@ -339,6 +345,32 @@ impl Runtime {
         cancelled
     }
 
+    /// Permanently remove `worker` from service (fault injection: a died
+    /// worker or node lane). The worker finishes any task it is currently
+    /// executing, then its thread exits instead of dispatching again; its
+    /// lane stays marked busy forever, so pinned-policy quiescence and the
+    /// stalled-lane predicate treat it as unable to absorb work.
+    ///
+    /// Tasks pinned *exclusively* to decommissioned lanes can never run —
+    /// `wait_all` would block forever. Callers (the fault-replay layer)
+    /// must re-place such tasks onto surviving lanes before submission.
+    pub fn decommission(&self, worker: usize) {
+        let mut inner = self.shared.inner.lock();
+        assert!(worker < inner.busy.len(), "no such worker: {worker}");
+        inner.decommissioned[worker] = true;
+        // A dead lane can absorb no work: permanently busy.
+        inner.busy[worker] = true;
+        // Wake everyone: the target (if parked) must observe the flag and
+        // exit, and quiescence waiters must re-evaluate the predicate.
+        self.shared.work_cv.notify_all();
+        self.shared.quiesce_cv.notify_all();
+    }
+
+    /// Whether `worker` has been decommissioned.
+    pub fn is_decommissioned(&self, worker: usize) -> bool {
+        self.shared.inner.lock().decommissioned[worker]
+    }
+
     /// A [`Quiesce`] handle for the simulation layer.
     pub fn probe(&self) -> Arc<dyn Quiesce> {
         Arc::new(RuntimeProbe {
@@ -418,6 +450,13 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
             let mut inner = shared.inner.lock();
             inner.stats.lock_acquisitions += 1;
             let task = loop {
+                if inner.decommissioned[worker] {
+                    // This worker may have absorbed a targeted wakeup meant
+                    // to pair with a ready task; hand it to a live worker
+                    // before exiting so the task is not stranded.
+                    shared.work_cv.notify_one();
+                    break None;
+                }
                 if let Some(t) = inner.policy.pop(worker) {
                     // Cancelled tasks may still sit in the ready queue;
                     // their bodies are gone — skip them. Draining one
@@ -527,7 +566,8 @@ fn worker_loop(shared: Arc<Shared>, worker: usize) {
                     .errors
                     .push(format!("task {task_id} ({label}): {msg}"));
             }
-            inner.busy[worker] = false;
+            // A lane decommissioned mid-task stays busy forever.
+            inner.busy[worker] = inner.decommissioned[worker];
             shared.window_cv.notify_all();
             shared.done_cv.notify_all();
             shared.quiesce_cv.notify_all();
@@ -957,6 +997,81 @@ mod tests {
         assert!(probe.quiescent());
         hold_tx.send(()).unwrap();
         rt.wait_all().unwrap();
+    }
+
+    #[test]
+    fn decommissioned_worker_takes_no_work() {
+        let rt = Runtime::new(RuntimeConfig::simple(2));
+        rt.decommission(1);
+        assert!(rt.is_decommissioned(1));
+        assert!(!rt.is_decommissioned(0));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..20u64 {
+            let seen = seen.clone();
+            rt.submit(TaskDesc::new("t", vec![Access::write(d(i))], move |ctx| {
+                seen.lock().push(ctx.worker);
+            }));
+        }
+        rt.wait_all().unwrap();
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 20);
+        assert!(
+            seen.iter().all(|&w| w == 0),
+            "dead worker executed a task: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn pinned_lane_shrink_mid_run_stays_quiescent() {
+        // The node-death scenario: a pinned lane range loses a lane while
+        // work is queued against it. A task pinned to {busy lane, dead
+        // lane} is stalled — the dead lane counts as busy — so quiescence
+        // must hold, and the task must later run on the surviving lane.
+        let cfg = RuntimeConfig {
+            workers: 3,
+            policy: PolicyKind::Pinned,
+            window: usize::MAX,
+            name: "pin-shrink",
+        };
+        let rt = Runtime::new(cfg);
+        let probe = rt.probe();
+        let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+        let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+        // Occupy lane 0.
+        rt.submit(
+            TaskDesc::new("hold", vec![Access::write(d(0))], move |ctx| {
+                ctx.mark_registered();
+                started_tx.send(()).unwrap();
+                hold_rx
+                    .recv_timeout(std::time::Duration::from_secs(5))
+                    .unwrap();
+            })
+            .with_pin(0, 1),
+        );
+        started_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .unwrap();
+        // Lane 1 dies; a task pinned to [0, 2) now has one busy and one
+        // dead lane — stalled, not runnable, not a quiescence violation.
+        rt.decommission(1);
+        let ran_on = Arc::new(AtomicUsize::new(usize::MAX));
+        let r = ran_on.clone();
+        rt.submit(
+            TaskDesc::new("next", vec![Access::write(d(1))], move |ctx| {
+                r.store(ctx.worker, Ordering::SeqCst);
+            })
+            .with_pin(0, 2),
+        );
+        rt.seal();
+        probe.wait_quiescent();
+        assert!(probe.quiescent());
+        hold_tx.send(()).unwrap();
+        rt.wait_all().unwrap();
+        assert_eq!(
+            ran_on.load(Ordering::SeqCst),
+            0,
+            "the pinned task must run on the surviving lane"
+        );
     }
 
     #[test]

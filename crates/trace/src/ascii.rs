@@ -2,8 +2,12 @@
 //!
 //! Each worker lane becomes one text row; time is discretized into columns.
 //! Each kernel class gets a letter (first letter of its label, uppercased
-//! and disambiguated); idle time is `.`.
+//! and disambiguated); idle time is `.`. Fault-marked spans (see
+//! [`crate::fault`]) use fixed lowercase/symbol glyphs — `x` failed
+//! attempt, `?` lost work, `~` retry backoff — that can never collide
+//! with the uppercase kernel glyphs.
 
+use crate::fault::{span_kind, SpanKind};
 use crate::Trace;
 
 /// Render a trace as ASCII art, `cols` characters wide.
@@ -18,15 +22,34 @@ pub fn render(trace: &Trace, cols: usize) -> String {
 pub fn render_labeled(trace: &Trace, cols: usize, names: &[String]) -> String {
     let cols = cols.max(4);
     let span = trace.t_max().max(1e-12);
-    let labels = trace.kernel_labels();
+    let labels: Vec<String> = trace
+        .kernel_labels()
+        .into_iter()
+        .filter(|l| span_kind(l) == SpanKind::Normal)
+        .collect();
     let glyphs = assign_glyphs(&labels);
 
     let mut rows: Vec<Vec<char>> = vec![vec!['.'; cols]; trace.workers];
+    let (mut any_failed, mut any_lost, mut any_backoff) = (false, false, false);
     for e in &trace.events {
         if e.worker >= trace.workers {
             continue;
         }
-        let g = glyph_for(&glyphs, &labels, &e.kernel);
+        let g = match span_kind(&e.kernel) {
+            SpanKind::Normal => glyph_for(&glyphs, &labels, &e.kernel),
+            SpanKind::Failed => {
+                any_failed = true;
+                'x'
+            }
+            SpanKind::Lost => {
+                any_lost = true;
+                '?'
+            }
+            SpanKind::Backoff => {
+                any_backoff = true;
+                '~'
+            }
+        };
         let c0 = ((e.start / span) * cols as f64).floor() as usize;
         let c1 = ((e.end / span) * cols as f64).ceil() as usize;
         let c0 = c0.min(cols - 1);
@@ -60,6 +83,15 @@ pub fn render_labeled(trace: &Trace, cols: usize, names: &[String]) -> String {
     out.push_str("    ");
     for (label, g) in labels.iter().zip(glyphs.iter()) {
         out.push_str(&format!(" {g}={label}"));
+    }
+    if any_failed {
+        out.push_str(" x=failed");
+    }
+    if any_lost {
+        out.push_str(" ?=lost");
+    }
+    if any_backoff {
+        out.push_str(" ~=backoff");
     }
     out.push('\n');
     out
@@ -173,6 +205,27 @@ mod tests {
             .last()
             .unwrap();
         assert_ne!(g1, g2);
+    }
+
+    #[test]
+    fn fault_marks_use_fixed_glyphs_and_legend_entries() {
+        let mut t = Trace::new(2);
+        t.events.push(ev(0, "dgemm", 0, 0.0, 0.3));
+        t.events.push(ev(0, "dgemm!fail", 1, 0.3, 0.5));
+        t.events.push(ev(0, "~backoff", 1, 0.5, 0.6));
+        t.events.push(ev(1, "dpotrf!lost", 2, 0.0, 0.4));
+        let art = render(&t, 20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert!(lines[0].contains('x'));
+        assert!(lines[0].contains('~'));
+        assert!(lines[1].contains('?'));
+        let legend = lines[2];
+        assert!(legend.contains("D=dgemm"));
+        assert!(legend.contains("x=failed"));
+        assert!(legend.contains("?=lost"));
+        assert!(legend.contains("~=backoff"));
+        // Marked variants never get their own kernel legend entries.
+        assert!(!legend.contains("dgemm!fail"));
     }
 
     #[test]

@@ -11,8 +11,22 @@
 //! counter in a [`supersim_metrics::MetricsSnapshot`], so wakeup counts
 //! and TEQ traffic are visible alongside the timeline they came from.
 
+use crate::fault::{span_kind, SpanKind};
 use crate::Trace;
 use std::fmt::Write as _;
+
+/// Extra `cname` field (a Chrome trace-viewer reserved color class) for
+/// fault-marked spans, so failed attempts, lost work and backoff read
+/// at a glance in the timeline. Normal spans add nothing — fault-free
+/// exports stay byte-identical.
+fn fault_cname(kernel: &str) -> &'static str {
+    match span_kind(kernel) {
+        SpanKind::Normal => "",
+        SpanKind::Failed => r#","cname":"terrible""#,
+        SpanKind::Lost => r#","cname":"bad""#,
+        SpanKind::Backoff => r#","cname":"grey""#,
+    }
+}
 
 /// Serialize a trace to the Chrome trace-event JSON array format.
 pub fn to_chrome_json(trace: &Trace) -> String {
@@ -84,8 +98,9 @@ pub fn to_chrome_json_grouped(trace: &Trace, lanes: &[LaneGroup]) -> String {
         let pid = lanes.get(e.worker).map_or(0, |l| l.pid);
         let _ = write!(
             s,
-            r#"{{"name":{},"ph":"X","ts":{:.3},"dur":{:.3},"pid":{},"tid":{},"args":{{"task_id":{}}}}}"#,
+            r#"{{"name":{},"ph":"X"{},"ts":{:.3},"dur":{:.3},"pid":{},"tid":{},"args":{{"task_id":{}}}}}"#,
             json_string(&e.kernel),
+            fault_cname(&e.kernel),
             e.start * 1e6,
             e.duration() * 1e6,
             pid,
@@ -107,8 +122,9 @@ fn push_task_events(s: &mut String, trace: &Trace, first: &mut bool) {
         *first = false;
         let _ = write!(
             s,
-            r#"{{"name":{},"ph":"X","ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"args":{{"task_id":{}}}}}"#,
+            r#"{{"name":{},"ph":"X"{},"ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"args":{{"task_id":{}}}}}"#,
             json_string(&e.kernel),
+            fault_cname(&e.kernel),
             e.start * 1e6,
             e.duration() * 1e6,
             e.worker,
@@ -241,6 +257,30 @@ mod tests {
         let json = to_chrome_json(&trace());
         let v: serde_json::Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v[1]["name"], "we\"ird");
+    }
+
+    #[test]
+    fn fault_marked_spans_carry_color_classes() {
+        let mut t = Trace::new(1);
+        for (i, k) in ["dgemm", "dgemm!fail", "~backoff", "dpotrf!lost"]
+            .iter()
+            .enumerate()
+        {
+            t.events.push(TraceEvent {
+                worker: 0,
+                kernel: (*k).into(),
+                task_id: i as u64,
+                start: i as f64,
+                end: i as f64 + 0.5,
+            });
+        }
+        let json = to_chrome_json(&t);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let arr = v.as_array().unwrap();
+        assert!(arr[0].get("cname").is_none(), "normal spans add nothing");
+        assert_eq!(arr[1]["cname"], "terrible");
+        assert_eq!(arr[2]["cname"], "grey");
+        assert_eq!(arr[3]["cname"], "bad");
     }
 
     #[test]

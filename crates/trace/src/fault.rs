@@ -1,0 +1,103 @@
+//! Fault-marking conventions for trace spans.
+//!
+//! The fault-injection layer records the timeline of a perturbed task as
+//! ordinary [`crate::TraceEvent`]s — same task id, same lanes — and marks
+//! the abnormal segments through the kernel label alone. That keeps the
+//! trace model (and every serialization of it) unchanged: a fault-free
+//! plan produces byte-identical output, and renderers that predate the
+//! conventions still draw marked spans as regular tasks.
+//!
+//! Conventions:
+//!
+//! * `<kernel>!fail` — a failed (aborted) attempt whose work is discarded;
+//! * `<kernel>!lost` — work completed before a permanent failure but lost
+//!   to it (rolled back past the last checkpoint, or cut off in flight);
+//! * `~backoff` — idle retry backoff between attempts.
+//!
+//! `!` and `~` cannot appear in kernel labels produced by the workload
+//! drivers (BLAS-style identifiers), so the marks are unambiguous.
+
+use crate::TraceEvent;
+
+/// Label suffix marking a failed (aborted, to-be-retried) attempt.
+pub const FAIL_SUFFIX: &str = "!fail";
+
+/// Label suffix marking completed work lost to a permanent failure.
+pub const LOST_SUFFIX: &str = "!lost";
+
+/// Whole-span label for idle retry backoff.
+pub const BACKOFF_LABEL: &str = "~backoff";
+
+/// Classification of a trace span under the fault-marking conventions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A normally completed task (or any span without a fault mark).
+    Normal,
+    /// A failed attempt (discarded work, retried later).
+    Failed,
+    /// Completed work lost to a permanent failure.
+    Lost,
+    /// Idle retry backoff.
+    Backoff,
+}
+
+/// Classify a kernel label under the fault-marking conventions.
+pub fn span_kind(kernel: &str) -> SpanKind {
+    if kernel == BACKOFF_LABEL {
+        SpanKind::Backoff
+    } else if kernel.ends_with(FAIL_SUFFIX) {
+        SpanKind::Failed
+    } else if kernel.ends_with(LOST_SUFFIX) {
+        SpanKind::Lost
+    } else {
+        SpanKind::Normal
+    }
+}
+
+/// The kernel label with any fault mark stripped, e.g. `"dgemm!fail"` →
+/// `"dgemm"`. Backoff spans have no underlying kernel and map to `""`.
+pub fn base_kernel(kernel: &str) -> &str {
+    if kernel == BACKOFF_LABEL {
+        ""
+    } else if let Some(base) = kernel.strip_suffix(FAIL_SUFFIX) {
+        base
+    } else if let Some(base) = kernel.strip_suffix(LOST_SUFFIX) {
+        base
+    } else {
+        kernel
+    }
+}
+
+/// Classify a trace event (see [`span_kind`]).
+pub fn event_kind(e: &TraceEvent) -> SpanKind {
+    span_kind(&e.kernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_follows_label_marks() {
+        assert_eq!(span_kind("dgemm"), SpanKind::Normal);
+        assert_eq!(span_kind("dgemm!fail"), SpanKind::Failed);
+        assert_eq!(span_kind("dpotrf!lost"), SpanKind::Lost);
+        assert_eq!(span_kind("~backoff"), SpanKind::Backoff);
+    }
+
+    #[test]
+    fn base_kernel_strips_marks() {
+        assert_eq!(base_kernel("dgemm"), "dgemm");
+        assert_eq!(base_kernel("dgemm!fail"), "dgemm");
+        assert_eq!(base_kernel("dpotrf!lost"), "dpotrf");
+        assert_eq!(base_kernel("~backoff"), "");
+    }
+
+    #[test]
+    fn plain_labels_never_classify_as_faulted() {
+        for l in ["dpotrf", "dtrsm", "dsyrk", "dgemm", "xfer", "dtsmqr"] {
+            assert_eq!(span_kind(l), SpanKind::Normal);
+            assert_eq!(base_kernel(l), l);
+        }
+    }
+}

@@ -25,6 +25,7 @@ pub mod ascii;
 pub mod chrome;
 pub mod color;
 pub mod compare;
+pub mod fault;
 #[cfg(test)]
 mod proptests;
 pub mod recorder;
@@ -130,6 +131,24 @@ impl Trace {
                 .partial_cmp(&(b.worker, b.start, b.task_id))
                 .expect("non-finite times in trace")
         });
+    }
+
+    /// Canonical virtual-time text projection: one line per event, sorted
+    /// by task id (then start), **no worker lanes**. Worker placement is
+    /// scheduler-race dependent run to run, but task ids, kernels and
+    /// virtual times are seed-deterministic — so this projection diffs
+    /// bit-for-bit across repeated runs of the same `(seed, plan)`; the
+    /// CI determinism gates rely on that. Fault-marked spans keep their
+    /// kernel suffixes, so faulted schedules are covered too.
+    pub fn canonical(&self) -> String {
+        use std::fmt::Write as _;
+        let mut events: Vec<&TraceEvent> = self.events.iter().collect();
+        events.sort_by(|a, b| a.task_id.cmp(&b.task_id).then(a.start.total_cmp(&b.start)));
+        let mut s = String::with_capacity(events.len() * 48);
+        for e in events {
+            let _ = writeln!(s, "{} {} {:?} {:?}", e.task_id, e.kernel, e.start, e.end);
+        }
+        s
     }
 
     /// Iterate events of a single lane.
@@ -269,6 +288,21 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn canonical_ignores_worker_placement_but_not_times() {
+        let mut a = Trace::new(2);
+        a.events.push(ev(0, "gemm", 0, 0.0, 1.0));
+        a.events.push(ev(1, "trsm", 1, 0.0, 2.0));
+        let mut b = Trace::new(2);
+        b.events.push(ev(1, "trsm", 1, 0.0, 2.0));
+        b.events.push(ev(0, "gemm", 0, 0.0, 1.0));
+        b.events[1].worker = 1;
+        b.events[0].worker = 0;
+        assert_eq!(a.canonical(), b.canonical());
+        b.events[0].end = 2.5;
+        assert_ne!(a.canonical(), b.canonical());
     }
 
     #[test]

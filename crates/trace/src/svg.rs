@@ -10,6 +10,7 @@
 //! [`SvgOptions`] covering both makespans.
 
 use crate::color::ColorMap;
+use crate::fault::{base_kernel, span_kind, SpanKind};
 use crate::Trace;
 use std::fmt::Write as _;
 
@@ -63,7 +64,17 @@ pub fn render(trace: &Trace, opts: &SvgOptions) -> String {
     let span = opts.time_span.unwrap_or_else(|| trace.t_max()).max(1e-12);
     let plot_w = (opts.width - MARGIN_LEFT - MARGIN_RIGHT).max(10.0);
     let lanes_h = trace.workers as f64 * (opts.lane_height + opts.lane_gap);
-    let labels = trace.kernel_labels();
+    // Color and legend by *base* kernel: fault-marked spans reuse their
+    // kernel's color with distinct stroke/opacity styling, and backoff
+    // spans have no kernel of their own. Fault-free traces render
+    // byte-identically to the pre-fault renderer.
+    let mut labels: Vec<String> = Vec::new();
+    for l in trace.kernel_labels() {
+        let b = base_kernel(&l);
+        if !b.is_empty() && !labels.iter().any(|s| s == b) {
+            labels.push(b.to_string());
+        }
+    }
     let legend_h = if opts.legend {
         LEGEND_ROW * ((labels.len() as f64 / 4.0).ceil().max(1.0)) + 8.0
     } else {
@@ -117,14 +128,30 @@ pub fn render(trace: &Trace, opts: &SvgOptions) -> String {
         let x = MARGIN_LEFT + e.start / span * plot_w;
         let w_px = ((e.end - e.start) / span * plot_w).max(0.25);
         let y = MARGIN_TOP + e.worker as f64 * (opts.lane_height + opts.lane_gap);
+        let kind = span_kind(&e.kernel);
+        let fill = match kind {
+            SpanKind::Backoff => "#e0e0e0",
+            _ => colors.color(base_kernel(&e.kernel)),
+        };
+        let style = match kind {
+            SpanKind::Normal => "",
+            SpanKind::Failed => r##" fill-opacity="0.45" stroke="#c62828" stroke-width="1""##,
+            SpanKind::Lost => {
+                r##" fill-opacity="0.2" stroke="#757575" stroke-width="1" stroke-dasharray="3,2""##
+            }
+            SpanKind::Backoff => {
+                r##" stroke="#9e9e9e" stroke-width="0.5" stroke-dasharray="1.5,1.5""##
+            }
+        };
         let _ = writeln!(
             s,
-            r#"<rect x="{:.2}" y="{:.1}" width="{:.2}" height="{:.1}" fill="{}"><title>{} #{} [{:.6}, {:.6}]</title></rect>"#,
+            r#"<rect x="{:.2}" y="{:.1}" width="{:.2}" height="{:.1}" fill="{}"{}><title>{} #{} [{:.6}, {:.6}]</title></rect>"#,
             x,
             y,
             w_px,
             opts.lane_height,
-            colors.color(&e.kernel),
+            fill,
+            style,
             escape(&e.kernel),
             e.task_id,
             e.start,
@@ -294,6 +321,51 @@ mod tests {
         assert!(svg.contains(">n0.w0</text>"));
         assert!(svg.contains(">n0.nic0</text>"));
         assert!(!svg.contains(r#"text-anchor="end">0</text>"#));
+    }
+
+    #[test]
+    fn fault_marked_spans_get_distinct_styling() {
+        let mut t = Trace::new(2);
+        t.events.push(TraceEvent {
+            worker: 0,
+            kernel: "dgemm".into(),
+            task_id: 0,
+            start: 0.0,
+            end: 1.0,
+        });
+        t.events.push(TraceEvent {
+            worker: 0,
+            kernel: "dgemm!fail".into(),
+            task_id: 1,
+            start: 1.0,
+            end: 1.5,
+        });
+        t.events.push(TraceEvent {
+            worker: 1,
+            kernel: "dpotrf!lost".into(),
+            task_id: 2,
+            start: 0.0,
+            end: 0.5,
+        });
+        t.events.push(TraceEvent {
+            worker: 1,
+            kernel: "~backoff".into(),
+            task_id: 1,
+            start: 0.5,
+            end: 0.75,
+        });
+        let svg = render_default(&t);
+        // Failed attempts: kernel color, red stroke; lost work: dashed.
+        assert!(svg.contains(r##"stroke="#c62828""##));
+        assert!(svg.contains(r#"stroke-dasharray="3,2""#));
+        assert!(svg.contains(r#"stroke-dasharray="1.5,1.5""#));
+        // The legend shows base kernels only, never the marked variants.
+        assert!(svg.contains(">dgemm</text>"));
+        assert!(!svg.contains(">dgemm!fail</text>"));
+        assert!(!svg.contains(">~backoff</text>"));
+        // Failed span reuses its base kernel's color.
+        let dgemm_color = crate::color::PALETTE[0];
+        assert!(svg.matches(dgemm_color).count() >= 3);
     }
 
     #[test]

@@ -85,10 +85,26 @@ pub fn execute_real(a: &SharedTiles, task: CholeskyTask) {
 /// Submit the whole tile Cholesky task stream to the runtime. Returns the
 /// number of tasks submitted. Call `rt.seal()` afterwards (the drivers do).
 pub fn submit(rt: &Runtime, a: &SharedTiles, mode: &ExecMode) -> u64 {
+    submit_where(rt, a, mode, &mut |_| true)
+}
+
+/// Submit the Cholesky stream filtered by `keep` over the 0-based stream
+/// index. The fault-replay driver uses this to re-submit only the tasks a
+/// permanent failure left incomplete; skipped tasks contribute no hazards,
+/// so the survivors' mutual ordering is exactly the full stream's.
+pub fn submit_where(
+    rt: &Runtime,
+    a: &SharedTiles,
+    mode: &ExecMode,
+    keep: &mut dyn FnMut(u64) -> bool,
+) -> u64 {
     assert_eq!(a.mt(), a.nt(), "Cholesky requires a square tile grid");
     let nt = a.nt();
     let mut count = 0;
-    for task in task_stream(nt) {
+    for (idx, task) in task_stream(nt).into_iter().enumerate() {
+        if !keep(idx as u64) {
+            continue;
+        }
         let label = task.label();
         let acc = accesses(a, task);
         let prio = priority(nt, task);

@@ -78,10 +78,18 @@ fn rw(a: &SharedTiles, pl: &dyn Placement, i: usize, j: usize) -> (Access, usize
     )
 }
 
-fn submit_cholesky(engine: &mut ClusterEngine, a: &SharedTiles, pl: &dyn Placement) -> u64 {
+fn submit_cholesky(
+    engine: &mut ClusterEngine,
+    a: &SharedTiles,
+    pl: &dyn Placement,
+    keep: &mut dyn FnMut(u64) -> bool,
+) -> u64 {
     let nt = a.nt();
     let mut count = 0;
-    for task in cholesky_stream(nt) {
+    for (idx, task) in cholesky_stream(nt).into_iter().enumerate() {
+        if !keep(idx as u64) {
+            continue;
+        }
         let acc = match task {
             CholeskyTask::Potrf { k } => vec![rw(a, pl, k, k)],
             CholeskyTask::Trsm { k, i } => vec![rd(a, pl, k, k), rw(a, pl, i, k)],
@@ -102,10 +110,18 @@ fn submit_cholesky(engine: &mut ClusterEngine, a: &SharedTiles, pl: &dyn Placeme
     count
 }
 
-fn submit_lu(engine: &mut ClusterEngine, a: &SharedTiles, pl: &dyn Placement) -> u64 {
+fn submit_lu(
+    engine: &mut ClusterEngine,
+    a: &SharedTiles,
+    pl: &dyn Placement,
+    keep: &mut dyn FnMut(u64) -> bool,
+) -> u64 {
     let nt = a.nt();
     let mut count = 0;
-    for task in lu_stream(nt) {
+    for (idx, task) in lu_stream(nt).into_iter().enumerate() {
+        if !keep(idx as u64) {
+            continue;
+        }
         let acc = match task {
             LuTask::Getrf { k } => vec![rw(a, pl, k, k)],
             LuTask::TrsmL { k, j } => vec![rd(a, pl, k, k), rw(a, pl, k, j)],
@@ -121,6 +137,23 @@ fn submit_lu(engine: &mut ClusterEngine, a: &SharedTiles, pl: &dyn Placement) ->
     count
 }
 
+/// Submit an algorithm's distributed task stream filtered by `keep` over
+/// the 0-based stream index (the fault-replay driver re-submits only the
+/// incomplete tasks). Returns the submitted compute-task count.
+pub(crate) fn submit_algorithm_cluster(
+    engine: &mut ClusterEngine,
+    alg: Algorithm,
+    a: &SharedTiles,
+    pl: &dyn Placement,
+    keep: &mut dyn FnMut(u64) -> bool,
+) -> u64 {
+    match alg {
+        Algorithm::Cholesky => submit_cholesky(engine, a, pl, keep),
+        Algorithm::Lu => submit_lu(engine, a, pl, keep),
+        Algorithm::Qr => panic!("distributed QR is not implemented; use cholesky or lu"),
+    }
+}
+
 /// Run a distributed simulated factorization. The owner-computes rule
 /// places every task on the node owning its output tile; cross-node reads
 /// become transfer tasks on the consumer's NIC lanes, costed by the
@@ -128,7 +161,10 @@ fn submit_lu(engine: &mut ClusterEngine, a: &SharedTiles, pl: &dyn Placement) ->
 ///
 /// Distributed QR is not implemented (its T-factor grid needs a second
 /// placement); Cholesky and LU are.
-pub fn run_cluster(
+///
+/// This is the engine behind [`crate::Scenario::run_cluster`]; build runs
+/// through the scenario builder.
+pub(crate) fn exec_cluster(
     alg: Algorithm,
     spec: ClusterSpec,
     interconnect: Arc<dyn Interconnect>,
@@ -161,11 +197,7 @@ pub fn run_cluster(
         a.id_range().1,
     );
     let t0 = std::time::Instant::now();
-    let compute_tasks = match alg {
-        Algorithm::Cholesky => submit_cholesky(&mut engine, &a, &*placement),
-        Algorithm::Lu => submit_lu(&mut engine, &a, &*placement),
-        Algorithm::Qr => panic!("distributed QR is not implemented; use cholesky or lu"),
-    };
+    let compute_tasks = submit_algorithm_cluster(&mut engine, alg, &a, &*placement, &mut |_| true);
     engine.seal_and_wait().expect("cluster run failed");
     let wall_seconds = t0.elapsed().as_secs_f64();
 
@@ -226,7 +258,7 @@ mod tests {
 
     #[test]
     fn distributed_cholesky_moves_data_and_validates() {
-        let run = run_cluster(
+        let run = exec_cluster(
             Algorithm::Cholesky,
             ClusterSpec::new(4, 2),
             Arc::new(ZeroCost),
@@ -251,7 +283,7 @@ mod tests {
 
     #[test]
     fn distributed_lu_runs_on_row_placement() {
-        let run = run_cluster(
+        let run = exec_cluster(
             Algorithm::Lu,
             ClusterSpec::new(2, 2),
             Arc::new(Hockney::new(1e-5, 1e9)),
@@ -270,7 +302,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "distributed QR is not implemented")]
     fn distributed_qr_is_rejected() {
-        run_cluster(
+        exec_cluster(
             Algorithm::Qr,
             ClusterSpec::new(2, 1),
             Arc::new(ZeroCost),

@@ -1,0 +1,101 @@
+//! Deprecated free-function shims for the pre-[`Scenario`] driver API.
+//!
+//! These keep old call sites compiling (with a deprecation warning) while
+//! everything in-tree goes through the builder. Each shim is a thin
+//! delegation to the same engine the builder terminals use, so behaviour
+//! — including trace bit-patterns — is identical.
+//!
+//! [`Scenario`]: crate::Scenario
+
+use crate::cluster::ClusterRun;
+use crate::driver::{Algorithm, RealRun, SimRun};
+use std::sync::Arc;
+use supersim_cluster::{ClusterSpec, Interconnect, Placement};
+use supersim_core::{ModelRegistry, SimSession};
+use supersim_runtime::SchedulerKind;
+
+/// Run an algorithm for real under the given scheduler.
+#[deprecated(since = "0.2.0", note = "use Scenario::new(alg)...run_real() instead")]
+pub fn run_real(
+    alg: Algorithm,
+    kind: SchedulerKind,
+    workers: usize,
+    n: usize,
+    nb: usize,
+    seed: u64,
+) -> RealRun {
+    crate::driver::exec_real(alg, kind, workers, n, nb, seed)
+}
+
+/// Run a simulated execution of the algorithm.
+#[deprecated(since = "0.2.0", note = "use Scenario::new(alg)...run_sim() instead")]
+pub fn run_sim(
+    alg: Algorithm,
+    kind: SchedulerKind,
+    workers: usize,
+    n: usize,
+    nb: usize,
+    session: Arc<SimSession>,
+) -> SimRun {
+    crate::driver::exec_sim(alg, kind, workers, n, nb, session)
+}
+
+/// Run a distributed simulated factorization.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(alg).cluster(spec)...run_cluster() instead"
+)]
+pub fn run_cluster(
+    alg: Algorithm,
+    spec: ClusterSpec,
+    interconnect: Arc<dyn Interconnect>,
+    placement: Arc<dyn Placement>,
+    n: usize,
+    nb: usize,
+    session: Arc<SimSession>,
+) -> ClusterRun {
+    crate::cluster::exec_cluster(alg, spec, interconnect, placement, n, nb, session)
+}
+
+/// A fresh session with the given models and default config.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Scenario::new(alg).models(m).seed(s) (or SimSession::new) instead"
+)]
+pub fn session_with(models: ModelRegistry, seed: u64) -> Arc<SimSession> {
+    crate::driver::make_session(models, seed)
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use supersim_core::KernelModel;
+
+    #[test]
+    fn shims_match_scenario_terminals() {
+        let mut m = ModelRegistry::new();
+        for l in Algorithm::Cholesky.labels() {
+            m.insert(*l, KernelModel::constant(0.01));
+        }
+        let old = run_sim(
+            Algorithm::Cholesky,
+            SchedulerKind::Quark,
+            3,
+            40,
+            10,
+            session_with(m.clone(), 7),
+        );
+        let new = crate::Scenario::new(Algorithm::Cholesky)
+            .scheduler(SchedulerKind::Quark)
+            .workers(3)
+            .n(40)
+            .tile_size(10)
+            .models(m)
+            .seed(7)
+            .run_sim();
+        // Same engine, same virtual times; worker placement races, so
+        // compare the canonical (lane-free) projection.
+        assert_eq!(old.trace.canonical(), new.trace.canonical());
+    }
+}

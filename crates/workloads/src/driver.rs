@@ -108,23 +108,34 @@ fn submit_algorithm(
     t: Option<&SharedTiles>,
     mode: &ExecMode,
 ) {
+    submit_algorithm_where(alg, rt, a, t, mode, &mut |_| true);
+}
+
+/// Submit an algorithm's task stream filtered by `keep` over the 0-based
+/// stream index: the fault-replay driver re-submits only the tasks a
+/// permanent failure left incomplete. Returns the submitted count.
+pub(crate) fn submit_algorithm_where(
+    alg: Algorithm,
+    rt: &Runtime,
+    a: &SharedTiles,
+    t: Option<&SharedTiles>,
+    mode: &ExecMode,
+    keep: &mut dyn FnMut(u64) -> bool,
+) -> u64 {
     match alg {
-        Algorithm::Cholesky => {
-            cholesky::submit(rt, a, mode);
-        }
-        Algorithm::Qr => {
-            qr::submit(rt, a, t.expect("QR needs a T grid"), mode);
-        }
-        Algorithm::Lu => {
-            lu::submit(rt, a, mode);
-        }
+        Algorithm::Cholesky => cholesky::submit_where(rt, a, mode, keep),
+        Algorithm::Qr => qr::submit_where(rt, a, t.expect("QR needs a T grid"), mode, keep),
+        Algorithm::Lu => lu::submit_where(rt, a, mode, keep),
     }
 }
 
 /// Run an algorithm for real under the given scheduler, verifying the
 /// numerical result. The input matrix is generated from `seed` (SPD for
 /// Cholesky, diagonally dominant for LU, uniform for QR).
-pub fn run_real(
+///
+/// This is the engine behind [`crate::Scenario::run_real`]; build runs
+/// through the scenario builder.
+pub(crate) fn exec_real(
     alg: Algorithm,
     kind: SchedulerKind,
     workers: usize,
@@ -178,7 +189,11 @@ pub fn run_real(
 /// Run a simulated execution of the algorithm under the given scheduler,
 /// predicting its runtime from the session's kernel models. No numerical
 /// work happens; memory is `O(tiles)`, not `O(n^2)`.
-pub fn run_sim(
+///
+/// This is the engine behind [`crate::Scenario::run_sim`]. Any fault
+/// injector must already be attached to `session` — the scenario builder
+/// does that before calling in.
+pub(crate) fn exec_sim(
     alg: Algorithm,
     kind: SchedulerKind,
     workers: usize,
@@ -227,8 +242,10 @@ pub fn run_sim(
     }
 }
 
-/// Convenience: a fresh session with the given models and default config.
-pub fn session_with(models: supersim_core::ModelRegistry, seed: u64) -> Arc<SimSession> {
+/// A fresh session with the given models and a default config carrying
+/// `seed` (the engine behind the deprecated `session_with` shim; the
+/// scenario builder constructs its sessions through this too).
+pub(crate) fn make_session(models: supersim_core::ModelRegistry, seed: u64) -> Arc<SimSession> {
     SimSession::new(
         models,
         SimConfig {
@@ -254,7 +271,7 @@ mod tests {
     #[test]
     fn real_runs_verify_for_all_algorithms() {
         for alg in [Algorithm::Cholesky, Algorithm::Qr, Algorithm::Lu] {
-            let run = run_real(alg, SchedulerKind::Quark, 2, 24, 8, 1);
+            let run = exec_real(alg, SchedulerKind::Quark, 2, 24, 8, 1);
             assert!(run.residual < 1e-11, "{alg:?} residual {}", run.residual);
             assert!(run.seconds > 0.0);
             assert!(run.gflops > 0.0);
@@ -266,8 +283,8 @@ mod tests {
     #[test]
     fn sim_runs_produce_consistent_predictions() {
         for alg in [Algorithm::Cholesky, Algorithm::Qr, Algorithm::Lu] {
-            let session = session_with(constant_models(alg, 0.01), 3);
-            let run = run_sim(alg, SchedulerKind::Quark, 4, 32, 8, session);
+            let session = make_session(constant_models(alg, 0.01), 3);
+            let run = exec_sim(alg, SchedulerKind::Quark, 4, 32, 8, session);
             assert!(run.predicted_seconds > 0.0, "{alg:?}");
             assert!(run.trace.validate(1e-9).is_ok());
             // All kernels 10ms; NT=4; predicted time must be between the
@@ -282,8 +299,8 @@ mod tests {
     fn sim_large_problem_is_cheap() {
         // N=3960, nb=180 (the paper's Fig. 6/7 size): runs in O(tasks),
         // no O(n^2) allocation.
-        let session = session_with(constant_models(Algorithm::Cholesky, 0.001), 4);
-        let run = run_sim(
+        let session = make_session(constant_models(Algorithm::Cholesky, 0.001), 4);
+        let run = exec_sim(
             Algorithm::Cholesky,
             SchedulerKind::Quark,
             8,

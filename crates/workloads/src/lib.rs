@@ -25,22 +25,36 @@
 //!   LU is the documented extension);
 //! * [`synthetic`] — synthetic DAG generators (chains, fork-join, random
 //!   layered graphs) for stress tests and the DES comparison;
-//! * [`driver`] — one-call real/simulated runs returning traces, timings
-//!   and verification results;
+//! * [`driver`] — the run engines behind the scenario terminals,
+//!   returning traces, timings and verification results;
 //! * [`cluster`] — distributed variants of Cholesky/LU over a
 //!   `supersim_cluster::ClusterSpec` with owner-computes placement and
-//!   automatic transfer tasks.
+//!   automatic transfer tasks;
+//! * [`scenario`] — the **unified entry point**: a typed [`Scenario`]
+//!   builder with `run_real` / `run_sim` / `run_cluster` / `run_faults`
+//!   terminals;
+//! * [`faultsim`] — fault-injected execution and the two-phase replay of
+//!   permanent failures, reported as a [`FaultOutcome`];
+//! * [`compat`] — deprecated shims for the pre-builder free functions.
 
 pub mod cholesky;
 pub mod cluster;
+pub mod compat;
 pub mod data;
 pub mod driver;
+pub mod faultsim;
 pub mod lu;
 pub mod mode;
 pub mod qr;
+pub mod scenario;
 pub mod synthetic;
 
-pub use cluster::{run_cluster, ClusterRun};
+pub use cluster::ClusterRun;
 pub use data::SharedTiles;
-pub use driver::{RealRun, SimRun};
+pub use driver::{Algorithm, RealRun, SimRun};
+pub use faultsim::FaultOutcome;
 pub use mode::ExecMode;
+pub use scenario::Scenario;
+
+#[allow(deprecated)]
+pub use compat::{run_cluster, run_real, run_sim, session_with};

@@ -89,11 +89,25 @@ pub fn execute_real(a: &SharedTiles, task: LuTask, nb: usize) {
 /// Submit the tile LU task stream. Returns the task count; call
 /// `rt.seal()` afterwards.
 pub fn submit(rt: &Runtime, a: &SharedTiles, mode: &ExecMode) -> u64 {
+    submit_where(rt, a, mode, &mut |_| true)
+}
+
+/// Submit the LU stream filtered by `keep` over the 0-based stream index
+/// (see `cholesky::submit_where`).
+pub fn submit_where(
+    rt: &Runtime,
+    a: &SharedTiles,
+    mode: &ExecMode,
+    keep: &mut dyn FnMut(u64) -> bool,
+) -> u64 {
     assert_eq!(a.mt(), a.nt(), "LU requires a square tile grid");
     let nt = a.nt();
     let nb = a.nb();
     let mut count = 0;
-    for task in task_stream(nt) {
+    for (idx, task) in task_stream(nt).into_iter().enumerate() {
+        if !keep(idx as u64) {
+            continue;
+        }
         let label = task.label();
         let acc = accesses(a, task);
         let prio = priority(nt, task);

@@ -89,6 +89,18 @@ pub fn execute_real(a: &SharedTiles, t: &SharedTiles, task: QrTask) {
 /// `a` (holding the T factors) with a disjoint id range. Returns the task
 /// count; call `rt.seal()` afterwards.
 pub fn submit(rt: &Runtime, a: &SharedTiles, t: &SharedTiles, mode: &ExecMode) -> u64 {
+    submit_where(rt, a, t, mode, &mut |_| true)
+}
+
+/// Submit the QR stream filtered by `keep` over the 0-based stream index
+/// (see `cholesky::submit_where`).
+pub fn submit_where(
+    rt: &Runtime,
+    a: &SharedTiles,
+    t: &SharedTiles,
+    mode: &ExecMode,
+    keep: &mut dyn FnMut(u64) -> bool,
+) -> u64 {
     assert_eq!(
         a.mt(),
         a.nt(),
@@ -101,7 +113,10 @@ pub fn submit(rt: &Runtime, a: &SharedTiles, t: &SharedTiles, mode: &ExecMode) -
     assert!(a_hi <= t_lo || t_hi <= a_lo, "A and T id ranges overlap");
     let nt = a.nt();
     let mut count = 0;
-    for task in task_stream(nt) {
+    for (idx, task) in task_stream(nt).into_iter().enumerate() {
+        if !keep(idx as u64) {
+            continue;
+        }
         let label = task.label();
         let acc = accesses(a, t, task);
         let prio = priority(nt, task);

@@ -12,7 +12,7 @@
 //! ```
 
 use supersim::calibrate::estimate_overhead;
-use supersim::core::{SimConfig, SimSession};
+use supersim::core::SimConfig;
 use supersim::prelude::*;
 
 fn main() {
@@ -36,14 +36,12 @@ fn main() {
         // cache residency, which is why the paper calibrates from "the
         // actual execution of the algorithm" rather than isolated timing).
         let cal_n = (n / 2).max(3 * nb);
-        let cal_run = run_real(
-            Algorithm::Cholesky,
-            SchedulerKind::Quark,
-            workers,
-            cal_n,
-            nb,
-            5,
-        );
+        let cal_run = Scenario::new(Algorithm::Cholesky)
+            .workers(workers)
+            .n(cal_n)
+            .tile_size(nb)
+            .seed(5)
+            .run_real();
         let cal = calibrate(&cal_run.trace, FitOptions::default());
         // Model the per-task scheduler overhead too: with small tiles the
         // task count explodes and dispatch cost dominates — ignoring it
@@ -53,22 +51,17 @@ fn main() {
             .map(|e| e.median_gap)
             .unwrap_or(0.0);
         // Simulate the full size.
-        let session = SimSession::new(
-            cal.registry,
-            SimConfig {
+        let sim = Scenario::new(Algorithm::Cholesky)
+            .workers(workers)
+            .n(n)
+            .tile_size(nb)
+            .models(cal.registry)
+            .config(SimConfig {
                 seed: nb as u64,
                 overhead_per_task: overhead,
                 ..SimConfig::default()
-            },
-        );
-        let sim = run_sim(
-            Algorithm::Cholesky,
-            SchedulerKind::Quark,
-            workers,
-            n,
-            nb,
-            session,
-        );
+            })
+            .run_sim();
         println!(
             "{:>6} {:>12.3} {:>14.3} {:>12.2}",
             nb, cal_run.seconds, sim.predicted_seconds, sim.gflops
@@ -83,14 +76,12 @@ fn main() {
     println!("verifying the full sweep with real runs...");
     let mut real_best: Option<(usize, f64)> = None;
     for &cand in &candidates {
-        let real = run_real(
-            Algorithm::Cholesky,
-            SchedulerKind::Quark,
-            workers,
-            n,
-            cand,
-            6,
-        );
+        let real = Scenario::new(Algorithm::Cholesky)
+            .workers(workers)
+            .n(n)
+            .tile_size(cand)
+            .seed(6)
+            .run_real();
         println!(
             "  nb={cand:<4} real {:.3}s ({:.2} GFLOP/s)",
             real.seconds, real.gflops

@@ -21,14 +21,12 @@ fn main() {
     let (n, nb, workers) = (720, 90, 1);
 
     println!("real run: tile Cholesky n={n} nb={nb} workers={workers} (quark)");
-    let real = run_real(
-        Algorithm::Cholesky,
-        SchedulerKind::Quark,
-        workers,
-        n,
-        nb,
-        42,
-    );
+    let scenario = Scenario::new(Algorithm::Cholesky)
+        .scheduler(SchedulerKind::Quark)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb);
+    let real = scenario.clone().seed(42).run_real();
     println!(
         "  elapsed {:.3}s  ({:.2} GFLOP/s), residual {:.2e} -> numerically correct",
         real.seconds, real.gflops, real.residual
@@ -46,15 +44,11 @@ fn main() {
     }
 
     println!("simulated run (same scheduler, same DAG, no computation):");
-    let session = session_with(cal.registry.clone(), 7);
-    let sim = run_sim(
-        Algorithm::Cholesky,
-        SchedulerKind::Quark,
-        workers,
-        n,
-        nb,
-        session,
-    );
+    let sim = scenario
+        .clone()
+        .models(cal.registry.clone())
+        .seed(7)
+        .run_sim();
     println!(
         "  predicted {:.3}s  ({:.2} GFLOP/s), simulation itself took {:.3}s wall",
         sim.predicted_seconds, sim.gflops, sim.wall_seconds
@@ -65,26 +59,18 @@ fn main() {
     // Model the per-task scheduler overhead from the trace gaps (§VII of
     // the paper: the main source of its small-size error).
     use supersim::calibrate::estimate_overhead;
-    use supersim::core::{SimConfig, SimSession};
+    use supersim::core::SimConfig;
     let overhead = estimate_overhead(&real.trace, 0.005)
         .map(|e| e.median_gap)
         .unwrap_or(0.0);
-    let session = SimSession::new(
-        cal.registry,
-        SimConfig {
+    let sim2 = scenario
+        .models(cal.registry)
+        .config(SimConfig {
             seed: 7,
             overhead_per_task: overhead,
             ..SimConfig::default()
-        },
-    );
-    let sim2 = run_sim(
-        Algorithm::Cholesky,
-        SchedulerKind::Quark,
-        workers,
-        n,
-        nb,
-        session,
-    );
+        })
+        .run_sim();
     let err2 = (sim2.predicted_seconds - real.seconds) / real.seconds * 100.0;
     println!(
         "with {:.1} µs/task overhead modeled: predicted {:.3}s, error {err2:+.1}%",

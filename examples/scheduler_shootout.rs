@@ -14,7 +14,12 @@ fn main() {
     let (n, nb, workers) = (1200, 120, 8);
 
     // One calibration from a small real run (single worker: clean timings).
-    let cal_run = run_real(Algorithm::Qr, SchedulerKind::Quark, 1, 480, nb, 17);
+    let cal_run = Scenario::new(Algorithm::Qr)
+        .workers(1)
+        .n(480)
+        .tile_size(nb)
+        .seed(17)
+        .run_real();
     let cal = calibrate(&cal_run.trace, FitOptions::default());
     println!(
         "calibrated {} kernel classes from a {:.2}s real run\n",
@@ -32,8 +37,14 @@ fn main() {
         SchedulerKind::StarPu,
         SchedulerKind::OmpSs,
     ] {
-        let session = session_with(cal.registry.clone(), 23);
-        let sim = run_sim(Algorithm::Qr, kind, workers, n, nb, session);
+        let sim = Scenario::new(Algorithm::Qr)
+            .scheduler(kind)
+            .workers(workers)
+            .n(n)
+            .tile_size(nb)
+            .models(cal.registry.clone())
+            .seed(23)
+            .run_sim();
         let stats = TraceStats::of(&sim.trace);
         println!(
             "{:>10} {:>12.3} {:>12.2} {:>13.1}%",

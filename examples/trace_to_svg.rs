@@ -17,12 +17,15 @@ fn main() {
     let (n, nb, workers) = (720, 90, 4);
 
     println!("real QR run: n={n} nb={nb} workers={workers}");
-    let real = run_real(Algorithm::Qr, SchedulerKind::Quark, workers, n, nb, 3);
+    let scenario = Scenario::new(Algorithm::Qr)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb);
+    let real = scenario.clone().seed(3).run_real();
     println!("  {:.3}s, residual {:.1e}", real.seconds, real.residual);
 
     let cal = calibrate(&real.trace, FitOptions::default());
-    let session = session_with(cal.registry, 31);
-    let sim = run_sim(Algorithm::Qr, SchedulerKind::Quark, workers, n, nb, session);
+    let sim = scenario.seed(31).models(cal.registry).run_sim();
     println!("  simulated: {:.3}s predicted", sim.predicted_seconds);
 
     let cmp = TraceComparison::compare(&real.trace, &sim.trace);

@@ -13,7 +13,12 @@ fn main() {
     // Calibrate from a small real run.
     let (cal_n, nb) = (720, 180);
     println!("calibrating from a real QR run (n={cal_n}, nb={nb})...");
-    let real = run_real(Algorithm::Qr, SchedulerKind::Quark, 1, cal_n, nb, 9);
+    let real = Scenario::new(Algorithm::Qr)
+        .workers(1)
+        .n(cal_n)
+        .tile_size(nb)
+        .seed(9)
+        .run_real();
     println!(
         "  done in {:.2}s, residual {:.1e}",
         real.seconds, real.residual
@@ -29,8 +34,13 @@ fn main() {
     );
     let mut t1 = None;
     for workers in [1usize, 2, 4, 8, 16, 32, 48, 64] {
-        let session = session_with(cal.registry.clone(), workers as u64);
-        let sim = run_sim(Algorithm::Qr, SchedulerKind::Quark, workers, n, nb, session);
+        let sim = Scenario::new(Algorithm::Qr)
+            .workers(workers)
+            .n(n)
+            .tile_size(nb)
+            .models(cal.registry.clone())
+            .seed(workers as u64)
+            .run_sim();
         let base = *t1.get_or_insert(sim.predicted_seconds);
         println!(
             "{:>8} {:>12.3} {:>12.2} {:>9.1}x",

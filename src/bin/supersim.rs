@@ -14,6 +14,17 @@
 //!                  [--bandwidth B/s] [--nic-lanes L]
 //!                  [--placement square|row|col|PxQ] [--seed 42]
 //!                  [--trace-out t.txt] [--chrome t.json] [--svg t.svg]
+//! supersim faults  [--alg cholesky|lu] [--n 512] [--nb 64] [--workers 8] [--seed 42]
+//!                  [--straggler W:FROM:UNTIL:FACTOR[,..]]
+//!                  [--straggler-node N:FROM:UNTIL:FACTOR[,..]]
+//!                  [--kill-worker W:AT | --kill-node N:AT]
+//!                  [--transient PERIOD:FAILURES:FRAC] [--transient-label dgemm]
+//!                  [--degrade-link N:FROM:UNTIL:FACTOR[,..]]
+//!                  [--backoff-base S] [--backoff-cap S] [--restart-delay S]
+//!                  [--checkpoint INTERVAL:SNAPSHOT:RESTORE]
+//!                  [--nodes N  + the cluster flags above for distributed runs]
+//!                  [--trace-out faulted.txt] [--clean-trace-out clean.txt]
+//!                  [--svg t.svg] [--chrome t.json]
 //! supersim dag     --alg qr --nt 4 [--dot out.dot]
 //! supersim metrics --workload cholesky [--n 512] [--nb 64] [--workers 8]
 //!                  [--seed 42] [--mode both|targeted|broadcast]
@@ -28,6 +39,14 @@
 //! `--chrome` adds counter tracks next to the task timeline;
 //! `--trace-out` writes the (virtual-time, deterministic) text trace of
 //! the last run, which CI diffs bit-for-bit across repeated runs.
+//!
+//! `faults` runs the same scenario twice — clean and under the fault plan
+//! assembled from the fault flags — and prints the
+//! [`supersim::faults::DegradationReport`] as JSON (clean vs faulted
+//! makespan, critical-path shift, per-fault attribution). Without
+//! `--nodes` it mirrors the single-node `metrics` recipe; with `--nodes`
+//! it mirrors the `cluster` recipe, so an *empty* plan reproduces those
+//! commands' canonical traces bit-for-bit (a CI gate).
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -49,6 +68,7 @@ fn main() {
         "sim" => cmd_sim(&opts),
         "predict" => cmd_predict(&opts),
         "cluster" => cmd_cluster(&opts),
+        "faults" => cmd_faults(&opts),
         "dag" => cmd_dag(&opts),
         "metrics" => cmd_metrics(&opts),
         "info" => cmd_info(),
@@ -69,6 +89,7 @@ fn usage_and_exit() -> ! {
          \x20 sim      simulate from a stored calibration\n\
          \x20 predict  real run + calibration + simulation, with comparison\n\
          \x20 cluster  simulate a distributed run over N nodes with an interconnect model\n\
+         \x20 faults   clean-vs-faulted comparison under a deterministic fault plan\n\
          \x20 dag      emit the task DAG of an algorithm\n\
          \x20 metrics  run a simulated workload and dump instrumentation as JSON\n\
          \x20 info     list algorithms and scheduler profiles\n\
@@ -145,7 +166,13 @@ fn cmd_real(opts: &HashMap<String, String>) {
         alg.name(),
         kind.name()
     );
-    let run = run_real(alg, kind, workers, n, nb, seed);
+    let run = Scenario::new(alg)
+        .scheduler(kind)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .seed(seed)
+        .run_real();
     println!(
         "elapsed {:.4}s   {:.2} GFLOP/s   residual {:.2e}",
         run.seconds, run.gflops, run.residual
@@ -206,14 +233,20 @@ fn cmd_sim(opts: &HashMap<String, String>) {
         overhead_per_task: overhead,
         ..SimConfig::default()
     };
-    let session = SimSession::new(db.calibration.registry, config);
     println!(
         "sim {} n={n} nb={nb} workers={workers} scheduler={} (calibration: {})",
         alg.name(),
         kind.name(),
         db.description
     );
-    let run = run_sim(alg, kind, workers, n, nb, session);
+    let run = Scenario::new(alg)
+        .scheduler(kind)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .models(db.calibration.registry)
+        .config(config)
+        .run_sim();
     println!(
         "predicted {:.4}s   {:.2} GFLOP/s   (simulation wall time {:.4}s, {} tasks)",
         run.predicted_seconds,
@@ -246,7 +279,13 @@ fn cmd_predict(opts: &HashMap<String, String>) {
         alg.name(),
         kind.name()
     );
-    let real = run_real(alg, kind, workers, n, nb, seed);
+    let real = Scenario::new(alg)
+        .scheduler(kind)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .seed(seed)
+        .run_real();
     println!(
         "real:      {:.4}s  {:.2} GFLOP/s  residual {:.2e}",
         real.seconds, real.gflops, real.residual
@@ -264,15 +303,18 @@ fn cmd_predict(opts: &HashMap<String, String>) {
     } else {
         0.0
     };
-    let session = SimSession::new(
-        cal.registry,
-        SimConfig {
+    let sim = Scenario::new(alg)
+        .scheduler(kind)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .models(cal.registry)
+        .config(SimConfig {
             seed,
             overhead_per_task: overhead,
             ..SimConfig::default()
-        },
-    );
-    let sim = run_sim(alg, kind, workers, n, nb, session);
+        })
+        .run_sim();
     println!(
         "simulated: {:.4}s  {:.2} GFLOP/s  (sim wall {:.4}s)",
         sim.predicted_seconds, sim.gflops, sim.wall_seconds
@@ -288,14 +330,7 @@ fn cmd_predict(opts: &HashMap<String, String>) {
 /// virtual times are seed-deterministic, so this format diffs bit-for-bit
 /// across repeated runs (the CI determinism gates rely on that).
 fn canonical_trace(trace: &supersim::trace::Trace) -> String {
-    let mut events: Vec<_> = trace.events.iter().collect();
-    events.sort_by_key(|e| e.task_id);
-    let mut s = String::with_capacity(events.len() * 48);
-    for e in events {
-        use std::fmt::Write as _;
-        let _ = writeln!(s, "{} {} {:?} {:?}", e.task_id, e.kernel, e.start, e.end);
-    }
-    s
+    trace.canonical()
 }
 
 /// Simulate a distributed run: N nodes of W workers, owner-computes
@@ -306,7 +341,6 @@ fn cmd_cluster(opts: &HashMap<String, String>) {
     use std::sync::Arc;
     use supersim::cluster::{ClusterSpec, Hockney, Interconnect, SharedLink, ZeroCost};
     use supersim::trace::chrome::LaneGroup;
-    use supersim::workloads::run_cluster;
 
     let alg = match opts.get("alg").map(String::as_str) {
         Some("cholesky") | None => Algorithm::Cholesky,
@@ -380,15 +414,14 @@ fn cmd_cluster(opts: &HashMap<String, String>) {
         interconnect.name(),
         placement.name()
     );
-    let run = run_cluster(
-        alg,
-        spec.clone(),
-        interconnect,
-        Arc::new(placement),
-        n,
-        nb,
-        session,
-    );
+    let run = Scenario::new(alg)
+        .n(n)
+        .tile_size(nb)
+        .session(session)
+        .cluster(spec.clone())
+        .interconnect(interconnect)
+        .placement(Arc::new(placement))
+        .run_cluster();
     eprintln!(
         "predicted {:.4}s   {:.2} GFLOP/s   {} compute tasks, {} transfers ({} bytes)   (wall {:.4}s)",
         run.predicted_seconds,
@@ -486,6 +519,254 @@ fn cmd_cluster(opts: &HashMap<String, String>) {
         };
         std::fs::write(path, svg::render(&run.trace, &svg_opts)).expect("write svg");
         eprintln!("trace SVG written to {path}");
+    }
+}
+
+/// Parse a fault flag holding a comma-separated list of `:`-separated
+/// numeric tuples, e.g. `--straggler 0:0.0:0.5:2.0,3:0.1:0.2:4.0`.
+fn fault_tuples(opts: &HashMap<String, String>, key: &str, arity: usize) -> Vec<Vec<f64>> {
+    let Some(v) = opts.get(key) else {
+        return Vec::new();
+    };
+    v.split(',')
+        .map(|item| {
+            let parts: Vec<f64> = item
+                .split(':')
+                .map(|p| {
+                    p.parse().unwrap_or_else(|_| {
+                        eprintln!(
+                            "bad --{key} entry {item:?} (need {arity} ':'-separated numbers)"
+                        );
+                        exit(2)
+                    })
+                })
+                .collect();
+            if parts.len() != arity {
+                eprintln!("bad --{key} entry {item:?} (need {arity} ':'-separated numbers)");
+                exit(2);
+            }
+            parts
+        })
+        .collect()
+}
+
+/// Assemble a [`FaultPlan`] from the `faults` command's flags.
+fn fault_plan(opts: &HashMap<String, String>) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for t in fault_tuples(opts, "straggler", 4) {
+        plan = plan.straggler_worker(t[0] as usize, t[1], t[2], t[3]);
+    }
+    for t in fault_tuples(opts, "straggler-node", 4) {
+        plan = plan.straggler_node(t[0] as usize, t[1], t[2], t[3]);
+    }
+    for t in fault_tuples(opts, "degrade-link", 4) {
+        plan = plan.degrade_link(t[0] as usize, t[1], t[2], t[3]);
+    }
+    for t in fault_tuples(opts, "transient", 3) {
+        let (period, failures, frac) = (t[0] as u64, t[1] as u32, t[2]);
+        plan = match opts.get("transient-label") {
+            Some(label) => plan.transient_for(label.clone(), period, failures, frac),
+            None => plan.transient(period, failures, frac),
+        };
+    }
+    let kills_w = fault_tuples(opts, "kill-worker", 2);
+    let kills_n = fault_tuples(opts, "kill-node", 2);
+    if kills_w.len() + kills_n.len() > 1 {
+        eprintln!("at most one permanent failure (--kill-worker or --kill-node) per plan");
+        exit(2);
+    }
+    for t in kills_w {
+        plan = plan.kill_worker(t[0] as usize, t[1]);
+    }
+    for t in kills_n {
+        plan = plan.kill_node(t[0] as usize, t[1]);
+    }
+
+    let mut recovery = RecoveryPolicy::default();
+    recovery.backoff_base = get(opts, "backoff-base", recovery.backoff_base);
+    recovery.backoff_cap = get(opts, "backoff-cap", recovery.backoff_cap);
+    recovery.restart_delay = get(opts, "restart-delay", recovery.restart_delay);
+    if let Some(cp) = opts.get("checkpoint") {
+        let parts: Vec<f64> = cp
+            .split(':')
+            .map(|p| {
+                p.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --checkpoint {cp:?} (need INTERVAL:SNAPSHOT:RESTORE)");
+                    exit(2)
+                })
+            })
+            .collect();
+        if parts.len() != 3 {
+            eprintln!("bad --checkpoint {cp:?} (need INTERVAL:SNAPSHOT:RESTORE)");
+            exit(2);
+        }
+        recovery.checkpoint = Some(CheckpointPolicy {
+            interval: parts[0],
+            snapshot_cost: parts[1],
+            restore_cost: parts[2],
+        });
+    }
+    plan.with_recovery(recovery)
+}
+
+/// Clean-vs-faulted comparison under a deterministic fault plan. Without
+/// `--nodes` the scenario mirrors the single-node `metrics` recipe
+/// (synthetic lognormal models, n=512 nb=64 workers=8); with `--nodes` it
+/// mirrors the `cluster` recipe (warm-up models, interconnect flags), so
+/// an empty plan reproduces those commands' canonical traces bit-for-bit.
+/// The [`supersim::faults::DegradationReport`] goes to stdout as JSON,
+/// the human summary to stderr.
+fn cmd_faults(opts: &HashMap<String, String>) {
+    use std::sync::Arc;
+    use supersim::cluster::{ClusterSpec, Hockney, Interconnect, SharedLink, ZeroCost};
+
+    let cluster_mode = opts.contains_key("nodes");
+    let alg = match opts.get("alg").map(String::as_str) {
+        Some("cholesky") | None => Algorithm::Cholesky,
+        Some("qr") if !cluster_mode => Algorithm::Qr,
+        Some("lu") => Algorithm::Lu,
+        Some(other) => {
+            eprintln!(
+                "unknown faults algorithm {other} ({})",
+                if cluster_mode {
+                    "cholesky|lu with --nodes"
+                } else {
+                    "cholesky|qr|lu"
+                }
+            );
+            exit(2)
+        }
+    };
+    let plan = fault_plan(opts);
+    let seed = get(opts, "seed", 42u64);
+
+    let (out, label) = if cluster_mode {
+        let n = get(opts, "n", 960usize);
+        let nb = get(opts, "nb", 96usize);
+        let nodes = get(opts, "nodes", 4usize);
+        let workers = get(opts, "workers", 4usize);
+        let latency = get(opts, "latency", 1e-5f64);
+        let bandwidth = get(opts, "bandwidth", 1e10f64);
+        let interconnect: Arc<dyn Interconnect> = match opts.get("interconnect").map(String::as_str)
+        {
+            Some("zero") => Arc::new(ZeroCost),
+            Some("hockney") | None => Arc::new(Hockney::new(latency, bandwidth)),
+            Some("sharedlink") => Arc::new(SharedLink::new(latency, bandwidth)),
+            Some(other) => {
+                eprintln!("unknown interconnect {other} (zero|hockney|sharedlink)");
+                exit(2)
+            }
+        };
+        let nic_lanes = get(opts, "nic-lanes", interconnect.default_nic_lanes());
+        let mut models = ModelRegistry::new();
+        for l in alg.labels() {
+            models.insert(
+                *l,
+                KernelModel::with_warmup(Dist::log_normal(-6.0, 0.3).unwrap(), 1.5),
+            );
+        }
+        let spec = ClusterSpec::new(nodes, workers).with_nic_lanes(nic_lanes);
+        let label = format!(
+            "faults {} n={n} nb={nb} nodes={nodes} workers={workers}/node interconnect={}",
+            alg.name(),
+            interconnect.name()
+        );
+        let out = Scenario::new(alg)
+            .n(n)
+            .tile_size(nb)
+            .models(models)
+            .config(SimConfig {
+                seed,
+                ..SimConfig::default()
+            })
+            .cluster(spec)
+            .interconnect(interconnect)
+            .placement(Arc::new(BlockCyclic::square(nodes)))
+            .faults(plan)
+            .run_faults();
+        (out, label)
+    } else {
+        let kind = scheduler(opts);
+        let n = get(opts, "n", 512usize);
+        let nb = get(opts, "nb", 64usize);
+        let workers = get(opts, "workers", 8usize);
+        let mut models = ModelRegistry::new();
+        for l in alg.labels() {
+            models.insert(*l, KernelModel::new(Dist::log_normal(-6.0, 0.3).unwrap()));
+        }
+        let label = format!(
+            "faults {} n={n} nb={nb} workers={workers} scheduler={}",
+            alg.name(),
+            kind.name()
+        );
+        let out = Scenario::new(alg)
+            .scheduler(kind)
+            .workers(workers)
+            .n(n)
+            .tile_size(nb)
+            .models(models)
+            .config(SimConfig {
+                seed,
+                ..SimConfig::default()
+            })
+            .faults(plan)
+            .run_faults();
+        (out, label)
+    };
+
+    let r = &out.report;
+    eprintln!("{label}");
+    eprintln!(
+        "clean {:.4}s -> faulted {:.4}s  (x{:.3} slowdown)",
+        r.clean_makespan, r.faulted_makespan, r.slowdown
+    );
+    eprintln!(
+        "retries {}  restarted tasks {}  aborted {:.4}s  lost {:.4}s  checkpoint overhead {:.4}s",
+        r.retries,
+        r.restarted_tasks,
+        r.aborted_virtual_seconds,
+        r.lost_virtual_seconds,
+        r.checkpoint_overhead
+    );
+    if r.critical_lane_clean != r.critical_lane_faulted {
+        eprintln!(
+            "critical path moved: lane {} -> lane {}",
+            r.critical_lane_clean, r.critical_lane_faulted
+        );
+    }
+    for f in &r.per_fault {
+        eprintln!(
+            "  {:<40} makespan {:.4}s  (x{:.3})",
+            f.fault, f.makespan, f.slowdown
+        );
+    }
+    println!(
+        "{}",
+        serde_json::to_string_pretty(r).expect("serialize report")
+    );
+
+    if let Some(path) = opts.get("trace-out") {
+        std::fs::write(path, canonical_trace(&out.trace)).expect("write trace");
+        eprintln!("faulted canonical trace written to {path}");
+    }
+    if let Some(path) = opts.get("clean-trace-out") {
+        std::fs::write(path, canonical_trace(&out.clean_trace)).expect("write trace");
+        eprintln!("clean canonical trace written to {path}");
+    }
+    if let Some(path) = opts.get("svg") {
+        std::fs::write(path, svg::render_default(&out.trace)).expect("write svg");
+        eprintln!("faulted trace SVG written to {path}");
+    }
+    if let Some(path) = opts.get("chrome") {
+        std::fs::write(path, chrome::to_chrome_json(&out.trace)).expect("write chrome trace");
+        eprintln!("faulted chrome trace written to {path}");
+    }
+    #[cfg(feature = "metrics")]
+    if let Some(path) = opts.get("metrics-out") {
+        let mut snap = supersim::metrics::MetricsSnapshot::default();
+        r.publish_metrics(&mut snap);
+        std::fs::write(path, snap.to_json()).expect("write metrics");
+        eprintln!("fault metrics written to {path}");
     }
 }
 
@@ -600,7 +881,13 @@ fn cmd_metrics(opts: &HashMap<String, String>) {
                 ..SimConfig::default()
             },
         );
-        let run = run_sim(alg, kind, workers, n, nb, session.clone());
+        let run = Scenario::new(alg)
+            .scheduler(kind)
+            .workers(workers)
+            .n(n)
+            .tile_size(nb)
+            .session(session.clone())
+            .run_sim();
         session.publish_metrics(&mut snap);
         run.stats.publish_metrics(&mut snap);
         eprintln!(
@@ -641,7 +928,6 @@ fn cmd_metrics_cluster(opts: &HashMap<String, String>, alg: Algorithm) {
     use std::sync::Arc;
     use supersim::cluster::{ClusterSpec, Hockney};
     use supersim::metrics::MetricsSnapshot;
-    use supersim::workloads::run_cluster;
 
     let n = get(opts, "n", 480usize);
     let nb = get(opts, "nb", 60usize);
@@ -663,15 +949,14 @@ fn cmd_metrics_cluster(opts: &HashMap<String, String>, alg: Algorithm) {
             ..SimConfig::default()
         },
     );
-    let run = run_cluster(
-        alg,
-        ClusterSpec::new(nodes, workers),
-        Arc::new(Hockney::new(1e-5, 1e10)),
-        Arc::new(BlockCyclic::square(nodes)),
-        n,
-        nb,
-        session.clone(),
-    );
+    let run = Scenario::new(alg)
+        .n(n)
+        .tile_size(nb)
+        .session(session.clone())
+        .cluster(ClusterSpec::new(nodes, workers))
+        .interconnect(Arc::new(Hockney::new(1e-5, 1e10)))
+        .placement(Arc::new(BlockCyclic::square(nodes)))
+        .run_cluster();
 
     let mut snap = MetricsSnapshot::default();
     session.publish_metrics(&mut snap);

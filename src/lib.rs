@@ -15,6 +15,7 @@
 //! | [`core`] | `supersim-core` | virtual clock, Task Execution Queue, simulated-kernel protocol, race mitigations |
 //! | [`runtime`] | `supersim-runtime` | the superscalar runtime with QUARK/StarPU/OmpSs profiles |
 //! | [`cluster`] | `supersim-cluster` | multi-node simulation: interconnect models, placement, transfer tasks |
+//! | [`faults`] | `supersim-faults` | deterministic fault injection: fault plans, recovery policies, degradation reports |
 //! | [`workloads`] | `supersim-workloads` | tile Cholesky/QR/LU + synthetic DAGs in real & simulated modes |
 //! | [`tile`] | `supersim-tile` | dense tile linear algebra kernels and drivers |
 //! | [`calibrate`] | `supersim-calibrate` | kernel-model fitting from real traces |
@@ -26,25 +27,43 @@
 //!
 //! ## Quickstart
 //!
-//! Calibrate from a real run, then simulate (the full loop the paper
-//! evaluates in Figs. 8–10):
+//! Every run goes through the [`workloads::Scenario`] builder: describe
+//! *what* to run, *on what*, and *under what adversity*, then call a
+//! terminal. Calibrate from a real run, then simulate (the full loop the
+//! paper evaluates in Figs. 8–10):
 //!
 //! ```
 //! use supersim::prelude::*;
 //!
 //! // 1. A real run of the tile Cholesky under the QUARK profile.
-//! let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, 2, 64, 16, 42);
+//! let real = Scenario::new(Algorithm::Cholesky)
+//!     .n(192)
+//!     .tile_size(48)
+//!     .workers(2)
+//!     .scheduler(SchedulerKind::Quark)
+//!     .seed(42)
+//!     .run_real();
 //! assert!(real.residual < 1e-12, "the real run must compute correctly");
 //!
 //! // 2. Fit kernel duration models from its trace.
 //! let cal = calibrate(&real.trace, FitOptions::default());
 //!
 //! // 3. Simulate the same algorithm; compare predicted vs measured time.
-//! let session = session_with(cal.registry, 7);
-//! let sim = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, 2, 64, 16, session);
+//! let sim = Scenario::new(Algorithm::Cholesky)
+//!     .n(192)
+//!     .tile_size(48)
+//!     .workers(2)
+//!     .scheduler(SchedulerKind::Quark)
+//!     .seed(7)
+//!     .models(cal.registry)
+//!     .run_sim();
 //! let err = (sim.predicted_seconds - real.seconds).abs() / real.seconds;
-//! assert!(err < 0.9, "prediction within an order of magnitude: {err}");
+//! assert!(err < 0.5, "calibrated prediction tracks the real run: {err}");
 //! ```
+//!
+//! Fault injection composes onto any simulated scenario — attach a
+//! [`faults::FaultPlan`] and use [`workloads::Scenario::run_faults`] for a
+//! clean-vs-faulted comparison (see the `supersim faults` CLI command).
 
 pub use supersim_calibrate as calibrate;
 pub use supersim_cluster as cluster;
@@ -52,6 +71,7 @@ pub use supersim_core as core;
 pub use supersim_dag as dag;
 pub use supersim_des as des;
 pub use supersim_dist as dist;
+pub use supersim_faults as faults;
 #[cfg(feature = "metrics")]
 pub use supersim_metrics as metrics;
 pub use supersim_runtime as runtime;
@@ -70,12 +90,16 @@ pub mod prelude {
     pub use supersim_dag::{Access, AccessMode, DataId};
     pub use supersim_des::{simulate as des_simulate, DesPolicy};
     pub use supersim_dist::{Dist, Distribution};
+    pub use supersim_faults::{
+        CheckpointPolicy, DegradationReport, FaultEvent, FaultPlan, FaultScope, RecoveryPolicy,
+    };
     pub use supersim_runtime::{
         PolicyKind, Runtime, RuntimeConfig, SchedulerKind, TaskContext, TaskDesc,
     };
     pub use supersim_trace::{Trace, TraceComparison, TraceRecorder, TraceStats};
-    pub use supersim_workloads::driver::{
-        run_real, run_sim, session_with, Algorithm, RealRun, SimRun,
+    #[allow(deprecated)]
+    pub use supersim_workloads::{run_cluster, run_real, run_sim, session_with};
+    pub use supersim_workloads::{
+        Algorithm, ClusterRun, ExecMode, FaultOutcome, RealRun, Scenario, SharedTiles, SimRun,
     };
-    pub use supersim_workloads::{run_cluster, ClusterRun, ExecMode, SharedTiles};
 }

@@ -42,15 +42,14 @@ fn session() -> Arc<SimSession> {
 }
 
 fn distributed(interconnect: Arc<dyn Interconnect>) -> ClusterRun {
-    run_cluster(
-        Algorithm::Cholesky,
-        ClusterSpec::new(4, 8),
-        interconnect,
-        Arc::new(BlockCyclic::new(2, 2)),
-        N,
-        NB,
-        session(),
-    )
+    Scenario::new(Algorithm::Cholesky)
+        .n(N)
+        .tile_size(NB)
+        .session(session())
+        .cluster(ClusterSpec::new(4, 8))
+        .interconnect(interconnect)
+        .placement(Arc::new(BlockCyclic::new(2, 2)))
+        .run_cluster()
 }
 
 /// Compute events only (transfers excluded), as an order-free multiset
@@ -70,14 +69,12 @@ fn compute_multiset(t: &Trace) -> HashMap<(String, u64, u64), usize> {
 #[test]
 fn zero_cost_interconnect_reproduces_single_node_run() {
     let dist = distributed(Arc::new(ZeroCost));
-    let single = run_sim(
-        Algorithm::Cholesky,
-        SchedulerKind::Quark,
-        32,
-        N,
-        NB,
-        session(),
-    );
+    let single = Scenario::new(Algorithm::Cholesky)
+        .workers(32)
+        .n(N)
+        .tile_size(NB)
+        .session(session())
+        .run_sim();
 
     // 4 nodes x 8 workers == 32 workers; free transfers must be invisible.
     assert!(

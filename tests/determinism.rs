@@ -8,22 +8,17 @@ fn sim_once(seed: u64, workers: usize) -> Trace {
     for l in Algorithm::Cholesky.labels() {
         models.insert(*l, KernelModel::new(Dist::log_normal(-6.0, 0.3).unwrap()));
     }
-    let session = SimSession::new(
-        models,
-        SimConfig {
+    Scenario::new(Algorithm::Cholesky)
+        .workers(workers)
+        .n(160)
+        .tile_size(20)
+        .models(models)
+        .config(SimConfig {
             seed,
             ..SimConfig::default()
-        },
-    );
-    run_sim(
-        Algorithm::Cholesky,
-        SchedulerKind::Quark,
-        workers,
-        160,
-        20,
-        session,
-    )
-    .trace
+        })
+        .run_sim()
+        .trace
 }
 
 #[test]
@@ -75,22 +70,17 @@ fn warmup_penalty_is_deterministic() {
                 KernelModel::with_warmup(Dist::log_normal(-6.0, 0.3).unwrap(), 3.0),
             );
         }
-        let session = SimSession::new(
-            models,
-            SimConfig {
+        Scenario::new(Algorithm::Cholesky)
+            .workers(16)
+            .n(160)
+            .tile_size(20)
+            .models(models)
+            .config(SimConfig {
                 seed,
                 ..SimConfig::default()
-            },
-        );
-        run_sim(
-            Algorithm::Cholesky,
-            SchedulerKind::Quark,
-            16,
-            160,
-            20,
-            session,
-        )
-        .trace
+            })
+            .run_sim()
+            .trace
     };
     let a = sim(42);
     for _ in 0..3 {

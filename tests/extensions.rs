@@ -14,14 +14,12 @@ use supersim::prelude::*;
 #[test]
 fn overhead_modeling_does_not_hurt_accuracy() {
     let (n, nb, workers) = (240, 30, 1); // small tiles: overhead-dominated
-    let real = run_real(
-        Algorithm::Cholesky,
-        SchedulerKind::Quark,
-        workers,
-        n,
-        nb,
-        77,
-    );
+    let real = Scenario::new(Algorithm::Cholesky)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .seed(77)
+        .run_real();
     let cal = calibrate(&real.trace, FitOptions::default());
     let overhead = estimate_overhead(&real.trace, 0.005)
         .map(|e| e.median_gap)
@@ -32,23 +30,18 @@ fn overhead_modeling_does_not_hurt_accuracy() {
     );
 
     let run_with = |oh: f64| {
-        let session = SimSession::new(
-            cal.registry.clone(),
-            SimConfig {
+        Scenario::new(Algorithm::Cholesky)
+            .workers(workers)
+            .n(n)
+            .tile_size(nb)
+            .models(cal.registry.clone())
+            .config(SimConfig {
                 seed: 5,
                 overhead_per_task: oh,
                 ..SimConfig::default()
-            },
-        );
-        run_sim(
-            Algorithm::Cholesky,
-            SchedulerKind::Quark,
-            workers,
-            n,
-            nb,
-            session,
-        )
-        .predicted_seconds
+            })
+            .run_sim()
+            .predicted_seconds
     };
     let plain = run_with(0.0);
     let modeled = run_with(overhead);

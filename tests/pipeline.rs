@@ -6,15 +6,27 @@ use supersim::prelude::*;
 
 fn pipeline(alg: Algorithm, kind: SchedulerKind) -> (RealRun, SimRun) {
     let (n, nb, workers) = (120, 24, 1);
-    let real = run_real(alg, kind, workers, n, nb, 1234);
+    let real = Scenario::new(alg)
+        .scheduler(kind)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .seed(1234)
+        .run_real();
     assert!(
         real.residual < 1e-10,
         "{alg:?}/{kind:?}: bad residual {}",
         real.residual
     );
     let cal = calibrate(&real.trace, FitOptions::default());
-    let session = session_with(cal.registry, 99);
-    let sim = run_sim(alg, kind, workers, n, nb, session);
+    let sim = Scenario::new(alg)
+        .scheduler(kind)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .models(cal.registry)
+        .seed(99)
+        .run_sim();
     (real, sim)
 }
 
@@ -67,24 +79,20 @@ fn moderate_size_prediction_is_accurate() {
     // The headline accuracy claim at a size where kernels dominate
     // overhead: error within ~15% (paper: worst case 16%, typical < 5%).
     let (n, nb, workers) = (480, 80, 1);
-    let real = run_real(
-        Algorithm::Cholesky,
-        SchedulerKind::Quark,
-        workers,
-        n,
-        nb,
-        55,
-    );
+    let real = Scenario::new(Algorithm::Cholesky)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .seed(55)
+        .run_real();
     let cal = calibrate(&real.trace, FitOptions::default());
-    let session = session_with(cal.registry, 3);
-    let sim = run_sim(
-        Algorithm::Cholesky,
-        SchedulerKind::Quark,
-        workers,
-        n,
-        nb,
-        session,
-    );
+    let sim = Scenario::new(Algorithm::Cholesky)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .models(cal.registry)
+        .seed(3)
+        .run_sim();
     let err = (sim.predicted_seconds - real.seconds).abs() / real.seconds;
     assert!(err < 0.15, "prediction error {:.1}%", err * 100.0);
 }
@@ -92,12 +100,22 @@ fn moderate_size_prediction_is_accurate() {
 #[test]
 fn calibration_database_round_trip_through_simulation() {
     let (n, nb) = (96, 24);
-    let real = run_real(Algorithm::Cholesky, SchedulerKind::Quark, 1, n, nb, 8);
+    let real = Scenario::new(Algorithm::Cholesky)
+        .workers(1)
+        .n(n)
+        .tile_size(nb)
+        .seed(8)
+        .run_real();
     let cal = calibrate(&real.trace, FitOptions::default());
     let db = CalibrationDb::new("integration", n, nb, 1, cal);
     let json = db.to_json();
     let back = CalibrationDb::from_json(&json).unwrap();
-    let session = session_with(back.calibration.registry, 4);
-    let sim = run_sim(Algorithm::Cholesky, SchedulerKind::Quark, 1, n, nb, session);
+    let sim = Scenario::new(Algorithm::Cholesky)
+        .workers(1)
+        .n(n)
+        .tile_size(nb)
+        .models(back.calibration.registry)
+        .seed(4)
+        .run_sim();
     assert!(sim.predicted_seconds > 0.0);
 }

@@ -13,14 +13,14 @@ fn big_sim(kind: SchedulerKind, workers: usize) -> (Trace, f64) {
     for l in Algorithm::Cholesky.labels() {
         models.insert(*l, KernelModel::new(Dist::gamma(9.0, 0.0003).unwrap()));
     }
-    let session = SimSession::new(
-        models,
-        SimConfig {
-            seed: 99,
-            ..SimConfig::default()
-        },
-    );
-    let sim = run_sim(Algorithm::Cholesky, kind, workers, n, nb, session);
+    let sim = Scenario::new(Algorithm::Cholesky)
+        .scheduler(kind)
+        .workers(workers)
+        .n(n)
+        .tile_size(nb)
+        .models(models)
+        .seed(99)
+        .run_sim();
     (sim.trace, sim.predicted_seconds)
 }
 
@@ -78,14 +78,13 @@ fn forty_eight_virtual_workers_qr() {
     for l in Algorithm::Qr.labels() {
         models.insert(*l, KernelModel::constant(0.005));
     }
-    let session = SimSession::new(
-        models,
-        SimConfig {
-            seed: 48,
-            ..SimConfig::default()
-        },
-    );
-    let sim = run_sim(Algorithm::Qr, SchedulerKind::Quark, 48, 3960, 180, session);
+    let sim = Scenario::new(Algorithm::Qr)
+        .workers(48)
+        .n(3960)
+        .tile_size(180)
+        .models(models)
+        .seed(48)
+        .run_sim();
     assert_eq!(sim.trace.len(), 3795);
     assert!(sim.trace.validate(1e-9).is_ok());
     // 22x22 tiles has plenty of parallelism mid-factorization; the 48-lane
@@ -94,14 +93,13 @@ fn forty_eight_virtual_workers_qr() {
     for l in Algorithm::Qr.labels() {
         models8.insert(*l, KernelModel::constant(0.005));
     }
-    let session8 = SimSession::new(
-        models8,
-        SimConfig {
-            seed: 48,
-            ..SimConfig::default()
-        },
-    );
-    let sim8 = run_sim(Algorithm::Qr, SchedulerKind::Quark, 8, 3960, 180, session8);
+    let sim8 = Scenario::new(Algorithm::Qr)
+        .workers(8)
+        .n(3960)
+        .tile_size(180)
+        .models(models8)
+        .seed(48)
+        .run_sim();
     assert!(
         sim.predicted_seconds < sim8.predicted_seconds * 0.45,
         "48 workers ({}) should be well under half of 8 workers ({})",
