@@ -12,7 +12,9 @@
 //!
 //! * `--gate FILE` — compare the fresh targeted-wakeup 64-waiter median
 //!   drain throughput against the committed baseline in `FILE`; exit
-//!   non-zero if it regressed by more than 30%.
+//!   non-zero if it regressed by more than 30%. The DES-backend 4x8
+//!   cluster drain datapoint is gated the same way (30% floor) when the
+//!   committed baseline carries one.
 //! * `--overhead-bin PATH` — `PATH` is this same binary built with
 //!   `--no-default-features` (metrics compiled out). Alternates rounds of
 //!   in-process measurement with spawns of `PATH --probe-targeted-64`, so
@@ -58,13 +60,16 @@ struct EnginePoint {
 }
 
 /// Wall-clock drain throughput of a distributed (multi-node) simulated
-/// workload: real scheduler + pinned NIC lanes + transfer tasks, virtual
-/// kernels. Tracks the cluster subsystem's end-to-end overhead.
+/// workload: scheduler + pinned NIC lanes + transfer tasks, virtual
+/// kernels. Tracks the cluster subsystem's end-to-end overhead, on either
+/// the threaded engine (one host thread per simulated lane) or the
+/// pure-DES replay backend (single host thread).
 #[derive(Serialize)]
 struct ClusterPoint {
     nodes: usize,
     workers_per_node: usize,
     interconnect: String,
+    backend: String,
     compute_tasks: u64,
     transfers: u64,
     tasks_per_sec: f64,
@@ -73,6 +78,20 @@ struct ClusterPoint {
 #[derive(Serialize)]
 struct Acceptance {
     waiters: usize,
+    speedup: f64,
+    required: f64,
+    pass: bool,
+}
+
+/// DES-vs-threaded cluster drain speedup at the replay backend's
+/// acceptance point (4 nodes x 8 workers): the DES engine must drain the
+/// same distributed workload at least 10x faster in wall-clock terms.
+#[derive(Serialize)]
+struct DesAcceptance {
+    nodes: usize,
+    workers_per_node: usize,
+    threaded_tasks_per_sec: f64,
+    des_tasks_per_sec: f64,
     speedup: f64,
     required: f64,
     pass: bool,
@@ -101,10 +120,14 @@ struct Baseline {
     /// Median targeted-wakeup drain throughput at 64 waiters — the number
     /// the CI perf gate and the metrics-overhead gate compare.
     targeted_64_median_tasks_per_sec: f64,
+    /// DES-backend cluster drain throughput at 4x8 — the second number the
+    /// CI perf gate compares (30% regression floor).
+    des_cluster_4x8_tasks_per_sec: f64,
     teq: Vec<TeqPoint>,
     engine: Vec<EnginePoint>,
     cluster: Vec<ClusterPoint>,
     acceptance: Acceptance,
+    des_acceptance: DesAcceptance,
     overhead: Option<Overhead>,
 }
 
@@ -130,6 +153,17 @@ fn targeted_64_of(path: &str) -> f64 {
         .expect("targeted_64_median_tasks_per_sec number in baseline")
 }
 
+/// The DES-backend 4x8 cluster drain throughput recorded in a previously
+/// written baseline JSON; `None` if that baseline predates the replay
+/// backend (the gate then skips the comparison instead of failing).
+fn des_cluster_4x8_of(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad JSON in {path}: {e}"));
+    v["des_cluster_4x8_tasks_per_sec"].as_f64()
+}
+
 /// One median gate-point measurement (the `--probe-targeted-64` payload).
 fn gate_point_median() -> f64 {
     median(GATE_REPS, || {
@@ -139,7 +173,12 @@ fn gate_point_median() -> f64 {
 
 /// Best-of-REPS wall-clock throughput (tasks drained per second, compute +
 /// transfer) of a distributed tile Cholesky on constant kernel models.
-fn cluster_point(nodes: usize, workers: usize, model: &str) -> ClusterPoint {
+fn cluster_point(
+    nodes: usize,
+    workers: usize,
+    model: &str,
+    backend: supersim_workloads::Backend,
+) -> ClusterPoint {
     use std::sync::Arc;
     use supersim_cluster::{BlockCyclic, Hockney, Interconnect, ZeroCost};
     use supersim_core::{KernelModel, ModelRegistry, SimConfig};
@@ -166,6 +205,7 @@ fn cluster_point(nodes: usize, workers: usize, model: &str) -> ClusterPoint {
             .cluster(supersim_cluster::ClusterSpec::new(nodes, workers))
             .interconnect(interconnect.clone())
             .placement(Arc::new(BlockCyclic::square(nodes)))
+            .backend(backend)
             .run_cluster()
     };
     let probe = run_once();
@@ -177,6 +217,7 @@ fn cluster_point(nodes: usize, workers: usize, model: &str) -> ClusterPoint {
         nodes,
         workers_per_node: workers,
         interconnect: model.to_string(),
+        backend: backend.name().to_string(),
         compute_tasks: probe.compute_tasks,
         transfers: probe.transfers,
         tasks_per_sec,
@@ -231,8 +272,32 @@ fn main() {
     let mut cluster = Vec::new();
     for &(nodes, workers, model) in &[(2usize, 4usize, "zero"), (4, 4, "hockney")] {
         eprintln!("cluster drain: {nodes} nodes x {workers} workers, {model} ...");
-        cluster.push(cluster_point(nodes, workers, model));
+        cluster.push(cluster_point(
+            nodes,
+            workers,
+            model,
+            supersim_workloads::Backend::Threaded,
+        ));
     }
+    // The replay-backend acceptance point: the same 4x8 distributed
+    // workload on the threaded engine (32 compute + NIC host threads) vs
+    // the single-threaded DES engine.
+    eprintln!("cluster drain: 4 nodes x 8 workers, hockney, threaded vs des ...");
+    let thr_4x8 = cluster_point(4, 8, "hockney", supersim_workloads::Backend::Threaded);
+    let des_4x8 = cluster_point(4, 8, "hockney", supersim_workloads::Backend::Des);
+    let des_speedup = des_4x8.tasks_per_sec / thr_4x8.tasks_per_sec;
+    let des_acceptance = DesAcceptance {
+        nodes: 4,
+        workers_per_node: 8,
+        threaded_tasks_per_sec: thr_4x8.tasks_per_sec,
+        des_tasks_per_sec: des_4x8.tasks_per_sec,
+        speedup: des_speedup,
+        required: 10.0,
+        pass: des_speedup >= 10.0,
+    };
+    let des_cluster_4x8 = des_4x8.tasks_per_sec;
+    cluster.push(thr_4x8);
+    cluster.push(des_4x8);
 
     let gate = teq
         .iter()
@@ -296,10 +361,12 @@ fn main() {
         reps: REPS,
         gate_reps: GATE_REPS,
         targeted_64_median_tasks_per_sec: fresh_targeted_64,
+        des_cluster_4x8_tasks_per_sec: des_cluster_4x8,
         teq,
         engine,
         cluster,
         acceptance,
+        des_acceptance,
         overhead,
     };
 
@@ -309,6 +376,18 @@ fn main() {
         "wrote {out}: targeted/broadcast speedup at 64 waiters = {:.2}x ({})",
         baseline.acceptance.speedup,
         if baseline.acceptance.pass {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    println!(
+        "des/threaded cluster drain speedup at 4x8 = {:.2}x (des {:.0}/s vs threaded {:.0}/s, required {:.0}x) {}",
+        baseline.des_acceptance.speedup,
+        baseline.des_acceptance.des_tasks_per_sec,
+        baseline.des_acceptance.threaded_tasks_per_sec,
+        baseline.des_acceptance.required,
+        if baseline.des_acceptance.pass {
             "PASS"
         } else {
             "FAIL"
@@ -342,6 +421,23 @@ fn main() {
             if pass { "PASS" } else { "FAIL" }
         );
         failed |= !pass;
+        match des_cluster_4x8_of(&path) {
+            Some(committed_des) => {
+                let ratio = des_cluster_4x8 / committed_des;
+                let pass = ratio >= 0.7;
+                println!(
+                    "perf gate vs {path}: fresh des-cluster@4x8 = {:.0}/s, committed = {:.0}/s, ratio {:.2} (floor 0.70) {}",
+                    des_cluster_4x8,
+                    committed_des,
+                    ratio,
+                    if pass { "PASS" } else { "FAIL" }
+                );
+                failed |= !pass;
+            }
+            None => println!(
+                "perf gate vs {path}: no des_cluster_4x8_tasks_per_sec in committed baseline, skipping DES gate"
+            ),
+        }
     }
     if failed {
         std::process::exit(1);

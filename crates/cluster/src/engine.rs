@@ -1,12 +1,12 @@
 //! The cluster engine: one runtime, one virtual clock, N nodes.
 
+use crate::coherence::Coherence;
 use crate::interconnect::Interconnect;
 use crate::spec::{ClusterSpec, Lane};
 use crate::TRANSFER_LABEL;
-use std::collections::HashMap;
 use std::sync::Arc;
 use supersim_core::SimSession;
-use supersim_dag::{Access, DataId};
+use supersim_dag::Access;
 use supersim_runtime::{PolicyKind, Runtime, RuntimeConfig, RuntimeStats, TaskDesc};
 use supersim_trace::Trace;
 
@@ -37,15 +37,9 @@ pub struct ClusterEngine {
     interconnect: Arc<dyn Interconnect>,
     session: Arc<SimSession>,
     rt: Runtime,
-    /// For each tile: which nodes hold a valid copy, and under which
-    /// DataId (the home node maps to the tile's own id, consumers to
-    /// ghost ids). Cleared on write.
-    valid: HashMap<DataId, HashMap<usize, DataId>>,
-    next_ghost: u64,
-    transfers: u64,
-    transfer_bytes: u64,
-    node_transfers: Vec<u64>,
-    node_bytes: Vec<u64>,
+    /// Copy tracking and transfer planning, shared with the DES replay
+    /// backend (see [`Coherence`]).
+    coherence: Coherence,
 }
 
 impl ClusterEngine {
@@ -74,12 +68,7 @@ impl ClusterEngine {
             interconnect,
             session,
             rt,
-            valid: HashMap::new(),
-            next_ghost: ghost_base,
-            transfers: 0,
-            transfer_bytes: 0,
-            node_transfers: vec![0; nodes],
-            node_bytes: vec![0; nodes],
+            coherence: Coherence::new(nodes, ghost_base),
         }
     }
 
@@ -96,34 +85,18 @@ impl ClusterEngine {
         priority: i64,
     ) -> u64 {
         assert!(node < self.spec.nodes, "node {node} out of range");
-        let mut acc = Vec::with_capacity(accesses.len());
-        for (a, home) in accesses {
-            if a.mode.writes() {
-                assert_eq!(
-                    *home, node,
-                    "owner-computes violated: write to a tile of node {home} \
-                     submitted on node {node}"
-                );
-                acc.push(*a);
-            } else if *home == node {
-                acc.push(*a);
-            } else {
-                let ghost = self.ensure_copy(a, *home, node);
-                // Keep the home-tile read (WaR edge against the next
-                // writer) and add the ghost read (RaW edge after the
-                // transfer).
-                acc.push(*a);
-                acc.push(Access::read(ghost).with_bytes(a.bytes));
-            }
-        }
-        // A write supersedes every remote copy: later readers must fetch
-        // the new version.
-        for (a, home) in accesses {
-            if a.mode.writes() {
-                let m = self.valid.entry(a.data).or_default();
-                m.clear();
-                m.insert(*home, a.data);
-            }
+        let (acc, xfers) = self
+            .coherence
+            .plan_compute(node, accesses, &*self.interconnect);
+        for x in xfers {
+            let (lo, hi) = self.spec.nic_range(x.node);
+            let session = self.session.clone();
+            let duration = x.duration;
+            let desc = TaskDesc::new(TRANSFER_LABEL, x.accesses, move |ctx| {
+                session.run_fixed(ctx, TRANSFER_LABEL, duration)
+            })
+            .with_pin(lo, hi);
+            self.rt.submit(desc);
         }
         let (lo, hi) = self.spec.compute_range(node);
         let body = self.session.planned_body(label);
@@ -132,46 +105,6 @@ impl ClusterEngine {
                 .with_priority(priority)
                 .with_pin(lo, hi),
         )
-    }
-
-    /// Get `node` a valid copy of the tile behind `a`, inserting a
-    /// transfer task if it does not have one. Returns the DataId the
-    /// consumer should read (a ghost id for fetched copies).
-    fn ensure_copy(&mut self, a: &Access, home: usize, node: usize) -> DataId {
-        {
-            let m = self.valid.entry(a.data).or_default();
-            if m.is_empty() {
-                // First sighting: the initial version lives at home.
-                m.insert(home, a.data);
-            }
-            if let Some(&copy) = m.get(&node) {
-                return copy;
-            }
-        }
-        let ghost = DataId(self.next_ghost);
-        self.next_ghost += 1;
-        let duration = self.interconnect.transfer_seconds(a.bytes);
-        let (lo, hi) = self.spec.nic_range(node);
-        let session = self.session.clone();
-        let desc = TaskDesc::new(
-            TRANSFER_LABEL,
-            vec![
-                Access::read(a.data).with_bytes(a.bytes),
-                Access::write(ghost).with_bytes(a.bytes),
-            ],
-            move |ctx| session.run_fixed(ctx, TRANSFER_LABEL, duration),
-        )
-        .with_pin(lo, hi);
-        self.rt.submit(desc);
-        self.transfers += 1;
-        self.transfer_bytes += a.bytes;
-        self.node_transfers[node] += 1;
-        self.node_bytes[node] += a.bytes;
-        self.valid
-            .get_mut(&a.data)
-            .expect("entry created above")
-            .insert(node, ghost);
-        ghost
     }
 
     /// Decommission a single global lane (see [`Runtime::decommission`]):
@@ -197,9 +130,7 @@ impl ClusterEngine {
         for w in lo..hi {
             self.rt.decommission(w);
         }
-        for copies in self.valid.values_mut() {
-            copies.remove(&node);
-        }
+        self.coherence.drop_node(node);
     }
 
     /// Seal the runtime (no more submissions) and wait for everything to
@@ -242,22 +173,22 @@ impl ClusterEngine {
 
     /// Transfer tasks inserted so far.
     pub fn transfers(&self) -> u64 {
-        self.transfers
+        self.coherence.transfers()
     }
 
     /// Total bytes moved by inserted transfers.
     pub fn transfer_bytes(&self) -> u64 {
-        self.transfer_bytes
+        self.coherence.transfer_bytes()
     }
 
     /// Per-node inbound transfer counts.
     pub fn node_transfers(&self) -> &[u64] {
-        &self.node_transfers
+        self.coherence.node_transfers()
     }
 
     /// Per-node inbound transfer bytes.
     pub fn node_bytes(&self) -> &[u64] {
-        &self.node_bytes
+        self.coherence.node_bytes()
     }
 
     /// Total busy seconds of `node`'s NIC lanes in `trace`.
@@ -279,8 +210,8 @@ impl ClusterEngine {
         trace: Option<&Trace>,
     ) {
         self.session.publish_metrics(snap);
-        snap.push_counter("cluster.transfers", self.transfers);
-        snap.push_counter("cluster.transfer.bytes", self.transfer_bytes);
+        snap.push_counter("cluster.transfers", self.coherence.transfers());
+        snap.push_counter("cluster.transfer.bytes", self.coherence.transfer_bytes());
         snap.push_gauge("cluster.nodes", self.spec.nodes as i64);
         snap.push_gauge(
             "cluster.workers.per_node",
@@ -289,11 +220,11 @@ impl ClusterEngine {
         for node in 0..self.spec.nodes {
             snap.push_counter(
                 &format!("cluster.node.{node:02}.transfers"),
-                self.node_transfers[node],
+                self.coherence.node_transfers()[node],
             );
             snap.push_counter(
                 &format!("cluster.node.{node:02}.transfer.bytes"),
-                self.node_bytes[node],
+                self.coherence.node_bytes()[node],
             );
             if let Some(t) = trace {
                 let busy_us = (self.nic_busy_seconds(t, node) * 1e6).round() as i64;
@@ -313,6 +244,7 @@ mod tests {
     use super::*;
     use crate::interconnect::{Hockney, ZeroCost};
     use supersim_core::{KernelModel, ModelRegistry, SimConfig};
+    use supersim_dag::DataId;
 
     fn session(seed: u64) -> Arc<SimSession> {
         let mut models = ModelRegistry::new();

@@ -24,11 +24,13 @@
 //! on a real link; a multi-lane NIC ([`Hockney`]) costs each message
 //! independently.
 
+mod coherence;
 mod engine;
 mod interconnect;
 mod placement;
 mod spec;
 
+pub use coherence::{Coherence, TransferPlan};
 pub use engine::ClusterEngine;
 pub use interconnect::{
     contention_free_completions, serialized_completions, Hockney, Interconnect, SharedLink,

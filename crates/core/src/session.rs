@@ -141,15 +141,110 @@ pub trait FaultInjector: Send + Sync {
     }
 }
 
-/// Segment kinds of a transiently failing task's virtual timeline.
+/// Segment kinds of a simulated task's virtual timeline. A clean task is
+/// a single [`SegmentKind::Work`] segment; a transiently failing one
+/// interleaves failed attempts and backoffs before the final execution.
+///
+/// Public so the DES replay backend can lay out the same timelines the
+/// threaded protocol produces (see [`layout_segments`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Segment {
+pub enum SegmentKind {
     /// A failed attempt (discarded work).
     Failed,
     /// Idle retry backoff.
     Backoff,
     /// The final, successful execution.
     Work,
+}
+
+/// The planned virtual timeline of one ranked kernel execution: everything
+/// about the task's duration that is fixed at submission time — sampled
+/// durations, transient-failure segments — before any start time or lane
+/// assignment is known. Produced by [`SimSession::plan_ranked`]; consumed
+/// by [`SimSession::run_kernel_ranked`] (threaded backend) and by the DES
+/// replay backend, which must draw the *same* plan for the same
+/// `(seed, label, rank)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelPlan {
+    /// Nominal segment durations in timeline order. A clean execution is a
+    /// single `Work` segment.
+    pub segments: Vec<(SegmentKind, f64)>,
+    /// Failed attempts prescribed by the fault injector (0 = clean).
+    pub failures: u32,
+    /// Whether the injector prescribed a transient failure (true even for
+    /// a degenerate `failures == 0` prescription, which still reports to
+    /// [`FaultInjector::on_transient`]).
+    pub transient: bool,
+}
+
+impl KernelPlan {
+    /// Whether this plan came from a transient-failure prescription.
+    pub fn is_transient(&self) -> bool {
+        self.transient
+    }
+}
+
+/// Lay a kernel plan's segments onto the virtual timeline from `start`,
+/// applying the injector's perturbation to work (but not idle backoff) and
+/// the TEQ's non-finite/negative clamping to every segment. Returns the
+/// per-segment `(kind, start, end)` bounds and the total duration.
+///
+/// This is the exact arithmetic [`SimSession`] performs under the TEQ
+/// state lock when inserting a (possibly segmented) task; the DES replay
+/// backend calls it with its own event-loop clock to reproduce the
+/// threaded timelines bit for bit.
+pub fn layout_segments(
+    inj: Option<&dyn FaultInjector>,
+    worker: usize,
+    start: f64,
+    segs: &[(SegmentKind, f64)],
+) -> (Vec<(SegmentKind, f64, f64)>, f64) {
+    let mut bounds: Vec<(SegmentKind, f64, f64)> = Vec::with_capacity(segs.len());
+    let mut t = start;
+    for &(kind, nominal) in segs {
+        // Backoff is idle waiting — a slow worker waits at the same rate
+        // as a fast one — so only work is perturbed.
+        let d = match (kind, inj) {
+            (SegmentKind::Backoff, _) | (_, None) => nominal,
+            (SegmentKind::Failed | SegmentKind::Work, Some(inj)) => inj.perturb(worker, t, nominal),
+        };
+        let d = if d.is_finite() { d.max(0.0) } else { 0.0 };
+        bounds.push((kind, t, t + d));
+        t += d;
+    }
+    (bounds, t - start)
+}
+
+/// Record one trace span per laid-out segment — failed attempts under
+/// `label` + [`supersim_trace::fault::FAIL_SUFFIX`], non-empty backoffs
+/// under [`supersim_trace::fault::BACKOFF_LABEL`], work under `label`, all
+/// sharing `task_id`. Returns the aborted virtual seconds (the summed
+/// post-perturbation cost of the failed attempts). Shared by the threaded
+/// protocol and the DES replay backend so faulted traces match bit for bit.
+pub fn record_segment_spans(
+    trace: &TraceRecorder,
+    worker: usize,
+    label: &str,
+    task_id: u64,
+    bounds: &[(SegmentKind, f64, f64)],
+) -> f64 {
+    let mut aborted = 0.0;
+    for &(kind, s, e) in bounds {
+        match kind {
+            SegmentKind::Failed => {
+                aborted += e - s;
+                let marked = format!("{label}{}", supersim_trace::fault::FAIL_SUFFIX);
+                trace.record(worker, &marked, task_id, s, e);
+            }
+            SegmentKind::Backoff => {
+                if e > s {
+                    trace.record(worker, supersim_trace::fault::BACKOFF_LABEL, task_id, s, e);
+                }
+            }
+            SegmentKind::Work => trace.record(worker, label, task_id, s, e),
+        }
+    }
+    aborted
 }
 
 /// A simulation session. Create one per simulated run; hand
@@ -209,6 +304,19 @@ impl SimSession {
     /// with no injector attached executes the exact fault-free code path.
     pub fn attach_faults(&self, injector: Arc<dyn FaultInjector>) {
         *self.faults.lock() = Some(injector);
+    }
+
+    /// The attached fault injector, if any (the DES replay backend reads
+    /// it to draw the same kernel plans the threaded protocol would).
+    pub fn fault_injector(&self) -> Option<Arc<dyn FaultInjector>> {
+        self.faults.lock().clone()
+    }
+
+    /// The session's virtual-time trace recorder. The DES replay backend
+    /// records its spans here so [`SimSession::finish_trace`] returns the
+    /// run's trace regardless of backend.
+    pub fn trace_recorder(&self) -> &TraceRecorder {
+        &self.trace
     }
 
     /// A fresh session with the same models and configuration but reset
@@ -327,40 +435,71 @@ impl SimSession {
     /// worker counts, schedulers, and cluster placements (transfer tasks
     /// interleaved into the id space cannot shift them).
     pub fn run_kernel_ranked(&self, ctx: &TaskContext, label: &str, rank: u64) {
+        let speed = self.config.speed_of(ctx.worker);
+        assert!(speed > 0.0, "worker speed must be positive");
+        let faults = self.faults.lock().clone();
+        let plan = self.plan_ranked(label, rank, speed, faults.as_deref());
+        if plan.is_transient() {
+            let inj = faults
+                .as_ref()
+                .expect("transient plan requires an injector");
+            let aborted = self.simulate_segments(ctx, label, &plan.segments, inj);
+            inj.on_transient(label, plan.failures, aborted);
+        } else {
+            self.simulate(ctx, label, plan.segments[0].1);
+        }
+    }
+
+    /// Draw the virtual timeline of the `rank`-th submission of `label`:
+    /// the sampled duration (RNG keyed by `(seed, label, rank)`, warm-up
+    /// applied to the first [`SimSession::set_warmup_slots`] ranks) plus
+    /// any transient-failure segments the injector prescribes — `failures`
+    /// aborted attempts, each consuming a fraction of a *freshly sampled*
+    /// duration (retries re-draw from the same keyed stream — a retry is a
+    /// new execution, not a replay), separated by capped exponential
+    /// backoff in virtual time, then the final successful execution.
+    ///
+    /// Every sampling decision of the threaded protocol lives here, so the
+    /// DES replay backend obtains bit-identical durations by calling this
+    /// with the same arguments.
+    pub fn plan_ranked(
+        &self,
+        label: &str,
+        rank: u64,
+        speed: f64,
+        inj: Option<&dyn FaultInjector>,
+    ) -> KernelPlan {
         let model = self.models.expect(label);
         let warm = (rank as usize) < self.warmup_slots.load(Ordering::Relaxed);
         let key = self.config.seed ^ label_hash(label) ^ rank.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         let mut rng = rand::rngs::StdRng::seed_from_u64(splitmix64(key));
         let _: u64 = rng.random();
-        let speed = self.config.speed_of(ctx.worker);
-        assert!(speed > 0.0, "worker speed must be positive");
         let duration = model.sample(&mut rng, warm) / speed + self.config.overhead_per_task;
-        let faults = self.faults.lock().clone();
-        if let Some(inj) = &faults {
+        if let Some(inj) = inj {
             if let Some(spec) = inj.transient(label, rank) {
-                // Transient failure: `failures` aborted attempts, each
-                // consuming a fraction of a *freshly sampled* duration
-                // (retries re-draw from the same keyed stream — a retry is
-                // a new execution, not a replay), separated by capped
-                // exponential backoff in virtual time, then the final
-                // successful execution.
                 let frac = spec.fail_fraction.clamp(0.0, 1.0);
                 let mut segs = Vec::with_capacity(2 * spec.failures as usize + 1);
                 let mut attempt = duration;
                 for i in 0..spec.failures {
-                    segs.push((Segment::Failed, attempt * frac));
+                    segs.push((SegmentKind::Failed, attempt * frac));
                     let backoff =
                         (spec.backoff_base * (1u64 << i.min(62)) as f64).min(spec.backoff_cap);
-                    segs.push((Segment::Backoff, backoff.max(0.0)));
+                    segs.push((SegmentKind::Backoff, backoff.max(0.0)));
                     attempt = model.sample(&mut rng, warm) / speed + self.config.overhead_per_task;
                 }
-                segs.push((Segment::Work, attempt));
-                let aborted = self.simulate_segments(ctx, label, &segs, inj);
-                inj.on_transient(label, spec.failures, aborted);
-                return;
+                segs.push((SegmentKind::Work, attempt));
+                return KernelPlan {
+                    segments: segs,
+                    failures: spec.failures,
+                    transient: true,
+                };
             }
         }
-        self.simulate(ctx, label, duration);
+        KernelPlan {
+            segments: vec![(SegmentKind::Work, duration)],
+            failures: 0,
+            transient: false,
+        }
     }
 
     /// Run a simulated task with an externally computed `duration` —
@@ -412,25 +551,15 @@ impl SimSession {
         &self,
         ctx: &TaskContext,
         label: &str,
-        segs: &[(Segment, f64)],
+        segs: &[(SegmentKind, f64)],
         inj: &Arc<dyn FaultInjector>,
     ) -> f64 {
         obs::inc_kernels();
-        let mut bounds: Vec<(Segment, f64, f64)> = Vec::with_capacity(segs.len());
+        let mut bounds: Vec<(SegmentKind, f64, f64)> = Vec::with_capacity(segs.len());
         let (ticket, start) = self.teq.insert_with(|start| {
-            let mut t = start;
-            for &(kind, nominal) in segs {
-                // Backoff is idle waiting — a slow worker waits at the
-                // same rate as a fast one — so only work is perturbed.
-                let d = match kind {
-                    Segment::Backoff => nominal,
-                    Segment::Failed | Segment::Work => inj.perturb(ctx.worker, t, nominal),
-                };
-                let d = if d.is_finite() { d.max(0.0) } else { 0.0 };
-                bounds.push((kind, t, t + d));
-                t += d;
-            }
-            t - start
+            let (b, total) = layout_segments(Some(inj.as_ref()), ctx.worker, start, segs);
+            bounds = b;
+            total
         });
         if debug_enabled() {
             eprintln!(
@@ -442,28 +571,7 @@ impl SimSession {
                 segs.len()
             );
         }
-        let mut aborted = 0.0;
-        for &(kind, s, e) in &bounds {
-            match kind {
-                Segment::Failed => {
-                    aborted += e - s;
-                    let marked = format!("{label}{}", supersim_trace::fault::FAIL_SUFFIX);
-                    self.trace.record(ctx.worker, &marked, ctx.task_id, s, e);
-                }
-                Segment::Backoff => {
-                    if e > s {
-                        self.trace.record(
-                            ctx.worker,
-                            supersim_trace::fault::BACKOFF_LABEL,
-                            ctx.task_id,
-                            s,
-                            e,
-                        );
-                    }
-                }
-                Segment::Work => self.trace.record(ctx.worker, label, ctx.task_id, s, e),
-            }
-        }
+        let aborted = record_segment_spans(&self.trace, ctx.worker, label, ctx.task_id, &bounds);
         ctx.mark_registered();
         self.settle_and_retire(ctx, ticket);
         aborted
@@ -870,10 +978,10 @@ mod tests {
             session.set_warmup_slots(1);
             let rt = Runtime::new(RuntimeConfig::simple(workers));
             session.attach_quiesce(rt.probe());
-            for i in 0..3u64 {
+            for _ in 0..3u64 {
                 rt.submit(TaskDesc::new(
                     "k",
-                    vec![Access::read_write(d(i % 1))],
+                    vec![Access::read_write(d(0))],
                     session.planned_body("k"),
                 ));
             }

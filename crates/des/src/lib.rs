@@ -15,11 +15,19 @@
 //!
 //! * [`event`] — a small generic event queue (time-ordered, deterministic
 //!   tie-breaking);
-//! * [`engine`] — the list-scheduling simulator producing a [`Trace`].
+//! * [`engine`] — the list-scheduling simulator producing a [`Trace`];
+//! * [`replay`] — the **replay backend**: a pure-DES reproduction of the
+//!   threaded engine's schedule on the Quark/Pinned profiles, bit-for-bit
+//!   identical canonical traces without one host thread per simulated
+//!   worker.
 //!
 //! [`Trace`]: supersim_trace::Trace
 
 pub mod engine;
 pub mod event;
+pub mod replay;
 
 pub use engine::{simulate, DesPolicy, DesResult};
+pub use replay::{
+    replayable_policy, ReplayBody, ReplayEngine, ReplayOutcome, ReplayTask, Unsupported,
+};

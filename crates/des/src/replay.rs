@@ -1,0 +1,570 @@
+//! The pure-DES replay backend: a single-threaded event loop reproducing
+//! the threaded engine's schedule on the Quark (central-FIFO) and Pinned
+//! profiles — no host threads, no TEQ parking, no quiescence machinery.
+//!
+//! ## Why replay is possible
+//!
+//! The threaded simulation protocol serializes virtual time completely:
+//! the quiescence gate (`(sealed || submitter_waiting) && in_dispatch == 0
+//! && policy.stalled(busy)`) forbids the clock from advancing while any
+//! dispatch is in flight, so between two consecutive retirements *every*
+//! possible dispatch happens, and every task dispatched in that window
+//! starts at the same virtual time — the current clock. The schedule is
+//! therefore a deterministic function of (task stream, policy, seed), and
+//! a sequential loop can reproduce it:
+//!
+//! 1. **Submit** tasks from the stream while `in_flight < window`,
+//!    resolving hazards through the *same* [`HazardTracker`] the threaded
+//!    engine uses.
+//! 2. **Dispatch** one task per idle lane through the *same*
+//!    [`Policy`] object
+//!    (`make_policy(config.policy, workers)`), laying out its virtual
+//!    timeline with the session's [`SimSession::plan_ranked`] /
+//!    [`supersim_core::layout_segments`] — the same draws and the same
+//!    arithmetic as the threaded protocol.
+//! 3. **Retire** the earliest completion (min `(end, seq)`, exactly the
+//!    TEQ's ordering), advance the clock, release successors, refill the
+//!    window, and dispatch again.
+//!
+//! Work-stealing and locality-aware policies are *not* replayable: their
+//! dispatch order depends on which host thread steals first, which the
+//! quiescence gate does not serialize. [`ReplayEngine::new`] rejects them
+//! with [`Unsupported`] rather than replaying something subtly wrong; the
+//! same goes for heterogeneous `worker_speeds`, which would make durations
+//! depend on the racy task-to-lane assignment.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::{BTreeSet, BinaryHeap};
+use std::sync::Arc;
+use supersim_core::{layout_segments, record_segment_spans, KernelPlan, SegmentKind, SimSession};
+use supersim_dag::Access;
+use supersim_runtime::policy::{make_policy, Policy, ReadyMeta};
+use supersim_runtime::{HazardTracker, PolicyKind, RuntimeConfig, RuntimeStats};
+
+/// How a replayed task obtains its duration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayBody {
+    /// The plan-based simulated-kernel protocol: duration drawn by
+    /// [`SimSession::plan_ranked`] from `(seed, label, rank)`, warm-up and
+    /// transient-fault prescriptions included. Mirrors
+    /// `SimSession::planned_body`.
+    Ranked {
+        /// Submission rank of this task within its label (claim with
+        /// [`SimSession::next_rank`] in stream order, exactly as
+        /// `planned_body` does).
+        rank: u64,
+    },
+    /// A fixed externally computed duration (transfer tasks costed by an
+    /// interconnect model). Mirrors `SimSession::run_fixed`: no model, no
+    /// RNG, no overhead — but still perturbed by an attached injector.
+    Fixed {
+        /// Nominal duration in virtual seconds.
+        duration: f64,
+    },
+}
+
+/// One task of the replayed stream, in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayTask {
+    /// Kernel-class label (trace and duration-model key).
+    pub label: String,
+    /// Data accesses; hazards against earlier submissions become
+    /// dependences.
+    pub accesses: Vec<Access>,
+    /// Scheduling priority (ignored by the supported FIFO policies, but
+    /// carried so the policy object sees the same metadata).
+    pub priority: i64,
+    /// Pin to the half-open lane range `[start, end)` (Pinned policy).
+    pub pin: Option<(usize, usize)>,
+    /// Duration source.
+    pub body: ReplayBody,
+}
+
+/// Outcome of a replay run.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Predicted makespan (the final virtual clock).
+    pub makespan: f64,
+    /// Tasks completed.
+    pub completed: u64,
+    /// Retirement events processed.
+    pub events: u64,
+    /// Engine-compatible statistics (completed count, per-lane task
+    /// counts; wall-clock fields stay zero — there are no host threads).
+    pub stats: RuntimeStats,
+}
+
+/// The requested configuration cannot be replayed as pure discrete events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Unsupported(pub String);
+
+impl std::fmt::Display for Unsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DES replay backend unsupported: {}", self.0)
+    }
+}
+
+impl std::error::Error for Unsupported {}
+
+/// Whether the replay backend can reproduce `policy`'s dispatch order.
+/// The authoritative check behind [`ReplayEngine::new`], exposed so
+/// front-ends can refuse an unsupported profile up front (clean exit)
+/// instead of deep in a run.
+pub fn replayable_policy(policy: PolicyKind) -> Result<(), Unsupported> {
+    match policy {
+        PolicyKind::CentralFifo | PolicyKind::Pinned => Ok(()),
+        other => Err(Unsupported(format!(
+            "policy {other:?} dispatches in host-thread order; only CentralFifo \
+             (Quark) and Pinned (cluster) replay deterministically"
+        ))),
+    }
+}
+
+/// An executing task, ordered like the TEQ: min `(end, seq)` where `seq`
+/// is dispatch order.
+struct Exec {
+    end: f64,
+    seq: u64,
+    lane: usize,
+    task: u64,
+}
+
+impl PartialEq for Exec {
+    fn eq(&self, other: &Self) -> bool {
+        self.end == other.end && self.seq == other.seq
+    }
+}
+
+impl Eq for Exec {}
+
+impl Ord for Exec {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // Reversed for BinaryHeap's max-heap: earliest (end, seq) on top.
+        other
+            .end
+            .total_cmp(&self.end)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Exec {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Per-task dependence bookkeeping (the DES analogue of the engine's
+/// `Entry`, minus the body and thread machinery).
+struct Node {
+    deps: usize,
+    succs: Vec<u64>,
+    done: bool,
+}
+
+/// The replay engine. Construct with [`ReplayEngine::new`], optionally
+/// [`ReplayEngine::decommission`] lanes (fault replay), then
+/// [`ReplayEngine::run`] the task stream.
+pub struct ReplayEngine {
+    session: Arc<SimSession>,
+    policy: Box<dyn Policy>,
+    window: usize,
+    lanes: usize,
+    decommissioned: Vec<bool>,
+}
+
+impl ReplayEngine {
+    /// Build a replay engine for `config`'s policy over `config.workers`
+    /// virtual lanes. Returns [`Unsupported`] for policies whose threaded
+    /// dispatch order is not a deterministic function of the stream
+    /// (work stealing, locality-aware, LIFO, priority) and for
+    /// heterogeneous `worker_speeds`.
+    pub fn new(config: &RuntimeConfig, session: Arc<SimSession>) -> Result<Self, Unsupported> {
+        replayable_policy(config.policy)?;
+        if !session.config().worker_speeds.is_empty() {
+            return Err(Unsupported(
+                "heterogeneous worker_speeds make durations depend on the racy \
+                 task-to-lane assignment"
+                    .to_string(),
+            ));
+        }
+        assert!(config.workers > 0, "replay needs at least one lane");
+        Ok(ReplayEngine {
+            session,
+            policy: make_policy(config.policy, config.workers),
+            window: config.window,
+            lanes: config.workers,
+            decommissioned: vec![false; config.workers],
+        })
+    }
+
+    /// Permanently remove `lane` from service before the run (fault
+    /// replay: a died worker or node lane). Mirrors
+    /// `Runtime::decommission`: the lane never dispatches.
+    pub fn decommission(&mut self, lane: usize) {
+        assert!(lane < self.lanes, "no such lane: {lane}");
+        self.decommissioned[lane] = true;
+    }
+
+    /// Replay the task stream, recording spans into the session's trace
+    /// recorder, and return the outcome. Consumes the engine: the policy
+    /// object and hazard state are single-use, like a `Runtime`.
+    pub fn run(mut self, tasks: Vec<ReplayTask>) -> ReplayOutcome {
+        let inj = self.session.fault_injector();
+        let n = tasks.len();
+        let mut nodes: Vec<Node> = Vec::with_capacity(n);
+        let mut hazards = HazardTracker::new();
+        let mut executing: BinaryHeap<Exec> = BinaryHeap::new();
+        let mut idle: BTreeSet<usize> = (0..self.lanes)
+            .filter(|&l| !self.decommissioned[l])
+            .collect();
+        let mut clock = 0.0f64;
+        let mut next_seq = 0u64;
+        let mut cursor = 0usize; // next stream index to submit
+        let mut in_flight = 0usize;
+        let mut events = 0u64;
+        let mut stats = RuntimeStats::new(self.lanes);
+
+        // Submit tasks while the window has room, resolving hazards and
+        // pushing newly ready ones into the policy — `Runtime::submit`
+        // without the backpressure parking. Newly ready tasks' admitting
+        // idle lanes become dispatch candidates.
+        let submit_while_window =
+            |cursor: &mut usize,
+             in_flight: &mut usize,
+             nodes: &mut Vec<Node>,
+             hazards: &mut HazardTracker,
+             policy: &mut Box<dyn Policy>,
+             idle: &BTreeSet<usize>,
+             candidates: &mut BTreeSet<usize>| {
+                while *cursor < n && *in_flight < self.window {
+                    let id = *cursor as u64;
+                    let t = &tasks[*cursor];
+                    let (preds, affinity) = hazards.analyze(id, &t.accesses);
+                    let mut deps = 0;
+                    for &p in &preds {
+                        let e = &mut nodes[p as usize];
+                        if !e.done {
+                            e.succs.push(id);
+                            deps += 1;
+                        }
+                    }
+                    nodes.push(Node {
+                        deps,
+                        succs: Vec::new(),
+                        done: false,
+                    });
+                    *in_flight += 1;
+                    if deps == 0 {
+                        policy.push(
+                            id,
+                            ReadyMeta {
+                                priority: t.priority,
+                                releaser: None,
+                                affinity,
+                                pin: t.pin,
+                            },
+                        );
+                        admitting_idle(idle, t.pin, candidates);
+                    }
+                    *cursor += 1;
+                }
+            };
+
+        // Initial fill: stream in up to a window of tasks, then dispatch
+        // every lane that can take one (all at clock 0, like the threaded
+        // engine's pre-first-retirement burst).
+        let mut candidates: BTreeSet<usize> = BTreeSet::new();
+        submit_while_window(
+            &mut cursor,
+            &mut in_flight,
+            &mut nodes,
+            &mut hazards,
+            &mut self.policy,
+            &idle,
+            &mut candidates,
+        );
+        candidates.extend(idle.iter().copied());
+
+        loop {
+            // Dispatch pass: each candidate lane (ascending) takes at most
+            // one task from the policy. A successful pop frees queue
+            // positions, so pinned successors of the same round stay
+            // covered by their own candidate lanes.
+            for lane in std::mem::take(&mut candidates) {
+                if !idle.contains(&lane) {
+                    continue;
+                }
+                if let Some(task) = self.policy.pop(lane) {
+                    idle.remove(&lane);
+                    let t = &tasks[task as usize];
+                    let plan = plan_for(&self.session, t, inj.as_deref());
+                    let (bounds, total) =
+                        layout_segments(inj.as_deref(), lane, clock, &plan.segments);
+                    let aborted = record_segment_spans(
+                        self.session.trace_recorder(),
+                        lane,
+                        &t.label,
+                        task,
+                        &bounds,
+                    );
+                    if plan.is_transient() {
+                        let inj = inj.as_ref().expect("transient plan requires an injector");
+                        inj.on_transient(&t.label, plan.failures, aborted);
+                    }
+                    let seq = next_seq;
+                    next_seq += 1;
+                    executing.push(Exec {
+                        end: clock + total,
+                        seq,
+                        lane,
+                        task,
+                    });
+                }
+            }
+
+            // Retire the earliest completion; its lane frees, successors
+            // release, the window refills — in exactly the threaded
+            // engine's order (successor pushes land before the refill's).
+            let Some(exec) = executing.pop() else { break };
+            events += 1;
+            clock = clock.max(exec.end);
+            nodes[exec.task as usize].done = true;
+            let succs = std::mem::take(&mut nodes[exec.task as usize].succs);
+            for s in succs {
+                let e = &mut nodes[s as usize];
+                e.deps -= 1;
+                if e.deps == 0 && !e.done {
+                    let t = &tasks[s as usize];
+                    let affinity = t
+                        .accesses
+                        .iter()
+                        .find(|a| a.mode.writes())
+                        .map(|a| a.data.0);
+                    self.policy.push(
+                        s,
+                        ReadyMeta {
+                            priority: t.priority,
+                            releaser: Some(exec.lane),
+                            affinity,
+                            pin: t.pin,
+                        },
+                    );
+                    admitting_idle(&idle, t.pin, &mut candidates);
+                }
+            }
+            in_flight -= 1;
+            stats.completed += 1;
+            stats.per_worker_tasks[exec.lane] += 1;
+            if !self.decommissioned[exec.lane] {
+                idle.insert(exec.lane);
+                candidates.insert(exec.lane);
+            }
+            submit_while_window(
+                &mut cursor,
+                &mut in_flight,
+                &mut nodes,
+                &mut hazards,
+                &mut self.policy,
+                &idle,
+                &mut candidates,
+            );
+        }
+
+        assert!(
+            cursor == n && in_flight == 0,
+            "replay stalled: {} of {n} tasks submitted, {in_flight} in flight \
+             (a task pinned exclusively to decommissioned lanes can never run)",
+            cursor
+        );
+
+        #[cfg(feature = "metrics")]
+        {
+            let reg = supersim_metrics::global();
+            reg.counter("des.replay.runs").inc();
+            reg.counter("des.replay.tasks").add(stats.completed);
+            reg.counter("des.replay.events").add(events);
+        }
+
+        ReplayOutcome {
+            makespan: clock,
+            completed: stats.completed,
+            events,
+            stats,
+        }
+    }
+}
+
+/// Collect the idle lanes a task's pin admits into `candidates`.
+fn admitting_idle(idle: &BTreeSet<usize>, pin: Option<(usize, usize)>, out: &mut BTreeSet<usize>) {
+    match pin {
+        None => out.extend(idle.iter().copied()),
+        Some((lo, hi)) => out.extend(idle.range(lo..hi).copied()),
+    }
+}
+
+/// The virtual-timeline plan of a replayed task — the same draws the
+/// threaded protocol would make.
+fn plan_for(
+    session: &SimSession,
+    t: &ReplayTask,
+    inj: Option<&dyn supersim_core::FaultInjector>,
+) -> KernelPlan {
+    match t.body {
+        ReplayBody::Ranked { rank } => session.plan_ranked(&t.label, rank, 1.0, inj),
+        ReplayBody::Fixed { duration } => KernelPlan {
+            segments: vec![(SegmentKind::Work, duration)],
+            failures: 0,
+            transient: false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use supersim_core::{KernelModel, ModelRegistry, SimConfig};
+    use supersim_dag::DataId;
+
+    fn session(labels: &[&str], secs: f64, seed: u64) -> Arc<SimSession> {
+        let mut m = ModelRegistry::new();
+        for l in labels {
+            m.insert(*l, KernelModel::constant(secs));
+        }
+        SimSession::new(
+            m,
+            SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+        )
+    }
+
+    fn ranked(session: &SimSession, label: &str, accesses: Vec<Access>) -> ReplayTask {
+        ReplayTask {
+            label: label.to_string(),
+            accesses,
+            priority: 0,
+            pin: None,
+            body: ReplayBody::Ranked {
+                rank: session.next_rank(label),
+            },
+        }
+    }
+
+    #[test]
+    fn chain_serializes() {
+        let s = session(&["w"], 2.0, 1);
+        let eng = ReplayEngine::new(&RuntimeConfig::simple(4), s.clone()).unwrap();
+        let tasks: Vec<ReplayTask> = (0..5)
+            .map(|_| ranked(&s, "w", vec![Access::read_write(DataId(0))]))
+            .collect();
+        let out = eng.run(tasks);
+        assert_eq!(out.makespan, 10.0);
+        assert_eq!(out.completed, 5);
+        let trace = s.finish_trace(4);
+        assert_eq!(trace.len(), 5);
+        assert!(trace.validate(1e-12).is_ok());
+    }
+
+    #[test]
+    fn independent_tasks_pack() {
+        let s = session(&["w"], 1.0, 1);
+        let eng = ReplayEngine::new(&RuntimeConfig::simple(3), s.clone()).unwrap();
+        let tasks: Vec<ReplayTask> = (0..6)
+            .map(|i| ranked(&s, "w", vec![Access::write(DataId(i))]))
+            .collect();
+        let out = eng.run(tasks);
+        assert_eq!(out.makespan, 2.0);
+        assert_eq!(
+            out.stats.per_worker_tasks,
+            vec![2, 2, 2],
+            "FIFO over ascending idle lanes balances exactly"
+        );
+    }
+
+    #[test]
+    fn window_limits_in_flight_submissions() {
+        // Window 2 on 4 workers: despite 4 independent tasks and 4 lanes,
+        // only 2 can be in flight, so the run takes 2 rounds.
+        let s = session(&["w"], 1.0, 1);
+        let cfg = RuntimeConfig {
+            workers: 4,
+            window: 2,
+            ..RuntimeConfig::simple(4)
+        };
+        let eng = ReplayEngine::new(&cfg, s.clone()).unwrap();
+        let tasks: Vec<ReplayTask> = (0..4)
+            .map(|i| ranked(&s, "w", vec![Access::write(DataId(i))]))
+            .collect();
+        let out = eng.run(tasks);
+        assert_eq!(out.makespan, 2.0);
+    }
+
+    #[test]
+    fn decommissioned_lane_takes_no_work() {
+        let s = session(&["w"], 1.0, 1);
+        let mut eng = ReplayEngine::new(&RuntimeConfig::simple(2), s.clone()).unwrap();
+        eng.decommission(0);
+        let tasks: Vec<ReplayTask> = (0..3)
+            .map(|i| ranked(&s, "w", vec![Access::write(DataId(i))]))
+            .collect();
+        let out = eng.run(tasks);
+        assert_eq!(out.makespan, 3.0, "one surviving lane serializes");
+        assert_eq!(out.stats.per_worker_tasks, vec![0, 3]);
+    }
+
+    #[test]
+    fn unsupported_policies_are_rejected() {
+        let s = session(&["w"], 1.0, 1);
+        for kind in [
+            PolicyKind::WorkStealing,
+            PolicyKind::LocalityAware,
+            PolicyKind::CentralLifo,
+            PolicyKind::Priority,
+        ] {
+            let cfg = RuntimeConfig {
+                policy: kind,
+                ..RuntimeConfig::simple(2)
+            };
+            let err = match ReplayEngine::new(&cfg, s.clone()) {
+                Err(e) => e,
+                Ok(_) => panic!("{kind:?} must be rejected"),
+            };
+            assert!(err.0.contains("replay"), "{err}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_speeds_are_rejected() {
+        let mut m = ModelRegistry::new();
+        m.insert("w", KernelModel::constant(1.0));
+        let s = SimSession::new(
+            m,
+            SimConfig {
+                worker_speeds: vec![1.0, 2.0],
+                ..SimConfig::default()
+            },
+        );
+        assert!(ReplayEngine::new(&RuntimeConfig::simple(2), s).is_err());
+    }
+
+    #[test]
+    fn pinned_tasks_respect_ranges() {
+        let s = session(&["w"], 1.0, 1);
+        let cfg = RuntimeConfig {
+            policy: PolicyKind::Pinned,
+            ..RuntimeConfig::simple(4)
+        };
+        let eng = ReplayEngine::new(&cfg, s.clone()).unwrap();
+        // 4 independent tasks all pinned to lanes [2, 4).
+        let tasks: Vec<ReplayTask> = (0..4)
+            .map(|i| ReplayTask {
+                pin: Some((2, 4)),
+                ..ranked(&s, "w", vec![Access::write(DataId(i))])
+            })
+            .collect();
+        let out = eng.run(tasks);
+        assert_eq!(out.makespan, 2.0);
+        assert_eq!(out.stats.per_worker_tasks, vec![0, 0, 2, 2]);
+    }
+}

@@ -2,17 +2,16 @@
 //! dispatch, completion propagation, and the quiescence machinery.
 
 use crate::config::RuntimeConfig;
+use crate::hazards::HazardTracker;
 use crate::policy::{make_policy, Policy, ReadyMeta};
 use crate::quiesce::Quiesce;
 use crate::stats::RuntimeStats;
 use crate::task::{DispatchToken, TaskBody, TaskContext, TaskDesc};
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
-use supersim_dag::{normalize_accesses, DataId};
 use supersim_trace::TraceRecorder;
 
 /// Per-task bookkeeping entry.
@@ -28,16 +27,9 @@ struct Entry {
     cancelled: bool,
 }
 
-/// Per-data hazard state (same discipline as `supersim_dag::build`).
-#[derive(Default)]
-struct DataState {
-    last_writer: Option<u64>,
-    readers: Vec<u64>,
-}
-
 struct Inner {
     entries: Vec<Entry>,
-    data: HashMap<DataId, DataState>,
+    hazards: HazardTracker,
     policy: Box<dyn Policy>,
     in_flight: usize,
     idle_workers: usize,
@@ -134,12 +126,25 @@ impl Runtime {
     /// task into `recorder` (used for "real" runs; simulated runs record
     /// their own virtual-time trace instead).
     pub fn with_trace(config: RuntimeConfig, recorder: Option<TraceRecorder>) -> Self {
+        let policy = make_policy(config.policy, config.workers);
+        Self::with_policy_and_trace(config, policy, recorder)
+    }
+
+    /// Start a runtime with an explicit policy object instead of the one
+    /// `config.policy` names. Every dispatch decision of the engine routes
+    /// through this object — tests use a counting wrapper here to assert
+    /// there is no second copy of the scheduling logic in the engine.
+    pub fn with_policy_and_trace(
+        config: RuntimeConfig,
+        policy: Box<dyn Policy>,
+        recorder: Option<TraceRecorder>,
+    ) -> Self {
         assert!(config.workers > 0, "runtime needs at least one worker");
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 entries: Vec::new(),
-                data: HashMap::new(),
-                policy: make_policy(config.policy, config.workers),
+                hazards: HazardTracker::new(),
+                policy,
                 in_flight: 0,
                 idle_workers: 0,
                 in_dispatch: 0,
@@ -184,8 +189,6 @@ impl Runtime {
     /// Submit one task. Blocks while the task window is full (QUARK-style
     /// backpressure). Returns the task id (submission order).
     pub fn submit(&self, desc: TaskDesc) -> u64 {
-        let accesses = normalize_accesses(&desc.accesses);
-        let affinity = accesses.iter().find(|a| a.mode.writes()).map(|a| a.data.0);
         let mut inner = self.shared.inner.lock();
         inner.stats.lock_acquisitions += 1;
         assert!(
@@ -200,27 +203,9 @@ impl Runtime {
         }
         let id = inner.entries.len() as u64;
 
-        // Hazard analysis against the live data state.
-        let mut preds: Vec<u64> = Vec::new();
-        for a in &accesses {
-            let st = inner.data.entry(a.data).or_default();
-            if a.mode.reads() || a.mode.writes() {
-                if let Some(w) = st.last_writer {
-                    preds.push(w);
-                }
-            }
-            if a.mode.writes() {
-                preds.extend(st.readers.iter().copied());
-            }
-            if a.mode.writes() {
-                st.last_writer = Some(id);
-                st.readers.clear();
-            } else {
-                st.readers.push(id);
-            }
-        }
-        preds.sort_unstable();
-        preds.dedup();
+        // Hazard analysis against the live data state (shared with the
+        // DES replay backend).
+        let (preds, affinity) = inner.hazards.analyze(id, &desc.accesses);
 
         let mut deps = 0;
         for &p in &preds {
@@ -405,12 +390,12 @@ struct RuntimeProbe {
 impl Quiesce for RuntimeProbe {
     fn quiescent(&self) -> bool {
         let inner = self.shared.inner.lock();
-        quiescent_locked(&inner)
+        quiescent_locked(&inner, self.shared.window)
     }
 
     fn wait_quiescent(&self) {
         let mut inner = self.shared.inner.lock();
-        while !quiescent_locked(&inner) {
+        while !quiescent_locked(&inner, self.shared.window) {
             self.shared.quiesce_cv.wait(&mut inner);
         }
     }
@@ -421,24 +406,30 @@ impl Quiesce for RuntimeProbe {
 
     fn wait_settled(&self, min_completed: u64) {
         let mut inner = self.shared.inner.lock();
-        while inner.stats.completed < min_completed || !quiescent_locked(&inner) {
+        while inner.stats.completed < min_completed || !quiescent_locked(&inner, self.shared.window)
+        {
             self.shared.quiesce_cv.wait(&mut inner);
         }
     }
 }
 
-fn quiescent_locked(inner: &Inner) -> bool {
-    // The submission stream must be finished (sealed) or stalled on the
-    // task window; otherwise tasks not yet submitted could still have
-    // earlier virtual start times than the caller's completion. Beyond
-    // that: no task may sit in its dispatch window (popped but not yet
-    // registered), and every queued ready task must be stalled behind
-    // busy workers — the policy decides, since under a pinned policy a
-    // task can be stalled while other workers idle. A worker that has not
-    // reached its scheduling loop yet (thread start-up) counts as able to
-    // absorb work, which is why the flags mark busy workers rather than
-    // non-idle ones.
-    (inner.sealed || inner.submitter_waiting > 0)
+fn quiescent_locked(inner: &Inner, window: usize) -> bool {
+    // The submission stream must be finished (sealed) or stalled on a
+    // genuinely *full* task window; otherwise tasks not yet submitted
+    // could still have earlier virtual start times than the caller's
+    // completion. The fullness check matters: when a completion frees the
+    // window, the blocked submitter counts as waiting until it reacquires
+    // the lock, and treating that in-between state as quiescent would race
+    // the clock advance against the submitter's wakeup — the next task
+    // would start at either the freed time or the following completion,
+    // depending on host scheduling. Beyond that: no task may sit in its
+    // dispatch window (popped but not yet registered), and every queued
+    // ready task must be stalled behind busy workers — the policy decides,
+    // since under a pinned policy a task can be stalled while other
+    // workers idle. A worker that has not reached its scheduling loop yet
+    // (thread start-up) counts as able to absorb work, which is why the
+    // flags mark busy workers rather than non-idle ones.
+    (inner.sealed || (inner.submitter_waiting > 0 && inner.in_flight >= window))
         && inner.in_dispatch == 0
         && inner.policy.stalled(&inner.busy)
 }
@@ -596,7 +587,7 @@ mod tests {
     use super::*;
     use crate::config::{PolicyKind, SchedulerKind};
     use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-    use supersim_dag::Access;
+    use supersim_dag::{Access, DataId};
 
     fn d(i: u64) -> DataId {
         DataId(i)

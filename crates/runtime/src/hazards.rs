@@ -1,0 +1,117 @@
+//! Submission-side hazard analysis, shared by the threaded engine and the
+//! pure-DES replay backend.
+//!
+//! The superscalar contract: tasks are submitted serially with data-access
+//! annotations, and RaW/WaR/WaW hazards against earlier submissions become
+//! dependences. This module owns the per-data reader/writer state and the
+//! predecessor derivation. It was extracted from `Runtime::submit` so the
+//! DES replay backend resolves dependences through the *same* code — a
+//! precondition of the bit-for-bit trace-equality contract between the two
+//! backends (see DESIGN.md, "Replay backend").
+
+use std::collections::HashMap;
+use supersim_dag::{normalize_accesses, Access, DataId};
+
+/// Per-data hazard state (same discipline as `supersim_dag::build`).
+#[derive(Default)]
+struct DataState {
+    last_writer: Option<u64>,
+    readers: Vec<u64>,
+}
+
+/// Tracks reader/writer state per data id across a serial submission
+/// stream and derives each task's predecessor set.
+#[derive(Default)]
+pub struct HazardTracker {
+    data: HashMap<DataId, DataState>,
+}
+
+impl HazardTracker {
+    /// Empty tracker: no data has been touched yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record task `id`'s accesses and return `(preds, affinity)`: the
+    /// sorted, deduplicated predecessor task ids, and the first written
+    /// data id (the locality-affinity hint). Accesses are normalized
+    /// (duplicate data ids merged) before analysis, exactly as
+    /// `Runtime::submit` always did.
+    ///
+    /// `id` must be the caller's next submission id; predecessors only
+    /// ever reference earlier ids.
+    pub fn analyze(&mut self, id: u64, accesses: &[Access]) -> (Vec<u64>, Option<u64>) {
+        let accesses = normalize_accesses(accesses);
+        let affinity = accesses.iter().find(|a| a.mode.writes()).map(|a| a.data.0);
+        let mut preds: Vec<u64> = Vec::new();
+        for a in &accesses {
+            let st = self.data.entry(a.data).or_default();
+            if a.mode.reads() || a.mode.writes() {
+                if let Some(w) = st.last_writer {
+                    preds.push(w);
+                }
+            }
+            if a.mode.writes() {
+                preds.extend(st.readers.iter().copied());
+            }
+            if a.mode.writes() {
+                st.last_writer = Some(id);
+                st.readers.clear();
+            } else {
+                st.readers.push(id);
+            }
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        (preds, affinity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_war_waw_hazards() {
+        let mut h = HazardTracker::new();
+        let x = DataId(0);
+        // 0 writes x; 1 reads x (RaW on 0); 2 writes x (WaR on 1, WaW on 0).
+        let (p0, a0) = h.analyze(0, &[Access::write(x)]);
+        assert!(p0.is_empty());
+        assert_eq!(a0, Some(0));
+        let (p1, a1) = h.analyze(1, &[Access::read(x)]);
+        assert_eq!(p1, vec![0]);
+        assert_eq!(a1, None);
+        let (p2, _) = h.analyze(2, &[Access::write(x)]);
+        assert_eq!(p2, vec![0, 1]);
+    }
+
+    #[test]
+    fn concurrent_readers_share_no_hazard() {
+        let mut h = HazardTracker::new();
+        let x = DataId(3);
+        h.analyze(0, &[Access::write(x)]);
+        let (p1, _) = h.analyze(1, &[Access::read(x)]);
+        let (p2, _) = h.analyze(2, &[Access::read(x)]);
+        assert_eq!(p1, vec![0]);
+        assert_eq!(p2, vec![0]);
+    }
+
+    #[test]
+    fn preds_are_sorted_and_deduped() {
+        let mut h = HazardTracker::new();
+        let (x, y) = (DataId(0), DataId(1));
+        h.analyze(0, &[Access::write(x), Access::write(y)]);
+        // Reads both — writer 0 appears twice before dedup.
+        let (p, _) = h.analyze(1, &[Access::read(y), Access::read(x)]);
+        assert_eq!(p, vec![0]);
+    }
+
+    #[test]
+    fn affinity_is_first_written_data() {
+        let mut h = HazardTracker::new();
+        let (p, aff) = h.analyze(0, &[Access::read(DataId(5)), Access::read_write(DataId(9))]);
+        assert!(p.is_empty());
+        assert_eq!(aff, Some(9));
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod config;
 pub mod engine;
+pub mod hazards;
 pub mod policy;
 pub mod profiles;
 #[cfg(test)]
@@ -37,6 +38,8 @@ pub mod task;
 
 pub use config::{PolicyKind, RuntimeConfig, SchedulerKind};
 pub use engine::Runtime;
+pub use hazards::HazardTracker;
+pub use policy::{make_policy, Policy, ReadyMeta};
 pub use quiesce::Quiesce;
 pub use stats::RuntimeStats;
 pub use task::{TaskContext, TaskDesc};

@@ -12,9 +12,12 @@
 use crate::data::SharedTiles;
 use crate::driver::Algorithm;
 use std::sync::Arc;
-use supersim_cluster::{ClusterEngine, ClusterSpec, Interconnect, Placement};
+use supersim_cluster::{
+    ClusterEngine, ClusterSpec, Coherence, Interconnect, Placement, TRANSFER_LABEL,
+};
 use supersim_core::SimSession;
 use supersim_dag::Access;
+use supersim_des::{ReplayBody, ReplayTask};
 use supersim_runtime::RuntimeStats;
 use supersim_tile::cholesky::{task_stream as cholesky_stream, CholeskyTask};
 use supersim_tile::flops;
@@ -78,6 +81,28 @@ fn rw(a: &SharedTiles, pl: &dyn Placement, i: usize, j: usize) -> (Access, usize
     )
 }
 
+fn cholesky_acc(a: &SharedTiles, pl: &dyn Placement, task: CholeskyTask) -> Vec<(Access, usize)> {
+    match task {
+        CholeskyTask::Potrf { k } => vec![rw(a, pl, k, k)],
+        CholeskyTask::Trsm { k, i } => vec![rd(a, pl, k, k), rw(a, pl, i, k)],
+        CholeskyTask::Syrk { k, i } => vec![rd(a, pl, i, k), rw(a, pl, i, i)],
+        CholeskyTask::Gemm { k, i, j } => {
+            vec![rd(a, pl, i, k), rd(a, pl, j, k), rw(a, pl, i, j)]
+        }
+    }
+}
+
+fn lu_acc(a: &SharedTiles, pl: &dyn Placement, task: LuTask) -> Vec<(Access, usize)> {
+    match task {
+        LuTask::Getrf { k } => vec![rw(a, pl, k, k)],
+        LuTask::TrsmL { k, j } => vec![rd(a, pl, k, k), rw(a, pl, k, j)],
+        LuTask::TrsmU { k, i } => vec![rd(a, pl, k, k), rw(a, pl, i, k)],
+        LuTask::Gemm { k, i, j } => {
+            vec![rd(a, pl, i, k), rd(a, pl, k, j), rw(a, pl, i, j)]
+        }
+    }
+}
+
 fn submit_cholesky(
     engine: &mut ClusterEngine,
     a: &SharedTiles,
@@ -90,14 +115,7 @@ fn submit_cholesky(
         if !keep(idx as u64) {
             continue;
         }
-        let acc = match task {
-            CholeskyTask::Potrf { k } => vec![rw(a, pl, k, k)],
-            CholeskyTask::Trsm { k, i } => vec![rd(a, pl, k, k), rw(a, pl, i, k)],
-            CholeskyTask::Syrk { k, i } => vec![rd(a, pl, i, k), rw(a, pl, i, i)],
-            CholeskyTask::Gemm { k, i, j } => {
-                vec![rd(a, pl, i, k), rd(a, pl, j, k), rw(a, pl, i, j)]
-            }
-        };
+        let acc = cholesky_acc(a, pl, task);
         let node = acc.last().expect("every task writes a tile").1;
         engine.submit_compute(
             node,
@@ -122,19 +140,90 @@ fn submit_lu(
         if !keep(idx as u64) {
             continue;
         }
-        let acc = match task {
-            LuTask::Getrf { k } => vec![rw(a, pl, k, k)],
-            LuTask::TrsmL { k, j } => vec![rd(a, pl, k, k), rw(a, pl, k, j)],
-            LuTask::TrsmU { k, i } => vec![rd(a, pl, k, k), rw(a, pl, i, k)],
-            LuTask::Gemm { k, i, j } => {
-                vec![rd(a, pl, i, k), rd(a, pl, k, j), rw(a, pl, i, j)]
-            }
-        };
+        let acc = lu_acc(a, pl, task);
         let node = acc.last().expect("every task writes a tile").1;
         engine.submit_compute(node, task.label(), &acc, crate::lu::priority(nt, task));
         count += 1;
     }
     count
+}
+
+/// Enumerate an algorithm's distributed stream as [`ReplayTask`]s for the
+/// DES backend, mirroring [`submit_algorithm_cluster`] +
+/// [`ClusterEngine::submit_compute`]: the shared [`Coherence`] layer plans
+/// each compute task's transfers, which land in the stream *before* their
+/// consumer pinned to its node's NIC lanes — identical task ids and
+/// dependences to the threaded engine. Returns the tasks and the compute
+/// count (transfers excluded).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn cluster_replay_tasks(
+    alg: Algorithm,
+    a: &SharedTiles,
+    pl: &dyn Placement,
+    spec: &ClusterSpec,
+    interconnect: &dyn Interconnect,
+    session: &SimSession,
+    coherence: &mut Coherence,
+    keep: &mut dyn FnMut(u64) -> bool,
+) -> (Vec<ReplayTask>, u64) {
+    let nt = a.nt();
+    let mut tasks = Vec::new();
+    let mut count = 0;
+    let mut push_compute = |label: &str, acc_owner: Vec<(Access, usize)>, priority: i64| {
+        let node = acc_owner.last().expect("every task writes a tile").1;
+        assert!(node < spec.nodes, "node {node} out of range");
+        let (acc, xfers) = coherence.plan_compute(node, &acc_owner, interconnect);
+        for x in xfers {
+            tasks.push(ReplayTask {
+                label: TRANSFER_LABEL.to_string(),
+                accesses: x.accesses,
+                priority: 0,
+                pin: Some(spec.nic_range(x.node)),
+                body: ReplayBody::Fixed {
+                    duration: x.duration,
+                },
+            });
+        }
+        tasks.push(ReplayTask {
+            label: label.to_string(),
+            accesses: acc,
+            priority,
+            pin: Some(spec.compute_range(node)),
+            body: ReplayBody::Ranked {
+                rank: session.next_rank(label),
+            },
+        });
+    };
+    match alg {
+        Algorithm::Cholesky => {
+            for (idx, task) in cholesky_stream(nt).into_iter().enumerate() {
+                if !keep(idx as u64) {
+                    continue;
+                }
+                push_compute(
+                    task.label(),
+                    cholesky_acc(a, pl, task),
+                    crate::cholesky::priority(nt, task),
+                );
+                count += 1;
+            }
+        }
+        Algorithm::Lu => {
+            for (idx, task) in lu_stream(nt).into_iter().enumerate() {
+                if !keep(idx as u64) {
+                    continue;
+                }
+                push_compute(
+                    task.label(),
+                    lu_acc(a, pl, task),
+                    crate::lu::priority(nt, task),
+                );
+                count += 1;
+            }
+        }
+        Algorithm::Qr => panic!("distributed QR is not implemented; use cholesky or lu"),
+    }
+    (tasks, count)
 }
 
 /// Submit an algorithm's distributed task stream filtered by `keep` over

@@ -35,19 +35,21 @@
 //! *decision* of what re-runs is a pure function of `(seed, FaultPlan)`,
 //! so identical inputs give identical stitched traces.
 
-use crate::cluster::{exec_cluster, submit_algorithm_cluster};
+use crate::cluster::{cluster_replay_tasks, submit_algorithm_cluster};
 use crate::data::SharedTiles;
-use crate::driver::{exec_sim, submit_algorithm_where, Algorithm};
+use crate::driver::{submit_algorithm_where, Algorithm};
 use crate::mode::ExecMode;
+use crate::replay::{exec_cluster_backend, exec_sim_backend, replay_tasks_single, Backend};
 use crate::scenario::Scenario;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use supersim_cluster::{ClusterEngine, ClusterSpec, Placement, TRANSFER_LABEL};
+use supersim_cluster::{ClusterEngine, ClusterSpec, Coherence, Placement, TRANSFER_LABEL};
+use supersim_des::ReplayEngine;
 use supersim_faults::{
     critical_lane, mark_lost, stitch, CheckpointPolicy, DegradationReport, FaultAttribution,
     FaultEvent, FaultPlan, FaultScope,
 };
-use supersim_runtime::Runtime;
+use supersim_runtime::{PolicyKind, Runtime, RuntimeConfig};
 use supersim_trace::fault::{base_kernel, event_kind, SpanKind};
 use supersim_trace::{Trace, TraceEvent};
 
@@ -198,7 +200,8 @@ fn run_simple(sc: &Scenario, plan: &FaultPlan, used: &mut bool) -> RunResult {
     sc.attach_plan(&session, plan, 0.0);
     let (trace, makespan) = match sc.cluster.clone() {
         None => {
-            let run = exec_sim(
+            let run = exec_sim_backend(
+                sc.backend,
                 sc.algorithm,
                 sc.scheduler,
                 sc.workers,
@@ -209,7 +212,8 @@ fn run_simple(sc: &Scenario, plan: &FaultPlan, used: &mut bool) -> RunResult {
             (run.trace, run.predicted_seconds)
         }
         Some(spec) => {
-            let run = exec_cluster(
+            let run = exec_cluster_backend(
+                sc.backend,
                 sc.algorithm,
                 spec,
                 sc.resolved_interconnect(),
@@ -270,7 +274,8 @@ fn replay_single(
     let session_a = sc.fresh_session(*used);
     *used = true;
     sc.attach_plan(&session_a, plan, 0.0);
-    let run_a = exec_sim(
+    let run_a = exec_sim_backend(
+        sc.backend,
         sc.algorithm,
         sc.scheduler,
         sc.workers,
@@ -317,21 +322,40 @@ fn replay_single(
         Algorithm::Qr => Some(SharedTiles::layout_only(n, n, nb, a.id_range().1)),
         _ => None,
     };
-    let rt = Runtime::new(sc.scheduler.config(sc.workers));
-    session_b.attach_quiesce(rt.probe());
-    // Restart means cold caches: warm-up is charged again, like any
-    // fresh run.
-    session_b.set_warmup_slots(sc.workers);
-    for &w in &dead {
-        rt.decommission(w);
-    }
-    let mode = ExecMode::Simulated(session_b.clone());
-    let restarted = submit_algorithm_where(sc.algorithm, &rt, &a, t.as_ref(), &mode, &mut |i| {
-        !done.contains(&i)
-    });
-    rt.seal();
-    rt.wait_all().expect("fault-replay phase B failed");
-    let trace_b = session_b.finish_trace(sc.workers);
+    let (trace_b, restarted) = match sc.backend {
+        Backend::Threaded => {
+            let rt = Runtime::new(sc.scheduler.config(sc.workers));
+            session_b.attach_quiesce(rt.probe());
+            // Restart means cold caches: warm-up is charged again, like
+            // any fresh run.
+            session_b.set_warmup_slots(sc.workers);
+            for &w in &dead {
+                rt.decommission(w);
+            }
+            let mode = ExecMode::Simulated(session_b.clone());
+            let restarted =
+                submit_algorithm_where(sc.algorithm, &rt, &a, t.as_ref(), &mode, &mut |i| {
+                    !done.contains(&i)
+                });
+            rt.seal();
+            rt.wait_all().expect("fault-replay phase B failed");
+            (session_b.finish_trace(sc.workers), restarted)
+        }
+        Backend::Des => {
+            let mut engine = ReplayEngine::new(&sc.scheduler.config(sc.workers), session_b.clone())
+                .unwrap_or_else(|e| panic!("{e}"));
+            session_b.set_warmup_slots(sc.workers);
+            for &w in &dead {
+                engine.decommission(w);
+            }
+            let tasks = replay_tasks_single(sc.algorithm, &a, t.as_ref(), &session_b, &mut |i| {
+                !done.contains(&i)
+            });
+            let restarted = tasks.len() as u64;
+            engine.run(tasks);
+            (session_b.finish_trace(sc.workers), restarted)
+        }
+    };
 
     let trace = stitch(sc.workers, kept, &trace_b, offset, id_offset);
     RunResult {
@@ -371,7 +395,8 @@ fn replay_cluster(
     sc.attach_plan(&session_a, plan, 0.0);
     let ic = sc.resolved_interconnect();
     let base_pl = sc.resolved_placement();
-    let run_a = exec_cluster(
+    let run_a = exec_cluster_backend(
+        sc.backend,
         sc.algorithm,
         spec.clone(),
         ic.clone(),
@@ -436,16 +461,61 @@ fn replay_cluster(
         }),
         FaultScope::Worker(_) => base_pl,
     };
-    let mut engine = ClusterEngine::new(spec.clone(), ic, session_b.clone(), a.id_range().1);
-    match scope {
-        FaultScope::Node(node) => engine.decommission_node(node),
-        FaultScope::Worker(w) => engine.decommission_lane(w),
-    }
-    let restarted = submit_algorithm_cluster(&mut engine, sc.algorithm, &a, &*pl_b, &mut |i| {
-        !done.contains(&i)
-    });
-    engine.seal_and_wait().expect("fault-replay phase B failed");
-    let trace_b = engine.finish_trace();
+    let (trace_b, restarted) = match sc.backend {
+        Backend::Threaded => {
+            let mut engine =
+                ClusterEngine::new(spec.clone(), ic, session_b.clone(), a.id_range().1);
+            match scope {
+                FaultScope::Node(node) => engine.decommission_node(node),
+                FaultScope::Worker(w) => engine.decommission_lane(w),
+            }
+            let restarted =
+                submit_algorithm_cluster(&mut engine, sc.algorithm, &a, &*pl_b, &mut |i| {
+                    !done.contains(&i)
+                });
+            engine.seal_and_wait().expect("fault-replay phase B failed");
+            (engine.finish_trace(), restarted)
+        }
+        Backend::Des => {
+            let config = RuntimeConfig {
+                workers: spec.total_workers(),
+                policy: PolicyKind::Pinned,
+                window: usize::MAX,
+                name: "cluster",
+            };
+            let mut engine =
+                ReplayEngine::new(&config, session_b.clone()).unwrap_or_else(|e| panic!("{e}"));
+            session_b.set_warmup_slots(spec.total_compute_workers());
+            match scope {
+                FaultScope::Node(node) => {
+                    let (lo, hi) = spec.compute_range(node);
+                    for w in lo..hi {
+                        engine.decommission(w);
+                    }
+                    let (lo, hi) = spec.nic_range(node);
+                    for w in lo..hi {
+                        engine.decommission(w);
+                    }
+                }
+                FaultScope::Worker(w) => engine.decommission(w),
+            }
+            // A fresh coherence map, like the fresh threaded engine:
+            // every replicated copy is invalidated by the restart.
+            let mut coherence = Coherence::new(spec.nodes, a.id_range().1);
+            let (tasks, restarted) = cluster_replay_tasks(
+                sc.algorithm,
+                &a,
+                &*pl_b,
+                &spec,
+                &*ic,
+                &session_b,
+                &mut coherence,
+                &mut |i| !done.contains(&i),
+            );
+            engine.run(tasks);
+            (session_b.finish_trace(spec.total_workers()), restarted)
+        }
+    };
 
     let trace = stitch(spec.total_workers(), kept, &trace_b, offset, id_offset);
     RunResult {

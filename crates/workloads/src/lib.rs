@@ -33,6 +33,9 @@
 //! * [`scenario`] — the **unified entry point**: a typed [`Scenario`]
 //!   builder with `run_real` / `run_sim` / `run_cluster` / `run_faults`
 //!   terminals;
+//! * [`replay`] — the [`Backend`] switch and the drivers running scenarios
+//!   on the pure-DES replay engine (`supersim_des::ReplayEngine`): same
+//!   canonical traces, no host thread per simulated worker;
 //! * [`faultsim`] — fault-injected execution and the two-phase replay of
 //!   permanent failures, reported as a [`FaultOutcome`];
 //! * [`compat`] — deprecated shims for the pre-builder free functions.
@@ -46,6 +49,7 @@ pub mod faultsim;
 pub mod lu;
 pub mod mode;
 pub mod qr;
+pub mod replay;
 pub mod scenario;
 pub mod synthetic;
 
@@ -54,6 +58,7 @@ pub use data::SharedTiles;
 pub use driver::{Algorithm, RealRun, SimRun};
 pub use faultsim::FaultOutcome;
 pub use mode::ExecMode;
+pub use replay::Backend;
 pub use scenario::Scenario;
 
 #[allow(deprecated)]

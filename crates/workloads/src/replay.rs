@@ -1,0 +1,475 @@
+//! The DES replay backend's driver layer: build the same task streams the
+//! threaded drivers submit — as plain data instead of live submissions —
+//! and run them through [`supersim_des::ReplayEngine`].
+//!
+//! The contract is bit-for-bit fidelity on the supported profiles: for a
+//! given `(seed, scenario)`, the canonical trace of a DES run equals the
+//! threaded engine's. That holds because every decision is shared, not
+//! reimplemented: hazards come from `supersim_runtime::HazardTracker`,
+//! dispatch order from the literal policy objects of `make_policy`,
+//! durations from [`supersim_core::SimSession::plan_ranked`], and cluster
+//! transfers from [`supersim_cluster::Coherence`]. What this module adds
+//! is only the enumeration of each algorithm's task stream in submission
+//! order, with the same ranks [`SimSession::next_rank`] would hand the
+//! threaded `planned_body` closures.
+
+use crate::cluster::{cluster_replay_tasks, exec_cluster, ClusterRun};
+use crate::data::SharedTiles;
+use crate::driver::{exec_sim, Algorithm, SimRun};
+use std::sync::Arc;
+use supersim_cluster::{ClusterSpec, Coherence, Interconnect, Placement};
+use supersim_core::SimSession;
+use supersim_des::{ReplayBody, ReplayEngine, ReplayTask, Unsupported};
+use supersim_runtime::{PolicyKind, RuntimeConfig, SchedulerKind};
+use supersim_tile::cholesky::task_stream as cholesky_stream;
+use supersim_tile::flops;
+use supersim_tile::lu::task_stream as lu_stream;
+use supersim_tile::qr::task_stream as qr_stream;
+
+/// Which execution engine runs a simulated scenario.
+///
+/// Both backends produce the same canonical trace on the supported
+/// profiles (Quark single-node, Pinned cluster); they differ only in host
+/// resources: the threaded engine spends one OS thread per simulated
+/// worker, the DES backend replays the schedule on a single thread and
+/// scales to thousands of simulated workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The paper's scheduler-in-the-loop design: the real runtime (with
+    /// its real locks, policy and worker threads) drives virtual time.
+    #[default]
+    Threaded,
+    /// The pure-DES replay engine: a single-threaded event loop that
+    /// reproduces the threaded schedule without host threads. Rejects
+    /// profiles whose dispatch depends on host-thread racing
+    /// (work-stealing, locality-aware) with [`Unsupported`].
+    Des,
+}
+
+impl Backend {
+    /// Parse a CLI string.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s {
+            "threaded" => Some(Backend::Threaded),
+            "des" => Some(Backend::Des),
+            _ => None,
+        }
+    }
+
+    /// Display name (CLI and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Threaded => "threaded",
+            Backend::Des => "des",
+        }
+    }
+
+    /// Whether this backend can run the given scheduler profile. The
+    /// threaded engine runs everything; [`Backend::Des`] defers to
+    /// [`supersim_des::replayable_policy`], so front-ends can refuse an
+    /// unsupported combination cleanly before building a session.
+    pub fn supports(self, kind: SchedulerKind) -> Result<(), Unsupported> {
+        match self {
+            Backend::Threaded => Ok(()),
+            Backend::Des => supersim_des::replayable_policy(kind.config(1).policy),
+        }
+    }
+}
+
+/// Enumerate an algorithm's single-node task stream as [`ReplayTask`]s, in
+/// the exact order the threaded `submit_where` drivers submit, claiming
+/// the same per-label ranks from `session`. `keep` filters by 0-based
+/// stream index (fault replay re-submits only the incomplete tail);
+/// skipped tasks claim no rank, matching the threaded path where only
+/// submitted tasks call `planned_body`.
+pub(crate) fn replay_tasks_single(
+    alg: Algorithm,
+    a: &SharedTiles,
+    t: Option<&SharedTiles>,
+    session: &SimSession,
+    keep: &mut dyn FnMut(u64) -> bool,
+) -> Vec<ReplayTask> {
+    assert_eq!(a.mt(), a.nt(), "factorizations need a square tile grid");
+    let nt = a.nt();
+    let mut tasks = Vec::new();
+    let mut push = |label: &str, accesses: Vec<supersim_dag::Access>, priority: i64| {
+        tasks.push(ReplayTask {
+            label: label.to_string(),
+            accesses,
+            priority,
+            pin: None,
+            body: ReplayBody::Ranked {
+                rank: session.next_rank(label),
+            },
+        });
+    };
+    match alg {
+        Algorithm::Cholesky => {
+            for (idx, task) in cholesky_stream(nt).into_iter().enumerate() {
+                if !keep(idx as u64) {
+                    continue;
+                }
+                push(
+                    task.label(),
+                    crate::cholesky::accesses(a, task),
+                    crate::cholesky::priority(nt, task),
+                );
+            }
+        }
+        Algorithm::Qr => {
+            let t = t.expect("QR needs a T grid");
+            for (idx, task) in qr_stream(nt).into_iter().enumerate() {
+                if !keep(idx as u64) {
+                    continue;
+                }
+                push(
+                    task.label(),
+                    crate::qr::accesses(a, t, task),
+                    crate::qr::priority(nt, task),
+                );
+            }
+        }
+        Algorithm::Lu => {
+            for (idx, task) in lu_stream(nt).into_iter().enumerate() {
+                if !keep(idx as u64) {
+                    continue;
+                }
+                push(
+                    task.label(),
+                    crate::lu::accesses(a, task),
+                    crate::lu::priority(nt, task),
+                );
+            }
+        }
+    }
+    tasks
+}
+
+/// Single-node simulated run on the DES replay backend. Mirrors
+/// [`exec_sim`] exactly: same model checks, same warm-up plan, same
+/// session trace — only the engine differs.
+pub(crate) fn exec_sim_des(
+    alg: Algorithm,
+    kind: SchedulerKind,
+    workers: usize,
+    n: usize,
+    nb: usize,
+    session: Arc<SimSession>,
+) -> Result<SimRun, Unsupported> {
+    let a = SharedTiles::layout_only(n, n, nb, 0);
+    let t = match alg {
+        Algorithm::Qr => Some(SharedTiles::layout_only(n, n, nb, a.id_range().1)),
+        _ => None,
+    };
+    for label in alg.labels() {
+        session.models().expect(label);
+    }
+    let engine = ReplayEngine::new(&kind.config(workers), session.clone())?;
+    session.set_warmup_slots(workers);
+    let t0 = std::time::Instant::now();
+    let tasks = replay_tasks_single(alg, &a, t.as_ref(), &session, &mut |_| true);
+    let outcome = engine.run(tasks);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let trace = session.finish_trace(workers);
+
+    Ok(SimRun {
+        algorithm: alg,
+        n,
+        nb,
+        workers,
+        predicted_seconds: outcome.makespan,
+        wall_seconds,
+        trace,
+        gflops: flops::gflops(alg.flops(n), outcome.makespan),
+        stats: outcome.stats,
+    })
+}
+
+/// Distributed simulated run on the DES replay backend. Mirrors
+/// [`exec_cluster`]: the same [`Coherence`] layer plans the same transfer
+/// tasks at the same stream positions, so task ids, dependences and
+/// NIC-lane occupancy are identical; the `Pinned` dispatch replays through
+/// the literal policy object.
+pub(crate) fn exec_cluster_des(
+    alg: Algorithm,
+    spec: ClusterSpec,
+    interconnect: Arc<dyn Interconnect>,
+    placement: Arc<dyn Placement>,
+    n: usize,
+    nb: usize,
+    session: Arc<SimSession>,
+) -> Result<ClusterRun, Unsupported> {
+    let a = SharedTiles::layout_only(n, n, nb, 0);
+    assert_eq!(a.mt(), a.nt(), "factorizations need a square tile grid");
+    for i in 0..a.mt() {
+        for j in 0..a.nt() {
+            assert!(
+                placement.owner(i, j) < spec.nodes,
+                "placement {} maps tile ({i},{j}) to node {} but the cluster has {} nodes",
+                placement.name(),
+                placement.owner(i, j),
+                spec.nodes
+            );
+        }
+    }
+    for label in alg.labels() {
+        session.models().expect(label);
+    }
+
+    let config = RuntimeConfig {
+        workers: spec.total_workers(),
+        policy: PolicyKind::Pinned,
+        window: usize::MAX,
+        name: "cluster",
+    };
+    let engine = ReplayEngine::new(&config, session.clone())?;
+    session.set_warmup_slots(spec.total_compute_workers());
+    let mut coherence = Coherence::new(spec.nodes, a.id_range().1);
+    let t0 = std::time::Instant::now();
+    let (tasks, compute_tasks) = cluster_replay_tasks(
+        alg,
+        &a,
+        &*placement,
+        &spec,
+        &*interconnect,
+        &session,
+        &mut coherence,
+        &mut |_| true,
+    );
+    let outcome = engine.run(tasks);
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    let trace = session.finish_trace(spec.total_workers());
+
+    let nic_busy_seconds = (0..spec.nodes)
+        .map(|node| {
+            let (lo, hi) = spec.nic_range(node);
+            (lo..hi)
+                .flat_map(|w| trace.lane(w))
+                .map(|e| e.duration())
+                .sum()
+        })
+        .collect();
+    let mut node_owned_bytes = vec![0u64; spec.nodes];
+    for i in 0..a.mt() {
+        for j in 0..a.nt() {
+            node_owned_bytes[placement.owner(i, j)] += a.tile_bytes(i, j);
+        }
+    }
+
+    Ok(ClusterRun {
+        algorithm: alg,
+        n,
+        nb,
+        spec,
+        interconnect: interconnect.name(),
+        placement: placement.name(),
+        compute_tasks,
+        transfers: coherence.transfers(),
+        transfer_bytes: coherence.transfer_bytes(),
+        node_transfers: coherence.node_transfers().to_vec(),
+        node_bytes: coherence.node_bytes().to_vec(),
+        nic_busy_seconds,
+        node_owned_bytes,
+        predicted_seconds: outcome.makespan,
+        wall_seconds,
+        gflops: flops::gflops(alg.flops(n), outcome.makespan),
+        trace,
+        stats: outcome.stats,
+    })
+}
+
+/// Backend dispatch for single-node simulated runs. A DES run of an
+/// unsupported profile panics with the [`Unsupported`] message.
+pub(crate) fn exec_sim_backend(
+    backend: Backend,
+    alg: Algorithm,
+    kind: SchedulerKind,
+    workers: usize,
+    n: usize,
+    nb: usize,
+    session: Arc<SimSession>,
+) -> SimRun {
+    match backend {
+        Backend::Threaded => exec_sim(alg, kind, workers, n, nb, session),
+        Backend::Des => {
+            exec_sim_des(alg, kind, workers, n, nb, session).unwrap_or_else(|e| panic!("{e}"))
+        }
+    }
+}
+
+/// Backend dispatch for distributed simulated runs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn exec_cluster_backend(
+    backend: Backend,
+    alg: Algorithm,
+    spec: ClusterSpec,
+    interconnect: Arc<dyn Interconnect>,
+    placement: Arc<dyn Placement>,
+    n: usize,
+    nb: usize,
+    session: Arc<SimSession>,
+) -> ClusterRun {
+    match backend {
+        Backend::Threaded => exec_cluster(alg, spec, interconnect, placement, n, nb, session),
+        Backend::Des => exec_cluster_des(alg, spec, interconnect, placement, n, nb, session)
+            .unwrap_or_else(|e| panic!("{e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use supersim_core::{KernelModel, ModelRegistry};
+
+    fn models(alg: Algorithm) -> ModelRegistry {
+        let mut m = ModelRegistry::new();
+        for l in alg.labels() {
+            // Non-degenerate durations: a constant model would mask
+            // tie-break divergence between the backends.
+            let dist = supersim_dist::Dist::log_normal(-4.6, 0.2).unwrap();
+            m.insert(*l, KernelModel::new(dist));
+        }
+        m
+    }
+
+    fn base(alg: Algorithm) -> Scenario {
+        Scenario::new(alg)
+            .n(60)
+            .tile_size(12)
+            .workers(3)
+            .seed(17)
+            .models(models(alg))
+    }
+
+    #[test]
+    fn des_matches_threaded_canonical_trace_all_algorithms() {
+        for alg in [Algorithm::Cholesky, Algorithm::Qr, Algorithm::Lu] {
+            let threaded = base(alg).run_sim();
+            let des = base(alg).backend(Backend::Des).run_sim();
+            assert_eq!(
+                threaded.trace.canonical(),
+                des.trace.canonical(),
+                "{alg:?}: DES replay diverged from the threaded schedule"
+            );
+            assert_eq!(threaded.predicted_seconds, des.predicted_seconds);
+        }
+    }
+
+    #[test]
+    fn des_cluster_matches_threaded_canonical_trace() {
+        use supersim_cluster::{ClusterSpec, Hockney, SharedLink, ZeroCost};
+        let ics: [Arc<dyn Interconnect>; 3] = [
+            Arc::new(ZeroCost),
+            Arc::new(Hockney::new(1e-4, 1e9)),
+            Arc::new(SharedLink::new(1e-4, 1e9)),
+        ];
+        for ic in ics {
+            let mk = || {
+                base(Algorithm::Cholesky)
+                    .cluster(ClusterSpec::new(2, 2))
+                    .interconnect(ic.clone())
+            };
+            let threaded = mk().run_cluster();
+            let des = mk().backend(Backend::Des).run_cluster();
+            assert_eq!(
+                threaded.trace.canonical(),
+                des.trace.canonical(),
+                "{}: DES cluster replay diverged",
+                ic.name()
+            );
+            assert_eq!(threaded.transfers, des.transfers);
+            assert_eq!(threaded.predicted_seconds, des.predicted_seconds);
+        }
+    }
+
+    #[test]
+    fn des_matches_threaded_under_faults() {
+        use supersim_faults::FaultPlan;
+        // Lane-placement-independent events (the repo's determinism
+        // contract, see faultsim): a node-scope straggler, rank-keyed
+        // transients, and a permanent kill driving the two-phase replay.
+        let mk = |backend| {
+            base(Algorithm::Cholesky)
+                .backend(backend)
+                .faults(
+                    FaultPlan::new()
+                        .straggler_node(0, 0.0, 0.2, 3.0)
+                        .transient_for("dgemm", 3, 1, 0.5)
+                        .kill_worker(2, 0.15),
+                )
+                .run_faults()
+        };
+        let threaded = mk(Backend::Threaded);
+        let des = mk(Backend::Des);
+        assert_eq!(threaded.trace.canonical(), des.trace.canonical());
+        assert_eq!(
+            threaded.clean_trace.canonical(),
+            des.clean_trace.canonical()
+        );
+        assert_eq!(threaded.faulted_makespan, des.faulted_makespan);
+        assert_eq!(threaded.report.retries, des.report.retries);
+        assert_eq!(threaded.report.restarted_tasks, des.report.restarted_tasks);
+    }
+
+    #[test]
+    fn des_matches_threaded_under_cluster_node_kill() {
+        use supersim_cluster::ClusterSpec;
+        use supersim_faults::FaultPlan;
+        let mk = |backend| {
+            base(Algorithm::Cholesky)
+                .backend(backend)
+                .cluster(ClusterSpec::new(4, 2))
+                .faults(FaultPlan::new().kill_node(1, 0.05))
+                .run_faults()
+        };
+        let threaded = mk(Backend::Threaded);
+        let des = mk(Backend::Des);
+        assert_eq!(threaded.trace.canonical(), des.trace.canonical());
+        assert_eq!(threaded.faulted_makespan, des.faulted_makespan);
+        assert_eq!(threaded.report.restarted_tasks, des.report.restarted_tasks);
+    }
+
+    #[test]
+    fn des_runs_on_one_host_thread() {
+        // The defining property: a wide simulated machine without wide
+        // host parallelism. 256 simulated workers, zero worker threads.
+        let run = base(Algorithm::Cholesky)
+            .workers(256)
+            .backend(Backend::Des)
+            .run_sim();
+        assert_eq!(run.workers, 256);
+        assert_eq!(run.stats.per_worker_tasks.len(), 256);
+        assert!(run.trace.validate(1e-9).is_ok());
+    }
+
+    #[test]
+    fn unsupported_profiles_error_clearly() {
+        for kind in [SchedulerKind::StarPu, SchedulerKind::OmpSs] {
+            let err = std::panic::catch_unwind(|| {
+                base(Algorithm::Cholesky)
+                    .scheduler(kind)
+                    .backend(Backend::Des)
+                    .run_sim()
+            })
+            .expect_err("stealing/locality profiles must be rejected");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+            assert!(
+                msg.contains("replay deterministically"),
+                "panic message must name the unsupported policy: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn backend_parses_and_names() {
+        assert_eq!(Backend::parse("des"), Some(Backend::Des));
+        assert_eq!(Backend::parse("threaded"), Some(Backend::Threaded));
+        assert_eq!(Backend::parse("nope"), None);
+        assert_eq!(Backend::default().name(), "threaded");
+        assert_eq!(Backend::Des.name(), "des");
+    }
+}

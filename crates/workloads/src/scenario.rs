@@ -29,9 +29,10 @@
 //! `run_cluster` and `session_with`, which survive as deprecated shims in
 //! [`crate::compat`].
 
-use crate::cluster::{exec_cluster, ClusterRun};
-use crate::driver::{exec_real, exec_sim, make_session, Algorithm, RealRun, SimRun};
+use crate::cluster::ClusterRun;
+use crate::driver::{exec_real, make_session, Algorithm, RealRun, SimRun};
 use crate::faultsim::{run_faults, FaultOutcome};
+use crate::replay::{exec_cluster_backend, exec_sim_backend, Backend};
 use std::sync::Arc;
 use supersim_cluster::{BlockCyclic, ClusterSpec, Interconnect, Placement, ZeroCost};
 use supersim_core::{ModelRegistry, SimConfig, SimSession};
@@ -55,6 +56,7 @@ pub struct Scenario {
     interconnect: Option<Arc<dyn Interconnect>>,
     placement: Option<Arc<dyn Placement>>,
     pub(crate) faults: FaultPlan,
+    pub(crate) backend: Backend,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -68,6 +70,7 @@ impl std::fmt::Debug for Scenario {
             .field("seed", &self.seed)
             .field("cluster", &self.cluster)
             .field("faults", &self.faults)
+            .field("backend", &self.backend)
             .finish_non_exhaustive()
     }
 }
@@ -92,6 +95,7 @@ impl Scenario {
             interconnect: None,
             placement: None,
             faults: FaultPlan::new(),
+            backend: Backend::Threaded,
         }
     }
 
@@ -193,6 +197,16 @@ impl Scenario {
         self
     }
 
+    /// Select the simulation backend (default [`Backend::Threaded`]). The
+    /// DES replay backend produces the same canonical trace on the
+    /// supported profiles (Quark single-node, cluster) without spawning
+    /// one host thread per simulated worker; real runs always execute on
+    /// the threaded engine.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The resolved matrix order.
     pub fn matrix_order(&self) -> usize {
         self.n.unwrap_or(self.tiles.unwrap_or(8) * self.tile_size)
@@ -286,6 +300,10 @@ impl Scenario {
             self.faults.is_empty(),
             "faults are simulated only; use run_sim or run_faults"
         );
+        assert!(
+            self.backend == Backend::Threaded,
+            "run_real executes real kernels; the DES backend only replays simulations"
+        );
         exec_real(
             self.algorithm,
             self.scheduler,
@@ -311,7 +329,8 @@ impl Scenario {
         );
         let session = self.fresh_session(false);
         self.attach_plan(&session, &self.faults.clone(), 0.0);
-        exec_sim(
+        exec_sim_backend(
+            self.backend,
             self.algorithm,
             self.scheduler,
             self.workers,
@@ -335,7 +354,8 @@ impl Scenario {
         );
         let session = self.fresh_session(false);
         self.attach_plan(&session, &self.faults.clone(), 0.0);
-        exec_cluster(
+        exec_cluster_backend(
+            self.backend,
             self.algorithm,
             spec,
             self.resolved_interconnect(),

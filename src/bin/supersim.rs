@@ -13,6 +13,7 @@
 //!                  [--interconnect zero|hockney|sharedlink] [--latency S]
 //!                  [--bandwidth B/s] [--nic-lanes L]
 //!                  [--placement square|row|col|PxQ] [--seed 42]
+//!                  [--backend threaded|des]
 //!                  [--trace-out t.txt] [--chrome t.json] [--svg t.svg]
 //! supersim faults  [--alg cholesky|lu] [--n 512] [--nb 64] [--workers 8] [--seed 42]
 //!                  [--straggler W:FROM:UNTIL:FACTOR[,..]]
@@ -23,11 +24,13 @@
 //!                  [--backoff-base S] [--backoff-cap S] [--restart-delay S]
 //!                  [--checkpoint INTERVAL:SNAPSHOT:RESTORE]
 //!                  [--nodes N  + the cluster flags above for distributed runs]
+//!                  [--backend threaded|des]
 //!                  [--trace-out faulted.txt] [--clean-trace-out clean.txt]
 //!                  [--svg t.svg] [--chrome t.json]
 //! supersim dag     --alg qr --nt 4 [--dot out.dot]
 //! supersim metrics --workload cholesky [--n 512] [--nb 64] [--workers 8]
 //!                  [--seed 42] [--mode both|targeted|broadcast]
+//!                  [--backend threaded|des]
 //!                  [--out m.json] [--chrome t.json] [--trace-out t.txt]
 //! supersim info
 //! ```
@@ -39,6 +42,12 @@
 //! `--chrome` adds counter tracks next to the task timeline;
 //! `--trace-out` writes the (virtual-time, deterministic) text trace of
 //! the last run, which CI diffs bit-for-bit across repeated runs.
+//!
+//! `--backend des` (on `metrics`, `cluster` and `faults`) replays the same
+//! scenario on the single-threaded pure-DES engine instead of the threaded
+//! runtime: identical canonical traces for the Quark/cluster profiles, but
+//! no host thread per simulated worker — this is how thousand-node
+//! topologies stay simulable on one core.
 //!
 //! `faults` runs the same scenario twice — clean and under the fault plan
 //! assembled from the fault flags — and prints the
@@ -138,6 +147,16 @@ fn algorithm(opts: &HashMap<String, String>) -> Algorithm {
             eprintln!("unknown algorithm {other} (cholesky|qr|lu)");
             exit(2)
         }
+    }
+}
+
+fn backend(opts: &HashMap<String, String>) -> supersim::workloads::Backend {
+    match opts.get("backend") {
+        None => supersim::workloads::Backend::Threaded,
+        Some(v) => supersim::workloads::Backend::parse(v).unwrap_or_else(|| {
+            eprintln!("unknown backend {v} (threaded|des)");
+            exit(2)
+        }),
     }
 }
 
@@ -406,13 +425,15 @@ fn cmd_cluster(opts: &HashMap<String, String>) {
             ..SimConfig::default()
         },
     );
+    let backend = backend(opts);
     let spec = ClusterSpec::new(nodes, workers).with_nic_lanes(nic_lanes);
     eprintln!(
         "cluster {} n={n} nb={nb} nodes={nodes} workers={workers}/node nic-lanes={nic_lanes} \
-         interconnect={} placement={}",
+         interconnect={} placement={} backend={}",
         alg.name(),
         interconnect.name(),
-        placement.name()
+        placement.name(),
+        backend.name()
     );
     let run = Scenario::new(alg)
         .n(n)
@@ -421,6 +442,7 @@ fn cmd_cluster(opts: &HashMap<String, String>) {
         .cluster(spec.clone())
         .interconnect(interconnect)
         .placement(Arc::new(placement))
+        .backend(backend)
         .run_cluster();
     eprintln!(
         "predicted {:.4}s   {:.2} GFLOP/s   {} compute tasks, {} transfers ({} bytes)   (wall {:.4}s)",
@@ -445,6 +467,7 @@ fn cmd_cluster(opts: &HashMap<String, String>) {
         interconnect: String,
         placement: String,
         seed: u64,
+        backend: String,
         compute_tasks: u64,
         transfers: u64,
         transfer_bytes: u64,
@@ -466,6 +489,7 @@ fn cmd_cluster(opts: &HashMap<String, String>) {
         interconnect: run.interconnect.to_string(),
         placement: run.placement.clone(),
         seed,
+        backend: backend.name().to_string(),
         compute_tasks: run.compute_tasks,
         transfers: run.transfers,
         transfer_bytes: run.transfer_bytes,
@@ -639,6 +663,7 @@ fn cmd_faults(opts: &HashMap<String, String>) {
     };
     let plan = fault_plan(opts);
     let seed = get(opts, "seed", 42u64);
+    let backend = backend(opts);
 
     let (out, label) = if cluster_mode {
         let n = get(opts, "n", 960usize);
@@ -667,9 +692,10 @@ fn cmd_faults(opts: &HashMap<String, String>) {
         }
         let spec = ClusterSpec::new(nodes, workers).with_nic_lanes(nic_lanes);
         let label = format!(
-            "faults {} n={n} nb={nb} nodes={nodes} workers={workers}/node interconnect={}",
+            "faults {} n={n} nb={nb} nodes={nodes} workers={workers}/node interconnect={} backend={}",
             alg.name(),
-            interconnect.name()
+            interconnect.name(),
+            backend.name()
         );
         let out = Scenario::new(alg)
             .n(n)
@@ -682,11 +708,16 @@ fn cmd_faults(opts: &HashMap<String, String>) {
             .cluster(spec)
             .interconnect(interconnect)
             .placement(Arc::new(BlockCyclic::square(nodes)))
+            .backend(backend)
             .faults(plan)
             .run_faults();
         (out, label)
     } else {
         let kind = scheduler(opts);
+        if let Err(e) = backend.supports(kind) {
+            eprintln!("{e}");
+            exit(2)
+        }
         let n = get(opts, "n", 512usize);
         let nb = get(opts, "nb", 64usize);
         let workers = get(opts, "workers", 8usize);
@@ -695,9 +726,10 @@ fn cmd_faults(opts: &HashMap<String, String>) {
             models.insert(*l, KernelModel::new(Dist::log_normal(-6.0, 0.3).unwrap()));
         }
         let label = format!(
-            "faults {} n={n} nb={nb} workers={workers} scheduler={}",
+            "faults {} n={n} nb={nb} workers={workers} scheduler={} backend={}",
             alg.name(),
-            kind.name()
+            kind.name(),
+            backend.name()
         );
         let out = Scenario::new(alg)
             .scheduler(kind)
@@ -709,6 +741,7 @@ fn cmd_faults(opts: &HashMap<String, String>) {
                 seed,
                 ..SimConfig::default()
             })
+            .backend(backend)
             .faults(plan)
             .run_faults();
         (out, label)
@@ -866,6 +899,11 @@ fn cmd_metrics(opts: &HashMap<String, String>) {
         }
     };
 
+    let backend = backend(opts);
+    if let Err(e) = backend.supports(kind) {
+        eprintln!("{e}");
+        exit(2)
+    }
     let mut snap = MetricsSnapshot::default();
     let mut last_trace = None;
     for &mode in modes {
@@ -887,6 +925,7 @@ fn cmd_metrics(opts: &HashMap<String, String>) {
             .n(n)
             .tile_size(nb)
             .session(session.clone())
+            .backend(backend)
             .run_sim();
         session.publish_metrics(&mut snap);
         run.stats.publish_metrics(&mut snap);
@@ -956,6 +995,7 @@ fn cmd_metrics_cluster(opts: &HashMap<String, String>, alg: Algorithm) {
         .cluster(ClusterSpec::new(nodes, workers))
         .interconnect(Arc::new(Hockney::new(1e-5, 1e10)))
         .placement(Arc::new(BlockCyclic::square(nodes)))
+        .backend(backend(opts))
         .run_cluster();
 
     let mut snap = MetricsSnapshot::default();

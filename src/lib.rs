@@ -100,6 +100,7 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use supersim_workloads::{run_cluster, run_real, run_sim, session_with};
     pub use supersim_workloads::{
-        Algorithm, ClusterRun, ExecMode, FaultOutcome, RealRun, Scenario, SharedTiles, SimRun,
+        Algorithm, Backend, ClusterRun, ExecMode, FaultOutcome, RealRun, Scenario, SharedTiles,
+        SimRun,
     };
 }
