@@ -13,8 +13,9 @@
 //! * `--gate FILE` — compare the fresh targeted-wakeup 64-waiter median
 //!   drain throughput against the committed baseline in `FILE`; exit
 //!   non-zero if it regressed by more than 30%. The DES-backend 4x8
-//!   cluster drain datapoint is gated the same way (30% floor) when the
-//!   committed baseline carries one.
+//!   cluster drain datapoint and the 256-cell sweep-orchestrator
+//!   throughput (cells/s on a fixed DES matrix) are gated the same way
+//!   (30% floor) when the committed baseline carries them.
 //! * `--overhead-bin PATH` — `PATH` is this same binary built with
 //!   `--no-default-features` (metrics compiled out). Alternates rounds of
 //!   in-process measurement with spawns of `PATH --probe-targeted-64`, so
@@ -75,6 +76,18 @@ struct ClusterPoint {
     tasks_per_sec: f64,
 }
 
+/// Wall-clock throughput of the sweep orchestrator on a fixed 256-cell
+/// DES matrix (cells completed per second, merged report included).
+/// Tracks the end-to-end batch path: matrix expansion, per-cell session
+/// construction over the shared model database, DES replay, merge + sort,
+/// Pareto extraction.
+#[derive(Serialize)]
+struct SweepPoint {
+    cells: usize,
+    jobs: usize,
+    cells_per_sec: f64,
+}
+
 #[derive(Serialize)]
 struct Acceptance {
     waiters: usize,
@@ -123,9 +136,13 @@ struct Baseline {
     /// DES-backend cluster drain throughput at 4x8 — the second number the
     /// CI perf gate compares (30% regression floor).
     des_cluster_4x8_tasks_per_sec: f64,
+    /// Sweep-orchestrator throughput on the fixed 256-cell DES matrix —
+    /// the third gated number (30% regression floor).
+    sweep_256_cells_per_sec: f64,
     teq: Vec<TeqPoint>,
     engine: Vec<EnginePoint>,
     cluster: Vec<ClusterPoint>,
+    sweep: SweepPoint,
     acceptance: Acceptance,
     des_acceptance: DesAcceptance,
     overhead: Option<Overhead>,
@@ -162,6 +179,51 @@ fn des_cluster_4x8_of(path: &str) -> Option<f64> {
     let v: serde_json::Value =
         serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad JSON in {path}: {e}"));
     v["des_cluster_4x8_tasks_per_sec"].as_f64()
+}
+
+/// The sweep throughput recorded in a previously written baseline JSON;
+/// `None` if that baseline predates the sweep orchestrator (the gate then
+/// skips the comparison instead of failing).
+fn sweep_256_of(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad JSON in {path}: {e}"));
+    v["sweep_256_cells_per_sec"].as_f64()
+}
+
+/// Best-of-REPS throughput of the sweep orchestrator on a fixed 256-cell
+/// DES matrix: 2 tile counts x 2 worker counts x {single-node, 2-node
+/// cluster} x {clean, straggler} x 16 seeds, quark/pinned profiles, DES
+/// replay everywhere, one shared synthetic model database.
+fn sweep_point() -> SweepPoint {
+    use supersim_workloads::sweep::{FaultPlanSpec, SweepBackend, SweepSpec};
+
+    let spec = SweepSpec {
+        tile_counts: vec![4, 6],
+        tile_sizes: vec![32],
+        worker_counts: vec![2, 4],
+        node_counts: vec![0, 2],
+        plans: vec![
+            FaultPlanSpec::clean(),
+            FaultPlanSpec::preset("straggler").expect("straggler preset"),
+        ],
+        seeds: (1..=16).collect(),
+        backend: SweepBackend::Des,
+        ..SweepSpec::default()
+    };
+    let probe = spec.run(0);
+    let cells = probe.report.cells_total as usize;
+    assert_eq!(cells, 256, "the gated sweep matrix is fixed at 256 cells");
+    let mut rate = probe.cells_per_sec();
+    for _ in 1..REPS {
+        rate = rate.max(spec.run(0).cells_per_sec());
+    }
+    SweepPoint {
+        cells,
+        jobs: probe.jobs,
+        cells_per_sec: rate,
+    }
 }
 
 /// One median gate-point measurement (the `--probe-targeted-64` payload).
@@ -299,6 +361,10 @@ fn main() {
     cluster.push(thr_4x8);
     cluster.push(des_4x8);
 
+    eprintln!("sweep throughput: fixed 256-cell DES matrix ...");
+    let sweep = sweep_point();
+    let sweep_256 = sweep.cells_per_sec;
+
     let gate = teq
         .iter()
         .find(|p| p.waiters == 64)
@@ -362,9 +428,11 @@ fn main() {
         gate_reps: GATE_REPS,
         targeted_64_median_tasks_per_sec: fresh_targeted_64,
         des_cluster_4x8_tasks_per_sec: des_cluster_4x8,
+        sweep_256_cells_per_sec: sweep_256,
         teq,
         engine,
         cluster,
+        sweep,
         acceptance,
         des_acceptance,
         overhead,
@@ -436,6 +504,23 @@ fn main() {
             }
             None => println!(
                 "perf gate vs {path}: no des_cluster_4x8_tasks_per_sec in committed baseline, skipping DES gate"
+            ),
+        }
+        match sweep_256_of(&path) {
+            Some(committed_sweep) => {
+                let ratio = sweep_256 / committed_sweep;
+                let pass = ratio >= 0.7;
+                println!(
+                    "perf gate vs {path}: fresh sweep@256 = {:.0} cells/s, committed = {:.0} cells/s, ratio {:.2} (floor 0.70) {}",
+                    sweep_256,
+                    committed_sweep,
+                    ratio,
+                    if pass { "PASS" } else { "FAIL" }
+                );
+                failed |= !pass;
+            }
+            None => println!(
+                "perf gate vs {path}: no sweep_256_cells_per_sec in committed baseline, skipping sweep gate"
             ),
         }
     }

@@ -5,6 +5,8 @@
 use crate::fitter::Calibration;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::Arc;
+use supersim_core::ModelRegistry;
 
 /// A stored calibration plus provenance metadata.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -73,6 +75,14 @@ impl CalibrationDb {
         let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
         Self::from_json(&text)
     }
+
+    /// The fitted model registry as a shared read-only database, ready to
+    /// back many concurrent sessions (`SimSession::with_shared`) or a
+    /// whole sweep (`SweepModels::Shared`): load once, hand the `Arc` to
+    /// every cell.
+    pub fn shared_models(&self) -> Arc<ModelRegistry> {
+        Arc::new(self.calibration.registry.clone())
+    }
 }
 
 #[cfg(test)]
@@ -122,6 +132,17 @@ mod tests {
         let back = CalibrationDb::load(&path).unwrap();
         assert_eq!(db, back);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shared_models_exposes_the_fitted_registry() {
+        let db = CalibrationDb::new("share test", 100, 10, 2, small_calibration());
+        let shared = db.shared_models();
+        assert_eq!(*shared, db.calibration.registry);
+        // Two handles to the same immutable database, not two copies.
+        let other = Arc::clone(&shared);
+        assert_eq!(Arc::strong_count(&shared), 2);
+        drop(other);
     }
 
     #[test]

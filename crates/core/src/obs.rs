@@ -15,10 +15,13 @@
 //!   The first wait on each thread always samples, so even a short run
 //!   records a non-zero wait histogram.
 //! * **disabled** — [`TeqTally`] is a zero-sized struct whose methods
-//!   are inline empty bodies, the stamp types are `()`, and the global
-//!   helpers are no-ops; the instrumentation compiles out entirely.
-//!   `size_of::<TeqTally>() == 0` is asserted by a test compiled only in
-//!   the disabled build.
+//!   are inline empty bodies and the stamp types are `()`; the
+//!   instrumentation compiles out entirely. `size_of::<TeqTally>() == 0`
+//!   is asserted by a test compiled only in the disabled build.
+//!
+//! The session's kernel / settle-spin counters live on `SimSession`
+//! itself (per-session atomics published by `publish_metrics`), not
+//! here: concurrent sessions must never share a process-global counter.
 //!
 //! The metric names emitted here are cataloged in DESIGN.md §5e.
 
@@ -28,7 +31,7 @@ pub const SAMPLE_MASK: u64 = 63;
 
 #[cfg(feature = "metrics")]
 mod imp {
-    use supersim_metrics::{global, sample, Counter, LocalHistogram};
+    use supersim_metrics::{sample, LocalHistogram};
 
     /// A sampled start timestamp for insert/retire latency (taken before
     /// the state lock so the measurement covers lock acquisition).
@@ -108,27 +111,6 @@ mod imp {
             self.wakeups += 1;
         }
     }
-
-    fn cached(
-        cell: &'static std::sync::OnceLock<&'static Counter>,
-        name: &str,
-    ) -> &'static Counter {
-        cell.get_or_init(|| global().counter(name))
-    }
-
-    /// Count settle-loop re-checks in the quiescence mitigation. Called
-    /// once per kernel with the locally accumulated spin count, not per
-    /// iteration.
-    pub fn add_quiesce_spins(n: u64) {
-        static C: std::sync::OnceLock<&'static Counter> = std::sync::OnceLock::new();
-        cached(&C, "sim.quiesce.spins").add(n);
-    }
-
-    /// Count one simulated-kernel invocation.
-    pub fn inc_kernels() {
-        static C: std::sync::OnceLock<&'static Counter> = std::sync::OnceLock::new();
-        cached(&C, "sim.kernels.count").inc();
-    }
 }
 
 #[cfg(not(feature = "metrics"))]
@@ -163,14 +145,6 @@ mod imp {
         #[inline(always)]
         pub fn on_wakeup(&mut self) {}
     }
-
-    /// Disabled: dropped.
-    #[inline(always)]
-    pub fn add_quiesce_spins(_n: u64) {}
-
-    /// Disabled: dropped.
-    #[inline(always)]
-    pub fn inc_kernels() {}
 }
 
 pub use imp::*;
@@ -213,15 +187,5 @@ mod enabled_tests {
         assert_eq!(t.insert_ns.count(), 1, "only the sampled insert lands");
         assert_eq!(t.retire_ns.count(), 0);
         assert_eq!(t.wait_parked_ns.count(), 1, "only the sampled wait lands");
-    }
-
-    #[test]
-    fn global_helpers_accumulate() {
-        add_quiesce_spins(3);
-        add_quiesce_spins(2);
-        inc_kernels();
-        let snap = supersim_metrics::global().snapshot();
-        assert!(snap.counter("sim.quiesce.spins").unwrap_or(0) >= 5);
-        assert!(snap.counter("sim.kernels.count").unwrap_or(0) >= 1);
     }
 }

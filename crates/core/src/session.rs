@@ -31,12 +31,15 @@
 //! ```
 
 use crate::model::ModelRegistry;
-use crate::obs;
 use crate::race::RaceMitigation;
 use crate::teq::{TaskExecutionQueue, WakeupMode};
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng};
+#[cfg(feature = "metrics")]
+use std::collections::BTreeMap;
 use std::collections::{HashMap, HashSet};
+#[cfg(feature = "metrics")]
+use std::sync::atomic::AtomicU64;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use supersim_runtime::{Quiesce, TaskContext};
@@ -252,7 +255,10 @@ pub fn record_segment_spans(
 /// task body, then read the predicted makespan and the virtual-time trace.
 pub struct SimSession {
     teq: TaskExecutionQueue,
-    models: ModelRegistry,
+    /// Shared, read-only kernel models. An `Arc` so N concurrent sessions
+    /// (a sweep's cells) can share one fitted-model database built once up
+    /// front instead of cloning the registry per cell.
+    models: Arc<ModelRegistry>,
     trace: TraceRecorder,
     config: SimConfig,
     quiesce: Mutex<Option<Arc<dyn Quiesce>>>,
@@ -274,11 +280,31 @@ pub struct SimSession {
     /// run still describe the run (not the emptied buffers).
     #[cfg(feature = "metrics")]
     final_occupancy: Mutex<Option<Vec<usize>>>,
+    /// Simulated kernels completed by this session. Per-session (not
+    /// process-global) so N concurrent sessions never cross-talk.
+    #[cfg(feature = "metrics")]
+    kernels: AtomicU64,
+    /// Settle-loop spins observed by this session.
+    #[cfg(feature = "metrics")]
+    quiesce_spins: AtomicU64,
+    /// End-of-run counters accumulated by engines driving this session
+    /// (e.g. the DES replay backend's run/task/event totals), published
+    /// alongside the session's own instruments by
+    /// [`SimSession::publish_metrics`].
+    #[cfg(feature = "metrics")]
+    run_counters: Mutex<BTreeMap<String, u64>>,
 }
 
 impl SimSession {
     /// Create a session over a model registry.
     pub fn new(models: ModelRegistry, config: SimConfig) -> Arc<Self> {
+        Self::with_shared(Arc::new(models), config)
+    }
+
+    /// Create a session over a *shared* model registry. Sweeps build one
+    /// fitted-model database up front and hand every concurrent session
+    /// the same `Arc` — the registry is read-only, so sharing is free.
+    pub fn with_shared(models: Arc<ModelRegistry>, config: SimConfig) -> Arc<Self> {
         Arc::new(SimSession {
             teq: TaskExecutionQueue::with_wakeup_mode(config.wakeup_mode),
             models,
@@ -291,6 +317,12 @@ impl SimSession {
             ranks: Mutex::new(HashMap::new()),
             #[cfg(feature = "metrics")]
             final_occupancy: Mutex::new(None),
+            #[cfg(feature = "metrics")]
+            kernels: AtomicU64::new(0),
+            #[cfg(feature = "metrics")]
+            quiesce_spins: AtomicU64::new(0),
+            #[cfg(feature = "metrics")]
+            run_counters: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -325,7 +357,7 @@ impl SimSession {
     /// the post-failure phase re-runs the surviving work on a clean clock
     /// and is stitched onto the pre-failure trace afterwards.
     pub fn fork(&self) -> Arc<Self> {
-        SimSession::new(self.models.clone(), self.config.clone())
+        SimSession::with_shared(self.models.clone(), self.config.clone())
     }
 
     /// The session configuration.
@@ -360,13 +392,25 @@ impl SimSession {
 
     /// Publish this session's observability data into `snap`: the TEQ
     /// tally (counts, latency histograms, wakeups under the configured
-    /// [`WakeupMode`]'s name), the trace recorder's total event count, and
-    /// its per-shard occupancy (as captured at [`SimSession::finish_trace`]
-    /// time, or live if the trace has not been finished). See DESIGN.md
-    /// §5e for the metric catalog.
+    /// [`WakeupMode`]'s name), the session's kernel / settle-spin counters
+    /// (`sim.kernels.count`, `sim.quiesce.spins`), any engine run counters
+    /// accumulated via [`SimSession::add_run_counter`], the trace
+    /// recorder's total event count, and its per-shard occupancy (as
+    /// captured at [`SimSession::finish_trace`] time, or live if the trace
+    /// has not been finished). All of these are per-session: concurrent
+    /// sessions publish disjoint totals with no process-global cross-talk.
+    /// See DESIGN.md §5e for the metric catalog.
     #[cfg(feature = "metrics")]
     pub fn publish_metrics(&self, snap: &mut supersim_metrics::MetricsSnapshot) {
         self.teq.publish_metrics(snap);
+        snap.push_counter("sim.kernels.count", self.kernels.load(Ordering::Relaxed));
+        snap.push_counter(
+            "sim.quiesce.spins",
+            self.quiesce_spins.load(Ordering::Relaxed),
+        );
+        for (name, value) in self.run_counters.lock().iter() {
+            snap.push_counter(name, *value);
+        }
         snap.push_counter("trace.events.recorded", self.trace.total_recorded());
         let occupancy = self
             .final_occupancy
@@ -380,6 +424,36 @@ impl SimSession {
                 snap.push_gauge(&format!("trace.shard.{i:02}.occupancy"), n as i64);
             }
         }
+    }
+
+    /// Accumulate an end-of-run counter under `name`, published by
+    /// [`SimSession::publish_metrics`]. Engines driving this session (the
+    /// DES replay backend) report their run/task/event totals here instead
+    /// of to the process-global registry, so N concurrent sessions keep
+    /// disjoint totals. A no-op without the `metrics` feature.
+    pub fn add_run_counter(&self, _name: &str, _n: u64) {
+        #[cfg(feature = "metrics")]
+        {
+            *self
+                .run_counters
+                .lock()
+                .entry(_name.to_string())
+                .or_insert(0) += _n;
+        }
+    }
+
+    /// Count one simulated kernel against this session.
+    #[inline]
+    fn note_kernel(&self) {
+        #[cfg(feature = "metrics")]
+        self.kernels.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count settle-loop spins against this session.
+    #[inline]
+    fn note_quiesce_spins(&self, _spins: u64) {
+        #[cfg(feature = "metrics")]
+        self.quiesce_spins.fetch_add(_spins, Ordering::Relaxed);
     }
 
     /// The simulated-kernel protocol (paper §V-D). Call from inside a task
@@ -513,7 +587,7 @@ impl SimSession {
 
     /// Steps (1)–(5) of the protocol, shared by every entry point.
     fn simulate(&self, ctx: &TaskContext, label: &str, duration: f64) {
-        obs::inc_kernels();
+        self.note_kernel();
         // (1)+(2): read the clock for the start, insert the completion.
         // With an injector attached the duration is re-derived from the
         // start time *under the TEQ lock*, so start-dependent costs
@@ -554,7 +628,7 @@ impl SimSession {
         segs: &[(SegmentKind, f64)],
         inj: &Arc<dyn FaultInjector>,
     ) -> f64 {
-        obs::inc_kernels();
+        self.note_kernel();
         let mut bounds: Vec<(SegmentKind, f64, f64)> = Vec::with_capacity(segs.len());
         let (ticket, start) = self.teq.insert_with(|start| {
             let (b, total) = layout_segments(Some(inj.as_ref()), ctx.worker, start, segs);
@@ -637,7 +711,7 @@ impl SimSession {
                 }
             }
         }
-        obs::add_quiesce_spins(spins);
+        self.note_quiesce_spins(spins);
         // (5): retire — advance the clock to this task's completion.
         if debug_enabled() {
             eprintln!("[dbg] retire task={} end={:.6}", ctx.task_id, ticket.end);
@@ -1185,5 +1259,70 @@ mod extension_tests {
             "makespan {}",
             session.virtual_now()
         );
+    }
+}
+
+#[cfg(all(test, feature = "metrics"))]
+mod isolation_tests {
+    use super::*;
+    use crate::model::KernelModel;
+    use supersim_dag::{Access, DataId};
+    use supersim_runtime::{Runtime, RuntimeConfig, TaskDesc};
+
+    fn run_chain(session: &Arc<SimSession>, tasks: u64) {
+        let rt = Runtime::new(RuntimeConfig::simple(2));
+        session.attach_quiesce(rt.probe());
+        for _ in 0..tasks {
+            let s = session.clone();
+            rt.submit(TaskDesc::new(
+                "k",
+                vec![Access::read_write(DataId(0))],
+                move |ctx| s.run_kernel(ctx, "k"),
+            ));
+        }
+        rt.seal();
+        rt.wait_all().unwrap();
+    }
+
+    /// Concurrent sessions publish *exact, disjoint* kernel counts — the
+    /// property a process-global counter cannot provide. This is the
+    /// session-isolation invariant the sweep orchestrator rests on
+    /// (DESIGN.md §10).
+    #[test]
+    fn concurrent_sessions_do_not_cross_talk() {
+        let make = || {
+            let mut m = ModelRegistry::new();
+            m.insert("k", KernelModel::constant(1.0));
+            SimSession::new(m, SimConfig::default())
+        };
+        let a = make();
+        let b = make();
+        std::thread::scope(|s| {
+            s.spawn(|| run_chain(&a, 3));
+            s.spawn(|| run_chain(&b, 5));
+        });
+        a.add_run_counter("des.replay.runs", 1);
+
+        let mut snap_a = supersim_metrics::MetricsSnapshot::default();
+        a.publish_metrics(&mut snap_a);
+        let mut snap_b = supersim_metrics::MetricsSnapshot::default();
+        b.publish_metrics(&mut snap_b);
+        assert_eq!(snap_a.counter("sim.kernels.count"), Some(3));
+        assert_eq!(snap_b.counter("sim.kernels.count"), Some(5));
+        assert_eq!(snap_a.counter("des.replay.runs"), Some(1));
+        assert_eq!(snap_b.counter("des.replay.runs"), None);
+    }
+
+    /// A shared registry is one allocation: sessions built over the same
+    /// `Arc` observe the same models without cloning.
+    #[test]
+    fn with_shared_reuses_one_registry() {
+        let mut m = ModelRegistry::new();
+        m.insert("k", KernelModel::constant(2.0));
+        let shared = Arc::new(m);
+        let a = SimSession::with_shared(shared.clone(), SimConfig::default());
+        let b = SimSession::with_shared(shared.clone(), SimConfig::default());
+        assert!(std::ptr::eq(a.models(), b.models()));
+        assert!(std::ptr::eq(a.models(), a.fork().models()));
     }
 }

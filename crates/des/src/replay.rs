@@ -377,13 +377,12 @@ impl ReplayEngine {
             cursor
         );
 
-        #[cfg(feature = "metrics")]
-        {
-            let reg = supersim_metrics::global();
-            reg.counter("des.replay.runs").inc();
-            reg.counter("des.replay.tasks").add(stats.completed);
-            reg.counter("des.replay.events").add(events);
-        }
+        // Run totals go to the driving session, not a process-global
+        // registry: N concurrent replay sessions keep disjoint counters.
+        self.session.add_run_counter("des.replay.runs", 1);
+        self.session
+            .add_run_counter("des.replay.tasks", stats.completed);
+        self.session.add_run_counter("des.replay.events", events);
 
         ReplayOutcome {
             makespan: clock,

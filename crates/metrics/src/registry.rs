@@ -5,6 +5,12 @@
 //! handle is a lock-free atomic. Call sites are expected to cache the
 //! handle in a `OnceLock` so even the registration lock is paid once per
 //! process, not per operation.
+//!
+//! The engine no longer writes here: its counters (`sim.*`, `des.*`,
+//! `trace.*`) are per-session and reach a snapshot via
+//! `SimSession::publish_metrics`, so N concurrent sessions — e.g. the
+//! cells of one sweep — stay attributable. [`global`] remains for ad-hoc
+//! instrumentation and benchmarks that genuinely want process scope.
 
 use crate::instruments::{Counter, Gauge, Histogram};
 use crate::snapshot::MetricsSnapshot;

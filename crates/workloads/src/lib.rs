@@ -38,6 +38,11 @@
 //!   canonical traces, no host thread per simulated worker;
 //! * [`faultsim`] — fault-injected execution and the two-phase replay of
 //!   permanent failures, reported as a [`FaultOutcome`];
+//! * [`sweep`] — the scenario-matrix orchestrator: a [`SweepSpec`]
+//!   expands a cartesian product of axes into cells, runs them across
+//!   host threads over one shared model database, and merges a
+//!   deterministically ordered report with Pareto frontiers and
+//!   autotune argmin (DESIGN.md §10);
 //! * [`compat`] — deprecated shims for the pre-builder free functions.
 
 pub mod cholesky;
@@ -51,6 +56,7 @@ pub mod mode;
 pub mod qr;
 pub mod replay;
 pub mod scenario;
+pub mod sweep;
 pub mod synthetic;
 
 pub use cluster::ClusterRun;
@@ -60,6 +66,7 @@ pub use faultsim::FaultOutcome;
 pub use mode::ExecMode;
 pub use replay::Backend;
 pub use scenario::Scenario;
+pub use sweep::{SweepBackend, SweepOutcome, SweepReport, SweepSpec};
 
 #[allow(deprecated)]
 pub use compat::{run_cluster, run_real, run_sim, session_with};

@@ -30,7 +30,7 @@
 //! [`crate::compat`].
 
 use crate::cluster::ClusterRun;
-use crate::driver::{exec_real, make_session, Algorithm, RealRun, SimRun};
+use crate::driver::{exec_real, Algorithm, RealRun, SimRun};
 use crate::faultsim::{run_faults, FaultOutcome};
 use crate::replay::{exec_cluster_backend, exec_sim_backend, Backend};
 use std::sync::Arc;
@@ -49,7 +49,7 @@ pub struct Scenario {
     pub(crate) scheduler: SchedulerKind,
     pub(crate) workers: usize,
     seed: u64,
-    models: Option<ModelRegistry>,
+    models: Option<Arc<ModelRegistry>>,
     config: Option<SimConfig>,
     session: Option<Arc<SimSession>>,
     pub(crate) cluster: Option<ClusterSpec>,
@@ -148,6 +148,14 @@ impl Scenario {
     /// Provide kernel duration models for simulated terminals. A session
     /// is built from these plus the seed/config on each simulated run.
     pub fn models(mut self, models: ModelRegistry) -> Self {
+        self.models = Some(Arc::new(models));
+        self
+    }
+
+    /// Provide a *shared* read-only model registry. Sweeps build one
+    /// fitted-model database up front and hand every cell the same `Arc`;
+    /// sessions built from it reference it without cloning.
+    pub fn models_shared(mut self, models: Arc<ModelRegistry>) -> Self {
         self.models = Some(models);
         self
     }
@@ -247,10 +255,14 @@ impl Scenario {
                 .models
                 .clone()
                 .expect("simulated terminals need .models(...) or .session(...)");
-            match &self.config {
-                Some(c) => SimSession::new(models, c.clone()),
-                None => make_session(models, self.seed),
-            }
+            let config = match &self.config {
+                Some(c) => c.clone(),
+                None => SimConfig {
+                    seed: self.seed,
+                    ..SimConfig::default()
+                },
+            };
+            SimSession::with_shared(models, config)
         }
     }
 
@@ -379,6 +391,7 @@ impl Scenario {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::make_session;
     use supersim_core::KernelModel;
 
     fn models(alg: Algorithm) -> ModelRegistry {

@@ -1,0 +1,585 @@
+//! The sweep orchestrator: thousands of scenarios per invocation.
+//!
+//! A [`SweepSpec`] describes a scenario *matrix* — the cartesian product
+//! over algorithm / problem size / tile size / scheduler / workers /
+//! nodes / interconnect / fault plan / seed, each axis an explicit list —
+//! which expands deterministically into [`CellSpec`]s, executes across
+//! host cores on a shared work queue (DES backend preferred, threaded
+//! allowed per cell), and merges into one deterministically ordered
+//! [`SweepReport`] with Pareto frontiers and an optional autotune
+//! (argmin-over-the-matrix) section. This is the compare-schedulers-over-
+//! a-corpus methodology of the batch-simulation literature, built on the
+//! session isolation invariant: every cell gets its own `SimSession`
+//! (clock, trace recorder, counters), and all cells share one read-only
+//! fitted-model database built once up front. See DESIGN.md §10.
+//!
+//! ```
+//! use supersim_workloads::sweep::SweepSpec;
+//! let spec = SweepSpec {
+//!     tile_counts: vec![4],
+//!     tile_sizes: vec![8, 16],
+//!     worker_counts: vec![3],
+//!     seeds: vec![1, 2],
+//!     ..SweepSpec::default()
+//! };
+//! let outcome = spec.run(2);
+//! assert_eq!(outcome.report.cells.len(), 4);
+//! ```
+
+pub mod pareto;
+pub mod report;
+pub mod runner;
+
+pub use pareto::{dominates, pareto_frontier};
+pub use report::{
+    autotune, AutotuneGroup, AutotuneReport, CellResult, ParetoReport, SweepReport, AUTOTUNE_AXES,
+};
+pub use runner::SweepOutcome;
+
+use crate::driver::Algorithm;
+use crate::replay::Backend;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use supersim_cluster::{Hockney, Interconnect, SharedLink, ZeroCost};
+use supersim_core::{KernelModel, ModelRegistry};
+use supersim_dist::Dist;
+use supersim_faults::FaultPlan;
+use supersim_runtime::SchedulerKind;
+
+/// An interconnect model described by value, so a spec is plain data and
+/// each cell can build its own `Arc<dyn Interconnect>`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InterconnectSpec {
+    /// Free transfers (upper-bound baseline).
+    Zero,
+    /// Hockney point-to-point: latency + size/bandwidth.
+    Hockney {
+        /// Per-message latency (seconds).
+        latency: f64,
+        /// Link bandwidth (bytes/second).
+        bandwidth: f64,
+    },
+    /// One shared link per node (transfers serialize on the NIC lane).
+    SharedLink {
+        /// Per-message latency (seconds).
+        latency: f64,
+        /// Link bandwidth (bytes/second).
+        bandwidth: f64,
+    },
+}
+
+impl InterconnectSpec {
+    /// Parse a CLI name (`zero`, `hockney`, `sharedlink`) with the given
+    /// latency/bandwidth parameters.
+    pub fn parse(name: &str, latency: f64, bandwidth: f64) -> Option<InterconnectSpec> {
+        match name {
+            "zero" => Some(InterconnectSpec::Zero),
+            "hockney" => Some(InterconnectSpec::Hockney { latency, bandwidth }),
+            "sharedlink" => Some(InterconnectSpec::SharedLink { latency, bandwidth }),
+            _ => None,
+        }
+    }
+
+    /// The model's name as recorded in the report.
+    pub fn name(&self) -> &'static str {
+        match self {
+            InterconnectSpec::Zero => "zero",
+            InterconnectSpec::Hockney { .. } => "hockney",
+            InterconnectSpec::SharedLink { .. } => "sharedlink",
+        }
+    }
+
+    /// Build the interconnect model.
+    pub fn build(&self) -> Arc<dyn Interconnect> {
+        match *self {
+            InterconnectSpec::Zero => Arc::new(ZeroCost),
+            InterconnectSpec::Hockney { latency, bandwidth } => {
+                Arc::new(Hockney::new(latency, bandwidth))
+            }
+            InterconnectSpec::SharedLink { latency, bandwidth } => {
+                Arc::new(SharedLink::new(latency, bandwidth))
+            }
+        }
+    }
+}
+
+/// A named fault plan: the name keys the report's `plan` column.
+#[derive(Debug, Clone)]
+pub struct FaultPlanSpec {
+    /// Plan name in the report (`clean`, `straggler`, ...).
+    pub name: String,
+    /// The plan itself (empty = fault-free cell).
+    pub plan: FaultPlan,
+}
+
+impl FaultPlanSpec {
+    /// The fault-free plan.
+    pub fn clean() -> FaultPlanSpec {
+        FaultPlanSpec {
+            name: "clean".to_string(),
+            plan: FaultPlan::new(),
+        }
+    }
+
+    /// Wrap an explicit plan under a report name.
+    pub fn named(name: impl Into<String>, plan: FaultPlan) -> FaultPlanSpec {
+        FaultPlanSpec {
+            name: name.into(),
+            plan,
+        }
+    }
+
+    /// Canned presets for CLI matrices, all within the lane-independent
+    /// determinism contract (DESIGN.md §7): `clean`, `straggler` (node 0
+    /// slowed 3x over the first 20% of the clean makespan timeline),
+    /// `transient` (every 5th submission of each label fails once), and
+    /// `kill` (worker lane 1 dies at t=0.05 with replay recovery).
+    pub fn preset(name: &str) -> Option<FaultPlanSpec> {
+        let plan = match name {
+            "clean" => FaultPlan::new(),
+            "straggler" => FaultPlan::new().straggler_node(0, 0.0, 0.2, 3.0),
+            "transient" => FaultPlan::new().transient(5, 1, 0.5),
+            "kill" => FaultPlan::new().kill_worker(1, 0.05),
+            _ => return None,
+        };
+        Some(FaultPlanSpec::named(name, plan))
+    }
+}
+
+/// Backend policy for the whole sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepBackend {
+    /// Per cell: the DES replay backend wherever it can replay the cell
+    /// deterministically (the default scheduler and all cluster cells),
+    /// the threaded engine for the racy scheduler profiles.
+    #[default]
+    Auto,
+    /// Force DES everywhere. Expansion fails fast if the matrix contains
+    /// a scheduler profile DES cannot replay deterministically.
+    Des,
+    /// Force the threaded engine everywhere.
+    Threaded,
+}
+
+impl SweepBackend {
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<SweepBackend> {
+        match s {
+            "auto" => Some(SweepBackend::Auto),
+            "des" => Some(SweepBackend::Des),
+            "threaded" => Some(SweepBackend::Threaded),
+            _ => None,
+        }
+    }
+}
+
+/// Where the sweep's kernel models come from. Whatever the source, the
+/// registry is materialized **once** and shared read-only (one `Arc`)
+/// across every concurrent cell session.
+#[derive(Debug, Clone)]
+pub enum SweepModels {
+    /// Synthetic log-normal models, one per kernel label of every swept
+    /// algorithm: `ln N(mu, sigma)` seconds with a first-call warm-up
+    /// factor.
+    Synthetic {
+        /// Log-normal location parameter.
+        mu: f64,
+        /// Log-normal scale parameter.
+        sigma: f64,
+        /// First-call warm-up factor (1.0 = none).
+        warmup: f64,
+    },
+    /// One fitted-model database shared by every cell (e.g. loaded from a
+    /// `CalibrationDb`).
+    Shared(Arc<ModelRegistry>),
+    /// A registry per tile size, for autotune sweeps whose calibrations
+    /// are nb-dependent. Expansion fails fast if a swept tile size has no
+    /// entry.
+    PerTileSize(BTreeMap<usize, Arc<ModelRegistry>>),
+}
+
+/// A scenario matrix. Every axis is an explicit list; the product of the
+/// lists (minus structurally impossible combinations, see
+/// [`SweepSpec::cells`]) is the set of cells executed.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Algorithms to sweep.
+    pub algorithms: Vec<Algorithm>,
+    /// Explicit matrix orders. When non-empty this overrides
+    /// `tile_counts`; when empty, `n = tiles * nb` per tile count.
+    pub orders: Vec<usize>,
+    /// Tile-grid sizes (used when `orders` is empty).
+    pub tile_counts: Vec<usize>,
+    /// Tile sizes (nb).
+    pub tile_sizes: Vec<usize>,
+    /// Scheduler profiles (single-node cells; cluster cells always use
+    /// the pinned cluster profile).
+    pub schedulers: Vec<SchedulerKind>,
+    /// Worker counts (per node for cluster cells).
+    pub worker_counts: Vec<usize>,
+    /// Node counts; 0 means a single-node cell.
+    pub node_counts: Vec<usize>,
+    /// Interconnect models (cluster cells only; the axis collapses for
+    /// single-node cells).
+    pub interconnects: Vec<InterconnectSpec>,
+    /// Named fault plans.
+    pub plans: Vec<FaultPlanSpec>,
+    /// Duration-sampling seeds.
+    pub seeds: Vec<u64>,
+    /// Backend policy.
+    pub backend: SweepBackend,
+    /// Kernel-model source.
+    pub models: SweepModels,
+    /// Per-task scheduler overhead (seconds) applied to every cell.
+    pub overhead_per_task: f64,
+    /// NIC lanes per node (None = the interconnect model's default).
+    pub nic_lanes: Option<usize>,
+    /// Autotune axis (see [`AUTOTUNE_AXES`]); adds an argmin section to
+    /// the report.
+    pub autotune: Option<String>,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec {
+            algorithms: vec![Algorithm::Cholesky],
+            orders: Vec::new(),
+            tile_counts: vec![8],
+            tile_sizes: vec![64],
+            schedulers: vec![SchedulerKind::Quark],
+            worker_counts: vec![4],
+            node_counts: vec![0],
+            interconnects: vec![InterconnectSpec::Hockney {
+                latency: 1e-5,
+                bandwidth: 1e10,
+            }],
+            plans: vec![FaultPlanSpec::clean()],
+            seeds: vec![42],
+            backend: SweepBackend::Auto,
+            models: SweepModels::Synthetic {
+                mu: -6.0,
+                sigma: 0.3,
+                warmup: 1.5,
+            },
+            overhead_per_task: 0.0,
+            nic_lanes: None,
+            autotune: None,
+        }
+    }
+}
+
+/// One fully resolved cell of the matrix.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Position in the expansion (the report's merge key).
+    pub id: u64,
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// Matrix order.
+    pub n: usize,
+    /// Tile size.
+    pub nb: usize,
+    /// Scheduler profile (ignored by cluster cells, which run pinned).
+    pub scheduler: SchedulerKind,
+    /// Workers (per node when `nodes > 0`).
+    pub workers: usize,
+    /// Nodes (0 = single-node).
+    pub nodes: usize,
+    /// Interconnect (cluster cells only).
+    pub interconnect: Option<InterconnectSpec>,
+    /// Fault-plan name.
+    pub plan_name: String,
+    /// The fault plan.
+    pub plan: FaultPlan,
+    /// Duration-sampling seed.
+    pub seed: u64,
+    /// Resolved backend for this cell.
+    pub backend: Backend,
+}
+
+impl SweepSpec {
+    /// Expand the matrix into cells, deterministically: nested loops in
+    /// axis order (algorithm, order/tiles, tile size, nodes, scheduler,
+    /// workers, interconnect, plan, seed), ids assigned sequentially.
+    /// Structurally impossible combinations are dropped, not errors: the
+    /// distributed engine implements Cholesky and LU only, so QR ×
+    /// cluster cells are skipped; cluster cells collapse the scheduler
+    /// axis (always the pinned profile); single-node cells collapse the
+    /// interconnect axis.
+    ///
+    /// # Panics
+    ///
+    /// If an axis list is empty, or if [`SweepBackend::Des`] is forced
+    /// while the matrix contains a single-node scheduler profile the DES
+    /// replay cannot run deterministically.
+    pub fn cells(&self) -> Vec<CellSpec> {
+        for (name, empty) in [
+            ("algorithms", self.algorithms.is_empty()),
+            (
+                "orders/tile_counts",
+                self.orders.is_empty() && self.tile_counts.is_empty(),
+            ),
+            ("tile_sizes", self.tile_sizes.is_empty()),
+            ("schedulers", self.schedulers.is_empty()),
+            ("worker_counts", self.worker_counts.is_empty()),
+            ("node_counts", self.node_counts.is_empty()),
+            ("interconnects", self.interconnects.is_empty()),
+            ("plans", self.plans.is_empty()),
+            ("seeds", self.seeds.is_empty()),
+        ] {
+            assert!(!empty, "sweep axis {name} is empty");
+        }
+        if let Some(axis) = &self.autotune {
+            assert!(
+                AUTOTUNE_AXES.contains(&axis.as_str()) || axis == "tile_size",
+                "unknown autotune axis {axis:?} (one of {AUTOTUNE_AXES:?})"
+            );
+        }
+
+        let mut cells = Vec::new();
+        let mut id = 0u64;
+        for &algorithm in &self.algorithms {
+            for &nb in &self.tile_sizes {
+                let orders: Vec<usize> = if self.orders.is_empty() {
+                    self.tile_counts.iter().map(|t| t * nb).collect()
+                } else {
+                    self.orders.clone()
+                };
+                for &n in &orders {
+                    for &nodes in &self.node_counts {
+                        if nodes > 0 && algorithm == Algorithm::Qr {
+                            // Distributed QR is not implemented.
+                            continue;
+                        }
+                        // Cluster cells always run the pinned cluster
+                        // profile; iterating the scheduler axis would
+                        // duplicate identical cells.
+                        let schedulers: &[SchedulerKind] = if nodes > 0 {
+                            &self.schedulers[..1]
+                        } else {
+                            &self.schedulers
+                        };
+                        for &scheduler in schedulers {
+                            for &workers in &self.worker_counts {
+                                let interconnects: &[InterconnectSpec] = if nodes > 0 {
+                                    &self.interconnects
+                                } else {
+                                    &self.interconnects[..1]
+                                };
+                                for ic in interconnects {
+                                    for plan in &self.plans {
+                                        for &seed in &self.seeds {
+                                            let backend = self.resolve_backend(nodes, scheduler);
+                                            cells.push(CellSpec {
+                                                id,
+                                                algorithm,
+                                                n,
+                                                nb,
+                                                scheduler,
+                                                workers,
+                                                nodes,
+                                                interconnect: (nodes > 0).then_some(*ic),
+                                                plan_name: plan.name.clone(),
+                                                plan: plan.plan.clone(),
+                                                seed,
+                                                backend,
+                                            });
+                                            id += 1;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    fn resolve_backend(&self, nodes: usize, scheduler: SchedulerKind) -> Backend {
+        // Cluster cells replay on pinned lanes, which DES always supports.
+        let des_ok = nodes > 0 || Backend::Des.supports(scheduler).is_ok();
+        match self.backend {
+            SweepBackend::Threaded => Backend::Threaded,
+            SweepBackend::Auto => {
+                if des_ok {
+                    Backend::Des
+                } else {
+                    Backend::Threaded
+                }
+            }
+            SweepBackend::Des => {
+                assert!(
+                    des_ok,
+                    "backend des forced, but scheduler {} cannot replay deterministically \
+                     on the DES backend (use --backend auto to fall back per cell)",
+                    scheduler.name()
+                );
+                Backend::Des
+            }
+        }
+    }
+
+    /// Materialize the shared model database: one registry (or one per
+    /// tile size), built once, shared read-only by every cell session.
+    pub(crate) fn model_bank(&self) -> ModelBank {
+        match &self.models {
+            SweepModels::Shared(registry) => ModelBank::Single(registry.clone()),
+            SweepModels::PerTileSize(map) => {
+                for &nb in &self.tile_sizes {
+                    assert!(
+                        map.contains_key(&nb),
+                        "SweepModels::PerTileSize has no registry for nb={nb}"
+                    );
+                }
+                ModelBank::PerNb(map.clone())
+            }
+            SweepModels::Synthetic { mu, sigma, warmup } => {
+                let mut registry = ModelRegistry::new();
+                for alg in &self.algorithms {
+                    for label in alg.labels() {
+                        let dist = Dist::log_normal(*mu, *sigma)
+                            .expect("synthetic sweep models need valid log-normal parameters");
+                        let model = if *warmup == 1.0 {
+                            KernelModel::new(dist)
+                        } else {
+                            KernelModel::with_warmup(dist, *warmup)
+                        };
+                        registry.insert(*label, model);
+                    }
+                }
+                ModelBank::Single(Arc::new(registry))
+            }
+        }
+    }
+}
+
+/// The materialized shared model database.
+pub(crate) enum ModelBank {
+    Single(Arc<ModelRegistry>),
+    PerNb(BTreeMap<usize, Arc<ModelRegistry>>),
+}
+
+impl ModelBank {
+    pub(crate) fn for_nb(&self, nb: usize) -> Arc<ModelRegistry> {
+        match self {
+            ModelBank::Single(r) => r.clone(),
+            ModelBank::PerNb(map) => map
+                .get(&nb)
+                .unwrap_or_else(|| panic!("no model registry for nb={nb}"))
+                .clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_is_the_cartesian_product() {
+        let spec = SweepSpec {
+            algorithms: vec![Algorithm::Cholesky, Algorithm::Lu],
+            tile_counts: vec![4, 6],
+            tile_sizes: vec![16, 32],
+            schedulers: vec![SchedulerKind::Quark, SchedulerKind::StarPu],
+            seeds: vec![1, 2, 3],
+            ..SweepSpec::default()
+        };
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 2 * 2 * 2 * 3);
+        // Ids are sequential and the expansion is deterministic.
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.id, i as u64);
+        }
+        assert_eq!(
+            spec.cells().iter().map(|c| c.id).collect::<Vec<_>>(),
+            cells.iter().map(|c| c.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn orders_override_tile_counts() {
+        let spec = SweepSpec {
+            orders: vec![100, 200],
+            tile_counts: vec![4, 6, 8],
+            tile_sizes: vec![10],
+            ..SweepSpec::default()
+        };
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].n, 100);
+        assert_eq!(cells[1].n, 200);
+    }
+
+    #[test]
+    fn cluster_cells_collapse_scheduler_and_skip_qr() {
+        let spec = SweepSpec {
+            algorithms: vec![Algorithm::Cholesky, Algorithm::Qr],
+            schedulers: vec![SchedulerKind::Quark, SchedulerKind::StarPu],
+            node_counts: vec![0, 4],
+            interconnects: vec![
+                InterconnectSpec::Zero,
+                InterconnectSpec::Hockney {
+                    latency: 1e-5,
+                    bandwidth: 1e10,
+                },
+            ],
+            ..SweepSpec::default()
+        };
+        let cells = spec.cells();
+        // Single-node: 2 algs x 2 schedulers x 1 interconnect (collapsed).
+        // Cluster: cholesky only, 1 scheduler (collapsed) x 2 interconnects.
+        assert_eq!(cells.len(), 2 * 2 + 2);
+        assert!(cells
+            .iter()
+            .all(|c| c.nodes == 0 || c.algorithm == Algorithm::Cholesky));
+        assert!(cells
+            .iter()
+            .all(|c| (c.nodes > 0) == c.interconnect.is_some()));
+    }
+
+    #[test]
+    fn auto_backend_prefers_des_where_deterministic() {
+        let spec = SweepSpec {
+            schedulers: vec![SchedulerKind::Quark, SchedulerKind::StarPu],
+            node_counts: vec![0, 2],
+            ..SweepSpec::default()
+        };
+        let cells = spec.cells();
+        for c in &cells {
+            if c.nodes > 0 || c.scheduler == SchedulerKind::Quark {
+                assert_eq!(c.backend, Backend::Des, "cell {}", c.id);
+            } else {
+                assert_eq!(c.backend, Backend::Threaded, "cell {}", c.id);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot replay deterministically")]
+    fn forced_des_rejects_racy_profiles() {
+        let spec = SweepSpec {
+            schedulers: vec![SchedulerKind::StarPu],
+            backend: SweepBackend::Des,
+            ..SweepSpec::default()
+        };
+        spec.cells();
+    }
+
+    #[test]
+    fn synthetic_bank_covers_all_swept_algorithms() {
+        let spec = SweepSpec {
+            algorithms: vec![Algorithm::Cholesky, Algorithm::Qr, Algorithm::Lu],
+            ..SweepSpec::default()
+        };
+        let bank = spec.model_bank();
+        let registry = bank.for_nb(64);
+        for alg in &spec.algorithms {
+            for label in alg.labels() {
+                registry.expect(label);
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Pareto-frontier extraction over sweep cells.
+//!
+//! A sweep compares configurations along several *minimized* objectives
+//! at once (makespan, resilience as slowdown-under-faults, transfer
+//! volume). The frontier is the set of non-dominated cells: nobody else
+//! is at least as good everywhere and strictly better somewhere.
+
+/// Whether `a` dominates `b` (all objectives minimized): `a` is no worse
+/// in every coordinate and strictly better in at least one. Identical
+/// points do not dominate each other, so exact ties all stay on the
+/// frontier.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len(), "objective vectors must align");
+    let mut strict = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Ids of the non-dominated points among `points` (each an id plus its
+/// objective vector, all objectives minimized). The result is sorted
+/// ascending by id and deduplicated, so it is identical for any
+/// permutation of the input — the property the sweep report's
+/// byte-for-byte determinism rests on. O(n²·d); a thousand-cell sweep
+/// with three objectives is a few million comparisons.
+pub fn pareto_frontier(points: &[(u64, Vec<f64>)]) -> Vec<u64> {
+    let mut ids: Vec<u64> = points
+        .iter()
+        .filter(|(_, p)| points.iter().all(|(_, q)| !dominates(q, p)))
+        .map(|(id, _)| *id)
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(id: u64, coords: &[f64]) -> (u64, Vec<f64>) {
+        (id, coords.to_vec())
+    }
+
+    #[test]
+    fn single_point_is_frontier() {
+        assert_eq!(pareto_frontier(&[pt(7, &[1.0, 2.0])]), vec![7]);
+    }
+
+    #[test]
+    fn dominated_point_excluded() {
+        let pts = [pt(0, &[1.0, 1.0]), pt(1, &[2.0, 2.0])];
+        assert_eq!(pareto_frontier(&pts), vec![0]);
+    }
+
+    #[test]
+    fn trade_off_keeps_both() {
+        let pts = [pt(0, &[1.0, 3.0]), pt(1, &[3.0, 1.0])];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn exact_ties_all_survive() {
+        let pts = [pt(0, &[1.0, 1.0]), pt(1, &[1.0, 1.0]), pt(2, &[2.0, 1.0])];
+        assert_eq!(pareto_frontier(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn equal_in_one_coordinate_still_dominates() {
+        // (1,1) vs (1,2): equal first coordinate, strictly better second.
+        assert!(dominates(&[1.0, 1.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 1.0]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Coordinates drawn from a tiny integer grid so ties and dominance
+    /// chains are common — the interesting cases for frontier logic.
+    fn points_strategy() -> impl Strategy<Value = Vec<(u64, Vec<f64>)>> {
+        prop::collection::vec((0u64..6, 0u64..6, 0u64..6), 1..40).prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, (a, b, c))| (i as u64, vec![a as f64, b as f64, c as f64]))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Every reported frontier point is non-dominated.
+        #[test]
+        fn frontier_points_are_non_dominated(pts in points_strategy()) {
+            let frontier = pareto_frontier(&pts);
+            for id in &frontier {
+                let (_, p) = pts.iter().find(|(i, _)| i == id).unwrap();
+                for (_, q) in &pts {
+                    prop_assert!(!dominates(q, p), "frontier point {id} is dominated");
+                }
+            }
+        }
+
+        /// Every dominated cell is excluded — equivalently, every point
+        /// off the frontier has a dominator.
+        #[test]
+        fn excluded_points_are_dominated(pts in points_strategy()) {
+            let frontier = pareto_frontier(&pts);
+            for (id, p) in &pts {
+                if !frontier.contains(id) {
+                    prop_assert!(
+                        pts.iter().any(|(_, q)| dominates(q, p)),
+                        "excluded point {id} has no dominator"
+                    );
+                }
+            }
+        }
+
+        /// The output is identical for any permutation of the input: the
+        /// frontier of a rotated or reversed point list matches the
+        /// original exactly, element for element.
+        #[test]
+        fn order_is_stable_across_shuffled_input(
+            pts in points_strategy(),
+            rot in 0usize..40,
+        ) {
+            let base = pareto_frontier(&pts);
+            let mut rotated = pts.clone();
+            rotated.rotate_left(rot % pts.len().max(1));
+            prop_assert_eq!(&pareto_frontier(&rotated), &base);
+            let mut reversed = pts.clone();
+            reversed.reverse();
+            prop_assert_eq!(&pareto_frontier(&reversed), &base);
+        }
+
+        /// Frontier membership of a point never changes when dominated
+        /// points are removed from the set.
+        #[test]
+        fn removing_dominated_points_preserves_frontier(pts in points_strategy()) {
+            let frontier = pareto_frontier(&pts);
+            let survivors: Vec<_> =
+                pts.iter().filter(|(id, _)| frontier.contains(id)).cloned().collect();
+            prop_assert_eq!(pareto_frontier(&survivors), frontier);
+        }
+    }
+}

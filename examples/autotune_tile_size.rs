@@ -7,34 +7,72 @@
 //! candidate and *simulate* the full problem, then verify the winner with
 //! a real run.
 //!
+//! This version drives the candidates through the sweep orchestrator
+//! ([`SweepSpec`], DESIGN.md §10): the per-candidate calibrations become a
+//! `SweepModels::PerTileSize` database built once up front, and the
+//! candidate × seed matrix runs across host cores with the report's
+//! `--autotune`-style argmin section picking the winner. Sweeping several
+//! seeds *per tile size* also fixes a bias in the original hand-rolled
+//! loop, which simulated each candidate under a different seed
+//! (`seed: nb as u64`) — so part of the observed ranking was just
+//! duration-sampling luck. The sweep scores every candidate on the same
+//! seed set and compares mean makespans.
+//!
+//! The original hand-rolled loop this example replaces, kept for
+//! reference:
+//!
+//! ```ignore
+//! let mut best: Option<(usize, f64)> = None;
+//! for &nb in &candidates {
+//!     let cal_n = (n / 2).max(3 * nb);
+//!     let cal_run = Scenario::new(Algorithm::Cholesky)
+//!         .workers(workers).n(cal_n).tile_size(nb).seed(5)
+//!         .run_real();
+//!     let cal = calibrate(&cal_run.trace, FitOptions::default());
+//!     let overhead = estimate_overhead(&cal_run.trace, 0.005)
+//!         .map(|e| e.median_gap).unwrap_or(0.0);
+//!     let sim = Scenario::new(Algorithm::Cholesky)
+//!         .workers(workers).n(n).tile_size(nb)
+//!         .models(cal.registry)
+//!         .config(SimConfig { seed: nb as u64, overhead_per_task: overhead,
+//!                             ..SimConfig::default() })
+//!         .run_sim();
+//!     if best.is_none_or(|(_, t)| sim.predicted_seconds < t) {
+//!         best = Some((nb, sim.predicted_seconds));
+//!     }
+//! }
+//! ```
+//!
 //! ```text
 //! cargo run --release --example autotune_tile_size
 //! ```
 
+use std::collections::BTreeMap;
+use std::sync::Arc;
 use supersim::calibrate::estimate_overhead;
-use supersim::core::SimConfig;
 use supersim::prelude::*;
+use supersim::workloads::sweep::{SweepModels, SweepSpec};
 
 fn main() {
     let n = 1440; // the "production" problem size
     let workers = 2;
     let candidates = [60usize, 90, 120, 180, 240];
+    let seeds: Vec<u64> = (1..=5).collect();
 
     println!("autotuning tile size for Cholesky n={n} on {workers} workers (quark)");
-    println!(
-        "{:>6} {:>12} {:>14} {:>12}",
-        "nb", "cal[s]", "sim pred[s]", "pred GF/s"
-    );
 
-    let mut best: Option<(usize, f64)> = None;
+    // Phase 1: one cheap real calibration per candidate — at a fraction of
+    // the problem size, but at least 3x3 tiles so every kernel class
+    // (incl. dgemm, which first appears at NT >= 3) gets samples to fit a
+    // model from. Half the production size keeps the calibration's cache
+    // behaviour close to the real problem's (paper §V-B1: kernel durations
+    // depend on cache residency, which is why the paper calibrates from
+    // "the actual execution of the algorithm" rather than isolated
+    // timing). The fitted registries form the sweep's shared read-only
+    // model database, built once before any simulation starts.
+    let mut models: BTreeMap<usize, Arc<ModelRegistry>> = BTreeMap::new();
+    let mut overheads = Vec::new();
     for &nb in &candidates {
-        // Cheap calibration run at a fraction of the problem size — but at
-        // least 3x3 tiles, so every kernel class (incl. dgemm, which first
-        // appears at NT >= 3) gets samples to fit a model from. Half the
-        // production size keeps the calibration's cache behaviour close to
-        // the real problem's (paper §V-B1: kernel durations depend on
-        // cache residency, which is why the paper calibrates from "the
-        // actual execution of the algorithm" rather than isolated timing).
         let cal_n = (n / 2).max(3 * nb);
         let cal_run = Scenario::new(Algorithm::Cholesky)
             .workers(workers)
@@ -50,29 +88,71 @@ fn main() {
         let overhead = estimate_overhead(&cal_run.trace, 0.005)
             .map(|e| e.median_gap)
             .unwrap_or(0.0);
-        // Simulate the full size.
-        let sim = Scenario::new(Algorithm::Cholesky)
-            .workers(workers)
-            .n(n)
-            .tile_size(nb)
-            .models(cal.registry)
-            .config(SimConfig {
-                seed: nb as u64,
-                overhead_per_task: overhead,
-                ..SimConfig::default()
-            })
-            .run_sim();
         println!(
-            "{:>6} {:>12.3} {:>14.3} {:>12.2}",
-            nb, cal_run.seconds, sim.predicted_seconds, sim.gflops
+            "  calibrated nb={nb:<4} from n={cal_n} ({:.3}s real, overhead {:.2} µs/task)",
+            cal_run.seconds,
+            overhead * 1e6
         );
-        if best.is_none_or(|(_, t)| sim.predicted_seconds < t) {
-            best = Some((nb, sim.predicted_seconds));
-        }
+        models.insert(nb, Arc::new(cal.registry));
+        overheads.push(overhead);
     }
+    // The sweep applies one overhead to every cell. Take the median of
+    // the per-candidate estimates: gap-based estimation occasionally
+    // produces a wild outlier on a loaded host, and a single bad fit must
+    // not skew every cell's dispatch cost.
+    overheads.sort_by(f64::total_cmp);
+    let overhead = overheads[overheads.len() / 2];
 
-    let (nb, predicted) = best.unwrap();
-    println!("\npredicted best tile size: nb={nb} ({predicted:.3}s)");
+    // Phase 2: the candidate x seed matrix as one sweep. Every candidate
+    // is simulated under the *same* seed set and scored on mean makespan,
+    // so duration-sampling noise averages out instead of silently biasing
+    // the ranking.
+    let spec = SweepSpec {
+        algorithms: vec![Algorithm::Cholesky],
+        orders: vec![n],
+        tile_sizes: candidates.to_vec(),
+        worker_counts: vec![workers],
+        seeds: seeds.clone(),
+        models: SweepModels::PerTileSize(models),
+        overhead_per_task: overhead,
+        autotune: Some("nb".to_string()),
+        ..SweepSpec::default()
+    };
+    let outcome = spec.run(0);
+    let report = &outcome.report;
+    println!(
+        "\nswept {} cells ({} candidates x {} seeds) on {} threads in {:.3}s",
+        report.cells_total,
+        candidates.len(),
+        seeds.len(),
+        outcome.jobs,
+        outcome.wall_seconds
+    );
+
+    let tune = report.autotune.as_ref().expect("autotune section");
+    println!(
+        "{:>6} {:>14} {:>14} {:>14}",
+        "nb", "mean pred[s]", "min pred[s]", "max pred[s]"
+    );
+    for g in &tune.groups {
+        println!(
+            "{:>6} {:>14.3} {:>14.3} {:>14.3}",
+            g.value, g.mean_makespan, g.min_makespan, g.max_makespan
+        );
+    }
+    let nb: usize = tune.best.parse().expect("nb group values are numeric");
+    let predicted = tune
+        .groups
+        .iter()
+        .find(|g| g.value == tune.best)
+        .unwrap()
+        .mean_makespan;
+    println!(
+        "\npredicted best tile size: nb={nb} (mean {predicted:.3}s over {} seeds)",
+        seeds.len()
+    );
+
+    // Phase 3: verify the ranking with real runs.
     println!("verifying the full sweep with real runs...");
     let mut real_best: Option<(usize, f64)> = None;
     for &cand in &candidates {

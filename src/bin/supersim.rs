@@ -27,6 +27,15 @@
 //!                  [--backend threaded|des]
 //!                  [--trace-out faulted.txt] [--clean-trace-out clean.txt]
 //!                  [--svg t.svg] [--chrome t.json]
+//! supersim sweep   [--alg cholesky,lu] [--n 512,1024 | --tiles 4,8] [--nb 32,64]
+//!                  [--schedulers quark,starpu,ompss] [--workers 4,8]
+//!                  [--nodes 0,4] [--interconnects zero,hockney,sharedlink]
+//!                  [--latency S] [--bandwidth B/s] [--nic-lanes L]
+//!                  [--plans clean,straggler,transient,kill] [--seeds 1,2,3]
+//!                  [--backend auto|des|threaded] [--jobs J] [--overhead S]
+//!                  [--calibration cal.json] [--autotune nb|scheduler|workers|nodes|interconnect]
+//!                  [--out report.json] [--csv report.csv] [--counts-out counts.txt]
+//!                  [--metrics-out m.json]
 //! supersim dag     --alg qr --nt 4 [--dot out.dot]
 //! supersim metrics --workload cholesky [--n 512] [--nb 64] [--workers 8]
 //!                  [--seed 42] [--mode both|targeted|broadcast]
@@ -48,6 +57,16 @@
 //! runtime: identical canonical traces for the Quark/cluster profiles, but
 //! no host thread per simulated worker — this is how thousand-node
 //! topologies stay simulable on one core.
+//!
+//! `sweep` expands the cartesian product of the comma-separated axis lists
+//! into scenario cells and executes them across host threads over one
+//! shared model database (DES backend wherever it replays deterministically,
+//! unless `--backend` forces one engine). The merged report — per-cell
+//! makespan / retries / transfer volume / degradation, Pareto frontier over
+//! (makespan, slowdown, transfer bytes), optional `--autotune` argmin — is
+//! deterministically ordered: byte-for-byte identical across runs and
+//! across `--jobs` values (a CI gate). JSON goes to `--out` or stdout, the
+//! human summary to stderr.
 //!
 //! `faults` runs the same scenario twice — clean and under the fault plan
 //! assembled from the fault flags — and prints the
@@ -78,6 +97,7 @@ fn main() {
         "predict" => cmd_predict(&opts),
         "cluster" => cmd_cluster(&opts),
         "faults" => cmd_faults(&opts),
+        "sweep" => cmd_sweep(&opts),
         "dag" => cmd_dag(&opts),
         "metrics" => cmd_metrics(&opts),
         "info" => cmd_info(),
@@ -99,6 +119,7 @@ fn usage_and_exit() -> ! {
          \x20 predict  real run + calibration + simulation, with comparison\n\
          \x20 cluster  simulate a distributed run over N nodes with an interconnect model\n\
          \x20 faults   clean-vs-faulted comparison under a deterministic fault plan\n\
+         \x20 sweep    run a scenario matrix across host cores, merge one report\n\
          \x20 dag      emit the task DAG of an algorithm\n\
          \x20 metrics  run a simulated workload and dump instrumentation as JSON\n\
          \x20 info     list algorithms and scheduler profiles\n\
@@ -803,6 +824,163 @@ fn cmd_faults(opts: &HashMap<String, String>) {
     }
 }
 
+/// Parse a comma-separated list flag; `None` when the flag is absent.
+fn parse_list<T: std::str::FromStr>(opts: &HashMap<String, String>, key: &str) -> Option<Vec<T>> {
+    opts.get(key).map(|v| {
+        v.split(',')
+            .map(|p| {
+                p.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("bad value in --{key}: {p}");
+                    exit(2)
+                })
+            })
+            .collect()
+    })
+}
+
+/// Expand and execute a scenario matrix; see the module docs for flags.
+fn cmd_sweep(opts: &HashMap<String, String>) {
+    use supersim::workloads::sweep::{
+        FaultPlanSpec, InterconnectSpec, SweepBackend, SweepModels, SweepSpec,
+    };
+
+    let defaults = SweepSpec::default();
+    let algorithms = opts.get("alg").map_or(defaults.algorithms.clone(), |v| {
+        v.split(',')
+            .map(|name| match name.trim() {
+                "cholesky" => Algorithm::Cholesky,
+                "qr" => Algorithm::Qr,
+                "lu" => Algorithm::Lu,
+                other => {
+                    eprintln!("unknown algorithm {other} (cholesky|qr|lu)");
+                    exit(2)
+                }
+            })
+            .collect()
+    });
+    let schedulers = opts
+        .get("schedulers")
+        .map_or(defaults.schedulers.clone(), |v| {
+            v.split(',')
+                .map(|name| match name.trim() {
+                    "quark" => SchedulerKind::Quark,
+                    "starpu" => SchedulerKind::StarPu,
+                    "ompss" => SchedulerKind::OmpSs,
+                    other => {
+                        eprintln!("unknown scheduler {other} (quark|starpu|ompss)");
+                        exit(2)
+                    }
+                })
+                .collect()
+        });
+    let latency = get(opts, "latency", 1e-5f64);
+    let bandwidth = get(opts, "bandwidth", 1e10f64);
+    let interconnects = opts
+        .get("interconnects")
+        .map_or(defaults.interconnects.clone(), |v| {
+            v.split(',')
+                .map(|name| {
+                    InterconnectSpec::parse(name.trim(), latency, bandwidth).unwrap_or_else(|| {
+                        eprintln!("unknown interconnect {name} (zero|hockney|sharedlink)");
+                        exit(2)
+                    })
+                })
+                .collect()
+        });
+    let plans = opts.get("plans").map_or(defaults.plans.clone(), |v| {
+        v.split(',')
+            .map(|name| {
+                FaultPlanSpec::preset(name.trim()).unwrap_or_else(|| {
+                    eprintln!("unknown fault plan {name} (clean|straggler|transient|kill)");
+                    exit(2)
+                })
+            })
+            .collect()
+    });
+    let backend = opts.get("backend").map_or(defaults.backend, |v| {
+        SweepBackend::parse(v).unwrap_or_else(|| {
+            eprintln!("unknown sweep backend {v} (auto|des|threaded)");
+            exit(2)
+        })
+    });
+    // One shared read-only model database for every cell: either loaded
+    // from a calibration file or the synthetic default.
+    let models = match opts.get("calibration") {
+        None => defaults.models.clone(),
+        Some(path) => {
+            let db = CalibrationDb::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+                eprintln!("cannot load calibration: {e}");
+                exit(2)
+            });
+            eprintln!("sweep models: {}", db.description);
+            SweepModels::Shared(db.shared_models())
+        }
+    };
+
+    let spec = SweepSpec {
+        algorithms,
+        orders: parse_list(opts, "n").unwrap_or_default(),
+        tile_counts: parse_list(opts, "tiles").unwrap_or(defaults.tile_counts.clone()),
+        tile_sizes: parse_list(opts, "nb").unwrap_or(defaults.tile_sizes.clone()),
+        schedulers,
+        worker_counts: parse_list(opts, "workers").unwrap_or(defaults.worker_counts.clone()),
+        node_counts: parse_list(opts, "nodes").unwrap_or(defaults.node_counts.clone()),
+        interconnects,
+        plans,
+        seeds: parse_list(opts, "seeds").unwrap_or(defaults.seeds.clone()),
+        backend,
+        models,
+        overhead_per_task: get(opts, "overhead", 0.0f64),
+        nic_lanes: parse_list(opts, "nic-lanes").map(|v: Vec<usize>| v[0]),
+        autotune: opts.get("autotune").cloned(),
+    };
+
+    let cells = spec.cells().len();
+    let jobs = get(opts, "jobs", 0usize);
+    eprintln!(
+        "sweep: {cells} cells, jobs={}",
+        if jobs == 0 {
+            "auto".to_string()
+        } else {
+            jobs.to_string()
+        }
+    );
+    let outcome = spec.run(jobs);
+    eprintln!(
+        "swept {} cells on {} threads in {:.3}s ({:.1} cells/s); Pareto frontier: {} cells",
+        outcome.report.cells_total,
+        outcome.jobs,
+        outcome.wall_seconds,
+        outcome.cells_per_sec(),
+        outcome.report.pareto.frontier.len()
+    );
+    if let Some(tune) = &outcome.report.autotune {
+        eprintln!("autotune: best {} = {}", tune.axis, tune.best);
+    }
+
+    let json = outcome.report.to_json();
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write report");
+            eprintln!("merged report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+    if let Some(path) = opts.get("csv") {
+        std::fs::write(path, outcome.report.to_csv()).expect("write csv");
+        eprintln!("csv report written to {path}");
+    }
+    if let Some(path) = opts.get("counts-out") {
+        std::fs::write(path, outcome.report.counts()).expect("write counts");
+        eprintln!("rank-keyed counts written to {path}");
+    }
+    #[cfg(feature = "metrics")]
+    if let Some(path) = opts.get("metrics-out") {
+        std::fs::write(path, outcome.metrics.to_json()).expect("write metrics");
+        eprintln!("merged metrics written to {path}");
+    }
+}
+
 fn cmd_dag(opts: &HashMap<String, String>) {
     let alg = algorithm(opts);
     let nt = get(opts, "nt", 4usize);
@@ -937,9 +1115,9 @@ fn cmd_metrics(opts: &HashMap<String, String>) {
         );
         last_trace = Some(run.trace);
     }
-    // Fold in process-global instruments (sim.* session counters, des.*).
-    snap.merge(&supersim::metrics::global().snapshot());
-
+    // All engine counters (sim.*, des.*, trace.*) are per-session and
+    // arrive via session.publish_metrics above — nothing process-global
+    // remains to fold in.
     let json = snap.to_json();
     println!("{json}");
     if let Some(path) = opts.get("out") {
@@ -1018,8 +1196,6 @@ fn cmd_metrics_cluster(opts: &HashMap<String, String>, alg: Algorithm) {
             (run.nic_busy_seconds[node] * 1e6).round() as i64,
         );
     }
-    snap.merge(&supersim::metrics::global().snapshot());
-
     eprintln!(
         "cluster-{} metrics: {} compute tasks, {} transfers, predicted {:.4}s",
         alg.name(),
