@@ -13,8 +13,9 @@
 //! * `--gate FILE` — compare the fresh targeted-wakeup 64-waiter median
 //!   drain throughput against the committed baseline in `FILE`; exit
 //!   non-zero if it regressed by more than 30%. The DES-backend 4x8
-//!   cluster drain datapoint and the 256-cell sweep-orchestrator
-//!   throughput (cells/s on a fixed DES matrix) are gated the same way
+//!   cluster drain datapoint, the 256-cell sweep-orchestrator
+//!   throughput (cells/s on a fixed DES matrix), and the resident
+//!   service's cached /run round-trip rate are gated the same way
 //!   (30% floor) when the committed baseline carries them.
 //! * `--overhead-bin PATH` — `PATH` is this same binary built with
 //!   `--no-default-features` (metrics compiled out). Alternates rounds of
@@ -88,6 +89,16 @@ struct SweepPoint {
     cells_per_sec: f64,
 }
 
+/// Round-trip throughput of the resident service answering a cached
+/// deterministic /run request over real loopback TCP (fresh connection
+/// per request, as the CLI client works). Tracks the serve hot path:
+/// accept, parse, content-hash lookup, memoized response write.
+#[derive(Serialize)]
+struct ServePoint {
+    requests: usize,
+    cached_requests_per_sec: f64,
+}
+
 #[derive(Serialize)]
 struct Acceptance {
     waiters: usize,
@@ -139,10 +150,14 @@ struct Baseline {
     /// Sweep-orchestrator throughput on the fixed 256-cell DES matrix —
     /// the third gated number (30% regression floor).
     sweep_256_cells_per_sec: f64,
+    /// Cached /run round-trip rate of the resident service — the fourth
+    /// gated number (30% regression floor).
+    serve_cached_rps: f64,
     teq: Vec<TeqPoint>,
     engine: Vec<EnginePoint>,
     cluster: Vec<ClusterPoint>,
     sweep: SweepPoint,
+    serve: ServePoint,
     acceptance: Acceptance,
     des_acceptance: DesAcceptance,
     overhead: Option<Overhead>,
@@ -192,6 +207,17 @@ fn sweep_256_of(path: &str) -> Option<f64> {
     v["sweep_256_cells_per_sec"].as_f64()
 }
 
+/// The cached-request service throughput recorded in a previously written
+/// baseline JSON; `None` if that baseline predates the serve daemon (the
+/// gate then skips the comparison instead of failing).
+fn serve_cached_rps_of(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let v: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("bad JSON in {path}: {e}"));
+    v["serve_cached_rps"].as_f64()
+}
+
 /// Best-of-REPS throughput of the sweep orchestrator on a fixed 256-cell
 /// DES matrix: 2 tile counts x 2 worker counts x {single-node, 2-node
 /// cluster} x {clean, straggler} x 16 seeds, quark/pinned profiles, DES
@@ -223,6 +249,50 @@ fn sweep_point() -> SweepPoint {
         cells,
         jobs: probe.jobs,
         cells_per_sec: rate,
+    }
+}
+
+/// Best-of-REPS cached-request throughput of the resident service: boot
+/// an in-process daemon on an ephemeral loopback port, prime the response
+/// cache with one cold deterministic DES run, then time batches of
+/// sequential round trips that all hit the cache.
+fn serve_point() -> ServePoint {
+    use std::time::{Duration, Instant};
+    use supersim_serve::{client_request, ServeConfig, Server};
+
+    const BATCH: usize = 200;
+    let handle = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue: 64,
+        default_timeout_ms: 0,
+        retry_after_secs: 1,
+    })
+    .expect("bind ephemeral port")
+    .spawn();
+    let rate = {
+        let body = "{\"tiles\":8,\"seed\":7,\"backend\":\"des\"}";
+        let post = || {
+            client_request(handle.addr, "POST", "/run", body, Duration::from_secs(60))
+                .expect("serve answers")
+        };
+        let cold = post();
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert_eq!(cold.header("x-cache"), Some("miss"));
+        let warm = post();
+        assert_eq!(warm.header("x-cache"), Some("hit"), "cache primed");
+        best(|| {
+            let t0 = Instant::now();
+            for _ in 0..BATCH {
+                assert_eq!(post().status, 200);
+            }
+            BATCH as f64 / t0.elapsed().as_secs_f64().max(1e-12)
+        })
+    };
+    handle.shutdown();
+    ServePoint {
+        requests: BATCH,
+        cached_requests_per_sec: rate,
     }
 }
 
@@ -365,6 +435,10 @@ fn main() {
     let sweep = sweep_point();
     let sweep_256 = sweep.cells_per_sec;
 
+    eprintln!("serve throughput: cached /run round trips ...");
+    let serve = serve_point();
+    let serve_rps = serve.cached_requests_per_sec;
+
     let gate = teq
         .iter()
         .find(|p| p.waiters == 64)
@@ -429,10 +503,12 @@ fn main() {
         targeted_64_median_tasks_per_sec: fresh_targeted_64,
         des_cluster_4x8_tasks_per_sec: des_cluster_4x8,
         sweep_256_cells_per_sec: sweep_256,
+        serve_cached_rps: serve_rps,
         teq,
         engine,
         cluster,
         sweep,
+        serve,
         acceptance,
         des_acceptance,
         overhead,
@@ -521,6 +597,23 @@ fn main() {
             }
             None => println!(
                 "perf gate vs {path}: no sweep_256_cells_per_sec in committed baseline, skipping sweep gate"
+            ),
+        }
+        match serve_cached_rps_of(&path) {
+            Some(committed_serve) => {
+                let ratio = serve_rps / committed_serve;
+                let pass = ratio >= 0.7;
+                println!(
+                    "perf gate vs {path}: fresh serve cached rps = {:.0}/s, committed = {:.0}/s, ratio {:.2} (floor 0.70) {}",
+                    serve_rps,
+                    committed_serve,
+                    ratio,
+                    if pass { "PASS" } else { "FAIL" }
+                );
+                failed |= !pass;
+            }
+            None => println!(
+                "perf gate vs {path}: no serve_cached_rps in committed baseline, skipping serve gate"
             ),
         }
     }

@@ -83,6 +83,21 @@ impl CalibrationDb {
     pub fn shared_models(&self) -> Arc<ModelRegistry> {
         Arc::new(self.calibration.registry.clone())
     }
+
+    /// A stable 64-bit identity for this database's contents: FNV-1a over
+    /// the canonical JSON serialization (BTreeMap-backed, so key order is
+    /// deterministic). Equal databases hash equal across processes; the
+    /// serve layer keys its fitted-model cache on this, so a database
+    /// edited on disk is re-fitted rather than served stale.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("calibration serialization cannot fail");
+        let mut h = 0xcbf29ce484222325u64;
+        for b in json.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +158,15 @@ mod tests {
         let other = Arc::clone(&shared);
         assert_eq!(Arc::strong_count(&shared), 2);
         drop(other);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let db = CalibrationDb::new("fp test", 100, 10, 2, small_calibration());
+        assert_eq!(db.fingerprint(), db.fingerprint(), "must be stable");
+        let mut other = db.clone();
+        other.description = "edited".into();
+        assert_ne!(db.fingerprint(), other.fingerprint());
     }
 
     #[test]

@@ -19,6 +19,13 @@ pub trait Interconnect: Send + Sync {
     fn default_nic_lanes(&self) -> usize {
         1
     }
+    /// A stable textual identity covering the model's parameters, used by
+    /// content-addressed scenario hashing. Two interconnects with equal
+    /// fingerprints must cost every transfer identically. Parameterless
+    /// models can rely on the default (the model name).
+    fn fingerprint(&self) -> String {
+        self.name().to_string()
+    }
 }
 
 /// Free interconnect: every transfer takes zero virtual time. The
@@ -68,6 +75,10 @@ impl Interconnect for Hockney {
     fn default_nic_lanes(&self) -> usize {
         4
     }
+
+    fn fingerprint(&self) -> String {
+        format!("hockney:{:e}:{:e}", self.latency, self.bandwidth)
+    }
 }
 
 /// Contention-aware shared link: same per-message cost as [`Hockney`],
@@ -99,6 +110,10 @@ impl Interconnect for SharedLink {
 
     fn transfer_seconds(&self, bytes: u64) -> f64 {
         self.latency + bytes as f64 / self.bandwidth
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("sharedlink:{:e}:{:e}", self.latency, self.bandwidth)
     }
 }
 
@@ -138,6 +153,19 @@ mod tests {
         assert!((t - 1.000001).abs() < 1e-12);
         assert_eq!(h.name(), "hockney");
         assert_eq!(h.default_nic_lanes(), 4);
+    }
+
+    #[test]
+    fn fingerprints_carry_parameters() {
+        assert_eq!(ZeroCost.fingerprint(), "zero");
+        let a = Hockney::new(1e-6, 1e9).fingerprint();
+        let b = Hockney::new(2e-6, 1e9).fingerprint();
+        assert_ne!(a, b, "latency must show up in the fingerprint");
+        assert_ne!(
+            SharedLink::new(1e-6, 1e9).fingerprint(),
+            a,
+            "same parameters, different model"
+        );
     }
 
     #[test]

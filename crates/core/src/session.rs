@@ -38,9 +38,7 @@ use rand::{Rng, SeedableRng};
 #[cfg(feature = "metrics")]
 use std::collections::BTreeMap;
 use std::collections::{HashMap, HashSet};
-#[cfg(feature = "metrics")]
-use std::sync::atomic::AtomicU64;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use supersim_runtime::{Quiesce, TaskContext};
 use supersim_trace::{Trace, TraceRecorder};
@@ -275,6 +273,16 @@ pub struct SimSession {
     /// Ranks are assigned on the (serial) master thread at submission
     /// time, so they are deterministic regardless of worker interleaving.
     ranks: Mutex<HashMap<String, u64>>,
+    /// Cooperative cancellation flag: set via
+    /// [`SimSession::request_cancel`] (e.g. by a serving front-end whose
+    /// wall-clock deadline expired), polled by engines between
+    /// retirements. Never set by the simulation itself.
+    cancel: AtomicBool,
+    /// Virtual-time budget in seconds, stored as `f64` bits
+    /// (`f64::INFINITY` = unlimited). Engines abort a run whose clock
+    /// exceeds it — a guard against scenarios whose virtual span is
+    /// unexpectedly huge even though each step is cheap.
+    virtual_budget_bits: AtomicU64,
     /// Recorder shard occupancy captured by [`SimSession::finish_trace`]
     /// just before the shards are drained, so metrics published after the
     /// run still describe the run (not the emptied buffers).
@@ -315,6 +323,8 @@ impl SimSession {
             first_calls: Mutex::new(HashSet::new()),
             warmup_slots: AtomicUsize::new(0),
             ranks: Mutex::new(HashMap::new()),
+            cancel: AtomicBool::new(false),
+            virtual_budget_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             #[cfg(feature = "metrics")]
             final_occupancy: Mutex::new(None),
             #[cfg(feature = "metrics")]
@@ -353,11 +363,44 @@ impl SimSession {
 
     /// A fresh session with the same models and configuration but reset
     /// state (clock at 0, empty trace, fresh warm-up and rank counters, no
-    /// quiescence probe or fault injector). Used by phased fault replay:
-    /// the post-failure phase re-runs the surviving work on a clean clock
-    /// and is stitched onto the pre-failure trace afterwards.
+    /// quiescence probe or fault injector, cancellation cleared, unlimited
+    /// virtual budget). Used by phased fault replay: the post-failure
+    /// phase re-runs the surviving work on a clean clock and is stitched
+    /// onto the pre-failure trace afterwards.
     pub fn fork(&self) -> Arc<Self> {
         SimSession::with_shared(self.models.clone(), self.config.clone())
+    }
+
+    /// Request cooperative cancellation: engines polling
+    /// [`SimSession::should_abort`] stop at their next retirement
+    /// boundary. Idempotent; there is no un-cancel (fork for a fresh
+    /// session). Safe to call from any thread while the run executes.
+    pub fn request_cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`SimSession::request_cancel`] has been called.
+    pub fn cancel_requested(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// Cap the run's virtual time: once the clock passes `seconds`,
+    /// [`SimSession::should_abort`] fires. `f64::INFINITY` (the default)
+    /// disables the cap. Panics on NaN or negative budgets.
+    pub fn set_virtual_budget(&self, seconds: f64) {
+        assert!(seconds >= 0.0, "virtual budget must be non-negative");
+        self.virtual_budget_bits
+            .store(seconds.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Whether an engine driving this session should stop at the next
+    /// clean boundary: cancellation was requested, or the virtual clock
+    /// (`now`) has exceeded the budget. Engines pass their own clock
+    /// rather than reading [`SimSession::virtual_now`] — the DES replay
+    /// backend's clock never touches the TEQ.
+    pub fn should_abort(&self, now: f64) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+            || now > f64::from_bits(self.virtual_budget_bits.load(Ordering::Relaxed))
     }
 
     /// The session configuration.
@@ -798,6 +841,23 @@ mod tests {
                 ..SimConfig::default()
             },
         )
+    }
+
+    #[test]
+    fn cancel_and_budget_drive_should_abort() {
+        let s = new_session(constant_models(&[("k", 1.0)]), RaceMitigation::Quiesce);
+        assert!(!s.cancel_requested());
+        assert!(!s.should_abort(1e300), "default budget is unlimited");
+        s.set_virtual_budget(10.0);
+        assert!(!s.should_abort(10.0), "budget is inclusive");
+        assert!(s.should_abort(10.0 + 1e-9));
+        s.request_cancel();
+        assert!(s.cancel_requested());
+        assert!(s.should_abort(0.0), "cancel fires regardless of clock");
+        // A fork starts clean.
+        let f = s.fork();
+        assert!(!f.cancel_requested());
+        assert!(!f.should_abort(1e300));
     }
 
     #[test]

@@ -92,6 +92,11 @@ pub struct ReplayOutcome {
     /// Engine-compatible statistics (completed count, per-lane task
     /// counts; wall-clock fields stay zero — there are no host threads).
     pub stats: RuntimeStats,
+    /// The run stopped early because the session's cancellation flag was
+    /// raised or its virtual-time budget was exceeded
+    /// ([`SimSession::should_abort`]). Makespan, counts and the recorded
+    /// trace cover only the retired prefix.
+    pub cancelled: bool,
 }
 
 /// The requested configuration cannot be replayed as pure discrete events.
@@ -222,6 +227,7 @@ impl ReplayEngine {
         let mut cursor = 0usize; // next stream index to submit
         let mut in_flight = 0usize;
         let mut events = 0u64;
+        let mut cancelled = false;
         let mut stats = RuntimeStats::new(self.lanes);
 
         // Submit tasks while the window has room, resolving hazards and
@@ -322,6 +328,15 @@ impl ReplayEngine {
                 }
             }
 
+            // Cooperative cancellation / virtual-budget check, once per
+            // retirement: the retirement boundary is the only point where
+            // no dispatch is half-recorded, so stopping here leaves a
+            // valid trace prefix.
+            if self.session.should_abort(clock) {
+                cancelled = true;
+                break;
+            }
+
             // Retire the earliest completion; its lane frees, successors
             // release, the window refills — in exactly the threaded
             // engine's order (successor pushes land before the refill's).
@@ -371,7 +386,7 @@ impl ReplayEngine {
         }
 
         assert!(
-            cursor == n && in_flight == 0,
+            cancelled || (cursor == n && in_flight == 0),
             "replay stalled: {} of {n} tasks submitted, {in_flight} in flight \
              (a task pinned exclusively to decommissioned lanes can never run)",
             cursor
@@ -389,6 +404,7 @@ impl ReplayEngine {
             completed: stats.completed,
             events,
             stats,
+            cancelled,
         }
     }
 }
@@ -448,6 +464,43 @@ mod tests {
                 rank: session.next_rank(label),
             },
         }
+    }
+
+    #[test]
+    fn virtual_budget_cancels_mid_run() {
+        let s = session(&["w"], 2.0, 1);
+        s.set_virtual_budget(5.0);
+        let eng = ReplayEngine::new(&RuntimeConfig::simple(1), s.clone()).unwrap();
+        let tasks: Vec<ReplayTask> = (0..10)
+            .map(|_| ranked(&s, "w", vec![Access::read_write(DataId(0))]))
+            .collect();
+        let out = eng.run(tasks);
+        assert!(out.cancelled);
+        // 2s chain on one lane: retirements at 2, 4, 6 — the check after
+        // clock 6 fires, so exactly three tasks retired.
+        assert_eq!(out.completed, 3);
+        assert!(out.makespan <= 6.0 + 1e-12);
+    }
+
+    #[test]
+    fn cancel_request_stops_before_first_retirement() {
+        let s = session(&["w"], 2.0, 1);
+        s.request_cancel();
+        let eng = ReplayEngine::new(&RuntimeConfig::simple(2), s.clone()).unwrap();
+        let tasks: Vec<ReplayTask> = (0..4).map(|_| ranked(&s, "w", vec![])).collect();
+        let out = eng.run(tasks);
+        assert!(out.cancelled);
+        assert_eq!(out.completed, 0);
+    }
+
+    #[test]
+    fn clean_runs_report_not_cancelled() {
+        let s = session(&["w"], 1.0, 1);
+        let eng = ReplayEngine::new(&RuntimeConfig::simple(2), s.clone()).unwrap();
+        let tasks: Vec<ReplayTask> = (0..4).map(|_| ranked(&s, "w", vec![])).collect();
+        let out = eng.run(tasks);
+        assert!(!out.cancelled);
+        assert_eq!(out.completed, 4);
     }
 
     #[test]

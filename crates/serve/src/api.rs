@@ -1,0 +1,774 @@
+//! Typed request/response schema for the service, plus the mapping from
+//! wire DTOs onto the existing [`Scenario`] / [`SweepSpec`] builders.
+//!
+//! Every field the builders would `assert!` on is validated here first and
+//! returned as an `Err(String)` — the server turns those into 400s instead
+//! of worker-thread panics. Response documents contain **only
+//! virtual-time, seed-determined data** (no wall-clock timing, no lane
+//! assignments beyond the canonical trace digest), so a cached response is
+//! byte-identical to a cold one on the deterministic backends.
+
+use crate::cache::ModelCache;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use supersim_cluster::{ClusterSpec, Hockney, Interconnect, SharedLink, ZeroCost};
+use supersim_core::{ModelRegistry, SimConfig};
+use supersim_faults::FaultPlan;
+use supersim_runtime::SchedulerKind;
+use supersim_workloads::sweep::{FaultPlanSpec, InterconnectSpec, SweepModels, AUTOTUNE_AXES};
+use supersim_workloads::{
+    Algorithm, Backend, ClusterRun, FaultOutcome, Scenario, SimRun, SweepBackend, SweepSpec,
+};
+
+/// Maximum accepted request body (JSON) in bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// FNV-1a 64 over a byte string — the digest used for trace hashes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Where a request's kernel duration models come from.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum ModelSource {
+    /// Load a fitted [`supersim_calibrate::CalibrationDb`] from disk
+    /// (cached by content fingerprint — see [`ModelCache`]).
+    Calibration {
+        /// Path to the calibration JSON on the server host.
+        path: String,
+    },
+    /// Synthetic log-normal models for every kernel label (the CLI's
+    /// default recipe): `logN(mu, sigma)` with a first-`workers`-tasks
+    /// warm-up multiplier.
+    Synthetic {
+        /// Log-space mean (default -6.0, ~2.5 ms kernels).
+        mu: Option<f64>,
+        /// Log-space sigma (default 0.3).
+        sigma: Option<f64>,
+        /// Warm-up multiplier (default 1.0 = off).
+        warmup: Option<f64>,
+    },
+    /// Constant-duration models (exact, reproducible timing).
+    Constant {
+        /// Seconds per kernel.
+        seconds: f64,
+    },
+}
+
+/// A distributed-scenario request fragment.
+#[derive(Debug, Clone, Deserialize)]
+pub struct ClusterRequest {
+    /// Node count (> 0).
+    pub nodes: usize,
+    /// Compute workers per node (> 0).
+    pub workers_per_node: usize,
+    /// NIC lanes per node (default: the interconnect model's preference).
+    pub nic_lanes: Option<usize>,
+    /// Interconnect model: `zero` | `hockney` | `sharedlink` (default
+    /// `hockney`).
+    pub interconnect: Option<String>,
+    /// Per-message latency seconds (hockney/sharedlink; default 1e-5).
+    pub latency: Option<f64>,
+    /// Bandwidth bytes/s (hockney/sharedlink; default 1e10).
+    pub bandwidth: Option<f64>,
+}
+
+/// A `/run` request: one scenario. Every field is optional; defaults
+/// mirror the CLI (`cholesky`, 8x8 tiles of 64, `quark`, 4 workers, seed
+/// 42). `backend` additionally accepts `auto` (the default): DES replay
+/// wherever the profile replays deterministically, threaded otherwise.
+#[derive(Debug, Clone, Deserialize)]
+pub struct RunRequest {
+    /// `cholesky` | `qr` | `lu`.
+    pub algorithm: Option<String>,
+    /// Matrix order (wins over `tiles`).
+    pub n: Option<usize>,
+    /// Tile-grid side (`n = tiles * tile_size`).
+    pub tiles: Option<usize>,
+    /// Tile size `nb`.
+    pub tile_size: Option<usize>,
+    /// `quark` | `starpu` | `ompss`.
+    pub scheduler: Option<String>,
+    /// Virtual worker count (per node for cluster scenarios).
+    pub workers: Option<usize>,
+    /// Duration-sampling seed.
+    pub seed: Option<u64>,
+    /// `auto` | `des` | `threaded`.
+    pub backend: Option<String>,
+    /// Kernel model source (default: synthetic log-normal).
+    pub models: Option<ModelSource>,
+    /// Distributed scenario.
+    pub cluster: Option<ClusterRequest>,
+    /// Full typed fault plan (wins over `fault_preset`).
+    pub faults: Option<FaultPlan>,
+    /// Canned plan: `clean` | `straggler` | `transient` | `kill`.
+    pub fault_preset: Option<String>,
+    /// Per-task scheduler overhead in seconds.
+    pub overhead_per_task: Option<f64>,
+    /// Virtual-time budget in seconds: the run is aborted (422) once the
+    /// simulated clock exceeds it. Enforced exactly on the DES backend.
+    pub virtual_budget: Option<f64>,
+    /// Wall-clock timeout in milliseconds (overrides the server default;
+    /// 0 disables).
+    pub timeout_ms: Option<u64>,
+    /// Stream ndjson progress events over a chunked response instead of
+    /// one JSON document.
+    pub stream: Option<bool>,
+}
+
+/// A `/sweep` request: a parameter matrix for [`SweepSpec`]. Axis fields
+/// default to the sweep's own defaults when omitted; empty axes are
+/// rejected (they would expand to nothing).
+#[derive(Debug, Clone, Deserialize)]
+pub struct SweepRequest {
+    /// Algorithm axis.
+    pub algorithms: Option<Vec<String>>,
+    /// Explicit matrix orders (wins over `tile_counts`).
+    pub orders: Option<Vec<usize>>,
+    /// Tile-grid sides.
+    pub tile_counts: Option<Vec<usize>>,
+    /// Tile sizes.
+    pub tile_sizes: Option<Vec<usize>>,
+    /// Scheduler axis.
+    pub schedulers: Option<Vec<String>>,
+    /// Worker-count axis.
+    pub worker_counts: Option<Vec<usize>>,
+    /// Node-count axis (0 = single-node cell).
+    pub node_counts: Option<Vec<usize>>,
+    /// Fault-plan presets per cell.
+    pub plans: Option<Vec<String>>,
+    /// Seed axis.
+    pub seeds: Option<Vec<u64>>,
+    /// `auto` | `des` | `threaded`.
+    pub backend: Option<String>,
+    /// Interconnect for cluster cells: `zero` | `hockney` | `sharedlink`.
+    pub interconnect: Option<String>,
+    /// Interconnect latency seconds.
+    pub latency: Option<f64>,
+    /// Interconnect bandwidth bytes/s.
+    pub bandwidth: Option<f64>,
+    /// NIC lanes per node.
+    pub nic_lanes: Option<usize>,
+    /// Per-task overhead seconds.
+    pub overhead_per_task: Option<f64>,
+    /// Kernel models (synthetic/constant only; calibration databases are
+    /// per-request work the sweep's model bank handles itself).
+    pub models: Option<ModelSource>,
+    /// Autotune axis name (see the sweep docs).
+    pub autotune: Option<String>,
+    /// Host threads (0 = all cores). Capped by the server.
+    pub jobs: Option<usize>,
+}
+
+/// The scenario echo included in every `/run` response: what the server
+/// actually ran, after defaulting — plus the content hash the response
+/// cache keys on.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioEcho {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Resolved matrix order.
+    pub n: usize,
+    /// Tile size.
+    pub nb: usize,
+    /// Scheduler profile name.
+    pub scheduler: String,
+    /// Worker count (per node for cluster scenarios).
+    pub workers: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Resolved backend name.
+    pub backend: String,
+    /// Fault plan name (`preset:<name>`, `custom`, or `none`).
+    pub faults: String,
+    /// `nodes x workers_per_node : interconnect` for cluster scenarios.
+    pub cluster: Option<String>,
+    /// `Scenario::content_hash()` as `0x`-prefixed hex.
+    pub content_hash: String,
+}
+
+/// The deterministic result section of a `/run` response.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResultDoc {
+    /// `sim` | `cluster` | `faults`.
+    pub kind: String,
+    /// Predicted makespan in virtual seconds (the faulted makespan for
+    /// `faults` runs).
+    pub predicted_seconds: f64,
+    /// Predicted GFLOP/s (0 for `faults` runs — two runs, one rate is
+    /// meaningless).
+    pub gflops: f64,
+    /// Tasks completed.
+    pub tasks: u64,
+    /// Trace events recorded.
+    pub trace_events: usize,
+    /// FNV-1a 64 digest of the canonical (task-id-sorted, lane-free)
+    /// trace text, `0x`-prefixed — byte-for-byte comparable across runs
+    /// on the deterministic profiles.
+    pub trace_hash: String,
+    /// Transfer tasks (cluster runs).
+    pub transfers: Option<u64>,
+    /// Bytes moved (cluster runs).
+    pub transfer_bytes: Option<u64>,
+    /// Clean-run makespan (faults runs).
+    pub clean_makespan: Option<f64>,
+    /// Faulted-run makespan (faults runs).
+    pub faulted_makespan: Option<f64>,
+    /// `faulted / clean` (faults runs).
+    pub slowdown: Option<f64>,
+    /// Failed transient attempts (faults runs).
+    pub retries: Option<u64>,
+}
+
+/// A full `/run` response document.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunResponse {
+    /// What ran.
+    pub scenario: ScenarioEcho,
+    /// What it predicted.
+    pub result: ResultDoc,
+}
+
+/// Which terminal a prepared run goes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminal {
+    /// [`Scenario::run_sim`].
+    Sim,
+    /// [`Scenario::run_cluster`].
+    Cluster,
+    /// [`Scenario::run_faults`] (permanent failures need phased replay).
+    Faults,
+}
+
+/// A validated, model-resolved run ready for execution.
+pub struct PreparedRun {
+    /// The scenario builder (models attached, no session yet — the server
+    /// attaches one per execution so it can cancel it).
+    pub scenario: Scenario,
+    /// Shared model registry (for session construction).
+    pub models: Arc<ModelRegistry>,
+    /// Session config (seed + overhead).
+    pub sim_config: SimConfig,
+    /// Terminal to invoke.
+    pub terminal: Terminal,
+    /// Response echo (content hash already computed).
+    pub echo: ScenarioEcho,
+    /// Stable content hash (cache key).
+    pub content_hash: u64,
+    /// Virtual-time budget, if any.
+    pub virtual_budget: Option<f64>,
+    /// Requested wall timeout override.
+    pub timeout_ms: Option<u64>,
+    /// Stream progress events.
+    pub stream: bool,
+    /// Response is safe to memoize: deterministic backend, not streamed.
+    pub cacheable: bool,
+}
+
+fn parse_algorithm(s: Option<&str>) -> Result<Algorithm, String> {
+    match s {
+        None | Some("cholesky") => Ok(Algorithm::Cholesky),
+        Some("qr") => Ok(Algorithm::Qr),
+        Some("lu") => Ok(Algorithm::Lu),
+        Some(other) => Err(format!("unknown algorithm '{other}' (cholesky|qr|lu)")),
+    }
+}
+
+fn parse_scheduler(s: Option<&str>) -> Result<SchedulerKind, String> {
+    match s {
+        None | Some("quark") => Ok(SchedulerKind::Quark),
+        Some("starpu") => Ok(SchedulerKind::StarPu),
+        Some("ompss") => Ok(SchedulerKind::OmpSs),
+        Some(other) => Err(format!("unknown scheduler '{other}' (quark|starpu|ompss)")),
+    }
+}
+
+/// Resolve `auto`/`des`/`threaded` against what the profile supports.
+fn parse_backend(s: Option<&str>, scheduler: SchedulerKind) -> Result<Backend, String> {
+    match s {
+        None | Some("auto") => Ok(if Backend::Des.supports(scheduler).is_ok() {
+            Backend::Des
+        } else {
+            Backend::Threaded
+        }),
+        Some("threaded") => Ok(Backend::Threaded),
+        Some("des") => {
+            Backend::Des
+                .supports(scheduler)
+                .map_err(|e| e.to_string())?;
+            Ok(Backend::Des)
+        }
+        Some(other) => Err(format!("unknown backend '{other}' (auto|des|threaded)")),
+    }
+}
+
+fn positive(name: &str, v: usize) -> Result<usize, String> {
+    if v == 0 {
+        Err(format!("{name} must be positive"))
+    } else {
+        Ok(v)
+    }
+}
+
+/// Reject NaN/negative (and for `strict`, zero) float parameters; NaN
+/// fails every comparison, so the checks are phrased positively.
+fn non_negative_f(name: &str, v: f64, strict: bool) -> Result<f64, String> {
+    let ok = if strict { v > 0.0 } else { v >= 0.0 };
+    if ok {
+        Ok(v)
+    } else if strict {
+        Err(format!("{name} must be positive"))
+    } else {
+        Err(format!("{name} must be non-negative"))
+    }
+}
+
+fn build_interconnect(
+    name: Option<&str>,
+    latency: Option<f64>,
+    bandwidth: Option<f64>,
+) -> Result<Arc<dyn Interconnect>, String> {
+    let latency = non_negative_f("latency", latency.unwrap_or(1e-5), false)?;
+    let bandwidth = non_negative_f("bandwidth", bandwidth.unwrap_or(1e10), true)?;
+    match name {
+        None | Some("hockney") => Ok(Arc::new(Hockney::new(latency, bandwidth))),
+        Some("zero") => Ok(Arc::new(ZeroCost)),
+        Some("sharedlink") => Ok(Arc::new(SharedLink::new(latency, bandwidth))),
+        Some(other) => Err(format!(
+            "unknown interconnect '{other}' (zero|hockney|sharedlink)"
+        )),
+    }
+}
+
+impl RunRequest {
+    /// Validate the request, resolve its models through `cache`, and
+    /// build the scenario. All builder invariants are checked here so a
+    /// malformed request becomes a 400, never a worker panic.
+    pub fn prepare(&self, cache: &ModelCache) -> Result<PreparedRun, String> {
+        let algorithm = parse_algorithm(self.algorithm.as_deref())?;
+        let scheduler = parse_scheduler(self.scheduler.as_deref())?;
+        let backend = parse_backend(self.backend.as_deref(), scheduler)?;
+        let workers = positive("workers", self.workers.unwrap_or(4))?;
+        let seed = self.seed.unwrap_or(42);
+        let tile_size = positive("tile_size", self.tile_size.unwrap_or(64))?;
+        if let Some(n) = self.n {
+            positive("n", n)?;
+        }
+        if let Some(t) = self.tiles {
+            positive("tiles", t)?;
+        }
+        let overhead = non_negative_f(
+            "overhead_per_task",
+            self.overhead_per_task.unwrap_or(0.0),
+            false,
+        )?;
+        if let Some(b) = self.virtual_budget {
+            non_negative_f("virtual_budget", b, false)?;
+        }
+
+        let source = self.models.clone().unwrap_or(ModelSource::Synthetic {
+            mu: None,
+            sigma: None,
+            warmup: None,
+        });
+        let models = cache.resolve(&source, algorithm)?;
+
+        let (plan, faults_name) = match (&self.faults, self.fault_preset.as_deref()) {
+            (Some(p), _) => (p.clone(), "custom".to_string()),
+            (None, Some(name)) => {
+                let spec = FaultPlanSpec::preset(name).ok_or_else(|| {
+                    format!("unknown fault preset '{name}' (clean|straggler|transient|kill)")
+                })?;
+                (spec.plan, format!("preset:{name}"))
+            }
+            (None, None) => (FaultPlan::new(), "none".to_string()),
+        };
+        let terminal = if self.cluster.is_some() {
+            if plan.permanent_failure().is_some() {
+                Terminal::Faults
+            } else {
+                Terminal::Cluster
+            }
+        } else if plan.permanent_failure().is_some() {
+            Terminal::Faults
+        } else {
+            Terminal::Sim
+        };
+
+        let sim_config = SimConfig {
+            seed,
+            overhead_per_task: overhead,
+            ..SimConfig::default()
+        };
+        let mut scenario = Scenario::new(algorithm)
+            .tile_size(tile_size)
+            .scheduler(scheduler)
+            .workers(workers)
+            .seed(seed)
+            .models_shared(models.clone())
+            .config(sim_config.clone())
+            .faults(plan)
+            .backend(backend);
+        if let Some(n) = self.n {
+            scenario = scenario.n(n);
+        } else if let Some(t) = self.tiles {
+            scenario = scenario.tiles(t);
+        }
+        let mut cluster_echo = None;
+        if let Some(c) = &self.cluster {
+            if algorithm == Algorithm::Qr {
+                return Err("distributed QR is unimplemented; drop the cluster".to_string());
+            }
+            positive("cluster.nodes", c.nodes)?;
+            positive("cluster.workers_per_node", c.workers_per_node)?;
+            let ic = build_interconnect(c.interconnect.as_deref(), c.latency, c.bandwidth)?;
+            let nic = match c.nic_lanes {
+                Some(l) => positive("cluster.nic_lanes", l)?,
+                None => ic.default_nic_lanes(),
+            };
+            let spec = ClusterSpec::new(c.nodes, c.workers_per_node).with_nic_lanes(nic);
+            cluster_echo = Some(format!(
+                "{}x{}:{}",
+                c.nodes,
+                c.workers_per_node,
+                ic.fingerprint()
+            ));
+            scenario = scenario.cluster(spec).interconnect(ic);
+        }
+
+        let content_hash = scenario.content_hash();
+        let stream = self.stream.unwrap_or(false);
+        let echo = ScenarioEcho {
+            algorithm: algorithm.name().to_string(),
+            n: scenario.matrix_order(),
+            nb: tile_size,
+            scheduler: scheduler.name().to_string(),
+            workers,
+            seed,
+            backend: backend.name().to_string(),
+            faults: faults_name,
+            cluster: cluster_echo,
+            content_hash: format!("{content_hash:#018x}"),
+        };
+        Ok(PreparedRun {
+            scenario,
+            models,
+            sim_config,
+            terminal,
+            echo,
+            content_hash,
+            virtual_budget: self.virtual_budget,
+            timeout_ms: self.timeout_ms,
+            stream,
+            cacheable: backend == Backend::Des && !stream,
+        })
+    }
+}
+
+/// What a terminal produced, reduced to the deterministic fields.
+pub enum RunOutput {
+    /// From [`Scenario::run_sim`].
+    Sim(SimRun),
+    /// From [`Scenario::run_cluster`].
+    Cluster(ClusterRun),
+    /// From [`Scenario::run_faults`].
+    Faults(FaultOutcome),
+}
+
+impl RunOutput {
+    /// The run's final virtual clock (budget enforcement reads this).
+    pub fn makespan(&self) -> f64 {
+        match self {
+            RunOutput::Sim(r) => r.predicted_seconds,
+            RunOutput::Cluster(r) => r.predicted_seconds,
+            RunOutput::Faults(o) => o.faulted_makespan,
+        }
+    }
+
+    /// Build the deterministic result document.
+    pub fn doc(&self) -> ResultDoc {
+        let hash = |t: &supersim_trace::Trace| format!("{:#018x}", fnv1a(t.canonical().as_bytes()));
+        match self {
+            RunOutput::Sim(r) => ResultDoc {
+                kind: "sim".to_string(),
+                predicted_seconds: r.predicted_seconds,
+                gflops: r.gflops,
+                tasks: r.stats.completed,
+                trace_events: r.trace.len(),
+                trace_hash: hash(&r.trace),
+                transfers: None,
+                transfer_bytes: None,
+                clean_makespan: None,
+                faulted_makespan: None,
+                slowdown: None,
+                retries: None,
+            },
+            RunOutput::Cluster(r) => ResultDoc {
+                kind: "cluster".to_string(),
+                predicted_seconds: r.predicted_seconds,
+                gflops: r.gflops,
+                tasks: r.stats.completed,
+                trace_events: r.trace.len(),
+                trace_hash: hash(&r.trace),
+                transfers: Some(r.transfers),
+                transfer_bytes: Some(r.transfer_bytes),
+                clean_makespan: None,
+                faulted_makespan: None,
+                slowdown: None,
+                retries: None,
+            },
+            RunOutput::Faults(o) => ResultDoc {
+                kind: "faults".to_string(),
+                predicted_seconds: o.faulted_makespan,
+                gflops: 0.0,
+                tasks: o.trace.len() as u64,
+                trace_events: o.trace.len(),
+                trace_hash: hash(&o.trace),
+                transfers: None,
+                transfer_bytes: None,
+                clean_makespan: Some(o.clean_makespan),
+                faulted_makespan: Some(o.faulted_makespan),
+                slowdown: Some(o.report.slowdown),
+                retries: Some(o.report.retries),
+            },
+        }
+    }
+}
+
+impl SweepRequest {
+    /// Validate and map onto a [`SweepSpec`]. Every axis the sweep's
+    /// `cells()` would assert on is checked here.
+    pub fn spec(&self) -> Result<SweepSpec, String> {
+        let mut spec = SweepSpec::default();
+        if let Some(algs) = &self.algorithms {
+            if algs.is_empty() {
+                return Err("algorithms axis is empty".to_string());
+            }
+            spec.algorithms = algs
+                .iter()
+                .map(|s| parse_algorithm(Some(s)))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(orders) = &self.orders {
+            for &n in orders {
+                positive("orders entry", n)?;
+            }
+            spec.orders = orders.clone();
+        }
+        if let Some(tc) = &self.tile_counts {
+            if tc.is_empty() && self.orders.as_ref().is_none_or(Vec::is_empty) {
+                return Err("tile_counts axis is empty".to_string());
+            }
+            for &t in tc {
+                positive("tile_counts entry", t)?;
+            }
+            spec.tile_counts = tc.clone();
+        }
+        if let Some(ts) = &self.tile_sizes {
+            if ts.is_empty() {
+                return Err("tile_sizes axis is empty".to_string());
+            }
+            for &t in ts {
+                positive("tile_sizes entry", t)?;
+            }
+            spec.tile_sizes = ts.clone();
+        }
+        if let Some(scheds) = &self.schedulers {
+            if scheds.is_empty() {
+                return Err("schedulers axis is empty".to_string());
+            }
+            spec.schedulers = scheds
+                .iter()
+                .map(|s| parse_scheduler(Some(s)))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(w) = &self.worker_counts {
+            if w.is_empty() {
+                return Err("worker_counts axis is empty".to_string());
+            }
+            for &x in w {
+                positive("worker_counts entry", x)?;
+            }
+            spec.worker_counts = w.clone();
+        }
+        if let Some(nodes) = &self.node_counts {
+            if nodes.is_empty() {
+                return Err("node_counts axis is empty".to_string());
+            }
+            spec.node_counts = nodes.clone();
+        }
+        if let Some(plans) = &self.plans {
+            if plans.is_empty() {
+                return Err("plans axis is empty".to_string());
+            }
+            spec.plans = plans
+                .iter()
+                .map(|name| {
+                    FaultPlanSpec::preset(name).ok_or_else(|| {
+                        format!("unknown fault preset '{name}' (clean|straggler|transient|kill)")
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(seeds) = &self.seeds {
+            if seeds.is_empty() {
+                return Err("seeds axis is empty".to_string());
+            }
+            spec.seeds = seeds.clone();
+        }
+        spec.backend = match self.backend.as_deref() {
+            None | Some("auto") => SweepBackend::Auto,
+            Some("des") => SweepBackend::Des,
+            Some("threaded") => SweepBackend::Threaded,
+            Some(other) => return Err(format!("unknown backend '{other}' (auto|des|threaded)")),
+        };
+        if self.interconnect.is_some() || self.latency.is_some() || self.bandwidth.is_some() {
+            let latency = non_negative_f("latency", self.latency.unwrap_or(1e-5), false)?;
+            let bandwidth = non_negative_f("bandwidth", self.bandwidth.unwrap_or(1e10), true)?;
+            let name = self.interconnect.as_deref().unwrap_or("hockney");
+            let ic = InterconnectSpec::parse(name, latency, bandwidth).ok_or_else(|| {
+                format!("unknown interconnect '{name}' (zero|hockney|sharedlink)")
+            })?;
+            spec.interconnects = vec![ic];
+        }
+        if let Some(l) = self.nic_lanes {
+            spec.nic_lanes = Some(positive("nic_lanes", l)?);
+        }
+        if let Some(o) = self.overhead_per_task {
+            spec.overhead_per_task = non_negative_f("overhead_per_task", o, false)?;
+        }
+        match &self.models {
+            None => {}
+            Some(ModelSource::Synthetic { mu, sigma, warmup }) => {
+                let sigma = non_negative_f("sigma", sigma.unwrap_or(0.3), false)?;
+                spec.models = SweepModels::Synthetic {
+                    mu: mu.unwrap_or(-6.0),
+                    sigma,
+                    warmup: warmup.unwrap_or(1.0),
+                };
+            }
+            Some(ModelSource::Constant { .. }) => {
+                return Err(
+                    "constant models are not supported for sweeps; use synthetic with sigma 0"
+                        .to_string(),
+                );
+            }
+            Some(ModelSource::Calibration { .. }) => {
+                return Err(
+                    "calibration databases are not supported for sweeps; use /run per scenario"
+                        .to_string(),
+                );
+            }
+        }
+        if let Some(axis) = &self.autotune {
+            if !(AUTOTUNE_AXES.contains(&axis.as_str()) || axis == "tile_size") {
+                return Err(format!(
+                    "unknown autotune axis '{axis}' (one of {AUTOTUNE_AXES:?})"
+                ));
+            }
+            spec.autotune = Some(axis.clone());
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(json: &str) -> RunRequest {
+        serde_json::from_str(json).expect("request parses")
+    }
+
+    #[test]
+    fn defaults_mirror_the_cli() {
+        let cache = ModelCache::new();
+        let p = req("{}").prepare(&cache).unwrap();
+        assert_eq!(p.echo.algorithm, "cholesky");
+        assert_eq!(p.echo.n, 512);
+        assert_eq!(p.echo.nb, 64);
+        assert_eq!(p.echo.workers, 4);
+        assert_eq!(p.echo.seed, 42);
+        // Quark replays deterministically, so auto resolves to DES.
+        assert_eq!(p.echo.backend, "des");
+        assert!(p.cacheable);
+        assert_eq!(p.terminal, Terminal::Sim);
+    }
+
+    #[test]
+    fn auto_backend_falls_back_for_racy_profiles() {
+        let cache = ModelCache::new();
+        let p = req("{\"scheduler\":\"starpu\"}").prepare(&cache).unwrap();
+        assert_eq!(p.echo.backend, "threaded");
+        assert!(!p.cacheable, "threaded runs are never memoized");
+        // But forcing DES on a racy profile is a client error.
+        let err = req("{\"scheduler\":\"starpu\",\"backend\":\"des\"}")
+            .prepare(&cache)
+            .err()
+            .unwrap();
+        assert!(err.contains("host-thread order"), "{err}");
+    }
+
+    #[test]
+    fn invalid_fields_are_errors_not_panics() {
+        let cache = ModelCache::new();
+        for (json, needle) in [
+            ("{\"n\":0}", "n must be positive"),
+            ("{\"workers\":0}", "workers must be positive"),
+            ("{\"algorithm\":\"gemm\"}", "unknown algorithm"),
+            ("{\"fault_preset\":\"meteor\"}", "unknown fault preset"),
+            (
+                "{\"cluster\":{\"nodes\":0,\"workers_per_node\":2}}",
+                "cluster.nodes",
+            ),
+            (
+                "{\"algorithm\":\"qr\",\"cluster\":{\"nodes\":2,\"workers_per_node\":2}}",
+                "distributed QR",
+            ),
+            ("{\"virtual_budget\":-1.0}", "virtual_budget"),
+        ] {
+            let err = req(json).prepare(&cache).err().unwrap();
+            assert!(err.contains(needle), "for {json}: {err}");
+        }
+    }
+
+    #[test]
+    fn kill_preset_routes_to_the_faults_terminal() {
+        let cache = ModelCache::new();
+        let p = req("{\"fault_preset\":\"kill\",\"workers\":2}")
+            .prepare(&cache)
+            .unwrap();
+        assert_eq!(p.terminal, Terminal::Faults);
+        assert_eq!(p.echo.faults, "preset:kill");
+    }
+
+    #[test]
+    fn sweep_mapping_validates_axes() {
+        let ok: SweepRequest =
+            serde_json::from_str("{\"tile_sizes\":[32,64],\"seeds\":[1,2]}").unwrap();
+        let spec = ok.spec().unwrap();
+        assert_eq!(spec.tile_sizes, vec![32, 64]);
+        assert_eq!(spec.seeds, vec![1, 2]);
+        let bad: SweepRequest = serde_json::from_str("{\"tile_sizes\":[]}").unwrap();
+        assert!(bad.spec().unwrap_err().contains("tile_sizes"));
+        let bad: SweepRequest = serde_json::from_str("{\"autotune\":\"flux\"}").unwrap();
+        assert!(bad.spec().unwrap_err().contains("autotune"));
+    }
+
+    #[test]
+    fn content_hash_flows_into_the_echo() {
+        let cache = ModelCache::new();
+        let a = req("{\"seed\":1}").prepare(&cache).unwrap();
+        let b = req("{\"seed\":1}").prepare(&cache).unwrap();
+        let c = req("{\"seed\":2}").prepare(&cache).unwrap();
+        assert_eq!(a.content_hash, b.content_hash);
+        assert_ne!(a.content_hash, c.content_hash);
+        assert_eq!(a.echo.content_hash, format!("{:#018x}", a.content_hash));
+    }
+}

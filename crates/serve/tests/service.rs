@@ -1,0 +1,234 @@
+//! End-to-end lifecycle tests of the resident service: admission control
+//! under saturation, wall-clock timeout cancellation, virtual-time
+//! budgets, response-cache byte identity, streaming, and the metrics
+//! endpoint. Every test boots a real daemon on an ephemeral port and
+//! talks to it over TCP through the same client the CI smoke job uses.
+
+use std::time::Duration;
+use supersim_serve::{client_request, ServeConfig, Server};
+
+fn boot(workers: usize, queue: usize, default_timeout_ms: u64) -> supersim_serve::ServerHandle {
+    Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue,
+        default_timeout_ms,
+        retry_after_secs: 7,
+    })
+    .expect("bind ephemeral port")
+    .spawn()
+}
+
+fn post(
+    handle: &supersim_serve::ServerHandle,
+    path: &str,
+    body: &str,
+) -> supersim_serve::ClientResponse {
+    client_request(handle.addr, "POST", path, body, Duration::from_secs(120)).expect("request")
+}
+
+fn get(handle: &supersim_serve::ServerHandle, path: &str) -> supersim_serve::ClientResponse {
+    client_request(handle.addr, "GET", path, "", Duration::from_secs(30)).expect("request")
+}
+
+/// Past saturation (1 worker, 1 queue slot, 16 concurrent runs) every
+/// request still gets an HTTP answer — 200 or 503 + `Retry-After`, never
+/// a silent drop — and at least one of each appears.
+#[test]
+fn saturation_rejects_with_retry_after_never_drops() {
+    let handle = boot(1, 1, 120_000);
+    let addr = handle.addr;
+    let clients: Vec<_> = (0..16)
+        .map(|i| {
+            std::thread::spawn(move || {
+                // Distinct seeds defeat the response cache; 40x40 tiles is
+                // heavy enough (~21k tasks) to hold the single worker.
+                let body = format!("{{\"tiles\":40,\"seed\":{i},\"backend\":\"des\"}}");
+                client_request(addr, "POST", "/run", &body, Duration::from_secs(120))
+                    .expect("every request gets an answer")
+            })
+        })
+        .collect();
+    let responses: Vec<_> = clients.into_iter().map(|c| c.join().unwrap()).collect();
+    let mut ok = 0;
+    let mut rejected = 0;
+    for r in &responses {
+        match r.status {
+            200 => ok += 1,
+            503 => {
+                rejected += 1;
+                assert_eq!(
+                    r.header("retry-after"),
+                    Some("7"),
+                    "503 carries the configured Retry-After"
+                );
+                assert!(r.body.contains("error"), "503 body explains: {}", r.body);
+            }
+            other => panic!("unexpected status {other}: {}", r.body),
+        }
+    }
+    assert!(ok >= 1, "the admitted requests complete ({ok} ok)");
+    assert!(
+        rejected >= 1,
+        "16 concurrent runs against capacity 2 must trip admission control"
+    );
+    let metrics = get(&handle, "/metrics").body;
+    assert!(
+        metrics.contains("serve.admission.rejected"),
+        "rejections are counted: {metrics}"
+    );
+    handle.shutdown();
+}
+
+/// A run that exceeds its wall-clock timeout is cancelled mid-flight and
+/// answered 504; the daemon stays healthy and counts the timeout.
+#[test]
+fn timeout_cancels_a_running_scenario() {
+    let handle = boot(1, 4, 120_000);
+    // 80x80 tiles (~171k tasks) takes well over 100ms to build and
+    // replay; the 100ms deadline fires while the DES clock is advancing
+    // and request_cancel stops it at the next retirement.
+    let resp = post(
+        &handle,
+        "/run",
+        "{\"tiles\":80,\"backend\":\"des\",\"timeout_ms\":100}",
+    );
+    assert_eq!(resp.status, 504, "{}", resp.body);
+    assert!(resp.body.contains("timeout"), "{}", resp.body);
+    // The daemon is still serving.
+    let health = get(&handle, "/healthz");
+    assert_eq!(health.status, 200);
+    let metrics = get(&handle, "/metrics").body;
+    assert!(metrics.contains("serve.timeouts"), "{metrics}");
+    handle.shutdown();
+}
+
+/// A virtual-time budget bounds the simulated clock: exceeding it is a
+/// 422, enforced exactly on the DES backend.
+#[test]
+fn virtual_budget_exceeded_is_422() {
+    let handle = boot(2, 4, 120_000);
+    let resp = post(
+        &handle,
+        "/run",
+        "{\"tiles\":16,\"backend\":\"des\",\"virtual_budget\":1e-6}",
+    );
+    assert_eq!(resp.status, 422, "{}", resp.body);
+    assert!(
+        resp.body.contains("virtual budget exceeded"),
+        "{}",
+        resp.body
+    );
+    // The same scenario without the budget completes fine.
+    let resp = post(&handle, "/run", "{\"tiles\":16,\"backend\":\"des\"}");
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    handle.shutdown();
+}
+
+/// The scenario cache: a repeated deterministic (DES) request is served
+/// from cache, byte-identical to the cold response.
+#[test]
+fn cache_hit_is_byte_identical_to_cold() {
+    let handle = boot(2, 4, 120_000);
+    // 32x32 tiles (~11k tasks) makes the cold run expensive enough that
+    // the cached round trip must beat it by at least 5x.
+    let body = "{\"tiles\":32,\"seed\":7,\"backend\":\"des\"}";
+    let t0 = std::time::Instant::now();
+    let cold = post(&handle, "/run", body);
+    let cold_latency = t0.elapsed();
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    let t1 = std::time::Instant::now();
+    let warm = post(&handle, "/run", body);
+    let warm_latency = t1.elapsed();
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert!(
+        warm_latency.as_secs_f64() * 5.0 <= cold_latency.as_secs_f64(),
+        "cached round trip ({warm_latency:?}) must be >= 5x faster than cold ({cold_latency:?})"
+    );
+    assert_eq!(
+        cold.body, warm.body,
+        "cache hit must be byte-identical to the cold response"
+    );
+    // A different seed is a different scenario: miss, different document.
+    let other = post(
+        &handle,
+        "/run",
+        "{\"tiles\":32,\"seed\":8,\"backend\":\"des\"}",
+    );
+    assert_eq!(other.header("x-cache"), Some("miss"));
+    assert_ne!(cold.body, other.body);
+    // The response parses and echoes the content hash.
+    let doc: serde_json::Value = serde_json::from_str(&cold.body).unwrap();
+    assert!(doc["scenario"]["content_hash"]
+        .as_str()
+        .unwrap()
+        .starts_with("0x"));
+    assert!(doc["result"]["trace_hash"]
+        .as_str()
+        .unwrap()
+        .starts_with("0x"));
+    let metrics = get(&handle, "/metrics").body;
+    assert!(metrics.contains("serve.cache.hit"), "{metrics}");
+    handle.shutdown();
+}
+
+/// `"stream": true` switches to chunked ndjson ending in a result event.
+#[test]
+fn streaming_run_ends_with_a_result_event() {
+    let handle = boot(2, 4, 120_000);
+    let resp = post(
+        &handle,
+        "/run",
+        "{\"tiles\":48,\"backend\":\"des\",\"stream\":true}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let last = resp.body.lines().last().expect("at least one event");
+    assert!(last.contains("\"event\":\"result\""), "{last}");
+    let doc: serde_json::Value = serde_json::from_str(last).unwrap();
+    assert_eq!(doc["data"]["scenario"]["algorithm"], "cholesky");
+    handle.shutdown();
+}
+
+/// `/sweep` maps the request onto the sweep runner and returns the
+/// deterministic merged report; malformed matrices are 400s.
+#[test]
+fn sweep_endpoint_runs_a_matrix() {
+    let handle = boot(2, 4, 120_000);
+    let resp = post(
+        &handle,
+        "/sweep",
+        "{\"tile_counts\":[4],\"tile_sizes\":[16,32],\"seeds\":[1],\"jobs\":2}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc: serde_json::Value = serde_json::from_str(&resp.body).unwrap();
+    assert!(doc["cells_total"].as_u64().unwrap() >= 2, "{}", resp.body);
+    let bad = post(&handle, "/sweep", "{\"tile_sizes\":[]}");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    handle.shutdown();
+}
+
+/// Protocol errors: bad JSON is 400, unknown paths are 404, unsupported
+/// methods are 405 — all as JSON error documents.
+#[test]
+fn protocol_errors_map_to_statuses() {
+    let handle = boot(1, 4, 120_000);
+    let bad = post(&handle, "/run", "{not json");
+    assert_eq!(bad.status, 400, "{}", bad.body);
+    let invalid = post(&handle, "/run", "{\"workers\":0}");
+    assert_eq!(invalid.status, 400, "{}", invalid.body);
+    assert!(invalid.body.contains("workers"), "{}", invalid.body);
+    let missing = get(&handle, "/nope");
+    assert_eq!(missing.status, 404);
+    let wrong = client_request(
+        handle.addr,
+        "DELETE",
+        "/healthz",
+        "",
+        Duration::from_secs(30),
+    )
+    .unwrap();
+    assert_eq!(wrong.status, 405);
+    handle.shutdown();
+}

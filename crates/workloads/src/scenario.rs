@@ -266,6 +266,79 @@ impl Scenario {
         }
     }
 
+    /// A stable content hash of everything that determines this
+    /// scenario's virtual-time outcome: algorithm, resolved sizes,
+    /// scheduler, workers, seed, backend, cluster layout, interconnect
+    /// and placement, fault plan, config overrides, and the attached
+    /// duration-model database. Field-order independent (the builder's
+    /// call order never matters) and seed-inclusive, so two scenarios
+    /// hash equal only if a deterministic backend produces byte-identical
+    /// results for both — the key the serve layer's content-addressed
+    /// response cache relies on.
+    ///
+    /// Panics if an explicit session is attached without `.models(...)`:
+    /// session internals (clock, RNG state) are not hashable, so callers
+    /// must also provide the registry the session was built from.
+    pub fn content_hash(&self) -> u64 {
+        assert!(
+            self.session.is_none() || self.models.is_some(),
+            "content_hash cannot see inside an explicit session; \
+             attach the registry it was built from via .models(...)"
+        );
+        let mut lines: Vec<String> = vec![
+            format!("algorithm={}", self.algorithm.name()),
+            format!("n={}", self.matrix_order()),
+            format!("nb={}", self.tile_size),
+            format!("scheduler={}", self.scheduler.name()),
+            format!("workers={}", self.workers),
+            format!("seed={}", self.seed),
+            format!("backend={}", self.backend.name()),
+        ];
+        if let Some(spec) = &self.cluster {
+            lines.push(format!(
+                "cluster={}x{}:nic{}:mem{}",
+                spec.nodes, spec.workers_per_node, spec.nic_lanes_per_node, spec.mem_bytes_per_node
+            ));
+            lines.push(format!(
+                "interconnect={}",
+                self.resolved_interconnect().fingerprint()
+            ));
+            lines.push(format!("placement={}", self.resolved_placement().name()));
+        }
+        if !self.faults.is_empty() {
+            lines.push(format!(
+                "faults={}",
+                serde_json::to_string(&self.faults).expect("fault plans serialize")
+            ));
+        }
+        if let Some(c) = &self.config {
+            lines.push(format!(
+                "config={}:{:?}:{:e}:{:?}:{:?}",
+                c.seed, c.mitigation, c.overhead_per_task, c.worker_speeds, c.wakeup_mode
+            ));
+        }
+        if let Some(m) = &self.models {
+            lines.push(format!(
+                "models={}",
+                serde_json::to_string(m.as_ref()).expect("model registries serialize")
+            ));
+        }
+        // Sorting makes the digest independent of how fields are added
+        // above — reordering this function can never silently invalidate
+        // caches keyed on the hash.
+        lines.sort();
+        let mut h = 0xcbf29ce484222325u64;
+        for line in &lines {
+            for b in line.as_bytes() {
+                h ^= u64::from(*b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            h ^= u64::from(b'\n');
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
     /// The lane map fault plans compile against: the cluster layout if
     /// one is set, else a single node of `workers` lanes.
     pub(crate) fn lane_map(&self) -> LaneMap {
@@ -507,6 +580,94 @@ mod tests {
             .models(models(Algorithm::Cholesky))
             .faults(FaultPlan::new().kill_worker(1, 0.5))
             .run_sim();
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_order_independent() {
+        let a = Scenario::new(Algorithm::Cholesky)
+            .n(128)
+            .tile_size(32)
+            .workers(4)
+            .seed(7)
+            .models(models(Algorithm::Cholesky))
+            .backend(Backend::Des);
+        assert_eq!(a.content_hash(), a.clone().content_hash());
+        // Builder call order must not matter.
+        let b = Scenario::new(Algorithm::Cholesky)
+            .backend(Backend::Des)
+            .models(models(Algorithm::Cholesky))
+            .seed(7)
+            .workers(4)
+            .tile_size(32)
+            .n(128);
+        assert_eq!(a.content_hash(), b.content_hash());
+        // Equivalent size spellings resolve to the same hash.
+        let c = Scenario::new(Algorithm::Cholesky)
+            .tiles(4)
+            .tile_size(32)
+            .workers(4)
+            .seed(7)
+            .models(models(Algorithm::Cholesky))
+            .backend(Backend::Des);
+        assert_eq!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn content_hash_separates_differing_scenarios() {
+        let base = || {
+            Scenario::new(Algorithm::Cholesky)
+                .n(128)
+                .tile_size(32)
+                .workers(4)
+                .seed(7)
+                .models(models(Algorithm::Cholesky))
+        };
+        let h = base().content_hash();
+        assert_ne!(h, base().seed(8).content_hash(), "seed-inclusive");
+        assert_ne!(
+            h,
+            Scenario::new(Algorithm::Lu)
+                .n(128)
+                .tile_size(32)
+                .workers(4)
+                .seed(7)
+                .models(models(Algorithm::Lu))
+                .content_hash()
+        );
+        assert_ne!(h, base().n(160).content_hash());
+        assert_ne!(h, base().workers(5).content_hash());
+        assert_ne!(h, base().backend(Backend::Des).content_hash());
+        assert_ne!(
+            h,
+            base()
+                .faults(FaultPlan::new().straggler_worker(0, 0.0, 1.0, 2.0))
+                .content_hash()
+        );
+        assert_ne!(
+            h,
+            base().cluster(ClusterSpec::new(4, 2)).content_hash(),
+            "cluster layout is part of the identity"
+        );
+        // A differently parameterized interconnect changes the hash even
+        // though the model name is the same.
+        let hockney = |lat| {
+            base()
+                .cluster(ClusterSpec::new(4, 2))
+                .interconnect(Arc::new(supersim_cluster::Hockney::new(lat, 1e9)))
+                .content_hash()
+        };
+        assert_ne!(hockney(1e-6), hockney(2e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "content_hash cannot see inside")]
+    fn content_hash_rejects_opaque_sessions() {
+        let session = make_session(models(Algorithm::Cholesky), 7);
+        let _ = Scenario::new(Algorithm::Cholesky)
+            .n(64)
+            .tile_size(16)
+            .session(session)
+            .content_hash();
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //!                  [--calibration cal.json] [--autotune nb|scheduler|workers|nodes|interconnect]
 //!                  [--out report.json] [--csv report.csv] [--counts-out counts.txt]
 //!                  [--metrics-out m.json]
+//! supersim serve   [--addr 127.0.0.1:8077] [--serve-workers W] [--queue Q]
+//!                  [--timeout-ms MS] [--retry-after S]
 //! supersim dag     --alg qr --nt 4 [--dot out.dot]
 //! supersim metrics --workload cholesky [--n 512] [--nb 64] [--workers 8]
 //!                  [--seed 42] [--mode both|targeted|broadcast]
@@ -85,19 +87,37 @@ use supersim::trace::{chrome, svg, text};
 use supersim::workloads::SharedTiles;
 
 fn main() {
+    // Invalid arguments exit 2 with a one-line stderr message — every
+    // flag parser here follows that convention, but values that pass
+    // parsing can still trip `assert!`s deep in the builder crates
+    // (e.g. `--n 0`, inconsistent fault windows), which would otherwise
+    // abort with a multi-line panic dump and exit 101. Route those
+    // through the same convention: print the panic payload as a single
+    // `error:` line and exit 2.
+    std::panic::set_hook(Box::new(|info| {
+        let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = info.payload().downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "internal error".to_string()
+        };
+        eprintln!("error: {}", msg.lines().next().unwrap_or("internal error"));
+    }));
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage_and_exit();
     }
     let cmd = args.remove(0);
     let opts = parse_flags(&args);
-    match cmd.as_str() {
+    let outcome = std::panic::catch_unwind(|| match cmd.as_str() {
         "real" => cmd_real(&opts),
         "sim" => cmd_sim(&opts),
         "predict" => cmd_predict(&opts),
         "cluster" => cmd_cluster(&opts),
         "faults" => cmd_faults(&opts),
         "sweep" => cmd_sweep(&opts),
+        "serve" => cmd_serve(&opts),
         "dag" => cmd_dag(&opts),
         "metrics" => cmd_metrics(&opts),
         "info" => cmd_info(),
@@ -106,6 +126,9 @@ fn main() {
             eprintln!("unknown command: {other}");
             usage_and_exit();
         }
+    });
+    if outcome.is_err() {
+        exit(2);
     }
 }
 
@@ -120,6 +143,7 @@ fn usage_and_exit() -> ! {
          \x20 cluster  simulate a distributed run over N nodes with an interconnect model\n\
          \x20 faults   clean-vs-faulted comparison under a deterministic fault plan\n\
          \x20 sweep    run a scenario matrix across host cores, merge one report\n\
+         \x20 serve    resident HTTP daemon: /run, /sweep, /healthz, /metrics\n\
          \x20 dag      emit the task DAG of an algorithm\n\
          \x20 metrics  run a simulated workload and dump instrumentation as JSON\n\
          \x20 info     list algorithms and scheduler profiles\n\
@@ -979,6 +1003,31 @@ fn cmd_sweep(opts: &HashMap<String, String>) {
         std::fs::write(path, outcome.metrics.to_json()).expect("write metrics");
         eprintln!("merged metrics written to {path}");
     }
+}
+
+/// Start the resident simulation service (see DESIGN.md §11). Blocks
+/// until `POST /shutdown`.
+fn cmd_serve(opts: &HashMap<String, String>) {
+    let config = supersim::serve::ServeConfig {
+        addr: opts
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:8077".to_string()),
+        workers: get(opts, "serve-workers", 0usize),
+        queue: get(opts, "queue", 4usize),
+        default_timeout_ms: get(opts, "timeout-ms", 30_000u64),
+        retry_after_secs: get(opts, "retry-after", 1u64),
+    };
+    let addr = config.addr.clone();
+    let server = supersim::serve::Server::bind(config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        exit(2)
+    });
+    eprintln!(
+        "serving on http://{}  (POST /run, POST /sweep, GET /healthz, GET /metrics, POST /shutdown)",
+        server.local_addr()
+    );
+    server.run();
 }
 
 fn cmd_dag(opts: &HashMap<String, String>) {

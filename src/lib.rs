@@ -75,6 +75,7 @@ pub use supersim_faults as faults;
 #[cfg(feature = "metrics")]
 pub use supersim_metrics as metrics;
 pub use supersim_runtime as runtime;
+pub use supersim_serve as serve;
 pub use supersim_tile as tile;
 pub use supersim_trace as trace;
 pub use supersim_workloads as workloads;

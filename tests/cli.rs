@@ -260,3 +260,79 @@ fn sim_without_calibration_is_an_error() {
     let err = String::from_utf8(out.stderr).unwrap();
     assert!(err.contains("--calibration"));
 }
+
+/// Every invalid-argument path — including values that only trip
+/// `assert!`s deep inside the builder crates — must exit 2 with a
+/// one-line stderr message, not abort with a panic dump (exit 101).
+#[test]
+fn invalid_arguments_exit_two_with_one_line() {
+    for args in [
+        // Parses fine, then trips Scenario::n's positivity assert.
+        &["metrics", "--n", "0"][..],
+        &["metrics", "--workers", "0"][..],
+        // Trips the sweep expander's autotune-axis assert.
+        &["sweep", "--autotune", "flux", "--tiles", "2"][..],
+        // Plain flag-parse errors, for comparison.
+        &["metrics", "--n", "banana"][..],
+        &["faults", "--alg", "gemm"][..],
+    ] {
+        let out = bin().args(args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{args:?}: expected exit 2, got {:?}",
+            out.status.code()
+        );
+        let err = String::from_utf8(out.stderr).unwrap();
+        let lines: Vec<&str> = err.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(
+            lines.len(),
+            1,
+            "{args:?}: want one stderr line, got {err:?}"
+        );
+    }
+}
+
+/// `supersim serve` boots, answers /healthz, and stops on /shutdown.
+#[test]
+fn serve_command_boots_and_shuts_down() {
+    use std::io::BufRead;
+    let mut child = bin()
+        .args(["serve", "--addr", "127.0.0.1:0", "--serve-workers", "2"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The first stderr line announces the bound address.
+    let mut line = String::new();
+    std::io::BufReader::new(child.stderr.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr: std::net::SocketAddr = line
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("serve announces its address")
+        .parse()
+        .unwrap();
+    let health = supersim::serve::client_request(
+        addr,
+        "GET",
+        "/healthz",
+        "",
+        std::time::Duration::from_secs(10),
+    )
+    .unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"ok\""));
+    let bye = supersim::serve::client_request(
+        addr,
+        "POST",
+        "/shutdown",
+        "",
+        std::time::Duration::from_secs(10),
+    )
+    .unwrap();
+    assert_eq!(bye.status, 200);
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exits cleanly after /shutdown");
+}
