@@ -319,7 +319,12 @@ fn fig5(opts: &Opts) {
         rt.seal();
         rt.wait_all().unwrap();
         let trace = session.finish_trace(2);
-        let c_start = trace.events.iter().find(|e| e.kernel == "C").unwrap().start;
+        let c_start = trace
+            .spans()
+            .iter()
+            .find(|e| e.kernel == "C")
+            .unwrap()
+            .start;
         let verdict = if (c_start - 1.0).abs() < 1e-9 {
             "correct"
         } else {
@@ -609,7 +614,12 @@ fn race_sensitivity(opts: &Opts) {
             rt.seal();
             rt.wait_all().unwrap();
             let trace = session.finish_trace(2);
-            let c_start = trace.events.iter().find(|e| e.kernel == "C").unwrap().start;
+            let c_start = trace
+                .spans()
+                .iter()
+                .find(|e| e.kernel == "C")
+                .unwrap()
+                .start;
             if (c_start - 1.0).abs() > 1e-9 {
                 races += 1;
             }

@@ -134,6 +134,24 @@ struct Overhead {
     pass: bool,
 }
 
+/// Peak-RSS scaling of the trace pipeline from 10^4 to 10^6 tasks on the
+/// DES replay backend, measured in spawned child processes (VmHWM is
+/// process-wide, so both modes need a fresh process). Streaming mode must
+/// stay flat — ratio at most 2.0, the bounded-memory acceptance criterion
+/// — while buffered mode is recorded to document the linear growth being
+/// avoided.
+#[derive(Serialize)]
+struct TraceStreamRss {
+    streaming_rss_kb_10k: u64,
+    streaming_rss_kb_1m: u64,
+    streaming_ratio: f64,
+    buffered_rss_kb_10k: u64,
+    buffered_rss_kb_1m: u64,
+    buffered_ratio: f64,
+    required_ratio: f64,
+    pass: bool,
+}
+
 #[derive(Serialize)]
 struct Baseline {
     benchmark: String,
@@ -158,6 +176,7 @@ struct Baseline {
     cluster: Vec<ClusterPoint>,
     sweep: SweepPoint,
     serve: ServePoint,
+    trace_stream_rss: TraceStreamRss,
     acceptance: Acceptance,
     des_acceptance: DesAcceptance,
     overhead: Option<Overhead>,
@@ -296,6 +315,64 @@ fn serve_point() -> ServePoint {
     }
 }
 
+/// Peak resident set size (VmHWM) of this process, in KiB.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// The `--probe-stream-rss` payload: replay a synthetic fixed-duration
+/// task stream on the DES backend — streaming mode drains spans to a null
+/// sink at 0.05s virtual epochs, buffered mode accumulates them all — and
+/// report this process's peak RSS. Mirrors `supersim stream-bench`, which
+/// is the user-facing twin of this probe.
+fn stream_rss_probe(tasks: u64, streaming: bool) -> u64 {
+    use supersim_core::{ModelRegistry, SimConfig, SimSession};
+    use supersim_dag::{Access, DataId};
+    use supersim_des::{ReplayBody, ReplayEngine, ReplayTask};
+    use supersim_runtime::RuntimeConfig;
+    use supersim_trace::sink::NullSink;
+
+    let session = SimSession::new(ModelRegistry::new(), SimConfig::default());
+    if streaming {
+        session
+            .trace_recorder()
+            .attach_sink(Box::new(NullSink), 0.05);
+    }
+    let mut cfg = RuntimeConfig::simple(64);
+    cfg.window = 1_024;
+    let engine = ReplayEngine::new(&cfg, session.clone()).expect("simple profile replays");
+    const CELLS: u64 = 4096;
+    let out = engine.run((0..tasks).map(|i| ReplayTask {
+        label: format!("k{}", i % 7),
+        accesses: vec![
+            Access::write(DataId(i % CELLS)),
+            Access::read(DataId((i + CELLS - 256) % CELLS)),
+        ],
+        priority: 0,
+        pin: None,
+        body: ReplayBody::Fixed {
+            duration: 1e-4 * ((i % 9) + 1) as f64,
+        },
+    }));
+    assert_eq!(out.completed, tasks, "probe stream fully retired");
+    let trace = session.finish_trace(64);
+    assert_eq!(
+        trace.len() as u64 + session.trace_recorder().drained(),
+        tasks,
+        "every span accounted for"
+    );
+    peak_rss_kb()
+}
+
 /// One median gate-point measurement (the `--probe-targeted-64` payload).
 fn gate_point_median() -> f64 {
     median(GATE_REPS, || {
@@ -365,6 +442,20 @@ fn main() {
         match a.as_str() {
             "--probe-targeted-64" => {
                 println!("{}", gate_point_median());
+                return;
+            }
+            "--probe-stream-rss" => {
+                let tasks: u64 = args
+                    .next()
+                    .expect("--probe-stream-rss needs a task count")
+                    .parse()
+                    .expect("task count");
+                let streaming = match args.next().as_deref() {
+                    Some("streaming") => true,
+                    Some("buffered") => false,
+                    other => panic!("--probe-stream-rss needs streaming|buffered, got {other:?}"),
+                };
+                println!("{}", stream_rss_probe(tasks, streaming));
                 return;
             }
             "--gate" => gate_path = Some(args.next().expect("--gate needs a file")),
@@ -439,6 +530,41 @@ fn main() {
     let serve = serve_point();
     let serve_rps = serve.cached_requests_per_sec;
 
+    eprintln!("trace-stream rss: DES replay 10^4 vs 10^6 tasks, streaming vs buffered ...");
+    let exe = std::env::current_exe().expect("current exe");
+    let probe_rss = |tasks: u64, mode: &str| -> u64 {
+        let out = std::process::Command::new(&exe)
+            .arg("--probe-stream-rss")
+            .arg(tasks.to_string())
+            .arg(mode)
+            .output()
+            .expect("spawn rss probe");
+        assert!(
+            out.status.success(),
+            "rss probe failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout)
+            .trim()
+            .parse()
+            .expect("probe prints one peak-rss number")
+    };
+    let s10k = probe_rss(10_000, "streaming");
+    let s1m = probe_rss(1_000_000, "streaming");
+    let b10k = probe_rss(10_000, "buffered");
+    let b1m = probe_rss(1_000_000, "buffered");
+    let streaming_ratio = s1m as f64 / s10k.max(1) as f64;
+    let trace_stream_rss = TraceStreamRss {
+        streaming_rss_kb_10k: s10k,
+        streaming_rss_kb_1m: s1m,
+        streaming_ratio,
+        buffered_rss_kb_10k: b10k,
+        buffered_rss_kb_1m: b1m,
+        buffered_ratio: b1m as f64 / b10k.max(1) as f64,
+        required_ratio: 2.0,
+        pass: streaming_ratio <= 2.0,
+    };
+
     let gate = teq
         .iter()
         .find(|p| p.waiters == 64)
@@ -509,6 +635,7 @@ fn main() {
         cluster,
         sweep,
         serve,
+        trace_stream_rss,
         acceptance,
         des_acceptance,
         overhead,
@@ -532,6 +659,22 @@ fn main() {
         baseline.des_acceptance.threaded_tasks_per_sec,
         baseline.des_acceptance.required,
         if baseline.des_acceptance.pass {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+
+    println!(
+        "trace-stream rss 10^6/10^4: streaming {:.2}x ({} -> {} KiB, ceiling {:.1}x), buffered {:.2}x ({} -> {} KiB) {}",
+        baseline.trace_stream_rss.streaming_ratio,
+        baseline.trace_stream_rss.streaming_rss_kb_10k,
+        baseline.trace_stream_rss.streaming_rss_kb_1m,
+        baseline.trace_stream_rss.required_ratio,
+        baseline.trace_stream_rss.buffered_ratio,
+        baseline.trace_stream_rss.buffered_rss_kb_10k,
+        baseline.trace_stream_rss.buffered_rss_kb_1m,
+        if baseline.trace_stream_rss.pass {
             "PASS"
         } else {
             "FAIL"
@@ -598,6 +741,19 @@ fn main() {
             None => println!(
                 "perf gate vs {path}: no sweep_256_cells_per_sec in committed baseline, skipping sweep gate"
             ),
+        }
+        // The trace_stream_rss gate is absolute (the bounded-memory
+        // contract, not a regression ratio): streaming peak RSS at 10^6
+        // tasks must stay within 2x of the 10^4-task run.
+        {
+            let pass = baseline.trace_stream_rss.pass;
+            println!(
+                "perf gate: trace_stream_rss streaming ratio {:.2} (ceiling {:.1}) {}",
+                baseline.trace_stream_rss.streaming_ratio,
+                baseline.trace_stream_rss.required_ratio,
+                if pass { "PASS" } else { "FAIL" }
+            );
+            failed |= !pass;
         }
         match serve_cached_rps_of(&path) {
             Some(committed_serve) => {

@@ -65,7 +65,7 @@ pub fn collect(trace: &Trace, opts: CollectOptions) -> BTreeMap<String, KernelSa
     let mut seen: HashSet<(usize, &str)> = HashSet::new();
 
     // Per-worker chronological order decides which call is "first".
-    let mut events: Vec<&supersim_trace::TraceEvent> = trace.events.iter().collect();
+    let mut events: Vec<&supersim_trace::TraceEvent> = trace.spans().iter().collect();
     events.sort_by(|a, b| a.start.total_cmp(&b.start));
 
     for e in events {
@@ -110,9 +110,7 @@ mod tests {
     }
 
     fn trace(events: Vec<TraceEvent>) -> Trace {
-        let mut t = Trace::new(4);
-        t.events = events;
-        t
+        Trace::from_parts(4, events)
     }
 
     #[test]

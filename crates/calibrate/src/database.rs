@@ -110,7 +110,7 @@ mod tests {
         let mut t = Trace::new(1);
         for i in 0..40u64 {
             let d = 0.01 + (i % 5) as f64 * 0.001;
-            t.events.push(TraceEvent {
+            t.push(TraceEvent {
                 worker: 0,
                 kernel: "dgemm".into(),
                 task_id: i,

@@ -173,7 +173,7 @@ mod tests {
         for i in 0..n {
             let w = i % 2;
             let d = dist.sample(&mut rng).max(1e-9);
-            t.events.push(TraceEvent {
+            t.push(TraceEvent {
                 worker: w,
                 kernel: label.into(),
                 task_id: i as u64,
@@ -211,7 +211,7 @@ mod tests {
             let mut clock = 0.0;
             for i in 0..50 {
                 let d = if i == 0 { 0.1 } else { 0.01 };
-                t.events.push(TraceEvent {
+                t.push(TraceEvent {
                     worker: w,
                     kernel: "k".into(),
                     task_id: id,
@@ -240,7 +240,7 @@ mod tests {
     fn few_samples_fall_back_to_constant() {
         let mut t = Trace::new(1);
         for i in 0..3u64 {
-            t.events.push(TraceEvent {
+            t.push(TraceEvent {
                 worker: 0,
                 kernel: "rare".into(),
                 task_id: i,
@@ -266,7 +266,7 @@ mod tests {
     fn degenerate_equal_samples_fit_constant() {
         let mut t = Trace::new(1);
         for i in 0..20u64 {
-            t.events.push(TraceEvent {
+            t.push(TraceEvent {
                 worker: 0,
                 kernel: "exact".into(),
                 task_id: i,

@@ -84,7 +84,7 @@ mod tests {
         // Tasks of 1.0 with 0.1 gaps.
         let mut clock = 0.0;
         for i in 0..10 {
-            t.events.push(ev(0, i, clock, clock + 1.0));
+            t.push(ev(0, i, clock, clock + 1.0));
             clock += 1.1;
         }
         let est = estimate(&t, 1.0).unwrap();
@@ -96,9 +96,9 @@ mod tests {
     #[test]
     fn starvation_gaps_excluded_by_cap() {
         let mut t = Trace::new(1);
-        t.events.push(ev(0, 0, 0.0, 1.0));
-        t.events.push(ev(0, 1, 1.01, 2.0)); // 10 ms bookkeeping gap
-        t.events.push(ev(0, 2, 10.0, 11.0)); // 8 s starvation gap
+        t.push(ev(0, 0, 0.0, 1.0));
+        t.push(ev(0, 1, 1.01, 2.0)); // 10 ms bookkeeping gap
+        t.push(ev(0, 2, 10.0, 11.0)); // 8 s starvation gap
         let est = estimate(&t, 0.1).unwrap();
         assert_eq!(est.gaps, 1);
         assert!((est.median_gap - 0.01).abs() < 1e-12);
@@ -111,8 +111,8 @@ mod tests {
     #[test]
     fn overlapping_tasks_clamp_to_zero() {
         let mut t = Trace::new(1);
-        t.events.push(ev(0, 0, 0.0, 1.0));
-        t.events.push(ev(0, 1, 0.9, 2.0));
+        t.push(ev(0, 0, 0.0, 1.0));
+        t.push(ev(0, 1, 0.9, 2.0));
         let est = estimate(&t, 1.0).unwrap();
         assert_eq!(est.median_gap, 0.0);
     }
@@ -120,8 +120,8 @@ mod tests {
     #[test]
     fn too_few_events_yields_none() {
         let mut t = Trace::new(2);
-        t.events.push(ev(0, 0, 0.0, 1.0));
-        t.events.push(ev(1, 1, 0.0, 1.0));
+        t.push(ev(0, 0, 0.0, 1.0));
+        t.push(ev(1, 1, 0.0, 1.0));
         assert!(estimate(&t, 1.0).is_none());
         assert!(estimate(&Trace::new(1), 1.0).is_none());
     }
@@ -132,8 +132,7 @@ mod tests {
         for w in 0..2usize {
             let mut clock = 0.0;
             for i in 0..5 {
-                t.events
-                    .push(ev(w, (w * 10 + i) as u64, clock, clock + 1.0));
+                t.push(ev(w, (w * 10 + i) as u64, clock, clock + 1.0));
                 clock += 1.0 + 0.05 * (w as f64 + 1.0);
             }
         }

@@ -42,7 +42,7 @@ mod tests {
         for kernel in ["dgemm", "dtrsm"] {
             for i in 0..30 {
                 let d = 0.01 + (i % 7) as f64 * 0.0005;
-                t.events.push(TraceEvent {
+                t.push(TraceEvent {
                     worker: 0,
                     kernel: kernel.into(),
                     task_id: id,

@@ -760,6 +760,10 @@ impl SimSession {
             eprintln!("[dbg] retire task={} end={:.6}", ctx.task_id, ticket.end);
         }
         self.teq.retire(ticket);
+        // Streaming mode: retirement is the only place the virtual clock
+        // advances, so epoch flushes hang off it. One relaxed atomic
+        // load when no sink is attached.
+        self.trace.observe_clock(self.teq.now());
     }
 
     /// Convenience: build a task body closure for `label`.
@@ -918,7 +922,7 @@ mod tests {
         let trace = session.finish_trace(16);
         assert_eq!(trace.len(), 16);
         // Every task must start at virtual 0.
-        assert!(trace.events.iter().all(|e| e.start == 0.0));
+        assert!(trace.spans().iter().all(|e| e.start == 0.0));
     }
 
     #[test]
@@ -955,7 +959,7 @@ mod tests {
         // a: 0-1; b: 1-3; c: 1-4; e: 4-5.
         assert_eq!(session.virtual_now(), 5.0);
         let trace = session.finish_trace(3);
-        let by_label = |l: &str| trace.events.iter().find(|e| e.kernel == l).unwrap();
+        let by_label = |l: &str| trace.spans().iter().find(|e| e.kernel == l).unwrap();
         assert_eq!((by_label("a").start, by_label("a").end), (0.0, 1.0));
         assert_eq!((by_label("b").start, by_label("b").end), (1.0, 3.0));
         assert_eq!((by_label("c").start, by_label("c").end), (1.0, 4.0));
@@ -1041,7 +1045,7 @@ mod tests {
         rt.seal();
         rt.wait_all().unwrap();
         let trace = session.finish_trace(2);
-        let c = trace.events.iter().find(|e| e.kernel == "c").unwrap();
+        let c = trace.spans().iter().find(|e| e.kernel == "c").unwrap();
         (c.start, trace.makespan())
     }
 
@@ -1159,7 +1163,7 @@ mod tests {
             rt.wait_all().unwrap();
             let trace = session.finish_trace(2);
             let mut durs: Vec<f64> = trace
-                .events
+                .spans()
                 .iter()
                 .filter(|e| e.kernel == "k")
                 .map(|e| e.duration())
@@ -1272,7 +1276,7 @@ mod extension_tests {
         rt.seal();
         rt.wait_all().unwrap();
         let trace = session.finish_trace(2);
-        let durations: Vec<f64> = trace.events.iter().map(|e| e.duration()).collect();
+        let durations: Vec<f64> = trace.spans().iter().map(|e| e.duration()).collect();
         let mut sorted = durations.clone();
         sorted.sort_by(f64::total_cmp);
         assert_eq!(

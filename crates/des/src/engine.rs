@@ -85,7 +85,7 @@ pub fn simulate(
             let w = idle.pop().expect("checked non-empty");
             let start = q.now();
             let d = duration(t).max(0.0);
-            trace.events.push(TraceEvent {
+            trace.push(TraceEvent {
                 worker: w,
                 kernel: graph.node(t).label.clone(),
                 task_id: t as u64,
@@ -211,7 +211,7 @@ mod tests {
         assert_eq!(r.makespan, 7.0); // 1 + max(5,2) + 1
         let sched: Vec<_> = r
             .trace
-            .events
+            .spans()
             .iter()
             .map(|e| supersim_dag::validate::ScheduledTask {
                 task: e.task_id as usize,

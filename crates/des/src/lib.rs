@@ -25,6 +25,7 @@
 
 pub mod engine;
 pub mod event;
+mod proptests;
 pub mod replay;
 
 pub use engine::{simulate, DesPolicy, DesResult};

@@ -34,7 +34,7 @@
 //! depend on the racy task-to-lane assignment.
 
 use std::cmp::Ordering as CmpOrdering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::sync::Arc;
 use supersim_core::{layout_segments, record_segment_spans, KernelPlan, SegmentKind, SimSession};
 use supersim_dag::Access;
@@ -159,11 +159,15 @@ impl PartialOrd for Exec {
 }
 
 /// Per-task dependence bookkeeping (the DES analogue of the engine's
-/// `Entry`, minus the body and thread machinery).
+/// `Entry`, minus the thread machinery). Nodes live only from submission
+/// to retirement — the keyed map they sit in is dropped down to the
+/// in-flight window as tasks retire, so replaying a 10⁶-task stream
+/// holds 10⁶ nodes only if the window is that large. The task payload
+/// itself is taken out at dispatch.
 struct Node {
     deps: usize,
     succs: Vec<u64>,
-    done: bool,
+    task: Option<ReplayTask>,
 }
 
 /// The replay engine. Construct with [`ReplayEngine::new`], optionally
@@ -213,10 +217,21 @@ impl ReplayEngine {
     /// Replay the task stream, recording spans into the session's trace
     /// recorder, and return the outcome. Consumes the engine: the policy
     /// object and hazard state are single-use, like a `Runtime`.
-    pub fn run(mut self, tasks: Vec<ReplayTask>) -> ReplayOutcome {
+    ///
+    /// The stream is pulled lazily, at most a window ahead of
+    /// retirement, and per-task bookkeeping is dropped at retirement —
+    /// so with a bounded `RuntimeConfig::window` (and a streaming trace
+    /// sink attached to the session), memory stays flat no matter how
+    /// many tasks the stream yields.
+    pub fn run<I>(mut self, tasks: I) -> ReplayOutcome
+    where
+        I: IntoIterator<Item = ReplayTask>,
+    {
         let inj = self.session.fault_injector();
-        let n = tasks.len();
-        let mut nodes: Vec<Node> = Vec::with_capacity(n);
+        let mut stream = tasks.into_iter().fuse();
+        let mut exhausted = false;
+        let mut submitted = 0u64;
+        let mut nodes: HashMap<u64, Node> = HashMap::new();
         let mut hazards = HazardTracker::new();
         let mut executing: BinaryHeap<Exec> = BinaryHeap::new();
         let mut idle: BTreeSet<usize> = (0..self.lanes)
@@ -224,7 +239,6 @@ impl ReplayEngine {
             .collect();
         let mut clock = 0.0f64;
         let mut next_seq = 0u64;
-        let mut cursor = 0usize; // next stream index to submit
         let mut in_flight = 0usize;
         let mut events = 0u64;
         let mut cancelled = false;
@@ -233,46 +247,53 @@ impl ReplayEngine {
         // Submit tasks while the window has room, resolving hazards and
         // pushing newly ready ones into the policy — `Runtime::submit`
         // without the backpressure parking. Newly ready tasks' admitting
-        // idle lanes become dispatch candidates.
+        // idle lanes become dispatch candidates. A predecessor absent
+        // from `nodes` has already retired and imposes no dependence.
         let submit_while_window =
-            |cursor: &mut usize,
+            |stream: &mut std::iter::Fuse<I::IntoIter>,
+             exhausted: &mut bool,
+             submitted: &mut u64,
              in_flight: &mut usize,
-             nodes: &mut Vec<Node>,
+             nodes: &mut HashMap<u64, Node>,
              hazards: &mut HazardTracker,
              policy: &mut Box<dyn Policy>,
              idle: &BTreeSet<usize>,
              candidates: &mut BTreeSet<usize>| {
-                while *cursor < n && *in_flight < self.window {
-                    let id = *cursor as u64;
-                    let t = &tasks[*cursor];
+                while !*exhausted && *in_flight < self.window {
+                    let Some(t) = stream.next() else {
+                        *exhausted = true;
+                        break;
+                    };
+                    let id = *submitted;
+                    *submitted += 1;
                     let (preds, affinity) = hazards.analyze(id, &t.accesses);
                     let mut deps = 0;
                     for &p in &preds {
-                        let e = &mut nodes[p as usize];
-                        if !e.done {
+                        if let Some(e) = nodes.get_mut(&p) {
                             e.succs.push(id);
                             deps += 1;
                         }
                     }
-                    nodes.push(Node {
-                        deps,
-                        succs: Vec::new(),
-                        done: false,
-                    });
+                    let meta = ReadyMeta {
+                        priority: t.priority,
+                        releaser: None,
+                        affinity,
+                        pin: t.pin,
+                    };
+                    let pin = t.pin;
+                    nodes.insert(
+                        id,
+                        Node {
+                            deps,
+                            succs: Vec::new(),
+                            task: Some(t),
+                        },
+                    );
                     *in_flight += 1;
                     if deps == 0 {
-                        policy.push(
-                            id,
-                            ReadyMeta {
-                                priority: t.priority,
-                                releaser: None,
-                                affinity,
-                                pin: t.pin,
-                            },
-                        );
-                        admitting_idle(idle, t.pin, candidates);
+                        policy.push(id, meta);
+                        admitting_idle(idle, pin, candidates);
                     }
-                    *cursor += 1;
                 }
             };
 
@@ -281,7 +302,9 @@ impl ReplayEngine {
         // engine's pre-first-retirement burst).
         let mut candidates: BTreeSet<usize> = BTreeSet::new();
         submit_while_window(
-            &mut cursor,
+            &mut stream,
+            &mut exhausted,
+            &mut submitted,
             &mut in_flight,
             &mut nodes,
             &mut hazards,
@@ -302,8 +325,13 @@ impl ReplayEngine {
                 }
                 if let Some(task) = self.policy.pop(lane) {
                     idle.remove(&lane);
-                    let t = &tasks[task as usize];
-                    let plan = plan_for(&self.session, t, inj.as_deref());
+                    let t = nodes
+                        .get_mut(&task)
+                        .expect("policy dispatched an unknown task")
+                        .task
+                        .take()
+                        .expect("task dispatched twice");
+                    let plan = plan_for(&self.session, &t, inj.as_deref());
                     let (bounds, total) =
                         layout_segments(inj.as_deref(), lane, clock, &plan.segments);
                     let aborted = record_segment_spans(
@@ -343,28 +371,32 @@ impl ReplayEngine {
             let Some(exec) = executing.pop() else { break };
             events += 1;
             clock = clock.max(exec.end);
-            nodes[exec.task as usize].done = true;
-            let succs = std::mem::take(&mut nodes[exec.task as usize].succs);
+            // Streaming trace mode: every span ending at or before the
+            // new clock is recorded, so elapsed flush epochs can drain.
+            self.session.trace_recorder().observe_clock(clock);
+            let succs = nodes
+                .remove(&exec.task)
+                .map(|n| n.succs)
+                .unwrap_or_default();
             for s in succs {
-                let e = &mut nodes[s as usize];
+                let e = nodes.get_mut(&s).expect("successor retired before its dep");
                 e.deps -= 1;
-                if e.deps == 0 && !e.done {
-                    let t = &tasks[s as usize];
+                if e.deps == 0 {
+                    let t = e.task.as_ref().expect("ready successor already dispatched");
                     let affinity = t
                         .accesses
                         .iter()
                         .find(|a| a.mode.writes())
                         .map(|a| a.data.0);
-                    self.policy.push(
-                        s,
-                        ReadyMeta {
-                            priority: t.priority,
-                            releaser: Some(exec.lane),
-                            affinity,
-                            pin: t.pin,
-                        },
-                    );
-                    admitting_idle(&idle, t.pin, &mut candidates);
+                    let meta = ReadyMeta {
+                        priority: t.priority,
+                        releaser: Some(exec.lane),
+                        affinity,
+                        pin: t.pin,
+                    };
+                    let pin = t.pin;
+                    self.policy.push(s, meta);
+                    admitting_idle(&idle, pin, &mut candidates);
                 }
             }
             in_flight -= 1;
@@ -375,7 +407,9 @@ impl ReplayEngine {
                 candidates.insert(exec.lane);
             }
             submit_while_window(
-                &mut cursor,
+                &mut stream,
+                &mut exhausted,
+                &mut submitted,
                 &mut in_flight,
                 &mut nodes,
                 &mut hazards,
@@ -386,10 +420,9 @@ impl ReplayEngine {
         }
 
         assert!(
-            cancelled || (cursor == n && in_flight == 0),
-            "replay stalled: {} of {n} tasks submitted, {in_flight} in flight \
-             (a task pinned exclusively to decommissioned lanes can never run)",
-            cursor
+            cancelled || (exhausted && in_flight == 0),
+            "replay stalled: {submitted} tasks submitted, {in_flight} in flight \
+             (a task pinned exclusively to decommissioned lanes can never run)"
         );
 
         // Run totals go to the driving session, not a process-global

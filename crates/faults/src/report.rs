@@ -77,7 +77,7 @@ impl DegradationReport {
 /// Returns 0 for an empty trace.
 pub fn critical_lane(trace: &Trace) -> usize {
     trace
-        .events
+        .spans()
         .iter()
         .max_by(|a, b| {
             a.end
@@ -97,7 +97,7 @@ mod tests {
     fn critical_lane_is_latest_finisher() {
         let mut t = Trace::new(3);
         for (w, end) in [(0, 1.0), (1, 5.0), (2, 3.0)] {
-            t.events.push(TraceEvent {
+            t.push(TraceEvent {
                 worker: w,
                 kernel: "k".into(),
                 task_id: w as u64,

@@ -35,15 +35,15 @@ pub fn stitch(
     id_offset: u64,
 ) -> Trace {
     let mut events = phase_a;
-    events.reserve(phase_b.events.len());
-    for e in &phase_b.events {
+    events.reserve(phase_b.len());
+    for e in phase_b.spans() {
         let mut e = e.clone();
         e.start += time_offset;
         e.end += time_offset;
         e.task_id += id_offset;
         events.push(e);
     }
-    let mut trace = Trace { workers, events };
+    let mut trace = Trace::from_parts(workers, events);
     trace.normalize();
     trace
 }
@@ -80,10 +80,10 @@ mod tests {
     fn stitch_offsets_phase_b() {
         let a = vec![ev(0, "k", 0, 0.0, 1.0), ev(1, "k!lost", 1, 0.0, 0.5)];
         let mut b = Trace::new(2);
-        b.events.push(ev(0, "k", 0, 0.0, 2.0));
+        b.push(ev(0, "k", 0, 0.0, 2.0));
         let t = stitch(2, a, &b, 10.0, 100);
         assert_eq!(t.len(), 3);
-        let re = t.events.iter().find(|e| e.task_id == 100).unwrap();
+        let re = t.spans().iter().find(|e| e.task_id == 100).unwrap();
         assert_eq!((re.start, re.end), (10.0, 12.0));
         assert!(t.validate(1e-12).is_ok());
     }

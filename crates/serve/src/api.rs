@@ -120,6 +120,10 @@ pub struct RunRequest {
     /// Stream ndjson progress events over a chunked response instead of
     /// one JSON document.
     pub stream: Option<bool>,
+    /// Flush epoch, in virtual seconds, for streamed span events: spans
+    /// are delivered once the simulated clock passes each epoch boundary
+    /// (default 1.0; only meaningful with `stream: true`).
+    pub stream_epoch: Option<f64>,
 }
 
 /// A `/sweep` request: a parameter matrix for [`SweepSpec`]. Axis fields
@@ -267,6 +271,8 @@ pub struct PreparedRun {
     pub timeout_ms: Option<u64>,
     /// Stream progress events.
     pub stream: bool,
+    /// Virtual-seconds flush epoch for streamed span events.
+    pub stream_epoch: f64,
     /// Response is safe to memoize: deterministic backend, not streamed.
     pub cacheable: bool,
 }
@@ -444,6 +450,12 @@ impl RunRequest {
 
         let content_hash = scenario.content_hash();
         let stream = self.stream.unwrap_or(false);
+        let stream_epoch = self.stream_epoch.unwrap_or(1.0);
+        if !stream_epoch.is_finite() || stream_epoch <= 0.0 {
+            return Err(format!(
+                "stream_epoch must be a positive finite number of virtual seconds, got {stream_epoch}"
+            ));
+        }
         let echo = ScenarioEcho {
             algorithm: algorithm.name().to_string(),
             n: scenario.matrix_order(),
@@ -466,6 +478,7 @@ impl RunRequest {
             virtual_budget: self.virtual_budget,
             timeout_ms: self.timeout_ms,
             stream,
+            stream_epoch,
             cacheable: backend == Backend::Des && !stream,
         })
     }

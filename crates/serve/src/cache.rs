@@ -218,7 +218,7 @@ mod tests {
         use supersim_trace::{Trace, TraceEvent};
         let mut t = Trace::new(1);
         for i in 0..40u64 {
-            t.events.push(TraceEvent {
+            t.push(TraceEvent {
                 worker: 0,
                 kernel: "dgemm".into(),
                 task_id: i,

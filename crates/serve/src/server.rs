@@ -27,6 +27,8 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use supersim_core::SimSession;
 use supersim_metrics::{LocalHistogram, MetricsSnapshot};
+use supersim_trace::sink::{ndjson_line, ChannelSink};
+use supersim_trace::TraceEvent;
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -333,6 +335,27 @@ struct ProgressEvent {
     executing: usize,
 }
 
+/// A finalized span as a stream event: the recorder's ndjson line tagged
+/// with an `event` discriminator so clients demultiplex one ndjson
+/// stream of progress, span, and result events.
+fn span_event_line(e: &TraceEvent) -> String {
+    let body = ndjson_line(e);
+    format!("{{\"event\":\"span\",{}\n", &body[1..])
+}
+
+/// Forward every epoch batch currently in the channel to the chunked
+/// stream. Returns false when the client went away mid-write.
+fn forward_spans(w: &mut ChunkedWriter<'_>, srx: &mpsc::Receiver<Vec<TraceEvent>>) -> bool {
+    while let Ok(batch) = srx.try_recv() {
+        for e in &batch {
+            if w.chunk(span_event_line(e).as_bytes()).is_err() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
 /// Where a `/run` response goes: one JSON document, or an already-open
 /// chunked ndjson stream (whose 200 header has gone out, so errors become
 /// terminal `error` events instead of status codes).
@@ -376,6 +399,19 @@ fn handle_run(state: &State, req: &Request, stream: &mut TcpStream) -> u16 {
     if let Some(b) = prepared.virtual_budget {
         session.set_virtual_budget(b);
     }
+    // Streaming runs subscribe to the trace: a bounded channel sink
+    // drains finalized epoch batches off the recorder, and the progress
+    // loop forwards them as `span` events. Bounded and lossy (drops are
+    // counted and reported) so a slow client can never stall the run.
+    let span_rx = prepared.stream.then(|| {
+        let (stx, srx) = mpsc::sync_channel::<Vec<TraceEvent>>(256);
+        let sink = ChannelSink::new(stx);
+        let dropped = sink.dropped();
+        session
+            .trace_recorder()
+            .attach_sink(Box::new(sink), prepared.stream_epoch);
+        (srx, dropped)
+    });
     let scenario = prepared.scenario.clone().session(session.clone());
     let terminal = prepared.terminal;
     let (tx, rx) = mpsc::channel::<Result<RunOutput, String>>();
@@ -422,6 +458,13 @@ fn handle_run(state: &State, req: &Request, stream: &mut TcpStream) -> u16 {
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
                 if let Sink::Stream(w) = &mut sink {
+                    if let Some((srx, _)) = &span_rx {
+                        if !forward_spans(w, srx) {
+                            session.request_cancel();
+                            timed_out = true;
+                            break None;
+                        }
+                    }
                     let ev = ProgressEvent {
                         event: "progress",
                         virtual_seconds: session.virtual_now(),
@@ -495,6 +538,17 @@ fn handle_run(state: &State, req: &Request, stream: &mut TcpStream) -> u16 {
             let body = serde_json::to_string(&doc).expect("run response serializes");
             match sink {
                 Sink::Stream(mut w) => {
+                    // The runner has joined, so the recorder's final
+                    // flush has already landed in the channel: drain the
+                    // tail, report any drops, then emit the result.
+                    if let Some((srx, dropped)) = &span_rx {
+                        let _ = forward_spans(&mut w, srx);
+                        let d = dropped.load(Ordering::Relaxed);
+                        if d > 0 {
+                            let line = format!("{{\"event\":\"spans_dropped\",\"count\":{d}}}\n");
+                            let _ = w.chunk(line.as_bytes());
+                        }
+                    }
                     let line = format!("{{\"event\":\"result\",\"data\":{body}}}\n");
                     let _ = w.chunk(line.as_bytes());
                     let _ = w.finish();

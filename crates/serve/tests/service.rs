@@ -174,20 +174,47 @@ fn cache_hit_is_byte_identical_to_cold() {
     handle.shutdown();
 }
 
-/// `"stream": true` switches to chunked ndjson ending in a result event.
+/// `"stream": true` switches to chunked ndjson ending in a result event,
+/// with the run's finalized spans streamed as `span` events along the way.
 #[test]
 fn streaming_run_ends_with_a_result_event() {
     let handle = boot(2, 4, 120_000);
     let resp = post(
         &handle,
         "/run",
-        "{\"tiles\":48,\"backend\":\"des\",\"stream\":true}",
+        "{\"tiles\":48,\"backend\":\"des\",\"stream\":true,\"stream_epoch\":0.5}",
     );
     assert_eq!(resp.status, 200, "{}", resp.body);
     let last = resp.body.lines().last().expect("at least one event");
     assert!(last.contains("\"event\":\"result\""), "{last}");
     let doc: serde_json::Value = serde_json::from_str(last).unwrap();
     assert_eq!(doc["data"]["scenario"]["algorithm"], "cholesky");
+    // Every task of the run arrives as a span event before the result.
+    let spans = resp
+        .body
+        .lines()
+        .filter(|l| l.contains("\"event\":\"span\""))
+        .count();
+    let tasks = doc["data"]["result"]["tasks"].as_u64().unwrap_or(0);
+    assert!(
+        spans as u64 >= tasks,
+        "streamed {spans} spans for {tasks} tasks"
+    );
+    let span_line = resp
+        .body
+        .lines()
+        .find(|l| l.contains("\"event\":\"span\""))
+        .expect("at least one span event");
+    let span: serde_json::Value = serde_json::from_str(span_line).unwrap();
+    assert!(span["kernel"].as_str().is_some(), "{span_line}");
+    assert!(span["end"].as_f64().unwrap() >= span["start"].as_f64().unwrap());
+    // A bad epoch is rejected before any work happens.
+    let bad = post(
+        &handle,
+        "/run",
+        "{\"tiles\":4,\"stream\":true,\"stream_epoch\":0.0}",
+    );
+    assert_eq!(bad.status, 400, "{}", bad.body);
     handle.shutdown();
 }
 

@@ -20,19 +20,53 @@ pub fn render(trace: &Trace, cols: usize) -> String {
 /// traces). `names[w]` labels lane `w`; missing names fall back to the
 /// numeric index.
 pub fn render_labeled(trace: &Trace, cols: usize, names: &[String]) -> String {
+    render_core(trace.workers, trace.spans(), cols, names, 0.0)
+}
+
+/// Windowed/streaming mode: render a bare span window (e.g. one flush
+/// epoch from a [`crate::TraceSink`], or any slice of a larger trace)
+/// without materializing a full [`Trace`]. The time axis covers the
+/// window's own extent.
+pub fn render_spans(workers: usize, spans: &[crate::TraceEvent], cols: usize) -> String {
+    let names: Vec<String> = (0..workers).map(|w| w.to_string()).collect();
+    render_spans_labeled(workers, spans, cols, &names)
+}
+
+/// [`render_spans`] with custom lane labels.
+pub fn render_spans_labeled(
+    workers: usize,
+    spans: &[crate::TraceEvent],
+    cols: usize,
+    names: &[String],
+) -> String {
+    let t0 = spans.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+    let t0 = if t0.is_finite() { t0 } else { 0.0 };
+    render_core(workers, spans, cols, names, t0)
+}
+
+/// Shared lane rasterizer; `t0` anchors the left edge (0 for whole
+/// traces, the window start for streamed spans).
+fn render_core(
+    workers: usize,
+    spans: &[crate::TraceEvent],
+    cols: usize,
+    names: &[String],
+    t0: f64,
+) -> String {
     let cols = cols.max(4);
-    let span = trace.t_max().max(1e-12);
-    let labels: Vec<String> = trace
-        .kernel_labels()
-        .into_iter()
-        .filter(|l| span_kind(l) == SpanKind::Normal)
-        .collect();
+    let span = (spans.iter().map(|e| e.end).fold(0.0, f64::max) - t0).max(1e-12);
+    let mut labels: Vec<String> = Vec::new();
+    for e in spans {
+        if span_kind(&e.kernel) == SpanKind::Normal && !labels.iter().any(|l| l == &e.kernel) {
+            labels.push(e.kernel.clone());
+        }
+    }
     let glyphs = assign_glyphs(&labels);
 
-    let mut rows: Vec<Vec<char>> = vec![vec!['.'; cols]; trace.workers];
+    let mut rows: Vec<Vec<char>> = vec![vec!['.'; cols]; workers];
     let (mut any_failed, mut any_lost, mut any_backoff) = (false, false, false);
-    for e in &trace.events {
-        if e.worker >= trace.workers {
+    for e in spans {
+        if e.worker >= workers {
             continue;
         }
         let g = match span_kind(&e.kernel) {
@@ -50,8 +84,8 @@ pub fn render_labeled(trace: &Trace, cols: usize, names: &[String]) -> String {
                 '~'
             }
         };
-        let c0 = ((e.start / span) * cols as f64).floor() as usize;
-        let c1 = ((e.end / span) * cols as f64).ceil() as usize;
+        let c0 = (((e.start - t0) / span) * cols as f64).floor() as usize;
+        let c1 = (((e.end - t0) / span) * cols as f64).ceil() as usize;
         let c0 = c0.min(cols - 1);
         let c1 = c1.clamp(c0 + 1, cols);
         for cell in rows[e.worker][c0..c1].iter_mut() {
@@ -59,16 +93,14 @@ pub fn render_labeled(trace: &Trace, cols: usize, names: &[String]) -> String {
         }
     }
 
-    let fallback: Vec<String> = (names.len()..trace.workers)
-        .map(|w| w.to_string())
-        .collect();
+    let fallback: Vec<String> = (names.len()..workers).map(|w| w.to_string()).collect();
     let label = |w: usize| -> &str {
         match names.get(w) {
             Some(s) => s,
             None => &fallback[w - names.len()],
         }
     };
-    let width = (0..trace.workers)
+    let width = (0..workers)
         .map(|w| label(w).len())
         .max()
         .unwrap_or(1)
@@ -147,8 +179,8 @@ mod tests {
     #[test]
     fn renders_lanes_and_legend() {
         let mut t = Trace::new(2);
-        t.events.push(ev(0, "gemm", 0, 0.0, 0.5));
-        t.events.push(ev(1, "trsm", 1, 0.5, 1.0));
+        t.push(ev(0, "gemm", 0, 0.0, 0.5));
+        t.push(ev(1, "trsm", 1, 0.5, 1.0));
         let art = render(&t, 20);
         let lines: Vec<&str> = art.lines().collect();
         assert_eq!(lines.len(), 3); // 2 lanes + legend
@@ -161,8 +193,8 @@ mod tests {
     #[test]
     fn labeled_lanes_use_names_and_align() {
         let mut t = Trace::new(3);
-        t.events.push(ev(0, "gemm", 0, 0.0, 0.5));
-        t.events.push(ev(2, "trsm", 1, 0.5, 1.0));
+        t.push(ev(0, "gemm", 0, 0.0, 0.5));
+        t.push(ev(2, "trsm", 1, 0.5, 1.0));
         let names = vec!["n0.w0".to_string(), "n0.w1".to_string()];
         let art = render_labeled(&t, 20, &names);
         let lines: Vec<&str> = art.lines().collect();
@@ -175,7 +207,7 @@ mod tests {
     #[test]
     fn idle_time_is_dots() {
         let mut t = Trace::new(1);
-        t.events.push(ev(0, "k", 0, 0.8, 1.0));
+        t.push(ev(0, "k", 0, 0.8, 1.0));
         let art = render(&t, 10);
         let lane = art.lines().next().unwrap();
         assert!(lane.contains('.'));
@@ -185,8 +217,8 @@ mod tests {
     #[test]
     fn duplicate_first_letters_get_distinct_glyphs() {
         let mut t = Trace::new(1);
-        t.events.push(ev(0, "geqrt", 0, 0.0, 0.3));
-        t.events.push(ev(0, "gemm", 1, 0.3, 0.6));
+        t.push(ev(0, "geqrt", 0, 0.0, 0.3));
+        t.push(ev(0, "gemm", 1, 0.3, 0.6));
         let art = render(&t, 12);
         let legend = art.lines().last().unwrap();
         // Two distinct glyphs assigned.
@@ -210,10 +242,10 @@ mod tests {
     #[test]
     fn fault_marks_use_fixed_glyphs_and_legend_entries() {
         let mut t = Trace::new(2);
-        t.events.push(ev(0, "dgemm", 0, 0.0, 0.3));
-        t.events.push(ev(0, "dgemm!fail", 1, 0.3, 0.5));
-        t.events.push(ev(0, "~backoff", 1, 0.5, 0.6));
-        t.events.push(ev(1, "dpotrf!lost", 2, 0.0, 0.4));
+        t.push(ev(0, "dgemm", 0, 0.0, 0.3));
+        t.push(ev(0, "dgemm!fail", 1, 0.3, 0.5));
+        t.push(ev(0, "~backoff", 1, 0.5, 0.6));
+        t.push(ev(1, "dpotrf!lost", 2, 0.0, 0.4));
         let art = render(&t, 20);
         let lines: Vec<&str> = art.lines().collect();
         assert!(lines[0].contains('x'));

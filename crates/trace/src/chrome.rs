@@ -12,7 +12,7 @@
 //! and TEQ traffic are visible alongside the timeline they came from.
 
 use crate::fault::{span_kind, SpanKind};
-use crate::Trace;
+use crate::{Trace, TraceEvent};
 use std::fmt::Write as _;
 
 /// Extra `cname` field (a Chrome trace-viewer reserved color class) for
@@ -28,9 +28,24 @@ fn fault_cname(kernel: &str) -> &'static str {
     }
 }
 
+/// One span as a complete `X` Chrome trace event (pid 0, `tid` =
+/// worker lane) — the unit the streaming exporter
+/// ([`crate::sink::ChromeStreamSink`]) emits incrementally.
+pub fn chrome_event_json(e: &TraceEvent) -> String {
+    format!(
+        r#"{{"name":{},"ph":"X"{},"ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"args":{{"task_id":{}}}}}"#,
+        json_string(&e.kernel),
+        fault_cname(&e.kernel),
+        e.start * 1e6,
+        e.duration() * 1e6,
+        e.worker,
+        e.task_id
+    )
+}
+
 /// Serialize a trace to the Chrome trace-event JSON array format.
 pub fn to_chrome_json(trace: &Trace) -> String {
-    let mut s = String::with_capacity(64 + trace.events.len() * 96);
+    let mut s = String::with_capacity(64 + trace.len() * 96);
     s.push('[');
     let mut first = true;
     push_task_events(&mut s, trace, &mut first);
@@ -60,7 +75,7 @@ pub struct LaneGroup {
 /// the same `X` events as [`to_chrome_json`], with `pid`/`tid` taken from
 /// the grouping.
 pub fn to_chrome_json_grouped(trace: &Trace, lanes: &[LaneGroup]) -> String {
-    let mut s = String::with_capacity(256 + trace.events.len() * 96 + lanes.len() * 96);
+    let mut s = String::with_capacity(256 + trace.len() * 96 + lanes.len() * 96);
     s.push('[');
     let mut first = true;
     let mut named_pids: Vec<usize> = Vec::new();
@@ -90,7 +105,7 @@ pub fn to_chrome_json_grouped(trace: &Trace, lanes: &[LaneGroup]) -> String {
             json_string(&lane.thread_name)
         );
     }
-    for e in &trace.events {
+    for e in trace.spans() {
         if !first {
             s.push(',');
         }
@@ -115,21 +130,12 @@ pub fn to_chrome_json_grouped(trace: &Trace, lanes: &[LaneGroup]) -> String {
 /// Append one `X` event per task to `s` (comma-separated, updating the
 /// leading-comma state in `first`).
 fn push_task_events(s: &mut String, trace: &Trace, first: &mut bool) {
-    for e in &trace.events {
+    for e in trace.spans() {
         if !*first {
             s.push(',');
         }
         *first = false;
-        let _ = write!(
-            s,
-            r#"{{"name":{},"ph":"X"{},"ts":{:.3},"dur":{:.3},"pid":0,"tid":{},"args":{{"task_id":{}}}}}"#,
-            json_string(&e.kernel),
-            fault_cname(&e.kernel),
-            e.start * 1e6,
-            e.duration() * 1e6,
-            e.worker,
-            e.task_id
-        );
+        s.push_str(&chrome_event_json(e));
     }
 }
 
@@ -163,7 +169,7 @@ pub fn to_chrome_json_with_metrics(
     trace: &Trace,
     snap: &supersim_metrics::MetricsSnapshot,
 ) -> String {
-    let mut s = String::with_capacity(64 + trace.events.len() * 128 + snap.counters.len() * 160);
+    let mut s = String::with_capacity(64 + trace.len() * 128 + snap.counters.len() * 160);
     s.push('[');
     let mut first = true;
     push_task_events(&mut s, trace, &mut first);
@@ -171,8 +177,8 @@ pub fn to_chrome_json_with_metrics(
     // Concurrency track: +1 at each start, -1 at each end, cumulative sum
     // in timestamp order (ends before starts on ties, so a task handing
     // off to another at the same instant does not double-count).
-    let mut deltas: Vec<(f64, i64)> = Vec::with_capacity(trace.events.len() * 2);
-    for e in &trace.events {
+    let mut deltas: Vec<(f64, i64)> = Vec::with_capacity(trace.len() * 2);
+    for e in trace.spans() {
         deltas.push((e.start, 1));
         deltas.push((e.end, -1));
     }
@@ -196,7 +202,7 @@ pub fn to_chrome_json_with_metrics(
     s
 }
 
-fn json_string(v: &str) -> String {
+pub(crate) fn json_string(v: &str) -> String {
     let mut out = String::with_capacity(v.len() + 2);
     out.push('"');
     for c in v.chars() {
@@ -220,14 +226,14 @@ mod tests {
 
     fn trace() -> Trace {
         let mut t = Trace::new(2);
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 0,
             kernel: "dgemm".into(),
             task_id: 3,
             start: 0.001,
             end: 0.002,
         });
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 1,
             kernel: "we\"ird".into(),
             task_id: 4,
@@ -266,7 +272,7 @@ mod tests {
             .iter()
             .enumerate()
         {
-            t.events.push(TraceEvent {
+            t.push(TraceEvent {
                 worker: 0,
                 kernel: (*k).into(),
                 task_id: i as u64,

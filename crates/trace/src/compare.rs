@@ -71,7 +71,7 @@ impl TraceComparison {
 
         // Match tasks by id.
         let by_id: HashMap<u64, (usize, f64)> = r
-            .events
+            .spans()
             .iter()
             .map(|e| (e.task_id, (e.worker, e.start)))
             .collect();
@@ -80,7 +80,7 @@ impl TraceComparison {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         let mut shift_sum = 0.0;
-        for e in &c.events {
+        for e in c.spans() {
             if let Some(&(w, s)) = by_id.get(&e.task_id) {
                 matched += 1;
                 if w == e.worker {
@@ -178,9 +178,9 @@ mod tests {
 
     fn base_trace() -> Trace {
         let mut t = Trace::new(2);
-        t.events.push(ev(0, "gemm", 0, 0.0, 1.0));
-        t.events.push(ev(1, "trsm", 1, 0.0, 0.5));
-        t.events.push(ev(1, "gemm", 2, 0.5, 2.0));
+        t.push(ev(0, "gemm", 0, 0.0, 1.0));
+        t.push(ev(1, "trsm", 1, 0.0, 0.5));
+        t.push(ev(1, "gemm", 2, 0.5, 2.0));
         t
     }
 
@@ -200,7 +200,7 @@ mod tests {
     fn makespan_error_signed() {
         let r = base_trace();
         let mut c = base_trace();
-        for e in &mut c.events {
+        for e in c.spans_mut() {
             e.start *= 1.1;
             e.end *= 1.1;
         }
@@ -213,7 +213,7 @@ mod tests {
     fn population_mismatch_detected() {
         let r = base_trace();
         let mut c = base_trace();
-        c.events[1].kernel = "syrk".into();
+        c.spans_mut()[1].kernel = "syrk".into();
         let cmp = TraceComparison::compare(&r, &c);
         assert!(!cmp.same_kernel_population);
     }
@@ -222,7 +222,7 @@ mod tests {
     fn placement_agreement_counts_same_worker() {
         let r = base_trace();
         let mut c = base_trace();
-        c.events[0].worker = 1; // move one of three tasks
+        c.spans_mut()[0].worker = 1; // move one of three tasks
         let cmp = TraceComparison::compare(&r, &c);
         assert!((cmp.placement_agreement - 2.0 / 3.0).abs() < 1e-12);
     }
@@ -231,7 +231,7 @@ mod tests {
     fn unmatched_ids_not_counted() {
         let r = base_trace();
         let mut c = base_trace();
-        c.events[2].task_id = 99;
+        c.spans_mut()[2].task_id = 99;
         let cmp = TraceComparison::compare(&r, &c);
         assert_eq!(cmp.matched_tasks, 2);
     }

@@ -11,7 +11,10 @@
 //! * [`Trace`] / [`TraceEvent`] — the trace model: one lane per worker,
 //!   one rectangle per executed task, in arbitrary time units;
 //! * [`TraceRecorder`] — a thread-safe recorder that workers log into
-//!   (in either real or virtual time);
+//!   (in either real or virtual time), with an optional bounded-memory
+//!   streaming mode that drains to a [`TraceSink`] at epoch boundaries;
+//! * [`sink`] — push-based streaming sinks (ndjson, incremental Chrome
+//!   JSON, in-memory collection, live-subscriber channels);
 //! * [`svg`] — Gantt-style SVG rendering (paper Figs. 6–7);
 //! * [`chrome`] — Chrome trace-event JSON export (chrome://tracing);
 //! * [`text`] — a line-oriented plain-text format with a parser;
@@ -20,6 +23,20 @@
 //! * [`compare`] — the similarity metrics used to judge simulated traces
 //!   against real ones (makespan error, per-class counts, placement and
 //!   start-time agreement).
+//!
+//! # Migration: deprecated bulk access
+//!
+//! `Trace.events` used to be the only way in or out of a trace; it is now
+//! deprecated in favour of an accessor surface that works identically for
+//! buffered and streamed traces:
+//!
+//! * read: [`Trace::spans`] (a slice — iterate, index, window it);
+//! * write: [`Trace::push`], [`Trace::spans_mut`];
+//! * construct/consume: [`Trace::from_parts`], [`Trace::into_events`].
+//!
+//! Code holding whole traces should consider not materializing them at
+//! all: attach a [`TraceSink`] to the recorder
+//! ([`TraceRecorder::attach_sink`]) and consume spans per flush epoch.
 
 pub mod ascii;
 pub mod chrome;
@@ -29,12 +46,14 @@ pub mod fault;
 #[cfg(test)]
 mod proptests;
 pub mod recorder;
+pub mod sink;
 pub mod stats;
 pub mod svg;
 pub mod text;
 
 pub use compare::TraceComparison;
 pub use recorder::TraceRecorder;
+pub use sink::TraceSink;
 pub use stats::TraceStats;
 
 use serde::{Deserialize, Serialize};
@@ -63,15 +82,20 @@ impl TraceEvent {
 }
 
 /// A complete execution trace.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Trace {
     /// Number of worker lanes (may exceed the max worker index seen, for
     /// workers that executed nothing).
     pub workers: usize,
     /// All events; kept sorted by `(worker, start)` after [`Trace::normalize`].
+    #[deprecated(
+        note = "use spans()/spans_mut()/push()/from_parts()/into_events(), or stream \
+                through a TraceSink instead of materializing the whole trace"
+    )]
     pub events: Vec<TraceEvent>,
 }
 
+#[allow(deprecated)]
 impl Trace {
     /// An empty trace with `workers` lanes.
     pub fn new(workers: usize) -> Self {
@@ -79,6 +103,32 @@ impl Trace {
             workers,
             events: Vec::new(),
         }
+    }
+
+    /// Build a trace from a prepared span list (not normalized).
+    pub fn from_parts(workers: usize, events: Vec<TraceEvent>) -> Self {
+        Trace { workers, events }
+    }
+
+    /// All spans, in the trace's current order.
+    pub fn spans(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Mutable access to the span list (renderer-internal reordering,
+    /// stitching, filtering).
+    pub fn spans_mut(&mut self) -> &mut Vec<TraceEvent> {
+        &mut self.events
+    }
+
+    /// Append one span.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// Consume the trace into its span list.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
     }
 
     /// Number of events.
@@ -207,6 +257,46 @@ impl Trace {
     }
 }
 
+// Hand-written (de)serialization: the derive would touch the deprecated
+// `events` field from generated code, which `-D deprecated` builds
+// reject. The emitted shape matches what the derive produced, so
+// persisted traces stay compatible.
+impl Serialize for Trace {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        #[allow(deprecated)]
+        let obj = serde::Value::Object(vec![
+            ("workers".to_string(), serde::to_value(&self.workers)?),
+            ("events".to_string(), serde::to_value(&self.events)?),
+        ]);
+        serializer.serialize_value(obj)
+    }
+}
+
+impl<'de> Deserialize<'de> for Trace {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        let obj = match v {
+            serde::Value::Object(m) => m,
+            other => {
+                return Err(<D::Error as serde::de::Error>::custom(format!(
+                    "expected object, got {other:?}"
+                )))
+            }
+        };
+        let take = |k: &str| -> serde::Value {
+            obj.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, val)| val.clone())
+                .unwrap_or(serde::Value::Null)
+        };
+        let workers = serde::from_value(take("workers"))
+            .map_err(|e| <D::Error as serde::de::Error>::custom(format!("Trace.workers: {e}")))?;
+        let events = serde::from_value(take("events"))
+            .map_err(|e| <D::Error as serde::de::Error>::custom(format!("Trace.events: {e}")))?;
+        Ok(Trace::from_parts(workers, events))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,31 +322,31 @@ mod tests {
     #[test]
     fn makespan_spans_events() {
         let mut t = Trace::new(2);
-        t.events.push(ev(0, "a", 0, 1.0, 2.0));
-        t.events.push(ev(1, "b", 1, 0.5, 3.5));
+        t.push(ev(0, "a", 0, 1.0, 2.0));
+        t.push(ev(1, "b", 1, 0.5, 3.5));
         assert!((t.makespan() - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn normalize_shifts_sorts_and_grows() {
         let mut t = Trace::new(1);
-        t.events.push(ev(3, "b", 1, 5.0, 6.0));
-        t.events.push(ev(0, "a", 0, 2.0, 3.0));
+        t.push(ev(3, "b", 1, 5.0, 6.0));
+        t.push(ev(0, "a", 0, 2.0, 3.0));
         t.normalize();
         assert_eq!(t.workers, 4);
-        assert_eq!(t.events[0].task_id, 0);
-        assert_eq!(t.events[0].start, 0.0);
-        assert_eq!(t.events[1].start, 3.0);
+        assert_eq!(t.spans()[0].task_id, 0);
+        assert_eq!(t.spans()[0].start, 0.0);
+        assert_eq!(t.spans()[1].start, 3.0);
     }
 
     #[test]
     fn validate_catches_overlap() {
         let mut t = Trace::new(1);
-        t.events.push(ev(0, "a", 0, 0.0, 2.0));
-        t.events.push(ev(0, "b", 1, 1.0, 3.0));
+        t.push(ev(0, "a", 0, 0.0, 2.0));
+        t.push(ev(0, "b", 1, 1.0, 3.0));
         assert!(t.validate(1e-9).is_err());
         // Different lanes may overlap freely.
-        t.events[1].worker = 1;
+        t.spans_mut()[1].worker = 1;
         t.workers = 2;
         assert!(t.validate(1e-9).is_ok());
     }
@@ -264,53 +354,69 @@ mod tests {
     #[test]
     fn validate_catches_bad_times_and_lanes() {
         let mut t = Trace::new(1);
-        t.events.push(ev(0, "a", 0, 2.0, 1.0));
+        t.push(ev(0, "a", 0, 2.0, 1.0));
         assert!(t.validate(0.0).unwrap_err().contains("ends before"));
-        t.events[0] = ev(5, "a", 0, 0.0, 1.0);
+        t.spans_mut()[0] = ev(5, "a", 0, 0.0, 1.0);
         assert!(t.validate(0.0).unwrap_err().contains("lanes"));
-        t.events[0] = ev(0, "a", 0, f64::NAN, 1.0);
+        t.spans_mut()[0] = ev(0, "a", 0, f64::NAN, 1.0);
         assert!(t.validate(0.0).unwrap_err().contains("non-finite"));
     }
 
     #[test]
     fn kernel_labels_first_seen_order() {
         let mut t = Trace::new(1);
-        t.events.push(ev(0, "gemm", 0, 0.0, 1.0));
-        t.events.push(ev(0, "trsm", 1, 1.0, 2.0));
-        t.events.push(ev(0, "gemm", 2, 2.0, 3.0));
+        t.push(ev(0, "gemm", 0, 0.0, 1.0));
+        t.push(ev(0, "trsm", 1, 1.0, 2.0));
+        t.push(ev(0, "gemm", 2, 2.0, 3.0));
         assert_eq!(t.kernel_labels(), vec!["gemm", "trsm"]);
     }
 
     #[test]
     fn serde_round_trip() {
         let mut t = Trace::new(2);
-        t.events.push(ev(0, "a", 0, 0.0, 1.5));
+        t.push(ev(0, "a", 0, 0.0, 1.5));
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
     }
 
     #[test]
+    fn accessors_agree_with_legacy_field() {
+        // The deprecated field keeps working for external code that has
+        // not migrated yet, and views the same storage as the accessors.
+        let mut t = Trace::new(1);
+        t.push(ev(0, "a", 0, 0.0, 1.0));
+        #[allow(deprecated)]
+        {
+            assert_eq!(t.events.len(), t.spans().len());
+            t.events.push(ev(0, "b", 1, 1.0, 2.0));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.clone().into_events().len(), 2);
+        assert_eq!(Trace::from_parts(1, t.clone().into_events()), t);
+    }
+
+    #[test]
     fn canonical_ignores_worker_placement_but_not_times() {
         let mut a = Trace::new(2);
-        a.events.push(ev(0, "gemm", 0, 0.0, 1.0));
-        a.events.push(ev(1, "trsm", 1, 0.0, 2.0));
+        a.push(ev(0, "gemm", 0, 0.0, 1.0));
+        a.push(ev(1, "trsm", 1, 0.0, 2.0));
         let mut b = Trace::new(2);
-        b.events.push(ev(1, "trsm", 1, 0.0, 2.0));
-        b.events.push(ev(0, "gemm", 0, 0.0, 1.0));
-        b.events[1].worker = 1;
-        b.events[0].worker = 0;
+        b.push(ev(1, "trsm", 1, 0.0, 2.0));
+        b.push(ev(0, "gemm", 0, 0.0, 1.0));
+        b.spans_mut()[1].worker = 1;
+        b.spans_mut()[0].worker = 0;
         assert_eq!(a.canonical(), b.canonical());
-        b.events[0].end = 2.5;
+        b.spans_mut()[0].end = 2.5;
         assert_ne!(a.canonical(), b.canonical());
     }
 
     #[test]
     fn lane_filters_by_worker() {
         let mut t = Trace::new(2);
-        t.events.push(ev(0, "a", 0, 0.0, 1.0));
-        t.events.push(ev(1, "b", 1, 0.0, 1.0));
-        t.events.push(ev(0, "c", 2, 1.0, 2.0));
+        t.push(ev(0, "a", 0, 0.0, 1.0));
+        t.push(ev(1, "b", 1, 0.0, 1.0));
+        t.push(ev(0, "c", 2, 1.0, 2.0));
         assert_eq!(t.lane(0).count(), 2);
         assert_eq!(t.lane(1).count(), 1);
     }

@@ -28,7 +28,7 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
         for (i, e) in events.iter_mut().enumerate() {
             e.task_id = i as u64;
         }
-        Trace { workers: 8, events }
+        Trace::from_parts(8, events)
     })
 }
 
@@ -41,8 +41,8 @@ proptest! {
         let written = text::write(&t);
         let back = text::parse(&written).unwrap();
         prop_assert_eq!(back.workers, t.workers);
-        prop_assert_eq!(back.events.len(), t.events.len());
-        for (a, b) in t.events.iter().zip(back.events.iter()) {
+        prop_assert_eq!(back.len(), t.len());
+        for (a, b) in t.spans().iter().zip(back.spans().iter()) {
             prop_assert_eq!(a.worker, b.worker);
             prop_assert_eq!(&a.kernel, &b.kernel);
             prop_assert_eq!(a.task_id, b.task_id);
@@ -60,7 +60,7 @@ proptest! {
         twice.normalize();
         prop_assert_eq!(&once, &twice);
         if !once.is_empty() {
-            let min_start = once.events.iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
+            let min_start = once.spans().iter().map(|e| e.start).fold(f64::INFINITY, f64::min);
             prop_assert!(min_start.abs() < 1e-12);
         }
     }
@@ -93,7 +93,7 @@ proptest! {
     fn comparison_detects_uniform_scaling(t in trace_strategy(), scale in 1.01f64..3.0) {
         prop_assume!(t.makespan() > 1e-9);
         let mut scaled = t.clone();
-        for e in &mut scaled.events {
+        for e in scaled.spans_mut() {
             e.start *= scale;
             e.end *= scale;
         }
@@ -124,7 +124,7 @@ proptest! {
     #[test]
     fn stats_busy_time_is_duration_sum(t in trace_strategy()) {
         let stats = crate::stats::TraceStats::of(&t);
-        let sum: f64 = t.events.iter().map(|e| e.duration()).sum();
+        let sum: f64 = t.spans().iter().map(|e| e.duration()).sum();
         prop_assert!((stats.busy_time - sum).abs() < 1e-9);
         let per_kernel: usize = stats.kernels.values().map(|k| k.count).sum();
         prop_assert_eq!(per_kernel, t.len());

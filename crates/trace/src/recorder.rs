@@ -11,7 +11,48 @@
 //! counter; [`TraceRecorder::snapshot`] and [`TraceRecorder::finish`] merge
 //! the shards by `(start, seq)`, which makes the merged order deterministic
 //! for a given set of recorded events regardless of shard interleaving.
+//!
+//! # Streaming (bounded-memory) mode
+//!
+//! [`TraceRecorder::attach_sink`] switches the recorder into streaming
+//! mode: whenever an engine reports virtual-clock progress via
+//! [`TraceRecorder::observe_clock`], every flush epoch the clock has
+//! advanced strictly past is drained from the shards — spans with
+//! `end ≤ k·ε` for epoch `k` — sorted by the same `(start, seq)` order
+//! the buffered merge uses, and pushed to the [`TraceSink`]. Resident
+//! memory is then bounded by the spans of one epoch window instead of
+//! the whole run.
+//!
+//! This is safe because of how the engines record: spans are logged with
+//! their *final* virtual times before the task retires, and both engines
+//! retire tasks in nondecreasing virtual-time order. Once the clock has
+//! advanced past an epoch bound, every span ending at or before that
+//! bound is already in the shards and can never be joined by another —
+//! any span recorded later starts (and therefore ends) past the bound.
+//! Flushing is therefore both safe and complete, and epoch batches are a
+//! pure function of the recorded span set, not of which thread happened
+//! to trip the boundary.
+//!
+//! ## Accounting under partial drains
+//!
+//! In streaming mode the shards hold only the *resident* (not yet
+//! drained) tail of the trace, which changes what the inspection
+//! methods report:
+//!
+//! * [`TraceRecorder::len`] / [`TraceRecorder::shard_occupancy`] /
+//!   [`TraceRecorder::is_empty`] — resident spans only;
+//! * [`TraceRecorder::drained`] — spans already pushed to the sink;
+//! * [`TraceRecorder::total_recorded`] — lifetime count (resident +
+//!   drained + anything dropped by [`TraceRecorder::clear`]);
+//! * [`TraceRecorder::snapshot`] — a normalized trace of the resident
+//!   window only (a *partial* trace mid-stream);
+//! * [`TraceRecorder::clear`] — drops resident spans; they never reach
+//!   the sink and are not counted as drained. The sink stays attached.
+//! * [`TraceRecorder::finish`] — flushes every remaining span as one
+//!   final epoch, closes the sink, detaches it, and returns the
+//!   (therefore empty) resident trace.
 
+use crate::sink::TraceSink;
 use crate::{Trace, TraceEvent};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,11 +71,42 @@ struct Shard {
     events: Mutex<Vec<(u64, TraceEvent)>>,
 }
 
+/// Streaming-mode state behind `Inner::stream`.
+struct StreamState {
+    sink: Box<dyn TraceSink>,
+    /// Flush epoch length `ε` in virtual seconds.
+    epoch: f64,
+    /// Index `k` of the next epoch to flush; its upper bound is `k·ε`
+    /// (computed by multiplication, not accumulation, so long runs do
+    /// not drift).
+    next_epoch: u64,
+    /// First sink error, if any; later flushes are still attempted.
+    error: Option<String>,
+}
+
+impl std::fmt::Debug for StreamState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamState")
+            .field("epoch", &self.epoch)
+            .field("next_epoch", &self.next_epoch)
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
 #[derive(Debug)]
 struct Inner {
     shards: Vec<Shard>,
     /// Global event sequence stamp: the deterministic merge tie-breaker.
     seq: AtomicU64,
+    /// Spans drained to the attached sink so far (lifetime, survives
+    /// sink detach).
+    drained: AtomicU64,
+    /// Bits of the next pending epoch bound, `f64::INFINITY` when no
+    /// sink is attached — the lock-free fast path for
+    /// [`TraceRecorder::observe_clock`].
+    next_bound: AtomicU64,
+    stream: Mutex<Option<StreamState>>,
 }
 
 /// A shareable, thread-safe accumulator of trace events.
@@ -52,6 +124,9 @@ impl Default for TraceRecorder {
             inner: Arc::new(Inner {
                 shards: (0..SHARDS).map(|_| Shard::default()).collect(),
                 seq: AtomicU64::new(0),
+                drained: AtomicU64::new(0),
+                next_bound: AtomicU64::new(f64::INFINITY.to_bits()),
+                stream: Mutex::new(None),
             }),
         }
     }
@@ -81,7 +156,8 @@ impl TraceRecorder {
         shard.events.lock().push((seq, event));
     }
 
-    /// Number of events recorded so far.
+    /// Number of events currently resident (recorded and, in streaming
+    /// mode, not yet drained).
     pub fn len(&self) -> usize {
         self.inner
             .shards
@@ -90,13 +166,15 @@ impl TraceRecorder {
             .sum()
     }
 
-    /// Whether nothing has been recorded.
+    /// Whether no events are resident.
     pub fn is_empty(&self) -> bool {
         self.inner.shards.iter().all(|s| s.events.lock().is_empty())
     }
 
-    /// Drop all recorded events. The sequence stamp keeps counting up —
-    /// only relative order within one merge matters.
+    /// Drop all resident events. The sequence stamp keeps counting up —
+    /// only relative order within one merge matters. In streaming mode
+    /// the dropped events never reach the sink and are **not** counted
+    /// as drained; the sink itself stays attached.
     pub fn clear(&self) {
         for s in &self.inner.shards {
             s.events.lock().clear();
@@ -120,6 +198,25 @@ impl TraceRecorder {
         stamped.into_iter().map(|(_, e)| e).collect()
     }
 
+    /// Remove every resident event with `end <= bound` and return them
+    /// in `(start, seq)` order — one flush-epoch batch.
+    fn drain_upto(&self, bound: f64) -> Vec<TraceEvent> {
+        let mut stamped: Vec<(u64, TraceEvent)> = Vec::new();
+        for s in &self.inner.shards {
+            let mut guard = s.events.lock();
+            let mut i = 0;
+            while i < guard.len() {
+                if guard[i].1.end <= bound {
+                    stamped.push(guard.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        stamped.sort_by(|a, b| a.1.start.total_cmp(&b.1.start).then(a.0.cmp(&b.0)));
+        stamped.into_iter().map(|(_, e)| e).collect()
+    }
+
     /// The number of shards events are distributed over.
     pub fn shard_count(&self) -> usize {
         SHARDS
@@ -127,7 +224,8 @@ impl TraceRecorder {
 
     /// Events currently buffered in each shard (index = shard). A heavily
     /// skewed distribution means workers are aliasing onto few shards and
-    /// contending on their locks.
+    /// contending on their locks. In streaming mode this covers resident
+    /// events only.
     pub fn shard_occupancy(&self) -> Vec<usize> {
         self.inner
             .shards
@@ -137,39 +235,149 @@ impl TraceRecorder {
     }
 
     /// Total events ever recorded through this recorder, including ones
-    /// since consumed by [`TraceRecorder::finish`] or dropped by
-    /// [`TraceRecorder::clear`] (read from the global sequence stamp).
+    /// since drained to a sink, consumed by [`TraceRecorder::finish`] or
+    /// dropped by [`TraceRecorder::clear`] (read from the global
+    /// sequence stamp).
     pub fn total_recorded(&self) -> u64 {
         self.inner.seq.load(Ordering::Relaxed)
     }
 
+    /// Spans pushed to an attached sink so far, across the recorder's
+    /// lifetime (the counter survives sink detach at
+    /// [`TraceRecorder::finish`]).
+    pub fn drained(&self) -> u64 {
+        self.inner.drained.load(Ordering::Relaxed)
+    }
+
+    /// Whether a sink is currently attached.
+    pub fn is_streaming(&self) -> bool {
+        self.inner.stream.lock().is_some()
+    }
+
+    /// First error the attached sink reported, if any.
+    pub fn sink_error(&self) -> Option<String> {
+        self.inner
+            .stream
+            .lock()
+            .as_ref()
+            .and_then(|s| s.error.clone())
+    }
+
+    /// Switch into bounded-memory streaming mode: from now on, every
+    /// [`TraceRecorder::observe_clock`] call drains the flush epochs the
+    /// virtual clock has passed into `sink` (see the module docs for the
+    /// epoch rule). `epoch` is the flush-epoch length in virtual
+    /// seconds.
+    ///
+    /// # Panics
+    ///
+    /// If `epoch` is not positive and finite, or a sink is already
+    /// attached.
+    pub fn attach_sink(&self, sink: Box<dyn TraceSink>, epoch: f64) {
+        assert!(
+            epoch.is_finite() && epoch > 0.0,
+            "flush epoch must be positive and finite, got {epoch}"
+        );
+        let mut guard = self.inner.stream.lock();
+        assert!(guard.is_none(), "a trace sink is already attached");
+        *guard = Some(StreamState {
+            sink,
+            epoch,
+            next_epoch: 1,
+            error: None,
+        });
+        self.inner
+            .next_bound
+            .store(epoch.to_bits(), Ordering::Release);
+    }
+
+    /// Report virtual-clock progress. Engines call this after every
+    /// retirement; when no sink is attached (or the clock has not passed
+    /// the next epoch bound yet) it is one relaxed atomic load.
+    pub fn observe_clock(&self, now: f64) {
+        let bound = f64::from_bits(self.inner.next_bound.load(Ordering::Relaxed));
+        if now <= bound {
+            return;
+        }
+        let mut guard = self.inner.stream.lock();
+        let Some(st) = guard.as_mut() else { return };
+        // Flush strictly elapsed epochs one by one: each batch is a pure
+        // function of the epoch bounds and the spans' end times, so the
+        // stream content is identical no matter how many boundaries one
+        // observe_clock call happens to cross.
+        loop {
+            let bound = st.epoch * st.next_epoch as f64;
+            if now <= bound {
+                self.inner
+                    .next_bound
+                    .store(bound.to_bits(), Ordering::Relaxed);
+                break;
+            }
+            let batch = self.drain_upto(bound);
+            st.next_epoch += 1;
+            if !batch.is_empty() {
+                self.inner
+                    .drained
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                if let Err(e) = st.sink.flush_epoch(&batch) {
+                    st.error.get_or_insert_with(|| e.to_string());
+                }
+            }
+        }
+    }
+
     /// Take a normalized snapshot of the trace with `workers` lanes
     /// (grown if events reference higher worker indices). The recorder
-    /// keeps its contents.
+    /// keeps its contents. In streaming mode this covers the resident
+    /// window only — spans already drained to the sink are gone.
     pub fn snapshot(&self, workers: usize) -> Trace {
-        let mut t = Trace {
-            workers,
-            events: self.merged(false),
-        };
+        let mut t = Trace::from_parts(workers, self.merged(false));
         t.normalize();
         t
     }
 
     /// Consume the recorded events into a normalized [`Trace`], leaving the
     /// recorder empty.
+    ///
+    /// In streaming mode, every span still resident is first pushed to
+    /// the sink as one final (partial) epoch, the sink is closed and
+    /// detached, and the returned trace is empty — the spans live
+    /// wherever the sink put them. Callers wanting both behaviours at
+    /// once can stream into a [`crate::sink::CollectSink`].
     pub fn finish(&self, workers: usize) -> Trace {
-        let mut t = Trace {
-            workers,
-            events: self.merged(true),
-        };
+        self.finish_stream();
+        let mut t = Trace::from_parts(workers, self.merged(true));
         t.normalize();
         t
+    }
+
+    /// Flush all resident spans to the attached sink (if any), close it
+    /// and detach it. No-op when not streaming.
+    pub fn finish_stream(&self) {
+        let mut guard = self.inner.stream.lock();
+        let Some(mut st) = guard.take() else { return };
+        let batch = self.drain_upto(f64::INFINITY);
+        if !batch.is_empty() {
+            self.inner
+                .drained
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            if let Err(e) = st.sink.flush_epoch(&batch) {
+                st.error.get_or_insert_with(|| e.to_string());
+            }
+        }
+        if let Err(e) = st.sink.close() {
+            st.error.get_or_insert_with(|| e.to_string());
+        }
+        self.inner
+            .next_bound
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::CollectSink;
     use std::thread;
 
     #[test]
@@ -198,7 +406,7 @@ mod tests {
         r.record(0, "a", 0, 100.0, 101.0);
         r.record(0, "b", 1, 101.0, 103.0);
         let t = r.finish(1);
-        assert_eq!(t.events[0].start, 0.0);
+        assert_eq!(t.spans()[0].start, 0.0);
         assert!((t.makespan() - 3.0).abs() < 1e-12);
     }
 
@@ -229,7 +437,7 @@ mod tests {
         let t = r.finish(8);
         assert_eq!(t.len(), 800);
         // Every task id exactly once.
-        let mut ids: Vec<u64> = t.events.iter().map(|e| e.task_id).collect();
+        let mut ids: Vec<u64> = t.spans().iter().map(|e| e.task_id).collect();
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), 800);
@@ -273,5 +481,138 @@ mod tests {
             r2.record((i % 4) as usize, "k", i, 1.0, 2.0);
         }
         assert_eq!(r.snapshot(4), r2.snapshot(4));
+    }
+
+    #[test]
+    fn observe_clock_flushes_elapsed_epochs_only() {
+        let r = TraceRecorder::new();
+        let sink = CollectSink::new();
+        let handle = sink.handle();
+        r.attach_sink(Box::new(sink), 1.0);
+        r.record(0, "a", 0, 0.0, 0.5);
+        r.record(1, "b", 1, 0.4, 1.0); // ends exactly on the epoch bound
+        r.record(0, "c", 2, 0.8, 1.7); // crosses into epoch 2
+        r.observe_clock(0.9); // bound 1.0 not passed yet
+        assert_eq!(handle.len(), 0);
+        r.observe_clock(1.0); // still not *strictly* past
+        assert_eq!(handle.len(), 0);
+        r.observe_clock(1.2);
+        assert_eq!(handle.len(), 2, "spans ending ≤ 1.0 flushed");
+        assert_eq!(r.len(), 1, "the crossing span stays resident");
+        assert_eq!(r.drained(), 2);
+        assert_eq!(r.total_recorded(), 3);
+    }
+
+    #[test]
+    fn streamed_equals_buffered_order() {
+        // Identical recordings, one streamed in several epochs, one
+        // buffered: the concatenated epoch batches must equal the
+        // buffered merge exactly.
+        let record_all = |r: &TraceRecorder| {
+            for i in 0..40u64 {
+                let start = (i % 7) as f64 * 0.31;
+                r.record((i % 5) as usize, "k", i, start, start + 0.9);
+            }
+        };
+        let streamed = TraceRecorder::new();
+        let sink = CollectSink::new();
+        let handle = sink.handle();
+        streamed.attach_sink(Box::new(sink), 0.4);
+        record_all(&streamed);
+        for step in 0..40 {
+            streamed.observe_clock(step as f64 * 0.1);
+        }
+        let st = streamed.finish(5);
+        assert!(st.is_empty(), "streaming finish leaves no resident trace");
+        let buffered = TraceRecorder::new();
+        record_all(&buffered);
+        assert_eq!(handle.into_trace(5), buffered.finish(5));
+    }
+
+    #[test]
+    fn finish_flushes_remainder_and_detaches() {
+        let r = TraceRecorder::new();
+        let sink = CollectSink::new();
+        let handle = sink.handle();
+        r.attach_sink(Box::new(sink), 10.0);
+        r.record(0, "a", 0, 0.0, 1.0);
+        assert!(r.is_streaming());
+        let t = r.finish(1);
+        assert!(t.is_empty());
+        assert_eq!(handle.len(), 1);
+        assert!(!r.is_streaming());
+        assert_eq!(r.drained(), 1, "drained counter survives detach");
+        // After detach the recorder buffers again.
+        r.record(0, "b", 1, 1.0, 2.0);
+        assert_eq!(r.finish(1).len(), 1);
+        assert_eq!(handle.len(), 1);
+    }
+
+    #[test]
+    fn clear_drops_resident_without_counting_drained() {
+        let r = TraceRecorder::new();
+        let sink = CollectSink::new();
+        let handle = sink.handle();
+        r.attach_sink(Box::new(sink), 1.0);
+        r.record(0, "a", 0, 0.0, 0.5);
+        r.observe_clock(1.5); // a drained
+        r.record(0, "b", 1, 1.2, 1.8);
+        r.clear(); // b dropped, never drained
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.drained(), 1);
+        assert_eq!(r.total_recorded(), 2);
+        assert!(r.is_streaming(), "clear keeps the sink attached");
+        r.finish(1);
+        assert_eq!(handle.len(), 1, "only a ever reached the sink");
+    }
+
+    #[test]
+    fn snapshot_mid_stream_is_resident_window_only() {
+        let r = TraceRecorder::new();
+        r.attach_sink(Box::new(CollectSink::new()), 1.0);
+        r.record(0, "a", 0, 0.0, 0.5);
+        r.record(0, "b", 1, 1.1, 1.9);
+        r.observe_clock(2.5);
+        let snap = r.snapshot(1);
+        assert_eq!(snap.len(), 0, "everything ≤ 2.0 was drained");
+        r.record(0, "c", 2, 2.6, 3.4);
+        assert_eq!(r.snapshot(1).len(), 1);
+        assert_eq!(r.shard_occupancy().iter().sum::<usize>(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush epoch must be positive")]
+    fn attach_sink_rejects_bad_epoch() {
+        TraceRecorder::new().attach_sink(Box::new(CollectSink::new()), 0.0);
+    }
+
+    #[test]
+    fn concurrent_streaming_loses_nothing() {
+        // Recording races observe_clock from many threads; the union of
+        // sink content and resident events must still be exact.
+        let r = TraceRecorder::new();
+        let sink = CollectSink::new();
+        let handle = sink.handle();
+        r.attach_sink(Box::new(sink), 0.5);
+        let handles: Vec<_> = (0..4)
+            .map(|w| {
+                let r = r.clone();
+                thread::spawn(move || {
+                    for i in 0..200 {
+                        let start = i as f64 * 0.01;
+                        r.record(w, "k", (w * 200 + i) as u64, start, start + 0.02);
+                        r.observe_clock(start + 0.02);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        r.finish(4);
+        let mut ids: Vec<u64> = handle.take().iter().map(|e| e.task_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 800);
     }
 }

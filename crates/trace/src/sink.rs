@@ -1,0 +1,469 @@
+//! Push-based streaming trace sinks.
+//!
+//! The buffered pipeline ([`crate::TraceRecorder::finish`]) holds every
+//! span in memory until the run ends, so memory grows linearly with task
+//! count — a wall for 10⁶–10⁷-task replay scenarios. A [`TraceSink`]
+//! inverts the flow: the recorder *pushes* spans out in epoch-sized
+//! batches as the virtual clock retires them (see
+//! [`crate::TraceRecorder::attach_sink`]), and the run's peak memory is
+//! bounded by the spans resident within one flush epoch.
+//!
+//! # Epoch rule and ordering guarantee
+//!
+//! Flush epoch `k` (for epoch length `ε`) contains exactly the spans
+//! whose `end` falls in `((k-1)·ε, k·ε]`, delivered once the virtual
+//! clock has advanced strictly past `k·ε`. Within one epoch the spans
+//! are sorted by `(start, seq)` — the same total order the buffered
+//! merge uses — so concatenating all epoch batches yields the buffered
+//! event order exactly (up to the time-origin shift applied by
+//! [`crate::Trace::normalize`], which is the identity for simulation
+//! runs that start at virtual time 0).
+//!
+//! Sinks run on whichever engine thread happens to advance the clock
+//! past an epoch boundary, hence `Send`. Slow sinks stall the engine;
+//! sinks that must not stall it (live subscribers) should buffer or
+//! drop, as [`ChannelSink`] does.
+
+use crate::{Trace, TraceEvent};
+use parking_lot::Mutex;
+use std::io::{self, Write};
+use std::sync::mpsc::{SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// A destination for finalized trace spans, fed one flush epoch at a
+/// time in deterministic `(start, seq)` order.
+pub trait TraceSink: Send {
+    /// Deliver one epoch's worth of finalized spans. Never called with
+    /// an empty batch.
+    fn flush_epoch(&mut self, spans: &[TraceEvent]) -> io::Result<()>;
+
+    /// The stream is complete; flush any buffered output. Called exactly
+    /// once, after the final (possibly partial) epoch.
+    fn close(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The compatibility sink: collects streamed spans back into an
+/// in-memory buffer shared with a [`CollectHandle`], so callers that
+/// want a full [`Trace`] can still get one from a streaming run.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    shared: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl CollectSink {
+    /// New empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle onto the shared buffer, valid after the sink itself has
+    /// been boxed away into a recorder.
+    pub fn handle(&self) -> CollectHandle {
+        CollectHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl TraceSink for CollectSink {
+    fn flush_epoch(&mut self, spans: &[TraceEvent]) -> io::Result<()> {
+        self.shared.lock().extend_from_slice(spans);
+        Ok(())
+    }
+}
+
+/// Reader side of a [`CollectSink`].
+#[derive(Debug, Clone)]
+pub struct CollectHandle {
+    shared: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl CollectHandle {
+    /// Spans collected so far.
+    pub fn len(&self) -> usize {
+        self.shared.lock().len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.shared.lock().is_empty()
+    }
+
+    /// Take the collected spans, leaving the buffer empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.shared.lock())
+    }
+
+    /// Drain the collected spans into a normalized [`Trace`] with
+    /// `workers` lanes — the streaming equivalent of
+    /// [`crate::TraceRecorder::finish`].
+    pub fn into_trace(&self, workers: usize) -> Trace {
+        let mut t = Trace::from_parts(workers, self.take());
+        t.normalize();
+        t
+    }
+}
+
+/// Streaming newline-delimited-JSON writer: one flat object per span.
+///
+/// The float fields use Rust's shortest-round-trip formatting, so a
+/// parsed-back trace ([`parse_ndjson`]) reproduces the original `f64`
+/// bits exactly and its [`Trace::canonical`] projection is
+/// byte-identical to the buffered run's.
+#[derive(Debug)]
+pub struct NdjsonSink<W: Write> {
+    out: W,
+}
+
+impl NdjsonSink<io::BufWriter<std::fs::File>> {
+    /// Create (truncate) `path` and stream ndjson spans into it.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(NdjsonSink {
+            out: io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl<W: Write> NdjsonSink<W> {
+    /// Wrap an arbitrary writer.
+    pub fn new(out: W) -> Self {
+        NdjsonSink { out }
+    }
+}
+
+impl<W: Write + Send> TraceSink for NdjsonSink<W> {
+    fn flush_epoch(&mut self, spans: &[TraceEvent]) -> io::Result<()> {
+        for e in spans {
+            writeln!(self.out, "{}", ndjson_line(e))?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Incremental Chrome trace-event writer: emits the same JSON array as
+/// [`crate::chrome::to_chrome_json`], but one epoch at a time, so the
+/// full document never has to exist in memory.
+#[derive(Debug)]
+pub struct ChromeStreamSink<W: Write> {
+    out: W,
+    first: bool,
+    opened: bool,
+}
+
+impl ChromeStreamSink<io::BufWriter<std::fs::File>> {
+    /// Create (truncate) `path` and stream Chrome JSON into it.
+    pub fn create(path: &str) -> io::Result<Self> {
+        Ok(ChromeStreamSink::new(io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write> ChromeStreamSink<W> {
+    /// Wrap an arbitrary writer. Nothing is written until the first
+    /// epoch arrives (or [`TraceSink::close`], for an empty stream).
+    pub fn new(out: W) -> Self {
+        ChromeStreamSink {
+            out,
+            first: true,
+            opened: false,
+        }
+    }
+}
+
+impl<W: Write + Send> TraceSink for ChromeStreamSink<W> {
+    fn flush_epoch(&mut self, spans: &[TraceEvent]) -> io::Result<()> {
+        if !self.opened {
+            self.out.write_all(b"[")?;
+            self.opened = true;
+        }
+        for e in spans {
+            if !self.first {
+                self.out.write_all(b",")?;
+            }
+            self.first = false;
+            self.out
+                .write_all(crate::chrome::chrome_event_json(e).as_bytes())?;
+        }
+        Ok(())
+    }
+
+    fn close(&mut self) -> io::Result<()> {
+        if !self.opened {
+            self.out.write_all(b"[")?;
+            self.opened = true;
+        }
+        self.out.write_all(b"]")?;
+        self.out.flush()
+    }
+}
+
+/// Non-blocking forwarding sink for live subscribers (the `serve`
+/// streaming path): epochs are `try_send`-ed over a bounded channel,
+/// and epochs the receiver cannot keep up with are *dropped* (counted
+/// in [`ChannelSink::dropped`]) rather than stalling the simulation.
+#[derive(Debug)]
+pub struct ChannelSink {
+    tx: SyncSender<Vec<TraceEvent>>,
+    dropped: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl ChannelSink {
+    /// Forward epochs into `tx`.
+    pub fn new(tx: SyncSender<Vec<TraceEvent>>) -> Self {
+        ChannelSink {
+            tx,
+            dropped: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// Shared counter of spans dropped because the channel was full.
+    pub fn dropped(&self) -> Arc<std::sync::atomic::AtomicU64> {
+        Arc::clone(&self.dropped)
+    }
+}
+
+impl TraceSink for ChannelSink {
+    fn flush_epoch(&mut self, spans: &[TraceEvent]) -> io::Result<()> {
+        match self.tx.try_send(spans.to_vec()) {
+            Ok(()) | Err(TrySendError::Disconnected(_)) => {}
+            Err(TrySendError::Full(_)) => {
+                self.dropped
+                    .fetch_add(spans.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sink that discards everything — for memory benchmarking the
+/// recorder's streaming path without I/O cost.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn flush_epoch(&mut self, _spans: &[TraceEvent]) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One span as a flat ndjson object.
+pub fn ndjson_line(e: &TraceEvent) -> String {
+    format!(
+        r#"{{"worker":{},"kernel":{},"task_id":{},"start":{:?},"end":{:?}}}"#,
+        e.worker,
+        crate::chrome::json_string(&e.kernel),
+        e.task_id,
+        e.start,
+        e.end
+    )
+}
+
+/// Parse an ndjson span stream (as written by [`NdjsonSink`]) back into
+/// a trace — the bridge from a streamed file to the canonical
+/// projection the CI determinism gates diff. The trace is *not*
+/// normalized; workers is grown to cover every span.
+pub fn parse_ndjson(input: &str) -> Result<Trace, String> {
+    let mut events = Vec::new();
+    let mut workers = 0usize;
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let e = parse_span_line(line).map_err(|m| format!("line {}: {}", idx + 1, m))?;
+        workers = workers.max(e.worker + 1);
+        events.push(e);
+    }
+    Ok(Trace::from_parts(workers, events))
+}
+
+/// Parse one `{"worker":..,"kernel":..,"task_id":..,"start":..,"end":..}`
+/// object. Specialized to the flat shape [`ndjson_line`] emits.
+fn parse_span_line(line: &str) -> Result<TraceEvent, String> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("not a JSON object")?;
+    let (mut worker, mut kernel, mut task_id, mut start, mut end) = (None, None, None, None, None);
+    let mut rest = inner;
+    while !rest.trim().is_empty() {
+        let (key, after_key) = take_json_string(rest.trim_start())?;
+        let after_colon = after_key
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or("missing ':' after key")?
+            .trim_start();
+        let after_value = if after_colon.starts_with('"') {
+            let (val, tail) = take_json_string(after_colon)?;
+            if key == "kernel" {
+                kernel = Some(val);
+            }
+            tail
+        } else {
+            let stop = after_colon.find(',').unwrap_or(after_colon.len());
+            let raw = after_colon[..stop].trim();
+            let num: f64 = raw.parse().map_err(|_| format!("bad number {raw:?}"))?;
+            match key.as_str() {
+                "worker" => worker = Some(num as usize),
+                "task_id" => task_id = Some(num as u64),
+                "start" => start = Some(num),
+                "end" => end = Some(num),
+                _ => {}
+            }
+            &after_colon[stop..]
+        };
+        rest = after_value
+            .trim_start()
+            .strip_prefix(',')
+            .unwrap_or(after_value);
+    }
+    Ok(TraceEvent {
+        worker: worker.ok_or("missing worker")?,
+        kernel: kernel.ok_or("missing kernel")?,
+        task_id: task_id.ok_or("missing task_id")?,
+        start: start.ok_or("missing start")?,
+        end: end.ok_or("missing end")?,
+    })
+}
+
+/// Read a leading JSON string literal, returning `(decoded, rest)`.
+fn take_json_string(s: &str) -> Result<(String, &str), String> {
+    let body = s.strip_prefix('"').ok_or("expected '\"'")?;
+    let mut out = String::new();
+    let mut chars = body.char_indices();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &body[i + 1..])),
+            '\\' => match chars.next().map(|(_, c)| c) {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|(_, c)| c.to_digit(16))
+                            .ok_or("bad \\u escape")?;
+                        code = code * 16 + d;
+                    }
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn ev(worker: usize, kernel: &str, id: u64, start: f64, end: f64) -> TraceEvent {
+        TraceEvent {
+            worker,
+            kernel: kernel.into(),
+            task_id: id,
+            start,
+            end,
+        }
+    }
+
+    #[test]
+    fn collect_sink_round_trips_epochs() {
+        let sink = CollectSink::new();
+        let handle = sink.handle();
+        let mut boxed: Box<dyn TraceSink> = Box::new(sink);
+        boxed.flush_epoch(&[ev(0, "a", 0, 0.0, 1.0)]).unwrap();
+        boxed.flush_epoch(&[ev(1, "b", 1, 1.0, 2.0)]).unwrap();
+        boxed.close().unwrap();
+        let t = handle.into_trace(2);
+        assert_eq!(t.len(), 2);
+        assert!(handle.is_empty());
+    }
+
+    #[test]
+    fn ndjson_round_trip_is_exact() {
+        let spans = vec![
+            ev(0, "dgemm", 3, 0.001, 0.002),
+            ev(7, "we\"ird\\k", 4, 1e-7, 2.5e-7),
+            ev(1, "~backoff", 5, 12.25, 13.5),
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut sink = NdjsonSink::new(&mut buf);
+            sink.flush_epoch(&spans).unwrap();
+            sink.close().unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let back = parse_ndjson(&text).unwrap();
+        assert_eq!(back.spans(), &spans[..]);
+        assert_eq!(back.workers, 8);
+    }
+
+    #[test]
+    fn ndjson_parse_rejects_garbage() {
+        assert!(parse_ndjson("not json\n").is_err());
+        assert!(parse_ndjson("{\"worker\":0}\n").is_err());
+        let err =
+            parse_ndjson("{\"worker\":0,\"kernel\":\"k\",\"task_id\":1,\"start\":x,\"end\":1}")
+                .unwrap_err();
+        assert!(err.contains("line 1"), "got {err}");
+    }
+
+    #[test]
+    fn chrome_stream_matches_buffered_export() {
+        let spans = vec![
+            ev(0, "dgemm", 3, 0.001, 0.002),
+            ev(1, "trsm", 4, 0.0, 0.0005),
+        ];
+        let mut buf = Vec::new();
+        {
+            let mut sink = ChromeStreamSink::new(&mut buf);
+            sink.flush_epoch(&spans[..1]).unwrap();
+            sink.flush_epoch(&spans[1..]).unwrap();
+            sink.close().unwrap();
+        }
+        let streamed = String::from_utf8(buf).unwrap();
+        let buffered = crate::chrome::to_chrome_json(&Trace::from_parts(2, spans));
+        assert_eq!(streamed, buffered);
+    }
+
+    #[test]
+    fn chrome_stream_empty_is_empty_array() {
+        let mut buf = Vec::new();
+        {
+            let mut sink = ChromeStreamSink::new(&mut buf);
+            sink.close().unwrap();
+        }
+        assert_eq!(String::from_utf8(buf).unwrap(), "[]");
+    }
+
+    #[test]
+    fn channel_sink_drops_instead_of_blocking() {
+        let (tx, rx) = sync_channel(1);
+        let mut sink = ChannelSink::new(tx);
+        let dropped = sink.dropped();
+        sink.flush_epoch(&[ev(0, "a", 0, 0.0, 1.0)]).unwrap();
+        // Channel full: the second epoch is counted, not delivered.
+        sink.flush_epoch(&[ev(0, "b", 1, 1.0, 2.0), ev(1, "c", 2, 1.0, 2.0)])
+            .unwrap();
+        assert_eq!(dropped.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(rx.recv().unwrap().len(), 1);
+        drop(rx);
+        // Disconnected receiver is not an error either.
+        sink.flush_epoch(&[ev(0, "d", 3, 2.0, 3.0)]).unwrap();
+    }
+}

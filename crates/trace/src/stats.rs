@@ -47,7 +47,7 @@ impl TraceStats {
         let mut per_worker_count = vec![0usize; trace.workers];
         let mut kernels: BTreeMap<String, KernelStats> = BTreeMap::new();
         let mut busy = 0.0;
-        for e in &trace.events {
+        for e in trace.spans() {
             let d = e.duration();
             busy += d;
             if e.worker < per_worker_busy.len() {
@@ -77,7 +77,7 @@ impl TraceStats {
         };
         TraceStats {
             workers: trace.workers,
-            events: trace.events.len(),
+            events: trace.len(),
             makespan,
             busy_time: busy,
             utilization,
@@ -133,7 +133,7 @@ mod tests {
             (0, "gemm", 1, 1.0, 3.0),
             (1, "trsm", 2, 0.0, 2.0),
         ] {
-            t.events.push(TraceEvent {
+            t.push(TraceEvent {
                 worker: w,
                 kernel: k.to_string(),
                 task_id: id,

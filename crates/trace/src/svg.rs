@@ -61,16 +61,27 @@ const LEGEND_ROW: f64 = 18.0;
 
 /// Render a trace to an SVG document string.
 pub fn render(trace: &Trace, opts: &SvgOptions) -> String {
-    let span = opts.time_span.unwrap_or_else(|| trace.t_max()).max(1e-12);
+    render_spans(trace.workers, trace.spans(), opts)
+}
+
+/// Windowed/streaming mode: render a bare span window (one flush epoch
+/// from a [`crate::TraceSink`], or any slice of a larger trace) without
+/// materializing a full [`Trace`]. Set [`SvgOptions::time_span`] to the
+/// full run's extent to keep windows of one run on a common scale.
+pub fn render_spans(workers: usize, spans: &[crate::TraceEvent], opts: &SvgOptions) -> String {
+    let span = opts
+        .time_span
+        .unwrap_or_else(|| spans.iter().map(|e| e.end).fold(0.0, f64::max))
+        .max(1e-12);
     let plot_w = (opts.width - MARGIN_LEFT - MARGIN_RIGHT).max(10.0);
-    let lanes_h = trace.workers as f64 * (opts.lane_height + opts.lane_gap);
+    let lanes_h = workers as f64 * (opts.lane_height + opts.lane_gap);
     // Color and legend by *base* kernel: fault-marked spans reuse their
     // kernel's color with distinct stroke/opacity styling, and backoff
     // spans have no kernel of their own. Fault-free traces render
     // byte-identically to the pre-fault renderer.
     let mut labels: Vec<String> = Vec::new();
-    for l in trace.kernel_labels() {
-        let b = base_kernel(&l);
+    for e in spans {
+        let b = base_kernel(&e.kernel);
         if !b.is_empty() && !labels.iter().any(|s| s == b) {
             labels.push(b.to_string());
         }
@@ -83,7 +94,7 @@ pub fn render(trace: &Trace, opts: &SvgOptions) -> String {
     let height = MARGIN_TOP + lanes_h + AXIS_HEIGHT + legend_h;
     let colors = ColorMap::from_labels(labels.iter().cloned());
 
-    let mut s = String::with_capacity(4096 + trace.events.len() * 96);
+    let mut s = String::with_capacity(4096 + spans.len() * 96);
     let _ = writeln!(
         s,
         r#"<svg xmlns="http://www.w3.org/2000/svg" width="{:.0}" height="{:.0}" viewBox="0 0 {:.0} {:.0}">"#,
@@ -100,7 +111,7 @@ pub fn render(trace: &Trace, opts: &SvgOptions) -> String {
     }
 
     // Lane labels and background stripes.
-    for w in 0..trace.workers {
+    for w in 0..workers {
         let y = MARGIN_TOP + w as f64 * (opts.lane_height + opts.lane_gap);
         let _ = writeln!(
             s,
@@ -121,8 +132,8 @@ pub fn render(trace: &Trace, opts: &SvgOptions) -> String {
     }
 
     // Task rectangles.
-    for e in &trace.events {
-        if e.worker >= trace.workers {
+    for e in spans {
+        if e.worker >= workers {
             continue;
         }
         let x = MARGIN_LEFT + e.start / span * plot_w;
@@ -247,14 +258,14 @@ mod tests {
 
     fn trace() -> Trace {
         let mut t = Trace::new(2);
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 0,
             kernel: "gemm".into(),
             task_id: 0,
             start: 0.0,
             end: 1.0,
         });
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 1,
             kernel: "trsm".into(),
             task_id: 1,
@@ -326,28 +337,28 @@ mod tests {
     #[test]
     fn fault_marked_spans_get_distinct_styling() {
         let mut t = Trace::new(2);
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 0,
             kernel: "dgemm".into(),
             task_id: 0,
             start: 0.0,
             end: 1.0,
         });
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 0,
             kernel: "dgemm!fail".into(),
             task_id: 1,
             start: 1.0,
             end: 1.5,
         });
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 1,
             kernel: "dpotrf!lost".into(),
             task_id: 2,
             start: 0.0,
             end: 0.5,
         });
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 1,
             kernel: "~backoff".into(),
             task_id: 1,
@@ -371,7 +382,7 @@ mod tests {
     #[test]
     fn escapes_markup_in_labels() {
         let mut t = Trace::new(1);
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 0,
             kernel: "a<b&c".into(),
             task_id: 0,

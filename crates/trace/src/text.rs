@@ -32,9 +32,9 @@ impl std::error::Error for ParseError {}
 
 /// Serialize a trace to the text format.
 pub fn write(trace: &Trace) -> String {
-    let mut s = String::with_capacity(64 + trace.events.len() * 48);
+    let mut s = String::with_capacity(64 + trace.len() * 48);
     let _ = writeln!(s, "# supersim-trace v1 workers={}", trace.workers);
-    for e in &trace.events {
+    for e in trace.spans() {
         let _ = writeln!(
             s,
             "{} {} {} {:.9} {:.9}",
@@ -96,7 +96,7 @@ pub fn parse(input: &str) -> Result<Trace, ParseError> {
                 message: "end < start".to_string(),
             });
         }
-        trace.events.push(TraceEvent {
+        trace.push(TraceEvent {
             worker,
             kernel: fields[1].to_string(),
             task_id,
@@ -104,7 +104,7 @@ pub fn parse(input: &str) -> Result<Trace, ParseError> {
             end,
         });
     }
-    if let Some(max_w) = trace.events.iter().map(|e| e.worker).max() {
+    if let Some(max_w) = trace.spans().iter().map(|e| e.worker).max() {
         trace.workers = trace.workers.max(max_w + 1);
     }
     Ok(trace)
@@ -116,14 +116,14 @@ mod tests {
 
     fn trace() -> Trace {
         let mut t = Trace::new(3);
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 0,
             kernel: "dgemm".into(),
             task_id: 7,
             start: 0.25,
             end: 1.5,
         });
-        t.events.push(TraceEvent {
+        t.push(TraceEvent {
             worker: 2,
             kernel: "dpotrf".into(),
             task_id: 8,
@@ -139,18 +139,18 @@ mod tests {
         let text = write(&t);
         let back = parse(&text).unwrap();
         assert_eq!(back.workers, 3);
-        assert_eq!(back.events.len(), 2);
-        assert_eq!(back.events[0].kernel, "dgemm");
-        assert_eq!(back.events[0].task_id, 7);
-        assert!((back.events[0].start - 0.25).abs() < 1e-9);
-        assert!((back.events[1].end - 2.0).abs() < 1e-9);
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.spans()[0].kernel, "dgemm");
+        assert_eq!(back.spans()[0].task_id, 7);
+        assert!((back.spans()[0].start - 0.25).abs() < 1e-9);
+        assert!((back.spans()[1].end - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn parse_skips_comments_and_blanks() {
         let text = "# hello\n\n0 k 0 0.0 1.0\n# bye\n";
         let t = parse(text).unwrap();
-        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]

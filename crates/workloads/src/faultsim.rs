@@ -114,7 +114,7 @@ impl Placement for RemapPlacement {
 /// lane-race dependent, and float addition order must not leak into the
 /// report.
 fn fault_numbers(trace: &Trace) -> (u64, f64, f64) {
-    let mut events: Vec<&supersim_trace::TraceEvent> = trace.events.iter().collect();
+    let mut events: Vec<&supersim_trace::TraceEvent> = trace.spans().iter().collect();
     events.sort_by(|a, b| a.task_id.cmp(&b.task_id).then(a.start.total_cmp(&b.start)));
     let (mut retries, mut aborted, mut lost) = (0u64, 0.0f64, 0.0f64);
     for e in events {
@@ -136,7 +136,7 @@ fn fault_numbers(trace: &Trace) -> (u64, f64, f64) {
 /// submission order; transfer tasks interleave but are filtered out).
 fn stream_indices(trace: &Trace) -> HashMap<u64, u64> {
     let mut ids: Vec<u64> = trace
-        .events
+        .spans()
         .iter()
         .filter(|e| base_kernel(&e.kernel) != TRANSFER_LABEL)
         .map(|e| e.task_id)
@@ -244,7 +244,7 @@ fn run_simple(sc: &Scenario, plan: &FaultPlan, used: &mut bool) -> RunResult {
 fn cut_phase_a(trace: &Trace, rollback: f64, cut: f64) -> (Vec<TraceEvent>, HashSet<u64>) {
     let mut kept = Vec::new();
     let mut completed_ids = HashSet::new();
-    for e in &trace.events {
+    for e in trace.spans() {
         if e.end <= rollback {
             if matches!(event_kind(e), SpanKind::Normal) {
                 completed_ids.insert(e.task_id);
@@ -305,7 +305,7 @@ fn replay_single(
     let offset = at + plan.recovery.restart_delay;
     let id_offset = run_a
         .trace
-        .events
+        .spans()
         .iter()
         .map(|e| e.task_id)
         .max()
@@ -437,7 +437,7 @@ fn replay_cluster(
     let offset = at + plan.recovery.restart_delay + checkpoint_overhead;
     let id_offset = run_a
         .trace
-        .events
+        .spans()
         .iter()
         .map(|e| e.task_id)
         .max()
@@ -636,7 +636,7 @@ mod tests {
         // kernels still dominate.
         let fails = out
             .trace
-            .events
+            .spans()
             .iter()
             .filter(|e| event_kind(e) == SpanKind::Failed)
             .count() as u64;
@@ -729,7 +729,7 @@ mod tests {
         // before the cut... except none: completed set is empty.
         let spec = ClusterSpec::new(4, 2);
         let (lo, hi) = spec.compute_range(1);
-        for e in &out.trace.events {
+        for e in out.trace.spans() {
             if (lo..hi).contains(&e.worker) {
                 assert!(
                     e.end <= cut + 1e-9,

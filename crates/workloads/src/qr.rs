@@ -207,8 +207,8 @@ mod tests {
         let trace = session.finish_trace(3);
         assert!(trace.validate(1e-9).is_ok());
         // Task ids follow Fig. 2: F9 is geqrt(k=1), F4 is tsmqr(0,1,1).
-        let f9 = trace.events.iter().find(|e| e.task_id == 9).unwrap();
-        let f4 = trace.events.iter().find(|e| e.task_id == 4).unwrap();
+        let f9 = trace.spans().iter().find(|e| e.task_id == 9).unwrap();
+        let f4 = trace.spans().iter().find(|e| e.task_id == 4).unwrap();
         assert_eq!(f9.kernel, "dgeqrt");
         assert_eq!(f4.kernel, "dtsmqr");
         assert!(

@@ -117,7 +117,7 @@ fn session_for(spec: &SweepSpec, cell: &CellSpec, models: Arc<ModelRegistry>) ->
 
 fn transfer_spans(trace: &Trace) -> u64 {
     trace
-        .events
+        .spans()
         .iter()
         .filter(|e| base_kernel(&e.kernel) == TRANSFER_LABEL)
         .count() as u64

@@ -52,7 +52,7 @@ fn main() {
         RaceMitigation::None,
     ] {
         let trace = run(mitigation);
-        let c = trace.events.iter().find(|e| e.kernel == "C").unwrap();
+        let c = trace.spans().iter().find(|e| e.kernel == "C").unwrap();
         let verdict = if (c.start - 1.0).abs() < 1e-9 {
             "correct: C starts when A completes"
         } else {

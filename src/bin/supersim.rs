@@ -43,6 +43,11 @@
 //!                  [--seed 42] [--mode both|targeted|broadcast]
 //!                  [--backend threaded|des]
 //!                  [--out m.json] [--chrome t.json] [--trace-out t.txt]
+//!                  [--trace-stream spans.ndjson] [--stream-epoch 1.0]
+//! supersim stream-bench [--tasks 10000] [--workers 64] [--window 1024]
+//!                  [--mode streaming|buffered] [--epoch 0.05] [--seed 42]
+//!                  [--out spans.ndjson|canonical.txt]
+//! supersim trace-convert --in spans.ndjson [--out canonical.txt]
 //! supersim info
 //! ```
 //!
@@ -53,6 +58,16 @@
 //! `--chrome` adds counter tracks next to the task timeline;
 //! `--trace-out` writes the (virtual-time, deterministic) text trace of
 //! the last run, which CI diffs bit-for-bit across repeated runs.
+//!
+//! `--trace-stream` (on `metrics` and `cluster`) attaches a streaming
+//! ndjson sink to the run's trace recorder: finalized spans are written
+//! out at each virtual-time epoch boundary instead of buffering in
+//! memory, so trace output stays bounded no matter how long the run is.
+//! `trace-convert` rebuilds the canonical text projection from such a
+//! file — byte-identical to `--trace-out` on the deterministic profiles,
+//! which CI verifies. `stream-bench` replays a synthetic N-task stream on
+//! the DES backend in either trace mode and reports peak RSS — the
+//! datapoint behind the `trace_stream_rss` perf gate.
 //!
 //! `--backend des` (on `metrics`, `cluster` and `faults`) replays the same
 //! scenario on the single-threaded pure-DES engine instead of the threaded
@@ -120,6 +135,8 @@ fn main() {
         "serve" => cmd_serve(&opts),
         "dag" => cmd_dag(&opts),
         "metrics" => cmd_metrics(&opts),
+        "stream-bench" => cmd_stream_bench(&opts),
+        "trace-convert" => cmd_trace_convert(&opts),
         "info" => cmd_info(),
         "help" | "--help" | "-h" => usage_and_exit(),
         other => {
@@ -146,6 +163,8 @@ fn usage_and_exit() -> ! {
          \x20 serve    resident HTTP daemon: /run, /sweep, /healthz, /metrics\n\
          \x20 dag      emit the task DAG of an algorithm\n\
          \x20 metrics  run a simulated workload and dump instrumentation as JSON\n\
+         \x20 stream-bench  replay a synthetic task stream, report peak RSS per trace mode\n\
+         \x20 trace-convert rebuild a canonical trace from streamed ndjson spans\n\
          \x20 info     list algorithms and scheduler profiles\n\
          \n\
          common flags: --alg cholesky|qr|lu  --scheduler quark|starpu|ompss\n\
@@ -215,6 +234,160 @@ fn scheduler(opts: &HashMap<String, String>) -> SchedulerKind {
             exit(2)
         }
     }
+}
+
+/// `--trace-stream PATH [--stream-epoch S]`: attach a streaming ndjson
+/// sink to the session's recorder, draining finalized spans at
+/// virtual-time epoch boundaries instead of buffering the whole run.
+fn attach_stream_sink(session: &SimSession, opts: &HashMap<String, String>) {
+    if let Some(path) = opts.get("trace-stream") {
+        let epoch = get(opts, "stream-epoch", 1.0f64);
+        if !epoch.is_finite() || epoch <= 0.0 {
+            eprintln!("--stream-epoch must be a positive number of virtual seconds");
+            exit(2);
+        }
+        let sink = supersim::trace::sink::NdjsonSink::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            exit(2)
+        });
+        session.trace_recorder().attach_sink(Box::new(sink), epoch);
+        eprintln!("streaming spans to {path} (epoch {epoch}s)");
+    }
+}
+
+/// `supersim trace-convert --in spans.ndjson [--out canonical.txt]`:
+/// rebuild the canonical text projection from a streamed ndjson span
+/// file — the bridge CI uses to byte-compare streamed and buffered runs.
+fn cmd_trace_convert(opts: &HashMap<String, String>) {
+    let input = opts.get("in").unwrap_or_else(|| {
+        eprintln!("trace-convert needs --in spans.ndjson");
+        exit(2)
+    });
+    let data = std::fs::read_to_string(input).unwrap_or_else(|e| {
+        eprintln!("cannot read {input}: {e}");
+        exit(2)
+    });
+    let mut trace = supersim::trace::sink::parse_ndjson(&data).unwrap_or_else(|e| {
+        eprintln!("bad ndjson in {input}: {e}");
+        exit(2)
+    });
+    trace.normalize();
+    let canonical = trace.canonical();
+    match opts.get("out") {
+        Some(path) => {
+            std::fs::write(path, &canonical).expect("write canonical trace");
+            eprintln!("canonical trace ({} spans) written to {path}", trace.len());
+        }
+        None => print!("{canonical}"),
+    }
+}
+
+/// A lazily generated synthetic task stream: a handful of fixed-duration
+/// kernel classes, writes rolling over a bounded data window (so the
+/// hazard tracker stays bounded too) and reads reaching 256 tasks back
+/// (real RAW chains inside the scheduling window, parallelism width 256).
+/// A pure function of the index — no per-task state survives generation.
+fn synthetic_stream(tasks: u64) -> impl Iterator<Item = supersim::des::ReplayTask> {
+    use supersim::des::{ReplayBody, ReplayTask};
+    const CELLS: u64 = 4096;
+    (0..tasks).map(|i| ReplayTask {
+        label: format!("k{}", i % 7),
+        accesses: vec![
+            Access::write(DataId(i % CELLS)),
+            Access::read(DataId((i + CELLS - 256) % CELLS)),
+        ],
+        priority: 0,
+        pin: None,
+        body: ReplayBody::Fixed {
+            duration: 1e-4 * ((i % 9) + 1) as f64,
+        },
+    })
+}
+
+/// Peak resident set size (VmHWM) of this process, in KiB. Linux-only;
+/// 0 where /proc is unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status
+                .lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// `supersim stream-bench`: replay a synthetic N-task stream on the DES
+/// backend and report peak RSS as one JSON line — the memory story behind
+/// the streaming trace pipeline. In `streaming` mode the recorder drains
+/// to an ndjson sink (`--out`) at each epoch boundary; in `buffered` mode
+/// it accumulates the whole trace and `--out` receives the canonical
+/// projection. The span set is identical either way, which is what the CI
+/// trace-streaming job verifies via `trace-convert` + `cmp`.
+fn cmd_stream_bench(opts: &HashMap<String, String>) {
+    use supersim::des::ReplayEngine;
+    use supersim::trace::sink::{NdjsonSink, NullSink};
+    use supersim::trace::TraceSink;
+
+    let tasks = get(opts, "tasks", 10_000u64);
+    let workers = get(opts, "workers", 64usize);
+    let window = get(opts, "window", 1_024usize);
+    let epoch = get(opts, "epoch", 0.05f64);
+    let seed = get(opts, "seed", 42u64);
+    let streaming = match opts.get("mode").map(String::as_str) {
+        None | Some("streaming") => true,
+        Some("buffered") => false,
+        Some(other) => {
+            eprintln!("unknown --mode {other} (streaming|buffered)");
+            exit(2)
+        }
+    };
+    if !epoch.is_finite() || epoch <= 0.0 {
+        eprintln!("--epoch must be a positive number of virtual seconds");
+        exit(2);
+    }
+    let session = SimSession::new(
+        ModelRegistry::new(),
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        },
+    );
+    if streaming {
+        let sink: Box<dyn TraceSink> = match opts.get("out") {
+            Some(path) => Box::new(NdjsonSink::create(path).unwrap_or_else(|e| {
+                eprintln!("cannot create {path}: {e}");
+                exit(2)
+            })),
+            None => Box::new(NullSink),
+        };
+        session.trace_recorder().attach_sink(sink, epoch);
+    }
+    let mut cfg = RuntimeConfig::simple(workers);
+    cfg.window = window;
+    let engine = ReplayEngine::new(&cfg, session.clone()).expect("simple profile replays");
+    let out = engine.run(synthetic_stream(tasks));
+    if let Some(err) = session.trace_recorder().sink_error() {
+        eprintln!("trace sink error: {err}");
+        exit(2);
+    }
+    let trace = session.finish_trace(workers);
+    if !streaming {
+        if let Some(path) = opts.get("out") {
+            std::fs::write(path, trace.canonical()).expect("write canonical trace");
+        }
+    }
+    println!(
+        "{{\"tasks\":{tasks},\"mode\":\"{}\",\"workers\":{workers},\"window\":{window},\"makespan\":{:?},\"completed\":{},\"resident_spans\":{},\"streamed_spans\":{},\"peak_rss_kb\":{}}}",
+        if streaming { "streaming" } else { "buffered" },
+        out.makespan,
+        out.completed,
+        trace.len(),
+        session.trace_recorder().drained(),
+        peak_rss_kb(),
+    );
 }
 
 fn cmd_real(opts: &HashMap<String, String>) {
@@ -480,6 +653,7 @@ fn cmd_cluster(opts: &HashMap<String, String>) {
         placement.name(),
         backend.name()
     );
+    attach_stream_sink(&session, opts);
     let run = Scenario::new(alg)
         .n(n)
         .tile_size(nb)
@@ -1146,6 +1320,7 @@ fn cmd_metrics(opts: &HashMap<String, String>) {
                 ..SimConfig::default()
             },
         );
+        attach_stream_sink(&session, opts);
         let run = Scenario::new(alg)
             .scheduler(kind)
             .workers(workers)
@@ -1156,9 +1331,11 @@ fn cmd_metrics(opts: &HashMap<String, String>) {
             .run_sim();
         session.publish_metrics(&mut snap);
         run.stats.publish_metrics(&mut snap);
+        // In streaming mode the finished trace is empty by design — the
+        // spans went to the sink — so count resident + drained.
         eprintln!(
             "{mode:?} wakeups: {} tasks, predicted {:.4}s (wall {:.4}s)",
-            run.trace.len(),
+            run.trace.len() as u64 + session.trace_recorder().drained(),
             run.predicted_seconds,
             run.wall_seconds
         );
@@ -1215,6 +1392,7 @@ fn cmd_metrics_cluster(opts: &HashMap<String, String>, alg: Algorithm) {
             ..SimConfig::default()
         },
     );
+    attach_stream_sink(&session, opts);
     let run = Scenario::new(alg)
         .n(n)
         .tile_size(nb)

@@ -57,7 +57,7 @@ fn distributed(interconnect: Arc<dyn Interconnect>) -> ClusterRun {
 /// tasks consume ids), so identity is (kernel, start, end) bits.
 fn compute_multiset(t: &Trace) -> HashMap<(String, u64, u64), usize> {
     let mut m = HashMap::new();
-    for e in &t.events {
+    for e in t.spans() {
         if e.kernel != TRANSFER_LABEL {
             *m.entry((e.kernel.clone(), e.start.to_bits(), e.end.to_bits()))
                 .or_insert(0) += 1;
@@ -128,7 +128,7 @@ fn shared_link_never_beats_contention_free_hockney() {
 fn transfers_occupy_nic_lanes_only() {
     let run = distributed(Arc::new(Hockney::new(1e-4, 1e9)));
     let spec = ClusterSpec::new(4, 8);
-    for e in &run.trace.events {
+    for e in run.trace.spans() {
         let is_nic = (0..4).any(|node| {
             let (lo, hi) = spec.nic_range(node);
             (lo..hi).contains(&e.worker)

@@ -45,8 +45,12 @@ fn seed_stability_across_worker_counts() {
     let a = sim_once(7, 1);
     let b = sim_once(7, 4);
     use std::collections::HashMap;
-    let da: HashMap<u64, f64> = a.events.iter().map(|e| (e.task_id, e.duration())).collect();
-    for e in &b.events {
+    let da: HashMap<u64, f64> = a
+        .spans()
+        .iter()
+        .map(|e| (e.task_id, e.duration()))
+        .collect();
+    for e in b.spans() {
         let expect = da[&e.task_id];
         assert!(
             (e.duration() - expect).abs() < 1e-12,

@@ -132,11 +132,15 @@ fn mixture_kernel_model_end_to_end() {
     rt.seal();
     rt.wait_all().unwrap();
     let trace = session.finish_trace(1);
-    let slow = trace.events.iter().filter(|e| e.duration() > 0.005).count();
+    let slow = trace
+        .spans()
+        .iter()
+        .filter(|e| e.duration() > 0.005)
+        .count();
     // Expected ~20% slow; allow broad slack for 200 samples.
     assert!((20..=90).contains(&slow), "slow-mode count {slow}");
     // Mean duration between the two modes.
-    let mean = trace.events.iter().map(|e| e.duration()).sum::<f64>() / 200.0;
+    let mean = trace.spans().iter().map(|e| e.duration()).sum::<f64>() / 200.0;
     assert!(mean > 0.001 && mean < 0.010);
 }
 

@@ -48,7 +48,7 @@ fn thousands_of_tasks_all_schedulers() {
         assert_eq!(trace.len(), 1540, "{kind:?}");
         assert!(predicted > 0.0);
         let sched: Vec<ScheduledTask> = trace
-            .events
+            .spans()
             .iter()
             .map(|e| ScheduledTask {
                 task: e.task_id as usize,

@@ -27,7 +27,7 @@ fn run_layered(layers: usize, width: usize, fan_in: usize, seed: u64, workers: u
 
     // 1. Trace is a valid schedule of the DAG.
     let sched: Vec<ScheduledTask> = trace
-        .events
+        .spans()
         .iter()
         .map(|e| ScheduledTask {
             task: e.task_id as usize,
@@ -41,7 +41,7 @@ fn run_layered(layers: usize, width: usize, fan_in: usize, seed: u64, workers: u
     // 2. Makespan bracketed by critical path and serial sum.
     // (Constant per-label models: durations may differ slightly from DAG
     // weights, so use the trace's own durations for the bounds.)
-    let total: f64 = trace.events.iter().map(|e| e.duration()).sum();
+    let total: f64 = trace.spans().iter().map(|e| e.duration()).sum();
     let cp = supersim::dag::critical_path::critical_path(&graph).length;
     let makespan = trace.makespan();
     // Critical path uses nominal weights; allow small slack for the
